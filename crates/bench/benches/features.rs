@@ -1,0 +1,80 @@
+//! Micro-benchmarks of feature extraction — the dominant indexing
+//! cost the paper identifies in Experiment 4.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use d3l_core::profile::AttributeProfile;
+use d3l_embedding::{HashEmbedder, WordEmbedder};
+use d3l_features::{format_pattern, ks_statistic, qgram_set, TokenHistogram};
+use d3l_table::Column;
+
+fn address_column(rows: usize) -> Column {
+    let vals: Vec<String> = (0..rows)
+        .map(|i| format!("{} Portland Street, M{} {}BE", i + 1, i % 20, i % 9))
+        .collect();
+    Column::new("Address", vals)
+}
+
+fn bench_qgrams(c: &mut Criterion) {
+    c.bench_function("features/qgrams_name", |b| {
+        b.iter(|| black_box(qgram_set("Practice Opening Hours")))
+    });
+}
+
+fn bench_format(c: &mut Criterion) {
+    c.bench_function("features/format_pattern", |b| {
+        b.iter(|| black_box(format_pattern("18 Portland Street, M1 3BE")))
+    });
+}
+
+fn bench_histogram(c: &mut Criterion) {
+    let col = address_column(200);
+    c.bench_function("features/histogram_200_values", |b| {
+        b.iter(|| {
+            let mut h = TokenHistogram::new();
+            for v in col.non_null() {
+                h.insert_value(v);
+            }
+            black_box(h.distinct())
+        })
+    });
+}
+
+fn bench_ks(c: &mut Criterion) {
+    let a: Vec<f64> = (0..1000).map(|i| (i as f64).sin() * 100.0).collect();
+    let bb: Vec<f64> = (0..1000).map(|i| (i as f64).cos() * 100.0).collect();
+    c.bench_function("features/ks_1000x1000", |b| {
+        b.iter(|| black_box(ks_statistic(&a, &bb)))
+    });
+}
+
+fn bench_profile(c: &mut Criterion) {
+    let col = address_column(150);
+    let e = HashEmbedder::new(64, 1);
+    c.bench_function("profile/attribute_150_rows", |b| {
+        b.iter(|| black_box(AttributeProfile::build(&col, 4, &e)))
+    });
+}
+
+fn bench_embedding(c: &mut Criterion) {
+    let e = HashEmbedder::new(64, 1);
+    c.bench_function("embedding/subword_word", |b| {
+        b.iter(|| black_box(e.embed("blackfriars")))
+    });
+    let words: Vec<String> = (0..50).map(|i| format!("word{i}")).collect();
+    c.bench_function("embedding/mean_50_words", |b| {
+        b.iter(|| black_box(e.embed_all(words.iter().map(String::as_str))))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_qgrams,
+    bench_format,
+    bench_histogram,
+    bench_ks,
+    bench_profile,
+    bench_embedding
+);
+criterion_main!(benches);

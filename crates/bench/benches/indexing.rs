@@ -1,0 +1,50 @@
+//! Indexing-time benches — the Criterion counterpart of Experiment 4
+//! (Figure 6a): D3L vs TUS vs Aurum index construction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use d3l_baselines::{Aurum, AurumConfig, Tus, TusConfig};
+use d3l_benchgen::{vocab, SyntheticKb};
+use d3l_core::{D3l, D3lConfig};
+use d3l_embedding::SemanticEmbedder;
+
+fn embedder() -> SemanticEmbedder {
+    SemanticEmbedder::new(vocab::domain_lexicon(64))
+}
+
+fn bench_indexing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("indexing");
+    group.sample_size(10);
+    for &n in &[64usize, 160] {
+        let bench = d3l_benchgen::larger_real(n, 7);
+        group.bench_with_input(BenchmarkId::new("d3l", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(D3l::index_lake_with(
+                    &bench.lake,
+                    D3lConfig::default(),
+                    embedder(),
+                ))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("tus", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(Tus::index_lake(
+                    &bench.lake,
+                    SyntheticKb::from_vocab(),
+                    embedder(),
+                    TusConfig::default(),
+                ))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("aurum", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(Aurum::index_lake(&bench.lake, embedder(), AurumConfig::default()))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_indexing);
+criterion_main!(benches);

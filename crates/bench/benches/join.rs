@@ -1,0 +1,35 @@
+//! Join-path discovery benches (§IV, Algorithm 3): SA-join graph
+//! construction and path enumeration — the machinery behind
+//! Figures 7/8.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::collections::HashSet;
+use std::hint::black_box;
+
+use d3l_bench::runner::Systems;
+use d3l_table::TableId;
+
+fn bench_join(c: &mut Criterion) {
+    let systems = Systems::build(d3l_benchgen::synthetic(160, 13), false);
+    let mut group = c.benchmark_group("join");
+    group.sample_size(10);
+    group.bench_function("build_sa_join_graph_160_tables", |b| {
+        b.iter(|| black_box(systems.d3l.build_join_graph()))
+    });
+    let graph = systems.d3l.build_join_graph();
+    let target = systems.bench.pick_targets(1, 2)[0].clone();
+    let t = systems.bench.lake.table_by_name(&target).unwrap();
+    let related = systems.d3l.related_table_set(t, 100);
+    let top: HashSet<TableId> = related.iter().copied().take(5).collect();
+    let start = *top.iter().next().unwrap();
+    group.bench_function("algorithm3_paths_from_one_table", |b| {
+        b.iter(|| black_box(systems.d3l.find_join_paths(&graph, start, &top, &related)))
+    });
+    group.bench_function("join_extension_full_target", |b| {
+        b.iter(|| black_box(systems.d3l_join_extensions(&target, 5)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_join);
+criterion_main!(benches);

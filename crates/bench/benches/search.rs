@@ -1,0 +1,30 @@
+//! Search-time benches — the Criterion counterpart of Experiments 5/6
+//! (Figures 6b/6c): query latency as the answer size grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use d3l_bench::runner::{SystemKind, Systems};
+
+fn bench_search(c: &mut Criterion) {
+    let systems = Systems::build(d3l_benchgen::synthetic(160, 11), false);
+    let target = systems.bench.pick_targets(1, 1)[0].clone();
+    let mut group = c.benchmark_group("search");
+    group.sample_size(20);
+    for &k in &[5usize, 20, 50] {
+        group.bench_with_input(BenchmarkId::new("d3l", k), &k, |b, &k| {
+            b.iter(|| black_box(systems.query(SystemKind::D3l, &target, k)))
+        });
+        group.bench_with_input(BenchmarkId::new("tus", k), &k, |b, &k| {
+            b.iter(|| black_box(systems.query(SystemKind::Tus, &target, k)))
+        });
+    }
+    // Aurum's graph lookup is k-independent; bench once.
+    group.bench_function("aurum/graph_lookup", |b| {
+        b.iter(|| black_box(systems.query(SystemKind::Aurum, &target, 50)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_search);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Regenerate the paper's tables and figures.
+//!
+//! ```text
+//! experiments <id> [<id> ...]
+//!   ids: table1 fig2 exp1 exp2 exp3 exp4 exp5 exp6 exp7 (=table2)
+//!        exp8 exp9 exp10 exp11 weights subject
+//!        ablation-weights ablation-granularity all
+//! Scale via D3L_SCALE=quick|standard|paper (default standard).
+//! ```
+
+use d3l_bench::experiments as ex;
+use d3l_bench::setup::Setting;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: experiments <id> [<id> ...]\n\
+         ids: table1 fig2 exp1 exp2 exp3 exp4 exp5 exp6 exp7 exp8 exp9 exp10 exp11\n\
+              weights subject ablation-weights ablation-granularity all\n\
+         scale: D3L_SCALE=quick|standard|paper"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+    }
+    let setting = Setting::from_env();
+    println!(
+        "scale: {} tables synthetic / {} smaller-real / {} targets",
+        setting.synthetic_tables, setting.smaller_tables, setting.targets
+    );
+    for id in &args {
+        match id.as_str() {
+            "table1" => ex::table1(),
+            "fig2" => ex::fig2(&setting),
+            "exp1" | "fig3" => ex::exp1(&setting),
+            "exp2" | "fig4" => ex::comparative_effectiveness(&setting, false),
+            "exp3" | "fig5" => ex::comparative_effectiveness(&setting, true),
+            "exp4" | "fig6a" => ex::exp4(&setting),
+            "exp5" | "fig6b" => ex::search_time(&setting, false),
+            "exp6" | "fig6c" => ex::search_time(&setting, true),
+            "exp7" | "table2" => ex::exp7(&setting),
+            "exp8" | "exp9" | "fig7" => ex::join_experiments(&setting, false),
+            "exp10" | "exp11" | "fig8" => ex::join_experiments(&setting, true),
+            "weights" => ex::weights(&setting),
+            "subject" => ex::subject(&setting),
+            "ablation-weights" => ex::ablation_weights(&setting),
+            "ablation-granularity" => ex::ablation_granularity(&setting),
+            "diag" => ex::diag(&setting),
+            "all" => ex::all(&setting),
+            other => {
+                eprintln!("unknown experiment id: {other}");
+                usage();
+            }
+        }
+    }
+}

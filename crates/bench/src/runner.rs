@@ -1,0 +1,293 @@
+//! System construction and uniform query wrappers.
+
+use std::collections::{HashMap, HashSet};
+
+use d3l_baselines::{Aurum, AurumConfig, Tus, TusConfig};
+use d3l_benchgen::{vocab, Benchmark, SyntheticKb};
+use d3l_core::{D3l, D3lConfig, Evidence};
+use d3l_core::query::QueryOptions;
+use d3l_embedding::SemanticEmbedder;
+use d3l_table::TableId;
+
+/// One ranked table in system-independent form: the table name plus
+/// `(target column name, source column name)` alignment pairs.
+#[derive(Debug, Clone)]
+pub struct RankedTable {
+    /// Source table name.
+    pub name: String,
+    /// Proposed alignments as column-name pairs.
+    pub aligned: Vec<(String, String)>,
+}
+
+impl RankedTable {
+    /// Distinct target columns covered.
+    pub fn covered(&self) -> HashSet<&str> {
+        self.aligned.iter().map(|(t, _)| t.as_str()).collect()
+    }
+}
+
+/// Which system (and mode) to query.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SystemKind {
+    /// Full five-evidence D3L.
+    D3l,
+    /// D3L restricted to one evidence type (Experiment 1).
+    D3lSingle(Evidence),
+    /// The TUS baseline.
+    Tus,
+    /// The Aurum baseline (graph lookup for lake members).
+    Aurum,
+}
+
+/// All three systems indexed over one benchmark repository.
+pub struct Systems {
+    /// The repository and ground truth.
+    pub bench: Benchmark,
+    /// D3L state.
+    pub d3l: D3l,
+    /// TUS state.
+    pub tus: Tus,
+    /// Aurum state.
+    pub aurum: Aurum,
+    join_graph: d3l_core::SaJoinGraph,
+}
+
+fn embedder(dim: usize) -> SemanticEmbedder {
+    SemanticEmbedder::new(vocab::domain_lexicon(dim))
+}
+
+impl Systems {
+    /// Index a benchmark with all three systems. `fast` selects the
+    /// small LSH configuration (tests/smoke runs).
+    pub fn build(bench: Benchmark, fast: bool) -> Self {
+        let d3l_cfg = if fast { D3lConfig::fast() } else { D3lConfig::default() };
+        let tus_cfg = if fast { TusConfig::fast() } else { TusConfig::default() };
+        let aurum_cfg = if fast { AurumConfig::fast() } else { AurumConfig::default() };
+        let d3l = D3l::index_lake_with(&bench.lake, d3l_cfg.clone(), embedder(d3l_cfg.embed_dim));
+        let tus = Tus::index_lake(
+            &bench.lake,
+            SyntheticKb::from_vocab(),
+            embedder(tus_cfg.embed_dim),
+            tus_cfg,
+        );
+        let aurum = Aurum::index_lake(&bench.lake, embedder(aurum_cfg.embed_dim), aurum_cfg);
+        let join_graph = d3l.build_join_graph();
+        Systems { bench, d3l, tus, aurum, join_graph }
+    }
+
+    /// The SA-join graph (built once at construction).
+    pub fn join_graph(&self) -> &d3l_core::SaJoinGraph {
+        &self.join_graph
+    }
+
+    /// Query one system for a lake-member target, excluding the
+    /// target itself from the answer.
+    pub fn query(&self, kind: SystemKind, target_name: &str, k: usize) -> Vec<RankedTable> {
+        let target = self
+            .bench
+            .lake
+            .table_by_name(target_name)
+            .expect("target must be a lake member");
+        let exclude = self.bench.lake.id_of(target_name);
+        match kind {
+            SystemKind::D3l => {
+                let opts = QueryOptions { exclude, ..Default::default() };
+                self.d3l
+                    .query_with(target, k, &opts)
+                    .into_iter()
+                    .map(|m| self.ranked_of_d3l_match(target_name, &m))
+                    .collect()
+            }
+            SystemKind::D3lSingle(e) => {
+                let opts = QueryOptions { exclude, evidence: Some(e), ..Default::default() };
+                self.d3l
+                    .query_with(target, k, &opts)
+                    .into_iter()
+                    .map(|m| self.ranked_of_d3l_match(target_name, &m))
+                    .collect()
+            }
+            SystemKind::Tus => self
+                .tus
+                .query(target, k, exclude)
+                .into_iter()
+                .map(|m| self.ranked_of_baseline_match(target_name, m.table, &m.alignments))
+                .collect(),
+            SystemKind::Aurum => {
+                let id = exclude.expect("member target");
+                self.aurum
+                    .query_member(id, target.arity(), k)
+                    .into_iter()
+                    .map(|m| self.ranked_of_baseline_match(target_name, m.table, &m.alignments))
+                    .collect()
+            }
+        }
+    }
+
+    /// D3L join-path extension: for each top-k table, the tables its
+    /// SA-join paths reach (outside the top-k, related to the target
+    /// by at least one index), with their alignments from the full
+    /// ranking.
+    pub fn d3l_join_extensions(
+        &self,
+        target_name: &str,
+        k: usize,
+    ) -> Vec<(RankedTable, Vec<RankedTable>)> {
+        let target = self.bench.lake.table_by_name(target_name).expect("member target");
+        let exclude = self.bench.lake.id_of(target_name);
+        let opts = QueryOptions { exclude, ..Default::default() };
+        let width = self.d3l.config().lookup_width(k);
+        let all = self.d3l.rank_all(target, width, &opts);
+        let alignments_of: HashMap<TableId, &d3l_core::TableMatch> =
+            all.iter().map(|m| (m.table, m)).collect();
+        let top: Vec<&d3l_core::TableMatch> = all.iter().take(k).collect();
+        let top_set: HashSet<TableId> = top.iter().map(|m| m.table).collect();
+        let mut related = self.d3l.related_table_set(target, width);
+        related.remove(&exclude.unwrap_or(TableId(u32::MAX)));
+
+        top.iter()
+            .map(|m| {
+                let ranked = self.ranked_of_d3l_match(target_name, m);
+                let mut seen = HashSet::new();
+                let mut joined = Vec::new();
+                for path in
+                    self.d3l.find_join_paths(&self.join_graph, m.table, &top_set, &related)
+                {
+                    for &node in path.extensions() {
+                        if seen.insert(node) {
+                            if let Some(jm) = alignments_of.get(&node) {
+                                joined.push(self.ranked_of_d3l_match(target_name, jm));
+                            }
+                        }
+                    }
+                }
+                (ranked, joined)
+            })
+            .collect()
+    }
+
+    /// Aurum join-path extension over PK/FK candidate edges.
+    pub fn aurum_join_extensions(
+        &self,
+        target_name: &str,
+        k: usize,
+    ) -> Vec<(RankedTable, Vec<RankedTable>)> {
+        let id = self.bench.lake.id_of(target_name).expect("member target");
+        let arity = self.bench.lake.table(id).arity();
+        let top = self.aurum.query_member(id, arity, k);
+        let top_ids: Vec<TableId> = top.iter().map(|m| m.table).collect();
+        // Alignments for join tables come from a wide ranking.
+        let wide = self.aurum.query_member(id, arity, usize::MAX);
+        let wide_map: HashMap<TableId, &d3l_baselines::BaselineMatch> =
+            wide.iter().map(|m| (m.table, m)).collect();
+        let ext = self.aurum.join_extensions(&top_ids);
+        top.iter()
+            .map(|m| {
+                let ranked = self.ranked_of_baseline_match(target_name, m.table, &m.alignments);
+                let joined: Vec<RankedTable> = ext
+                    .iter()
+                    .filter(|(from, _)| *from == m.table)
+                    .filter_map(|(_, to)| {
+                        wide_map.get(to).map(|jm| {
+                            self.ranked_of_baseline_match(target_name, jm.table, &jm.alignments)
+                        })
+                    })
+                    .collect();
+                (ranked, joined)
+            })
+            .collect()
+    }
+
+    fn ranked_of_d3l_match(&self, target_name: &str, m: &d3l_core::TableMatch) -> RankedTable {
+        let target = self.bench.lake.table_by_name(target_name).expect("member");
+        let source = self.bench.lake.table(m.table);
+        let aligned = m
+            .alignments
+            .iter()
+            .map(|a| {
+                (
+                    target.columns()[a.target_column].name().to_string(),
+                    source.columns()[a.source.column as usize].name().to_string(),
+                )
+            })
+            .collect();
+        RankedTable { name: source.name().to_string(), aligned }
+    }
+
+    fn ranked_of_baseline_match(
+        &self,
+        target_name: &str,
+        table: TableId,
+        alignments: &[d3l_baselines::common::BaselineAlignment],
+    ) -> RankedTable {
+        let target = self.bench.lake.table_by_name(target_name).expect("member");
+        let source = self.bench.lake.table(table);
+        let aligned = alignments
+            .iter()
+            .map(|a| {
+                (
+                    target.columns()[a.target_column].name().to_string(),
+                    source.columns()[a.column as usize].name().to_string(),
+                )
+            })
+            .collect();
+        RankedTable { name: source.name().to_string(), aligned }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn systems() -> Systems {
+        Systems::build(d3l_benchgen::synthetic(64, 31), true)
+    }
+
+    #[test]
+    fn all_systems_answer() {
+        let s = systems();
+        let t = &s.bench.pick_targets(1, 1)[0];
+        for kind in [SystemKind::D3l, SystemKind::Tus, SystemKind::Aurum] {
+            let res = s.query(kind, t, 5);
+            assert!(!res.is_empty(), "{kind:?} returned nothing");
+            assert!(res.len() <= 5);
+            for r in &res {
+                assert_ne!(&r.name, t, "self must be excluded");
+            }
+        }
+    }
+
+    #[test]
+    fn single_evidence_mode_runs() {
+        let s = systems();
+        let t = &s.bench.pick_targets(1, 2)[0];
+        let res = s.query(SystemKind::D3lSingle(Evidence::Value), t, 5);
+        assert!(!res.is_empty());
+    }
+
+    #[test]
+    fn join_extensions_produce_tables_outside_topk() {
+        let s = systems();
+        let t = &s.bench.pick_targets(1, 3)[0];
+        let ext = s.d3l_join_extensions(t, 5);
+        assert_eq!(ext.len().min(5), ext.len());
+        let top_names: HashSet<&str> = ext.iter().map(|(r, _)| r.name.as_str()).collect();
+        for (_, joined) in &ext {
+            for j in joined {
+                assert!(!top_names.contains(j.name.as_str()));
+            }
+        }
+    }
+
+    #[test]
+    fn covered_sets_use_target_names() {
+        let s = systems();
+        let t = &s.bench.pick_targets(1, 4)[0];
+        let target = s.bench.lake.table_by_name(t).unwrap();
+        let target_cols: HashSet<&str> = target.columns().iter().map(|c| c.name()).collect();
+        for r in s.query(SystemKind::D3l, t, 3) {
+            for c in r.covered() {
+                assert!(target_cols.contains(c));
+            }
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! Configuration knobs. Defaults follow the paper's evaluation setup
+//! (§V, footnote 5): LSH Forest, threshold 0.7, MinHash size 256.
+
+use serde::{Deserialize, Serialize};
+
+/// D3L configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct D3lConfig {
+    /// MinHash signature length (paper: 256).
+    pub num_perm: usize,
+    /// Random-projection signature bits for the embedding index.
+    pub embed_bits: usize,
+    /// Word-embedding dimensionality.
+    pub embed_dim: usize,
+    /// LSH Forest tree count (`l`).
+    pub trees: usize,
+    /// LSH similarity threshold (paper: 0.7) — used by Algorithm 2's
+    /// guards and join-edge postulation.
+    pub threshold: f64,
+    /// q for name q-grams (paper: 4).
+    pub q: usize,
+    /// Per-target-attribute lookup width as a multiple of the
+    /// requested table answer size `k` (candidates gathered per index
+    /// before grouping by table).
+    pub lookup_factor: usize,
+    /// Minimum per-attribute lookup width, so small `k` still gathers
+    /// enough candidates to rank.
+    pub min_lookup: usize,
+    /// Jaccard threshold on tset overlap for postulating SA-join
+    /// edges (§IV).
+    pub join_threshold: f64,
+    /// Maximum SA-join path length explored by Algorithm 3.
+    pub max_join_depth: usize,
+    /// Deterministic seed for hashing and projections.
+    pub seed: u64,
+    /// Number of worker threads for index construction (0 = number of
+    /// available CPUs).
+    pub index_threads: usize,
+}
+
+impl Default for D3lConfig {
+    fn default() -> Self {
+        D3lConfig {
+            num_perm: 256,
+            embed_bits: 256,
+            embed_dim: 64,
+            trees: 16,
+            threshold: 0.7,
+            q: 4,
+            lookup_factor: 3,
+            min_lookup: 50,
+            join_threshold: 0.5,
+            max_join_depth: 3,
+            seed: 0xd31,
+            index_threads: 0,
+        }
+    }
+}
+
+impl D3lConfig {
+    /// A smaller, faster configuration for tests.
+    pub fn fast() -> Self {
+        D3lConfig {
+            num_perm: 64,
+            embed_bits: 64,
+            embed_dim: 32,
+            trees: 8,
+            min_lookup: 20,
+            ..Default::default()
+        }
+    }
+
+    /// Effective thread count for index construction.
+    pub fn effective_threads(&self) -> usize {
+        if self.index_threads > 0 {
+            self.index_threads
+        } else {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        }
+    }
+
+    /// Per-attribute lookup width for a table answer size `k`.
+    pub fn lookup_width(&self, k: usize) -> usize {
+        (self.lookup_factor * k).max(self.min_lookup)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = D3lConfig::default();
+        assert_eq!(c.num_perm, 256);
+        assert!((c.threshold - 0.7).abs() < 1e-12);
+        assert_eq!(c.q, 4);
+    }
+
+    #[test]
+    fn lookup_width_scales() {
+        let c = D3lConfig::default();
+        assert_eq!(c.lookup_width(5), 50); // floor
+        assert_eq!(c.lookup_width(100), 300);
+    }
+
+    #[test]
+    fn effective_threads_positive() {
+        assert!(D3lConfig::default().effective_threads() >= 1);
+        let c = D3lConfig { index_threads: 3, ..Default::default() };
+        assert_eq!(c.effective_threads(), 3);
+    }
+}

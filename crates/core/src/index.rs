@@ -1,0 +1,499 @@
+//! The four LSH indexes and their construction (Algorithm 1).
+//!
+//! [`D3l`] owns everything needed to answer discovery queries over a
+//! lake: the `IN`, `IV`, `IF` (MinHash) and `IE` (random projection)
+//! LSH Forests, the attribute profiles (kept for exact distances, the
+//! guarded KS computation and join-overlap checks), and each table's
+//! subject attribute.
+//!
+//! Index construction profiles tables in parallel (crossbeam scoped
+//! threads over table chunks) and inserts signatures sequentially —
+//! profiling and signature generation dominate, as the paper observes
+//! for all three compared systems (Experiment 4).
+
+use std::collections::HashMap;
+
+use d3l_embedding::{Lexicon, SemanticEmbedder};
+use d3l_lsh::forest::LshForest;
+use d3l_lsh::minhash::{MinHashSignature, MinHasher};
+use d3l_lsh::randproj::{BitSignature, RandomProjector};
+use d3l_lsh::ItemId;
+use d3l_ml::SubjectClassifier;
+use d3l_table::{DataLake, Table, TableId};
+
+use crate::config::D3lConfig;
+use crate::profile::{profile_table, AttributeProfile};
+
+/// A reference to one attribute of one table in the lake.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AttrRef {
+    /// Owning table.
+    pub table: TableId,
+    /// Column index within the table.
+    pub column: u32,
+}
+
+impl AttrRef {
+    /// Pack into the `u64` item id the LSH indexes use.
+    pub fn key(self) -> ItemId {
+        ((self.table.0 as u64) << 24) | self.column as u64
+    }
+
+    /// Unpack from an LSH item id.
+    pub fn from_key(key: ItemId) -> Self {
+        AttrRef { table: TableId((key >> 24) as u32), column: (key & 0xff_ffff) as u32 }
+    }
+}
+
+/// Signatures of one attribute across the four indexes.
+#[derive(Debug, Clone)]
+pub(crate) struct AttrSignatures {
+    pub name: MinHashSignature,
+    pub value: MinHashSignature,
+    pub format: MinHashSignature,
+    pub embedding: BitSignature,
+}
+
+/// The indexed data lake: D3L's discovery state.
+pub struct D3l {
+    pub(crate) cfg: D3lConfig,
+    pub(crate) embedder: SemanticEmbedder,
+    pub(crate) minhasher: MinHasher,
+    pub(crate) projector: RandomProjector,
+    /// `IN` — attribute-name q-gram index.
+    pub(crate) i_n: LshForest<MinHashSignature>,
+    /// `IV` — value-token index.
+    pub(crate) i_v: LshForest<MinHashSignature>,
+    /// `IF` — format-pattern index.
+    pub(crate) i_f: LshForest<MinHashSignature>,
+    /// `IE` — embedding index.
+    pub(crate) i_e: LshForest<BitSignature>,
+    /// Per-table attribute profiles.
+    pub(crate) profiles: Vec<Vec<AttributeProfile>>,
+    /// Per-table subject attribute (None when no textual column).
+    pub(crate) subjects: Vec<Option<u32>>,
+    /// Table names, parallel to ids.
+    pub(crate) names: Vec<String>,
+    /// Per-table arity, parallel to ids.
+    pub(crate) arities: Vec<usize>,
+}
+
+impl D3l {
+    /// Index a lake with a lexicon-free embedder (pure subword
+    /// hashing). Use [`D3l::index_lake_with`] to supply a domain
+    /// lexicon.
+    pub fn index_lake(lake: &DataLake, cfg: D3lConfig) -> Self {
+        let embedder = SemanticEmbedder::new(Lexicon::new(cfg.embed_dim));
+        Self::index_lake_with(lake, cfg, embedder)
+    }
+
+    /// Index a lake with the supplied word-embedding model.
+    pub fn index_lake_with(lake: &DataLake, cfg: D3lConfig, embedder: SemanticEmbedder) -> Self {
+        assert_eq!(embedder.lexicon().dim(), cfg.embed_dim, "embedder/config dim mismatch");
+        let minhasher = MinHasher::new(cfg.num_perm, cfg.seed);
+        let projector = RandomProjector::new(cfg.embed_dim, cfg.embed_bits, cfg.seed ^ 0xee);
+        let classifier = SubjectClassifier::default_model();
+
+        // Parallel profiling + signature generation over table chunks.
+        let tables: Vec<(TableId, &Table)> = lake.iter().collect();
+        let threads = cfg.effective_threads().min(tables.len().max(1));
+        let chunk = tables.len().div_ceil(threads.max(1)).max(1);
+        type ProfiledTable = (TableId, Vec<AttributeProfile>, Vec<AttrSignatures>, Option<u32>);
+        let mut results: Vec<ProfiledTable> = Vec::with_capacity(tables.len());
+        crossbeam::scope(|scope| {
+            let mut handles = Vec::new();
+            for batch in tables.chunks(chunk) {
+                let embedder = &embedder;
+                let minhasher = &minhasher;
+                let projector = &projector;
+                let classifier = &classifier;
+                let cfg = &cfg;
+                handles.push(scope.spawn(move |_| {
+                    batch
+                        .iter()
+                        .map(|(id, table)| {
+                            let profiles = profile_table(table, cfg.q, embedder);
+                            let sigs = profiles
+                                .iter()
+                                .map(|p| sign_profile(p, minhasher, projector))
+                                .collect::<Vec<_>>();
+                            let subject =
+                                classifier.subject_of(table).map(|i| i as u32);
+                            (*id, profiles, sigs, subject)
+                        })
+                        .collect::<Vec<_>>()
+                }));
+            }
+            for h in handles {
+                results.extend(h.join().expect("profiling worker panicked"));
+            }
+        })
+        .expect("crossbeam scope failed");
+        results.sort_by_key(|(id, ..)| *id);
+
+        let mut i_n = LshForest::new(cfg.num_perm, cfg.trees);
+        let mut i_v = LshForest::new(cfg.num_perm, cfg.trees);
+        let mut i_f = LshForest::new(cfg.num_perm, cfg.trees);
+        let mut i_e = LshForest::new(cfg.embed_bits, cfg.trees);
+        let mut profiles = Vec::with_capacity(results.len());
+        let mut subjects = Vec::with_capacity(results.len());
+        let mut names = Vec::with_capacity(results.len());
+        let mut arities = Vec::with_capacity(results.len());
+
+        for (id, table_profiles, sigs, subject) in results {
+            for (col, sig) in sigs.into_iter().enumerate() {
+                let key = AttrRef { table: id, column: col as u32 }.key();
+                // Algorithm 1 lines 15–18, with the §III-C rule that
+                // numeric attributes skip IV and IE.
+                i_n.insert(key, sig.name);
+                i_f.insert(key, sig.format);
+                if !table_profiles[col].is_numeric {
+                    i_v.insert(key, sig.value);
+                    i_e.insert(key, sig.embedding);
+                }
+            }
+            names.push(lake.table(id).name().to_string());
+            arities.push(table_profiles.len());
+            profiles.push(table_profiles);
+            subjects.push(subject);
+        }
+
+        i_n.build();
+        i_v.build();
+        i_f.build();
+        i_e.build();
+
+        D3l {
+            cfg,
+            embedder,
+            minhasher,
+            projector,
+            i_n,
+            i_v,
+            i_f,
+            i_e,
+            profiles,
+            subjects,
+            names,
+            arities,
+        }
+    }
+
+    /// Incrementally index one more table (data lakes grow; Goods-style
+    /// systems reindex continuously). The forests re-sort lazily on
+    /// the next query. Returns the id the table would have in a lake
+    /// extended by it; the caller keeps the authoritative lake.
+    pub fn add_table(&mut self, table: &Table) -> TableId {
+        let id = TableId(self.profiles.len() as u32);
+        let profiles = profile_table(table, self.cfg.q, &self.embedder);
+        let classifier = SubjectClassifier::default_model();
+        for (col, p) in profiles.iter().enumerate() {
+            let sig = sign_profile(p, &self.minhasher, &self.projector);
+            let key = AttrRef { table: id, column: col as u32 }.key();
+            self.i_n.insert(key, sig.name);
+            self.i_f.insert(key, sig.format);
+            if !p.is_numeric {
+                self.i_v.insert(key, sig.value);
+                self.i_e.insert(key, sig.embedding);
+            }
+        }
+        self.i_n.build();
+        self.i_v.build();
+        self.i_f.build();
+        self.i_e.build();
+        self.names.push(table.name().to_string());
+        self.arities.push(profiles.len());
+        self.subjects.push(classifier.subject_of(table).map(|i| i as u32));
+        self.profiles.push(profiles);
+        id
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> &D3lConfig {
+        &self.cfg
+    }
+
+    /// Number of indexed tables.
+    pub fn table_count(&self) -> usize {
+        self.profiles.len()
+    }
+
+    /// Name of an indexed table.
+    pub fn table_name(&self, id: TableId) -> &str {
+        &self.names[id.index()]
+    }
+
+    /// Arity of an indexed table.
+    pub fn table_arity(&self, id: TableId) -> usize {
+        self.arities[id.index()]
+    }
+
+    /// Profile of one attribute.
+    pub fn profile(&self, attr: AttrRef) -> &AttributeProfile {
+        &self.profiles[attr.table.index()][attr.column as usize]
+    }
+
+    /// Subject attribute of an indexed table, if any.
+    pub fn subject_of(&self, id: TableId) -> Option<AttrRef> {
+        self.subjects[id.index()].map(|c| AttrRef { table: id, column: c })
+    }
+
+    /// The word embedder used at indexing (targets must be profiled
+    /// with the same one).
+    pub fn embedder(&self) -> &SemanticEmbedder {
+        &self.embedder
+    }
+
+    /// Profile and sign a query-side table with this index's hashers.
+    pub(crate) fn profile_and_sign(
+        &self,
+        table: &Table,
+    ) -> (Vec<AttributeProfile>, Vec<AttrSignatures>) {
+        let profiles = profile_table(table, self.cfg.q, &self.embedder);
+        let sigs = profiles
+            .iter()
+            .map(|p| sign_profile(p, &self.minhasher, &self.projector))
+            .collect();
+        (profiles, sigs)
+    }
+
+    /// Stored signatures of an indexed attribute (every attribute is
+    /// in `IN`/`IF`; numeric ones are absent from `IV`/`IE`).
+    pub(crate) fn stored_signatures(&self, attr: AttrRef) -> AttrSignatures {
+        let key = attr.key();
+        let name = self.i_n.signature(key).expect("attribute not indexed").clone();
+        let format = self.i_f.signature(key).expect("attribute not indexed").clone();
+        let value = self
+            .i_v
+            .signature(key)
+            .cloned()
+            .unwrap_or_else(|| self.minhasher.sign_strs([]));
+        let embedding = self
+            .i_e
+            .signature(key)
+            .cloned()
+            .unwrap_or_else(|| self.projector.sign(&vec![0.0; self.cfg.embed_dim]));
+        AttrSignatures { name, value, format, embedding }
+    }
+
+    /// Total byte footprint of the four indexes (Table II accounting:
+    /// signatures + tree labels).
+    pub fn index_byte_size(&self) -> usize {
+        self.i_n.byte_size() + self.i_v.byte_size() + self.i_f.byte_size() + self.i_e.byte_size()
+    }
+
+    /// Per-index byte footprints `(IN, IV, IF, IE)`.
+    pub fn index_byte_sizes(&self) -> (usize, usize, usize, usize) {
+        (
+            self.i_n.byte_size(),
+            self.i_v.byte_size(),
+            self.i_f.byte_size(),
+            self.i_e.byte_size(),
+        )
+    }
+
+    /// Map from table name to id for result post-processing.
+    pub fn name_to_id(&self) -> HashMap<&str, TableId> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.as_str(), TableId(i as u32)))
+            .collect()
+    }
+}
+
+/// Generate the four signatures of a profile.
+pub(crate) fn sign_profile(
+    profile: &AttributeProfile,
+    minhasher: &MinHasher,
+    projector: &RandomProjector,
+) -> AttrSignatures {
+    AttrSignatures {
+        name: minhasher.sign_strs(profile.qset.iter().map(String::as_str)),
+        value: minhasher.sign_strs(profile.tset.iter().map(String::as_str)),
+        format: minhasher.sign_strs(profile.rset.iter().map(String::as_str)),
+        embedding: projector.sign(&profile.embedding),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use d3l_table::Table;
+
+    fn figure1_lake() -> DataLake {
+        let mut lake = DataLake::new();
+        lake.add(
+            Table::from_rows(
+                "S1_gp_practices",
+                &["Practice Name", "Address", "City", "Postcode", "Patients"],
+                &[
+                    vec![
+                        "Dr E Cullen".into(),
+                        "51 Botanic Av".into(),
+                        "Belfast".into(),
+                        "BT7 1JL".into(),
+                        "1202".into(),
+                    ],
+                    vec![
+                        "Blackfriars".into(),
+                        "1a Chapel St".into(),
+                        "Salford".into(),
+                        "M3 6AF".into(),
+                        "3572".into(),
+                    ],
+                ],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        lake.add(
+            Table::from_rows(
+                "S2_gp_funding",
+                &["Practice", "City", "Postcode", "Payment"],
+                &[
+                    vec![
+                        "The London Clinic".into(),
+                        "London".into(),
+                        "W1G 6BW".into(),
+                        "73648".into(),
+                    ],
+                    vec!["Blackfriars".into(), "Salford".into(), "M3 6AF".into(), "15530".into()],
+                ],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        lake.add(
+            Table::from_rows(
+                "S3_local_gps",
+                &["GP", "Location", "Opening hours"],
+                &[
+                    vec!["Blackfriars".into(), "Salford".into(), "08:00-18:00".into()],
+                    vec!["Radclife Care".into(), "-".into(), "07:00-20:00".into()],
+                ],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        lake
+    }
+
+    #[test]
+    fn attr_ref_key_round_trip() {
+        let a = AttrRef { table: TableId(12345), column: 67 };
+        assert_eq!(AttrRef::from_key(a.key()), a);
+    }
+
+    #[test]
+    fn indexes_cover_the_lake() {
+        let lake = figure1_lake();
+        let d3l = D3l::index_lake(&lake, D3lConfig::fast());
+        assert_eq!(d3l.table_count(), 3);
+        assert_eq!(d3l.table_name(TableId(0)), "S1_gp_practices");
+        assert_eq!(d3l.table_arity(TableId(0)), 5);
+        // All 12 attributes are in IN/IF; numeric ones skip IV/IE.
+        assert_eq!(d3l.i_n.len(), 12);
+        assert_eq!(d3l.i_f.len(), 12);
+        assert_eq!(d3l.i_v.len(), 10, "Patients and Payment are numeric");
+        assert_eq!(d3l.i_e.len(), 10);
+        assert!(d3l.index_byte_size() > 0);
+        let (n, v, f, e) = d3l.index_byte_sizes();
+        assert_eq!(n + v + f + e, d3l.index_byte_size());
+    }
+
+    #[test]
+    fn subject_attributes_detected() {
+        let lake = figure1_lake();
+        let d3l = D3l::index_lake(&lake, D3lConfig::fast());
+        // S1's subject is Practice Name (column 0).
+        assert_eq!(d3l.subject_of(TableId(0)), Some(AttrRef { table: TableId(0), column: 0 }));
+        // S2's subject is Practice (column 0).
+        assert_eq!(d3l.subject_of(TableId(1)).unwrap().column, 0);
+        // S3's subject is GP (column 0).
+        assert_eq!(d3l.subject_of(TableId(2)).unwrap().column, 0);
+    }
+
+    #[test]
+    fn stored_signatures_round_trip() {
+        let lake = figure1_lake();
+        let d3l = D3l::index_lake(&lake, D3lConfig::fast());
+        let attr = AttrRef { table: TableId(0), column: 0 };
+        let sigs = d3l.stored_signatures(attr);
+        // Same profile signed fresh gives identical signatures.
+        let fresh = sign_profile(d3l.profile(attr), &d3l.minhasher, &d3l.projector);
+        assert_eq!(sigs.name, fresh.name);
+        assert_eq!(sigs.value, fresh.value);
+    }
+
+    #[test]
+    fn numeric_attr_gets_empty_value_signature() {
+        let lake = figure1_lake();
+        let d3l = D3l::index_lake(&lake, D3lConfig::fast());
+        let patients = AttrRef { table: TableId(0), column: 4 };
+        let sigs = d3l.stored_signatures(patients);
+        let empty = d3l.minhasher.sign_strs([]);
+        assert_eq!(sigs.value, empty);
+    }
+
+    #[test]
+    fn empty_lake_indexes_cleanly() {
+        let lake = DataLake::new();
+        let d3l = D3l::index_lake(&lake, D3lConfig::fast());
+        assert_eq!(d3l.table_count(), 0);
+        assert_eq!(d3l.i_n.len(), 0);
+    }
+
+    #[test]
+    fn incremental_add_matches_batch_indexing() {
+        let lake = figure1_lake();
+        // Batch: all three tables at once.
+        let batch = D3l::index_lake(&lake, D3lConfig::fast());
+        // Incremental: two tables, then add the third.
+        let mut two = DataLake::new();
+        two.add(lake.table(TableId(0)).clone()).unwrap();
+        two.add(lake.table(TableId(1)).clone()).unwrap();
+        let mut incremental = D3l::index_lake(&two, D3lConfig::fast());
+        let id = incremental.add_table(lake.table(TableId(2)));
+        assert_eq!(id, TableId(2));
+        assert_eq!(incremental.table_count(), 3);
+        assert_eq!(incremental.i_n.len(), batch.i_n.len());
+        // Signatures are identical (same hashers).
+        let attr = AttrRef { table: TableId(2), column: 0 };
+        assert_eq!(
+            incremental.stored_signatures(attr).name,
+            batch.stored_signatures(attr).name
+        );
+        assert_eq!(incremental.subject_of(TableId(2)), batch.subject_of(TableId(2)));
+    }
+
+    #[test]
+    fn added_table_is_discoverable() {
+        let lake = figure1_lake();
+        let mut partial = DataLake::new();
+        partial.add(lake.table(TableId(2)).clone()).unwrap(); // only S3
+        let mut d3l = D3l::index_lake(&partial, D3lConfig::fast());
+        d3l.add_table(lake.table(TableId(0))); // add S1 incrementally
+        let target = lake.table(TableId(1)); // S2 as target
+        let matches = d3l.query(target, 2);
+        assert!(
+            matches.iter().any(|m| m.table == TableId(1)),
+            "incrementally added S1 must be found for the S2 target"
+        );
+    }
+
+    #[test]
+    fn parallel_and_serial_agree() {
+        let lake = figure1_lake();
+        let serial =
+            D3l::index_lake(&lake, D3lConfig { index_threads: 1, ..D3lConfig::fast() });
+        let parallel =
+            D3l::index_lake(&lake, D3lConfig { index_threads: 4, ..D3lConfig::fast() });
+        assert_eq!(serial.i_n.len(), parallel.i_n.len());
+        let attr = AttrRef { table: TableId(1), column: 2 };
+        assert_eq!(
+            serial.stored_signatures(attr).name,
+            parallel.stored_signatures(attr).name
+        );
+    }
+}

@@ -1,0 +1,322 @@
+//! Extending relatedness through join paths (§IV, Algorithm 3).
+//!
+//! Two lake tables are **SA-joinable** when (i) the `IV` index gives
+//! evidence that the tsets of a pair of their attributes overlap, and
+//! (ii) at least one of the two attributes is its table's *subject
+//! attribute*. The SA-join graph `G_S` has a node per table and an
+//! edge per SA-joinable pair; Algorithm 3 walks it depth-first from
+//! each top-k table, collecting acyclic paths whose every node shows
+//! evidence of relatedness to the target (`I*.lookup(T)`).
+
+use std::collections::{HashMap, HashSet};
+
+use d3l_table::TableId;
+
+use crate::index::{AttrRef, D3l};
+
+/// One SA-join edge: the attribute pair whose value overlap
+/// postulates the (partial) inclusion dependency.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JoinEdge {
+    /// Attribute on the `from` side.
+    pub from_attr: AttrRef,
+    /// Attribute on the `to` side.
+    pub to_attr: AttrRef,
+    /// Estimated Jaccard similarity of the two tsets.
+    pub similarity: f64,
+}
+
+/// The SA-join graph over the entire lake.
+#[derive(Debug, Clone, Default)]
+pub struct SaJoinGraph {
+    /// adjacency: table → (neighbour table → best edge)
+    adj: HashMap<TableId, HashMap<TableId, JoinEdge>>,
+}
+
+impl SaJoinGraph {
+    /// Neighbours of a table.
+    pub fn neighbours(&self, t: TableId) -> impl Iterator<Item = (TableId, &JoinEdge)> {
+        self.adj.get(&t).into_iter().flat_map(|m| m.iter().map(|(k, v)| (*k, v)))
+    }
+
+    /// The edge between two tables, if SA-joinable.
+    pub fn edge(&self, a: TableId, b: TableId) -> Option<&JoinEdge> {
+        self.adj.get(&a).and_then(|m| m.get(&b))
+    }
+
+    /// Number of tables with at least one join edge.
+    pub fn node_count(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of undirected edges.
+    pub fn edge_count(&self) -> usize {
+        self.adj.values().map(HashMap::len).sum::<usize>() / 2
+    }
+
+    fn add_edge(&mut self, from: TableId, to: TableId, edge: JoinEdge) {
+        let slot = self.adj.entry(from).or_default().entry(to).or_insert(edge);
+        if edge.similarity > slot.similarity {
+            *slot = edge;
+        }
+    }
+}
+
+/// An SA-join path: a sequence of tables starting at a top-k table,
+/// each consecutive pair SA-joinable (Algorithm 3's output).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JoinPath {
+    /// Tables along the path; `nodes[0]` is the top-k start table.
+    pub nodes: Vec<TableId>,
+}
+
+impl JoinPath {
+    /// Tables contributed beyond the start table.
+    pub fn extensions(&self) -> &[TableId] {
+        &self.nodes[1..]
+    }
+
+    /// Path length in edges.
+    pub fn len(&self) -> usize {
+        self.nodes.len().saturating_sub(1)
+    }
+
+    /// True for the trivial single-node path.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() <= 1
+    }
+}
+
+/// The overlap coefficient `ov(T(a), T(a'))` of §IV.
+pub fn overlap_coefficient(a: &HashSet<String>, b: &HashSet<String>) -> f64 {
+    let min = a.len().min(b.len());
+    if min == 0 {
+        return 0.0;
+    }
+    let inter = if a.len() <= b.len() {
+        a.iter().filter(|x| b.contains(x.as_str())).count()
+    } else {
+        b.iter().filter(|x| a.contains(x.as_str())).count()
+    };
+    inter as f64 / min as f64
+}
+
+/// The paper's lower bound on the overlap coefficient implied by
+/// V-relatedness at LSH threshold `tau` (§IV, inclusion–exclusion):
+/// `τ(|A|+|B|) / ((1+τ)·min(|A|,|B|))`.
+pub fn overlap_lower_bound(len_a: usize, len_b: usize, tau: f64) -> f64 {
+    let min = len_a.min(len_b);
+    if min == 0 {
+        return 0.0;
+    }
+    (tau * (len_a + len_b) as f64 / ((1.0 + tau) * min as f64)).min(1.0)
+}
+
+impl D3l {
+    /// Build the SA-join graph over the whole lake: for every table's
+    /// subject attribute, `IV` lookups propose overlap partners; an
+    /// edge is added when the estimated tset Jaccard clears
+    /// `join_threshold` (condition (i)) — the queried side being a
+    /// subject attribute satisfies condition (ii).
+    pub fn build_join_graph(&self) -> SaJoinGraph {
+        let mut graph = SaJoinGraph::default();
+        let width = self.cfg.lookup_width(32);
+        for t in 0..self.table_count() {
+            let table = TableId(t as u32);
+            let Some(subject) = self.subject_of(table) else { continue };
+            let sp = self.profile(subject);
+            if !sp.has_text() {
+                continue;
+            }
+            let sig = self.stored_signatures(subject);
+            for hit in self.i_v.query_built(&sig.value, width) {
+                let other = AttrRef::from_key(hit.id);
+                if other.table == table || hit.similarity < self.cfg.join_threshold {
+                    continue;
+                }
+                let edge = JoinEdge { from_attr: subject, to_attr: other, similarity: hit.similarity };
+                graph.add_edge(table, other.table, edge);
+                let back = JoinEdge { from_attr: other, to_attr: subject, similarity: hit.similarity };
+                graph.add_edge(other.table, table, back);
+            }
+        }
+        graph
+    }
+
+    /// Algorithm 3: all SA-join paths from `start` (a top-k table)
+    /// whose interior nodes are outside the top-k, acyclic, and
+    /// related to the target by at least one index
+    /// (`related_to_target`, i.e. `I*.lookup(T)`). Depth is bounded
+    /// by `max_join_depth`.
+    pub fn find_join_paths(
+        &self,
+        graph: &SaJoinGraph,
+        start: TableId,
+        top_k: &HashSet<TableId>,
+        related_to_target: &HashSet<TableId>,
+    ) -> Vec<JoinPath> {
+        let mut paths = Vec::new();
+        let mut current = vec![start];
+        self.dfs_join(
+            graph,
+            top_k,
+            related_to_target,
+            &mut current,
+            &mut paths,
+        );
+        paths
+    }
+
+    fn dfs_join(
+        &self,
+        graph: &SaJoinGraph,
+        top_k: &HashSet<TableId>,
+        related: &HashSet<TableId>,
+        current: &mut Vec<TableId>,
+        out: &mut Vec<JoinPath>,
+    ) {
+        if current.len() > self.cfg.max_join_depth {
+            return;
+        }
+        let last = *current.last().expect("path never empty");
+        let mut neighbours: Vec<TableId> = graph.neighbours(last).map(|(t, _)| t).collect();
+        neighbours.sort();
+        for n in neighbours {
+            // Algorithm 3 line 4: Ni ∉ S_k, Ni ∉ path, Ni ∈ I*.lookup(T).
+            if top_k.contains(&n) || current.contains(&n) || !related.contains(&n) {
+                continue;
+            }
+            current.push(n);
+            out.push(JoinPath { nodes: current.clone() });
+            self.dfs_join(graph, top_k, related, current, out);
+            current.pop();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::D3lConfig;
+    use d3l_table::{DataLake, Table};
+
+    /// A chain lake: hub shares subjects with mid, mid with leaf;
+    /// decoy is disconnected.
+    fn chain_lake() -> DataLake {
+        let practices: Vec<String> = (0..30).map(|i| format!("Practice Alpha {i}")).collect();
+        let mut lake = DataLake::new();
+        let rows_a: Vec<Vec<String>> = practices
+            .iter()
+            .map(|p| vec![p.clone(), "Salford".to_string()])
+            .collect();
+        lake.add(Table::from_rows("hub", &["Practice", "City"], &rows_a).unwrap()).unwrap();
+        let rows_b: Vec<Vec<String>> = practices
+            .iter()
+            .enumerate()
+            .map(|(i, p)| vec![p.clone(), format!("0{i}00-1800")])
+            .collect();
+        lake.add(Table::from_rows("mid", &["GP", "Hours"], &rows_b).unwrap()).unwrap();
+        let rows_c: Vec<Vec<String>> = practices
+            .iter()
+            .enumerate()
+            .map(|(i, p)| vec![p.clone(), format!("{}", 1000 + i)])
+            .collect();
+        lake.add(Table::from_rows("leaf", &["Surgery", "Payment"], &rows_c).unwrap()).unwrap();
+        // Single-token subject values so the decoy's tset shares
+        // nothing with the practice tables (multi-word values would
+        // contribute their row number as the informative token, which
+        // collides with every other enumerated fixture).
+        let rows_d: Vec<Vec<String>> = (0..30)
+            .map(|i| vec![format!("asteroidbody{i}"), format!("{i}")])
+            .collect();
+        lake.add(Table::from_rows("decoy", &["Rock", "Radius"], &rows_d).unwrap()).unwrap();
+        lake
+    }
+
+    #[test]
+    fn join_graph_links_overlapping_subjects() {
+        let lake = chain_lake();
+        let d3l = D3l::index_lake(&lake, D3lConfig::fast());
+        let g = d3l.build_join_graph();
+        let hub = lake.id_of("hub").unwrap();
+        let mid = lake.id_of("mid").unwrap();
+        let decoy = lake.id_of("decoy").unwrap();
+        assert!(g.edge(hub, mid).is_some(), "hub and mid share practice names");
+        assert!(g.edge(hub, decoy).is_none(), "decoy shares nothing");
+        assert!(g.edge(mid, hub).is_some(), "edges are symmetric");
+        assert!(g.edge_count() >= 2);
+        assert!(g.node_count() >= 3);
+    }
+
+    #[test]
+    fn algorithm3_finds_paths_outside_topk() {
+        let lake = chain_lake();
+        let d3l = D3l::index_lake(&lake, D3lConfig::fast());
+        let g = d3l.build_join_graph();
+        let hub = lake.id_of("hub").unwrap();
+        let mid = lake.id_of("mid").unwrap();
+        let leaf = lake.id_of("leaf").unwrap();
+        let top_k: HashSet<TableId> = [hub].into_iter().collect();
+        let related: HashSet<TableId> = [hub, mid, leaf].into_iter().collect();
+        let paths = d3l.find_join_paths(&g, hub, &top_k, &related);
+        assert!(!paths.is_empty());
+        // Every path starts at hub, is acyclic, avoids top-k interior.
+        for p in &paths {
+            assert_eq!(p.nodes[0], hub);
+            let unique: HashSet<_> = p.nodes.iter().collect();
+            assert_eq!(unique.len(), p.nodes.len(), "acyclic");
+            for n in p.extensions() {
+                assert!(!top_k.contains(n));
+                assert!(related.contains(n));
+            }
+            assert!(!p.is_empty());
+            assert!(p.len() <= d3l.config().max_join_depth);
+        }
+        // mid is reachable.
+        assert!(paths.iter().any(|p| p.extensions().contains(&mid)));
+    }
+
+    #[test]
+    fn unrelated_nodes_are_pruned() {
+        let lake = chain_lake();
+        let d3l = D3l::index_lake(&lake, D3lConfig::fast());
+        let g = d3l.build_join_graph();
+        let hub = lake.id_of("hub").unwrap();
+        let top_k: HashSet<TableId> = [hub].into_iter().collect();
+        // Nothing is marked related to the target → no paths at all.
+        let related = HashSet::new();
+        assert!(d3l.find_join_paths(&g, hub, &top_k, &related).is_empty());
+    }
+
+    #[test]
+    fn overlap_coefficient_basics() {
+        let a: HashSet<String> = ["x", "y", "z"].iter().map(|s| s.to_string()).collect();
+        let b: HashSet<String> = ["y", "z"].iter().map(|s| s.to_string()).collect();
+        assert!((overlap_coefficient(&a, &b) - 1.0).abs() < 1e-12, "b ⊆ a");
+        let c: HashSet<String> = ["q"].iter().map(|s| s.to_string()).collect();
+        assert!(overlap_coefficient(&a, &c).abs() < 1e-12);
+        assert!(overlap_coefficient(&a, &HashSet::new()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overlap_bound_is_a_lower_bound() {
+        // For sets with Jaccard ≥ τ the bound must not exceed the
+        // actual overlap coefficient.
+        let a: HashSet<String> = (0..100).map(|i| format!("t{i}")).collect();
+        let b: HashSet<String> = (15..100).map(|i| format!("t{i}")).collect();
+        // J = 85/100 = 0.85, ov = 85/85 = 1.0
+        let bound = overlap_lower_bound(a.len(), b.len(), 0.85);
+        let ov = overlap_coefficient(&a, &b);
+        assert!(bound <= ov + 1e-9, "bound {bound} vs ov {ov}");
+        assert!(bound > 0.9);
+    }
+
+    #[test]
+    fn join_path_accessors() {
+        let p = JoinPath { nodes: vec![TableId(1), TableId(2), TableId(3)] };
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.extensions(), &[TableId(2), TableId(3)]);
+        let trivial = JoinPath { nodes: vec![TableId(1)] };
+        assert!(trivial.is_empty());
+    }
+}

@@ -1,0 +1,61 @@
+//! # d3l-core — Dataset Discovery in Data Lakes
+//!
+//! The primary contribution of the reproduced paper (Bogatu et al.,
+//! ICDE 2020): given a target table and a data lake, return the
+//! *k*-most related tables, where relatedness is measured by five
+//! evidence types (attribute **N**ames, **V**alue tokens, **F**ormat
+//! patterns, word-**E**mbeddings, and numeric **D**istributions)
+//! mapped into a uniform `[0, 1]` distance space by LSH indexes.
+//!
+//! Pipeline:
+//!
+//! 1. [`profile`] — Algorithm 1: extract the set representations of
+//!    every attribute in the lake;
+//! 2. [`index`] — insert MinHash / random-projection signatures into
+//!    the four LSH Forests `IN`, `IV`, `IF`, `IE`;
+//! 3. [`query`] — look up a target's attributes, compute the five
+//!    distances per candidate pair (Algorithm 2 guards the numeric
+//!    KS case), aggregate column-wise with CCDF weights (Eq. 1–2) and
+//!    collapse with the weighted Euclidean norm (Eq. 3);
+//! 4. [`join`] — Algorithm 3: extend the top-k with SA-join paths
+//!    that cover additional target attributes;
+//! 5. [`metrics`] — the paper's evaluation measures (precision,
+//!    recall, coverage, attribute precision).
+//!
+//! ```
+//! use d3l_table::{DataLake, Table};
+//! use d3l_core::{D3l, D3lConfig};
+//!
+//! let mut lake = DataLake::new();
+//! lake.add(Table::from_rows("gp_funding",
+//!     &["Practice", "City"],
+//!     &[vec!["Blackfriars".into(), "Salford".into()]]).unwrap()).unwrap();
+//!
+//! let d3l = D3l::index_lake(&lake, D3lConfig::fast());
+//! let target = Table::from_rows("gps",
+//!     &["Practice", "City"],
+//!     &[vec!["Radclife".into(), "Manchester".into()]]).unwrap();
+//! let matches = d3l.query(&target, 1);
+//! assert_eq!(matches.len(), 1);
+//! ```
+
+pub mod config;
+pub mod distance;
+pub mod evidence;
+pub mod index;
+pub mod join;
+pub mod metrics;
+pub mod populate;
+pub mod profile;
+pub mod query;
+pub mod weights;
+
+pub use config::D3lConfig;
+pub use distance::DistanceVector;
+pub use evidence::Evidence;
+pub use index::{AttrRef, D3l};
+pub use join::{JoinPath, SaJoinGraph};
+pub use populate::Population;
+pub use profile::AttributeProfile;
+pub use query::{Alignment, TableMatch};
+pub use weights::EvidenceWeights;

@@ -1,0 +1,228 @@
+//! Attribute profiles — Algorithm 1's set representations.
+//!
+//! For an attribute `a`:
+//!
+//! * `Q(a)` — q-gram set of the attribute name (**N**);
+//! * `T(a)` — informative (infrequent) value tokens (**V**);
+//! * `R(a)` — format pattern strings (**F**);
+//! * `⃗a`   — mean word-embedding vector of the frequent
+//!   (domain-indicator) tokens (**E**);
+//! * the numeric extent, kept for the guarded KS computation (**D**).
+//!
+//! Numeric attributes are profiled for N and F only (§III-C): "we do
+//! not index numeric values into the respective indexes".
+
+use std::collections::HashSet;
+
+use d3l_embedding::WordEmbedder;
+use d3l_features::histogram::TokenHistogram;
+use d3l_features::{qgrams, regex_format, tokenize};
+use d3l_table::Column;
+
+/// The extracted set representations of one attribute.
+#[derive(Debug, Clone)]
+pub struct AttributeProfile {
+    /// Attribute name as it appears in the table.
+    pub name: String,
+    /// q-gram set of the name.
+    pub qset: HashSet<String>,
+    /// Informative value tokens (empty for numeric attributes).
+    pub tset: HashSet<String>,
+    /// Format pattern strings.
+    pub rset: HashSet<String>,
+    /// Mean embedding vector of frequent tokens (zero vector when no
+    /// textual content).
+    pub embedding: Vec<f64>,
+    /// Parsed numeric extent, sorted ascending (empty for textual
+    /// attributes).
+    pub numeric_extent: Vec<f64>,
+    /// Whether the column was inferred numeric.
+    pub is_numeric: bool,
+}
+
+impl AttributeProfile {
+    /// Run Algorithm 1's feature extraction over one column.
+    pub fn build<E: WordEmbedder>(column: &Column, q: usize, embedder: &E) -> Self {
+        let name = column.name().to_string();
+        let qset = qgrams::qgram_set_q(&name, q);
+        let is_numeric = column.column_type().is_numeric();
+
+        let mut tset = HashSet::new();
+        let mut rset = HashSet::new();
+        let mut frequent_tokens: HashSet<String> = HashSet::new();
+
+        // Pass 1: histogram of token occurrences + format patterns.
+        let mut hist = TokenHistogram::new();
+        for v in column.non_null() {
+            hist.insert_value(v);
+            rset.insert(regex_format::format_pattern(v));
+        }
+
+        // Pass 2 (textual only): per part, the infrequent word joins
+        // the tset and the frequent word is embedded. Only *wordlike*
+        // frequent tokens are embedded — the E evidence is defined
+        // for attribute values "that [have] textual content"
+        // (§III-A); digit strings like `00` or `2019` have no
+        // meaningful position in a word-embedding space.
+        if !is_numeric {
+            for v in column.non_null() {
+                for part in tokenize::parts(v) {
+                    if let Some(inf) = hist.infrequent_word_of_part(part) {
+                        tset.insert(inf);
+                    }
+                    if let Some(freq) = hist.frequent_word_of_part(part) {
+                        if is_wordlike(&freq) {
+                            frequent_tokens.insert(freq);
+                        }
+                    }
+                }
+            }
+        }
+
+        let embedding = if frequent_tokens.is_empty() {
+            vec![0.0; embedder.dim()]
+        } else {
+            embedder.embed_all(frequent_tokens.iter().map(String::as_str))
+        };
+
+        // Sorted ascending so KS at query time is a linear merge
+        // rather than a per-pair sort.
+        let numeric_extent = if is_numeric {
+            let mut e = column.numeric_extent();
+            e.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+            e
+        } else {
+            Vec::new()
+        };
+
+        AttributeProfile { name, qset, tset, rset, embedding, numeric_extent, is_numeric }
+    }
+
+    /// True when the attribute has textual content usable by V and E
+    /// evidence.
+    pub fn has_text(&self) -> bool {
+        !self.tset.is_empty()
+    }
+
+    /// True when the embedding vector carries signal.
+    pub fn has_embedding(&self) -> bool {
+        self.embedding.iter().any(|&x| x != 0.0)
+    }
+}
+
+/// A token carries word-embedding signal when it contains at least
+/// two consecutive alphabetic characters.
+fn is_wordlike(token: &str) -> bool {
+    let mut run = 0usize;
+    for c in token.chars() {
+        if c.is_alphabetic() {
+            run += 1;
+            if run >= 2 {
+                return true;
+            }
+        } else {
+            run = 0;
+        }
+    }
+    false
+}
+
+/// Profile every column of a table.
+pub fn profile_table<E: WordEmbedder>(
+    table: &d3l_table::Table,
+    q: usize,
+    embedder: &E,
+) -> Vec<AttributeProfile> {
+    table
+        .columns()
+        .iter()
+        .map(|c| AttributeProfile::build(c, q, embedder))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use d3l_embedding::{HashEmbedder, Lexicon, SemanticEmbedder};
+    use d3l_table::Column;
+
+    fn embedder() -> SemanticEmbedder {
+        SemanticEmbedder::new(Lexicon::with_groups(
+            32,
+            &[&["street", "road", "avenue"], &["salford", "belfast", "manchester"]],
+        ))
+    }
+
+    fn address_column() -> Column {
+        Column::new(
+            "Address",
+            vec![
+                "18 Portland Street, M1 3BE".into(),
+                "41 Oxford Road, M13 9PL".into(),
+                "9 Mirabel Street, M3 1NN".into(),
+            ],
+        )
+    }
+
+    #[test]
+    fn paper_example_profile() {
+        let p = AttributeProfile::build(&address_column(), 4, &embedder());
+        // qset of "Address"
+        assert!(p.qset.contains("addr"));
+        assert!(p.qset.contains("ress"));
+        // infrequent signal carriers in tset
+        assert!(p.tset.contains("portland") || p.tset.contains("18"));
+        assert!(p.tset.contains("oxford") || p.tset.contains("41"));
+        // 'street' is frequent → embedded, not in tset
+        assert!(!p.tset.contains("street"));
+        assert!(p.has_embedding());
+        assert!(!p.is_numeric);
+        assert!(p.numeric_extent.is_empty());
+        assert!(p.has_text());
+    }
+
+    #[test]
+    fn numeric_profile_skips_v_and_e() {
+        let c = Column::new("Patients", vec!["1202".into(), "3572".into(), "980".into()]);
+        let p = AttributeProfile::build(&c, 4, &embedder());
+        assert!(p.is_numeric);
+        assert!(p.tset.is_empty());
+        assert!(!p.has_embedding());
+        assert_eq!(p.numeric_extent, vec![980.0, 1202.0, 3572.0], "extent is sorted");
+        // but N and F evidence still exists
+        assert!(!p.qset.is_empty());
+        assert!(p.rset.contains("N"));
+    }
+
+    #[test]
+    fn format_patterns_captured() {
+        let c = Column::new("Postcode", vec!["M3 6AF".into(), "W1G 6BW".into()]);
+        let p = AttributeProfile::build(&c, 4, &embedder());
+        assert_eq!(p.rset.len(), 1, "both postcodes share one pattern");
+    }
+
+    #[test]
+    fn empty_column_profile() {
+        let c = Column::new("ghost", vec!["".into(), " ".into()]);
+        let p = AttributeProfile::build(&c, 4, &embedder());
+        assert!(p.tset.is_empty());
+        assert!(p.rset.is_empty());
+        assert!(!p.has_embedding());
+        assert!(!p.qset.is_empty(), "name evidence survives");
+    }
+
+    #[test]
+    fn profile_table_covers_all_columns() {
+        let t = d3l_table::Table::from_rows(
+            "S1",
+            &["Practice Name", "Patients"],
+            &[vec!["Blackfriars".into(), "3572".into()]],
+        )
+        .unwrap();
+        let e = HashEmbedder::new(32, 5);
+        let ps = profile_table(&t, 4, &e);
+        assert_eq!(ps.len(), 2);
+        assert!(!ps[0].is_numeric);
+        assert!(ps[1].is_numeric);
+    }
+}

@@ -1,0 +1,525 @@
+//! Top-k discovery queries (§III-D).
+//!
+//! Given a target table, each target attribute is looked up in the
+//! four LSH Forests; candidate attributes get a full five-distance
+//! vector (Algorithm 2 guards the numeric KS case); candidates are
+//! grouped by source table, aggregated column-wise with CCDF weights
+//! (Eq. 1–2) and collapsed to a scalar by the weighted Euclidean norm
+//! (Eq. 3). Tables are returned closest-first.
+
+use std::collections::{HashMap, HashSet};
+
+use d3l_features::ks;
+use d3l_table::{Table, TableId};
+
+use crate::distance::{
+    estimated_cosine_distance, estimated_jaccard_distance, DistanceVector,
+};
+use crate::evidence::Evidence;
+use crate::index::{AttrRef, AttrSignatures, D3l};
+use crate::profile::AttributeProfile;
+use crate::weights::{aggregate_evidence, ccdf_weight, EvidenceWeights};
+
+/// One aligned attribute pair within a [`TableMatch`].
+#[derive(Debug, Clone)]
+pub struct Alignment {
+    /// Target attribute (column index in the query table).
+    pub target_column: usize,
+    /// The aligned source attribute.
+    pub source: AttrRef,
+    /// The five distances of the pair.
+    pub distances: DistanceVector,
+}
+
+/// One ranked source table.
+#[derive(Debug, Clone)]
+pub struct TableMatch {
+    /// The source table.
+    pub table: TableId,
+    /// Eq. 3 combined distance (or the single evidence's Eq. 1 value
+    /// in single-evidence mode). Smaller is more related.
+    pub distance: f64,
+    /// The Eq. 1 per-evidence distance vector of the table pair.
+    pub vector: DistanceVector,
+    /// Best aligned source attribute per covered target attribute.
+    pub alignments: Vec<Alignment>,
+}
+
+impl TableMatch {
+    /// Target columns covered by at least one alignment.
+    pub fn covered_targets(&self) -> HashSet<usize> {
+        self.alignments.iter().map(|a| a.target_column).collect()
+    }
+}
+
+/// Query-time options.
+#[derive(Debug, Clone, Default)]
+pub struct QueryOptions {
+    /// Exclude one lake table (used when the target itself is a lake
+    /// member, as in the benchmark evaluation).
+    pub exclude: Option<TableId>,
+    /// Rank by a single evidence type (Experiment 1) instead of the
+    /// Eq. 3 aggregate.
+    pub evidence: Option<Evidence>,
+    /// Evidence weights for Eq. 3; `None` uses the trained defaults.
+    pub weights: Option<EvidenceWeights>,
+    /// Override the per-attribute lookup width.
+    pub lookup_width: Option<usize>,
+}
+
+impl D3l {
+    /// The k-most related lake tables to `target` with default
+    /// options.
+    pub fn query(&self, target: &Table, k: usize) -> Vec<TableMatch> {
+        self.query_with(target, k, &QueryOptions::default())
+    }
+
+    /// The k-most related lake tables with explicit options.
+    pub fn query_with(&self, target: &Table, k: usize, opts: &QueryOptions) -> Vec<TableMatch> {
+        let width = opts.lookup_width.unwrap_or_else(|| self.cfg.lookup_width(k));
+        let mut all = self.rank_all(target, width, opts);
+        all.truncate(k);
+        all
+    }
+
+    /// Rank *every* table with at least one related attribute,
+    /// closest first. `width` is the per-attribute, per-index lookup
+    /// size.
+    pub fn rank_all(&self, target: &Table, width: usize, opts: &QueryOptions) -> Vec<TableMatch> {
+        let (t_profiles, t_sigs) = self.profile_and_sign(target);
+        let t_subject = d3l_ml::subject_attribute(target);
+
+        // ---- Candidate gathering + per-pair distance vectors ------
+        // per target attribute: candidate attr → distance vector
+        let mut per_attr: Vec<HashMap<AttrRef, DistanceVector>> =
+            vec![HashMap::new(); t_profiles.len()];
+        // Cache of the Algorithm-2 subject guard per candidate table.
+        let mut subject_guard: HashMap<TableId, bool> = HashMap::new();
+
+        for (i, (tp, ts)) in t_profiles.iter().zip(&t_sigs).enumerate() {
+            let candidates = self.gather_candidates(tp, ts, width, opts.evidence);
+            for attr in candidates {
+                if opts.exclude == Some(attr.table) {
+                    continue;
+                }
+                let dv = self.pair_distances(
+                    tp,
+                    ts,
+                    attr,
+                    target,
+                    t_subject,
+                    &t_sigs,
+                    &mut subject_guard,
+                );
+                if dv.has_signal() {
+                    per_attr[i].insert(attr, dv);
+                }
+            }
+        }
+
+        // ---- Distance populations R_t per target attribute --------
+        let populations: Vec<[Vec<f64>; 5]> = per_attr
+            .iter()
+            .map(|cands| {
+                let mut pops: [Vec<f64>; 5] = Default::default();
+                for dv in cands.values() {
+                    for (t, pop) in pops.iter_mut().enumerate() {
+                        if dv.0[t] < 1.0 {
+                            pop.push(dv.0[t]);
+                        }
+                    }
+                }
+                pops
+            })
+            .collect();
+
+        // ---- Group by table: best pair per target attribute -------
+        let pick = |dv: &DistanceVector| match opts.evidence {
+            Some(e) => dv.get(e),
+            None => dv.mean(),
+        };
+        let mut by_table: HashMap<TableId, Vec<Alignment>> = HashMap::new();
+        for (i, cands) in per_attr.iter().enumerate() {
+            let mut best: HashMap<TableId, (AttrRef, DistanceVector)> = HashMap::new();
+            for (&attr, dv) in cands {
+                match best.get(&attr.table) {
+                    Some((_, cur)) if pick(cur) <= pick(dv) => {}
+                    _ => {
+                        best.insert(attr.table, (attr, *dv));
+                    }
+                }
+            }
+            for (table, (attr, dv)) in best {
+                by_table.entry(table).or_default().push(Alignment {
+                    target_column: i,
+                    source: attr,
+                    distances: dv,
+                });
+            }
+        }
+
+        // ---- Eq. 1 + Eq. 3 per table -------------------------------
+        let weights = opts.weights.unwrap_or_default();
+        let mut matches: Vec<TableMatch> = by_table
+            .into_iter()
+            .map(|(table, mut alignments)| {
+                alignments.sort_by_key(|a| (a.target_column, a.source));
+                let mut vector = DistanceVector::max_distant();
+                for e in Evidence::ALL {
+                    let t = e.index();
+                    let pairs: Vec<(f64, f64)> = alignments
+                        .iter()
+                        .filter(|a| a.distances.0[t] < 1.0)
+                        .map(|a| {
+                            let d = a.distances.0[t];
+                            (d, ccdf_weight(d, &populations[a.target_column][t]))
+                        })
+                        .collect();
+                    vector.0[t] = aggregate_evidence(&pairs);
+                }
+                let distance = match opts.evidence {
+                    Some(e) => vector.get(e),
+                    None => weights.combined_distance(&vector),
+                };
+                TableMatch { table, distance, vector, alignments }
+            })
+            .collect();
+
+        matches.sort_by(|a, b| {
+            a.distance
+                .partial_cmp(&b.distance)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.table.cmp(&b.table))
+        });
+        matches
+    }
+
+    /// The set of lake tables related to `target` by at least one
+    /// evidence type — `I*.lookup(T)` in Algorithms 2 and 3.
+    pub fn related_table_set(&self, target: &Table, width: usize) -> HashSet<TableId> {
+        let (t_profiles, t_sigs) = self.profile_and_sign(target);
+        let mut out = HashSet::new();
+        for (tp, ts) in t_profiles.iter().zip(&t_sigs) {
+            for attr in self.gather_candidates(tp, ts, width, None) {
+                out.insert(attr.table);
+            }
+        }
+        out
+    }
+
+    /// Look up one target attribute in the indexes (restricted to one
+    /// evidence type when `only` is set; `Distribution` uses the N/F
+    /// indexes as its blocking mechanism, mirroring Algorithm 2).
+    fn gather_candidates(
+        &self,
+        tp: &AttributeProfile,
+        ts: &AttrSignatures,
+        width: usize,
+        only: Option<Evidence>,
+    ) -> HashSet<AttrRef> {
+        let mut out = HashSet::new();
+        let want = |e: Evidence| match only {
+            None => true,
+            Some(Evidence::Distribution) => matches!(e, Evidence::Name | Evidence::Format),
+            Some(x) => x == e,
+        };
+        if want(Evidence::Name) && !tp.qset.is_empty() {
+            for h in self.i_n.query_built(&ts.name, width) {
+                out.insert(AttrRef::from_key(h.id));
+            }
+        }
+        if want(Evidence::Format) && !tp.rset.is_empty() {
+            for h in self.i_f.query_built(&ts.format, width) {
+                out.insert(AttrRef::from_key(h.id));
+            }
+        }
+        if want(Evidence::Value) && tp.has_text() {
+            for h in self.i_v.query_built(&ts.value, width) {
+                out.insert(AttrRef::from_key(h.id));
+            }
+        }
+        if want(Evidence::Embedding) && tp.has_embedding() {
+            for h in self.i_e.query_built(&ts.embedding, width) {
+                out.insert(AttrRef::from_key(h.id));
+            }
+        }
+        out
+    }
+
+    /// The five estimated distances of a (target attr, lake attr)
+    /// pair, with Algorithm 2 deciding whether KS is computed.
+    #[allow(clippy::too_many_arguments)]
+    fn pair_distances(
+        &self,
+        tp: &AttributeProfile,
+        ts: &AttrSignatures,
+        attr: AttrRef,
+        target: &Table,
+        t_subject: Option<usize>,
+        t_sigs: &[AttrSignatures],
+        subject_guard: &mut HashMap<TableId, bool>,
+    ) -> DistanceVector {
+        let sp = self.profile(attr);
+        let ss = self.stored_signatures(attr);
+
+        let d_n = estimated_jaccard_distance(&ts.name, &ss.name, tp.qset.is_empty(), sp.qset.is_empty());
+        let d_v =
+            estimated_jaccard_distance(&ts.value, &ss.value, !tp.has_text(), !sp.has_text());
+        let d_f = estimated_jaccard_distance(
+            &ts.format,
+            &ss.format,
+            tp.rset.is_empty(),
+            sp.rset.is_empty(),
+        );
+        let d_e = estimated_cosine_distance(
+            &ts.embedding,
+            &ss.embedding,
+            !tp.has_embedding(),
+            !sp.has_embedding(),
+        );
+
+        // Algorithm 2: only both-numeric pairs get a KS measurement,
+        // and only when blocked-in by existing evidence.
+        let d_d = if tp.is_numeric && sp.is_numeric {
+            let guard_subject = *subject_guard.entry(attr.table).or_insert_with(|| {
+                self.subjects_related(target, t_subject, t_sigs, attr.table)
+            });
+            let guard_name = 1.0 - d_n >= self.cfg.threshold;
+            let guard_format = 1.0 - d_f >= self.cfg.threshold;
+            if guard_subject || guard_name || guard_format {
+                ks::ks_statistic_presorted(&tp.numeric_extent, &sp.numeric_extent)
+            } else {
+                1.0
+            }
+        } else {
+            1.0
+        };
+
+        DistanceVector([d_n, d_v, d_f, d_e, d_d])
+    }
+
+    /// Algorithm 2 line 4: are the subject attributes of the target
+    /// and of lake table `s_table` related in any index
+    /// (`i' ∈ I*.lookup(i)`)?
+    fn subjects_related(
+        &self,
+        target: &Table,
+        t_subject: Option<usize>,
+        t_sigs: &[AttrSignatures],
+        s_table: TableId,
+    ) -> bool {
+        let (Some(ti), Some(s_attr)) = (t_subject, self.subject_of(s_table)) else {
+            return false;
+        };
+        let tp_cols = target.columns();
+        if ti >= tp_cols.len() {
+            return false;
+        }
+        let ts = &t_sigs[ti];
+        let ss = self.stored_signatures(s_attr);
+        let thr = self.cfg.threshold;
+        ts.name.jaccard(&ss.name) >= thr
+            || ts.value.jaccard(&ss.value) >= thr
+            || ts.format.jaccard(&ss.format) >= thr
+            || ts.embedding.cosine(&ss.embedding) >= thr
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::D3lConfig;
+    use d3l_table::DataLake;
+
+    /// The Figure 1 scenario plus an unrelated decoy table.
+    fn lake() -> DataLake {
+        let mut lake = DataLake::new();
+        lake.add(
+            Table::from_rows(
+                "s1_gp_practices",
+                &["Practice Name", "Address", "City", "Postcode", "Patients"],
+                &[
+                    vec![
+                        "Dr E Cullen".into(),
+                        "51 Botanic Av".into(),
+                        "Belfast".into(),
+                        "BT7 1JL".into(),
+                        "1202".into(),
+                    ],
+                    vec![
+                        "Blackfriars".into(),
+                        "1a Chapel St".into(),
+                        "Salford".into(),
+                        "M3 6AF".into(),
+                        "3572".into(),
+                    ],
+                    vec![
+                        "Radclife".into(),
+                        "69 Church St".into(),
+                        "Manchester".into(),
+                        "M26 2SP".into(),
+                        "2210".into(),
+                    ],
+                ],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        lake.add(
+            Table::from_rows(
+                "s2_gp_funding",
+                &["Practice", "City", "Postcode", "Payment"],
+                &[
+                    vec![
+                        "The London Clinic".into(),
+                        "London".into(),
+                        "W1G 6BW".into(),
+                        "73648".into(),
+                    ],
+                    vec![
+                        "Blackfriars".into(),
+                        "Salford".into(),
+                        "M3 6AF".into(),
+                        "15530".into(),
+                    ],
+                    vec![
+                        "Radclife".into(),
+                        "Manchester".into(),
+                        "M26 2SP".into(),
+                        "20110".into(),
+                    ],
+                ],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        lake.add(
+            Table::from_rows(
+                "decoy_planets",
+                &["Planet", "Mass", "Moons"],
+                &[
+                    vec!["Jupiter".into(), "1.898e27".into(), "95".into()],
+                    vec!["Saturn".into(), "5.683e26".into(), "146".into()],
+                ],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        lake
+    }
+
+    fn target() -> Table {
+        Table::from_rows(
+            "target_gps",
+            &["Practice", "Street", "City", "Postcode", "Hours"],
+            &[
+                vec![
+                    "Radclife".into(),
+                    "69 Church St".into(),
+                    "Manchester".into(),
+                    "M26 2SP".into(),
+                    "07:00-20:00".into(),
+                ],
+                vec![
+                    "Bolton Medical".into(),
+                    "21 Rupert St".into(),
+                    "Bolton".into(),
+                    "BL3 6PY".into(),
+                    "08:00-16:00".into(),
+                ],
+                vec![
+                    "Blackfriars".into(),
+                    "1a Chapel St".into(),
+                    "Salford".into(),
+                    "M3 6AF".into(),
+                    "08:00-18:00".into(),
+                ],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn related_tables_rank_above_decoys() {
+        let d3l = D3l::index_lake(&lake(), D3lConfig::fast());
+        let matches = d3l.query(&target(), 3);
+        assert!(matches.len() >= 2);
+        let names: Vec<&str> = matches.iter().map(|m| d3l.table_name(m.table)).collect();
+        assert!(names[0].starts_with("s1") || names[0].starts_with("s2"), "{names:?}");
+        assert!(names[1].starts_with("s1") || names[1].starts_with("s2"), "{names:?}");
+        if let Some(decoy) = matches.iter().find(|m| d3l.table_name(m.table) == "decoy_planets") {
+            let best = matches[0].distance;
+            assert!(decoy.distance > best, "decoy must rank below related tables");
+        }
+        // Distances ascend.
+        for w in matches.windows(2) {
+            assert!(w[0].distance <= w[1].distance);
+        }
+    }
+
+    #[test]
+    fn alignments_cover_shared_attributes() {
+        let d3l = D3l::index_lake(&lake(), D3lConfig::fast());
+        let matches = d3l.query(&target(), 2);
+        let s2 = matches
+            .iter()
+            .find(|m| d3l.table_name(m.table) == "s2_gp_funding")
+            .expect("s2 must be returned");
+        // Practice, City, Postcode target columns (0, 2, 3) should be
+        // covered.
+        let covered = s2.covered_targets();
+        assert!(covered.contains(&0), "Practice covered: {covered:?}");
+        assert!(covered.contains(&2), "City covered: {covered:?}");
+        assert!(covered.contains(&3), "Postcode covered: {covered:?}");
+    }
+
+    #[test]
+    fn exclude_removes_self_matches() {
+        let d3l = D3l::index_lake(&lake(), D3lConfig::fast());
+        let t = lake().table_by_name("s1_gp_practices").unwrap().clone();
+        let opts = QueryOptions { exclude: Some(TableId(0)), ..Default::default() };
+        let matches = d3l.query_with(&t, 3, &opts);
+        assert!(matches.iter().all(|m| m.table != TableId(0)));
+    }
+
+    #[test]
+    fn single_evidence_mode_ranks_by_that_evidence() {
+        let d3l = D3l::index_lake(&lake(), D3lConfig::fast());
+        let opts = QueryOptions { evidence: Some(Evidence::Name), ..Default::default() };
+        let matches = d3l.query_with(&target(), 3, &opts);
+        for m in &matches {
+            assert!((m.distance - m.vector.get(Evidence::Name)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn related_table_set_includes_sources() {
+        let d3l = D3l::index_lake(&lake(), D3lConfig::fast());
+        let related = d3l.related_table_set(&target(), 50);
+        assert!(related.contains(&TableId(0)));
+        assert!(related.contains(&TableId(1)));
+    }
+
+    #[test]
+    fn numeric_ks_guard_blocks_unrelated_tables() {
+        // Patients (s1) vs Moons (decoy): both numeric, but no name,
+        // format, or subject evidence links the pair's tables, so D
+        // must stay at 1 for the decoy's numeric column.
+        let d3l = D3l::index_lake(&lake(), D3lConfig::fast());
+        let matches = d3l.rank_all(&target(), 50, &QueryOptions::default());
+        if let Some(decoy) =
+            matches.iter().find(|m| d3l.table_name(m.table) == "decoy_planets")
+        {
+            assert!(
+                (decoy.vector.get(Evidence::Distribution) - 1.0).abs() < 1e-9,
+                "KS must be guarded off for the decoy"
+            );
+        }
+    }
+
+    #[test]
+    fn query_zero_k() {
+        let d3l = D3l::index_lake(&lake(), D3lConfig::fast());
+        assert!(d3l.query(&target(), 0).is_empty());
+    }
+}

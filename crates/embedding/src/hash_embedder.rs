@@ -1,0 +1,158 @@
+//! Subword hash embedder: fastText's character n-gram trick without
+//! the trained matrix. Each character n-gram (3..=5, with `<`/`>`
+//! boundary markers) is hashed to a deterministic pseudorandom unit
+//! direction; a word's vector is the normalized sum of its n-gram
+//! directions, so words sharing morphology share vector mass.
+
+use crate::vecmath::normalize;
+
+/// Deterministic subword embedder.
+#[derive(Debug, Clone)]
+pub struct HashEmbedder {
+    dim: usize,
+    seed: u64,
+}
+
+#[inline]
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e3779b97f4a7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
+    x ^ (x >> 31)
+}
+
+#[inline]
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+impl HashEmbedder {
+    /// An embedder of the given dimensionality.
+    pub fn new(dim: usize, seed: u64) -> Self {
+        assert!(dim > 0, "dimension must be positive");
+        HashEmbedder { dim, seed }
+    }
+
+    /// Vector dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Character n-grams of a word with boundary markers, n ∈ 3..=5,
+    /// plus the whole bounded word (fastText's construction).
+    pub fn ngrams(word: &str) -> Vec<String> {
+        let bounded: Vec<char> = std::iter::once('<')
+            .chain(word.chars())
+            .chain(std::iter::once('>'))
+            .collect();
+        let mut grams = Vec::new();
+        for n in 3..=5usize {
+            if bounded.len() < n {
+                continue;
+            }
+            for w in bounded.windows(n) {
+                grams.push(w.iter().collect());
+            }
+        }
+        grams.push(bounded.iter().collect());
+        grams
+    }
+
+    /// Pseudorandom ±1 direction for one n-gram, accumulated into
+    /// `acc`.
+    fn accumulate(&self, gram: &str, acc: &mut [f64]) {
+        let base = splitmix64(fnv1a(gram.as_bytes()) ^ self.seed);
+        for (i, slot) in acc.iter_mut().enumerate() {
+            let h = splitmix64(base ^ (i as u64).wrapping_mul(0x2545f4914f6cdd1d));
+            *slot += if h & 1 == 1 { 1.0 } else { -1.0 };
+        }
+    }
+
+    /// Embed a word as the normalized sum of its n-gram directions.
+    /// The empty word maps to the zero vector.
+    pub fn embed(&self, word: &str) -> Vec<f64> {
+        let mut acc = vec![0.0; self.dim];
+        if word.is_empty() {
+            return acc;
+        }
+        for gram in Self::ngrams(word) {
+            self.accumulate(&gram, &mut acc);
+        }
+        normalize(acc)
+    }
+}
+
+impl crate::WordEmbedder for HashEmbedder {
+    fn dim(&self) -> usize {
+        self.dim
+    }
+    fn embed(&self, word: &str) -> Vec<f64> {
+        HashEmbedder::embed(self, word)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vecmath::cosine;
+
+    #[test]
+    fn deterministic() {
+        let e = HashEmbedder::new(32, 1);
+        assert_eq!(e.embed("salford"), e.embed("salford"));
+        assert_eq!(e.dim(), 32);
+    }
+
+    #[test]
+    fn morphological_variants_are_close() {
+        let e = HashEmbedder::new(64, 1);
+        let a = e.embed("practice");
+        let b = e.embed("practices");
+        let c = e.embed("zanzibar");
+        assert!(cosine(&a, &b) > cosine(&a, &c));
+        assert!(cosine(&a, &b) > 0.5);
+    }
+
+    #[test]
+    fn unrelated_words_near_orthogonal() {
+        let e = HashEmbedder::new(256, 1);
+        let a = e.embed("postcode");
+        let b = e.embed("wizard");
+        assert!(cosine(&a, &b) < 0.3);
+    }
+
+    #[test]
+    fn empty_word_is_zero() {
+        let e = HashEmbedder::new(8, 1);
+        assert!(e.embed("").iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn short_words_still_embed() {
+        let e = HashEmbedder::new(16, 1);
+        let v = e.embed("a"); // bounded form "<a>" has one 3-gram
+        let norm: f64 = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+        assert!((norm - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ngram_construction() {
+        let grams = HashEmbedder::ngrams("ab");
+        // bounded = <ab> (len 4): 3-grams {<ab, ab>}, 4-grams {<ab>},
+        // whole word <ab>
+        assert!(grams.contains(&"<ab".to_string()));
+        assert!(grams.contains(&"ab>".to_string()));
+        assert!(grams.contains(&"<ab>".to_string()));
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension must be positive")]
+    fn zero_dim_panics() {
+        HashEmbedder::new(0, 1);
+    }
+}

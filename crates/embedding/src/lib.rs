@@ -1,0 +1,173 @@
+//! # d3l-embedding — word-embedding substrate
+//!
+//! The paper uses fastText as its word-embedding model (WEM) for the
+//! **E** evidence type. Shipping (or downloading) multi-gigabyte
+//! fastText vectors is not possible here, so this crate provides a
+//! deterministic stand-in that reproduces the two properties D3L
+//! actually relies on (documented in DESIGN.md §4):
+//!
+//! 1. **semantic geometry** — tokens from the same domain concept
+//!    (street/road/avenue, doctor/GP/practice, …) land close in cosine
+//!    space, tokens from unrelated concepts land near-orthogonal.
+//!    Provided by [`lexicon::Lexicon`] concept vectors.
+//! 2. **subword robustness** — morphological variants and typos of a
+//!    word get nearby vectors (fastText's character n-gram trick).
+//!    Provided by [`hash_embedder::HashEmbedder`].
+//!
+//! [`SemanticEmbedder`] blends the two. The [`WordEmbedder`] trait is
+//! the seam where real fastText vectors could be plugged in.
+
+pub mod hash_embedder;
+pub mod lexicon;
+pub mod vecmath;
+
+pub use hash_embedder::HashEmbedder;
+pub use lexicon::Lexicon;
+pub use vecmath::{cosine, mean_vector, normalize};
+
+/// Dimensionality used across the reproduction (fastText's common
+/// small configuration is 100–300; 64 keeps signatures cheap while
+/// leaving plenty of room for near-orthogonal concepts).
+pub const DEFAULT_DIM: usize = 64;
+
+/// A word-embedding model: maps a word to a dense unit vector.
+pub trait WordEmbedder {
+    /// Vector dimensionality.
+    fn dim(&self) -> usize;
+    /// Embed one (lowercase) word.
+    fn embed(&self, word: &str) -> Vec<f64>;
+
+    /// Embed a bag of words as the normalized mean of their vectors —
+    /// how D3L combines the p-vectors of an attribute's tokens into
+    /// one attribute vector (§III-A, E evidence).
+    fn embed_all<'a, I: IntoIterator<Item = &'a str>>(&self, words: I) -> Vec<f64> {
+        let vecs: Vec<Vec<f64>> = words.into_iter().map(|w| self.embed(w)).collect();
+        if vecs.is_empty() {
+            return vec![0.0; self.dim()];
+        }
+        normalize(mean_vector(&vecs))
+    }
+}
+
+/// The blended embedder: lexicon concept vector (weight `alpha`) +
+/// subword hash vector (weight `1 - alpha`). Words absent from the
+/// lexicon fall back to pure subword hashing.
+#[derive(Debug, Clone)]
+pub struct SemanticEmbedder {
+    lexicon: Lexicon,
+    subword: HashEmbedder,
+    alpha: f64,
+}
+
+impl SemanticEmbedder {
+    /// Build from a lexicon; `alpha = 0.85` gives concept geometry
+    /// dominance while keeping subword robustness.
+    pub fn new(lexicon: Lexicon) -> Self {
+        let dim = lexicon.dim();
+        SemanticEmbedder { lexicon, subword: HashEmbedder::new(dim, 0xd3ee), alpha: 0.85 }
+    }
+
+    /// Override the blend weight (clamped to `[0, 1]`).
+    pub fn with_alpha(mut self, alpha: f64) -> Self {
+        self.alpha = alpha.clamp(0.0, 1.0);
+        self
+    }
+
+    /// The wrapped lexicon.
+    pub fn lexicon(&self) -> &Lexicon {
+        &self.lexicon
+    }
+}
+
+impl WordEmbedder for SemanticEmbedder {
+    fn dim(&self) -> usize {
+        self.lexicon.dim()
+    }
+
+    fn embed(&self, word: &str) -> Vec<f64> {
+        let lw = word.to_lowercase();
+        let sub = self.subword.embed(&lw);
+        match self.lexicon.concept_vector(&lw) {
+            Some(concept) => {
+                let blended: Vec<f64> = concept
+                    .iter()
+                    .zip(&sub)
+                    .map(|(c, s)| self.alpha * c + (1.0 - self.alpha) * s)
+                    .collect();
+                normalize(blended)
+            }
+            None => sub,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn embedder() -> SemanticEmbedder {
+        let lex = Lexicon::with_groups(
+            DEFAULT_DIM,
+            &[
+                &["street", "road", "avenue", "lane"],
+                &["doctor", "gp", "practice", "surgery"],
+                &["city", "town"],
+            ],
+        );
+        SemanticEmbedder::new(lex)
+    }
+
+    #[test]
+    fn synonyms_are_close_strangers_are_not() {
+        let e = embedder();
+        let street = e.embed("street");
+        let road = e.embed("road");
+        let doctor = e.embed("doctor");
+        let syn = cosine(&street, &road);
+        let diff = cosine(&street, &doctor);
+        assert!(syn > 0.8, "synonym cosine {syn}");
+        assert!(diff < 0.4, "cross-concept cosine {diff}");
+    }
+
+    #[test]
+    fn out_of_lexicon_falls_back_to_subword() {
+        let e = embedder();
+        let a = e.embed("blackfriars");
+        let b = e.embed("blackfriers"); // typo
+        let c = e.embed("helicopter");
+        assert!(cosine(&a, &b) > cosine(&a, &c), "subword similarity should dominate");
+    }
+
+    #[test]
+    fn embed_all_is_unit_norm_mean() {
+        let e = embedder();
+        let v = e.embed_all(["street", "road"]);
+        let norm: f64 = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+        assert!((norm - 1.0).abs() < 1e-9);
+        // mean of synonyms stays close to each
+        assert!(cosine(&v, &e.embed("street")) > 0.8);
+    }
+
+    #[test]
+    fn embed_all_empty_is_zero() {
+        let e = embedder();
+        let v = e.embed_all([]);
+        assert!(v.iter().all(|&x| x == 0.0));
+        assert_eq!(v.len(), e.dim());
+    }
+
+    #[test]
+    fn case_insensitive() {
+        let e = embedder();
+        assert!((cosine(&e.embed("Street"), &e.embed("street")) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn alpha_extremes() {
+        let lex = Lexicon::with_groups(16, &[&["a", "b"]]);
+        let pure_concept = SemanticEmbedder::new(lex.clone()).with_alpha(1.0);
+        assert!((cosine(&pure_concept.embed("a"), &pure_concept.embed("b")) - 1.0).abs() < 1e-9);
+        let pure_subword = SemanticEmbedder::new(lex).with_alpha(0.0);
+        assert!(cosine(&pure_subword.embed("a"), &pure_subword.embed("b")) < 0.9);
+    }
+}

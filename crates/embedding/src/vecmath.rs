@@ -1,0 +1,84 @@
+//! Dense vector helpers shared by the embedders.
+
+/// Cosine similarity clamped to `[0, 1]` — the unit-interval distance
+/// space D3L works in (§III-B treats negative cosine as unrelated).
+pub fn cosine(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dimension mismatch");
+    let mut dot = 0.0;
+    let mut na = 0.0;
+    let mut nb = 0.0;
+    for (&x, &y) in a.iter().zip(b) {
+        dot += x * y;
+        na += x * x;
+        nb += y * y;
+    }
+    if na == 0.0 || nb == 0.0 {
+        return 0.0;
+    }
+    (dot / (na.sqrt() * nb.sqrt())).clamp(0.0, 1.0)
+}
+
+/// Component-wise mean of a non-empty set of equal-length vectors.
+pub fn mean_vector(vecs: &[Vec<f64>]) -> Vec<f64> {
+    assert!(!vecs.is_empty(), "mean of no vectors");
+    let dim = vecs[0].len();
+    let mut out = vec![0.0; dim];
+    for v in vecs {
+        assert_eq!(v.len(), dim, "dimension mismatch");
+        for (o, x) in out.iter_mut().zip(v) {
+            *o += x;
+        }
+    }
+    let n = vecs.len() as f64;
+    for o in &mut out {
+        *o /= n;
+    }
+    out
+}
+
+/// Scale a vector to unit L2 norm; the zero vector is returned
+/// unchanged.
+pub fn normalize(mut v: Vec<f64>) -> Vec<f64> {
+    let norm: f64 = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+    if norm > 0.0 {
+        for x in &mut v {
+            *x /= norm;
+        }
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cosine_basics() {
+        assert!((cosine(&[1.0, 0.0], &[1.0, 0.0]) - 1.0).abs() < 1e-12);
+        assert!(cosine(&[1.0, 0.0], &[0.0, 1.0]).abs() < 1e-12);
+        assert!(cosine(&[0.0], &[1.0]).abs() < 1e-12);
+        assert!(cosine(&[1.0], &[-1.0]).abs() < 1e-12); // clamped
+    }
+
+    #[test]
+    fn mean_and_normalize() {
+        let m = mean_vector(&[vec![1.0, 0.0], vec![0.0, 1.0]]);
+        assert_eq!(m, vec![0.5, 0.5]);
+        let n = normalize(m);
+        let norm: f64 = n.iter().map(|x| x * x).sum::<f64>().sqrt();
+        assert!((norm - 1.0).abs() < 1e-12);
+        assert_eq!(normalize(vec![0.0, 0.0]), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "mean of no vectors")]
+    fn mean_of_none_panics() {
+        mean_vector(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn cosine_dim_mismatch_panics() {
+        cosine(&[1.0], &[1.0, 2.0]);
+    }
+}

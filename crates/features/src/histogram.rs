@@ -1,0 +1,122 @@
+//! Token-occurrence histograms with the frequent/infrequent split.
+//!
+//! Algorithm 1 builds, in one pass over an attribute extent, a
+//! histogram of token occurrences, then:
+//!
+//! * the **infrequent** word of each part joins the value tset `T(a)`
+//!   (strong TF/IDF-style signal carriers — e.g. `portland`, `3BE`);
+//! * the **frequent** word of each part has its word-embedding vector
+//!   added to the attribute vector (domain-type indicators — e.g.
+//!   `street`, `road`).
+
+use std::collections::HashMap;
+
+use crate::tokenize;
+
+/// Occurrence counts of word tokens across an attribute extent.
+#[derive(Debug, Default, Clone)]
+pub struct TokenHistogram {
+    counts: HashMap<String, usize>,
+    total: usize,
+}
+
+impl TokenHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        TokenHistogram::default()
+    }
+
+    /// Insert all word tokens of one value (`H.insert(get_tokens(v))`).
+    pub fn insert_value(&mut self, value: &str) {
+        for t in tokenize::tokens(value) {
+            *self.counts.entry(t).or_insert(0) += 1;
+            self.total += 1;
+        }
+    }
+
+    /// Occurrences of a token.
+    pub fn count(&self, token: &str) -> usize {
+        self.counts.get(token).copied().unwrap_or(0)
+    }
+
+    /// Total token occurrences inserted.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Number of distinct tokens.
+    pub fn distinct(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Within one part, the word with the *fewest* occurrences in the
+    /// extent (the informative token added to the tset). Ties break
+    /// lexicographically for determinism.
+    pub fn infrequent_word_of_part(&self, part: &str) -> Option<String> {
+        tokenize::words(part)
+            .into_iter()
+            .min_by(|a, b| self.count(a).cmp(&self.count(b)).then_with(|| a.cmp(b)))
+    }
+
+    /// Within one part, the word with the *most* occurrences in the
+    /// extent (the domain-indicator token whose embedding is looked
+    /// up). Ties break lexicographically.
+    pub fn frequent_word_of_part(&self, part: &str) -> Option<String> {
+        tokenize::words(part)
+            .into_iter()
+            .max_by(|a, b| self.count(a).cmp(&self.count(b)).then_with(|| b.cmp(a)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn address_histogram() -> TokenHistogram {
+        let mut h = TokenHistogram::new();
+        for v in [
+            "18 Portland Street, M1 3BE",
+            "41 Oxford Road, M13 9PL",
+            "9 Mirabel Street, M3 1NN",
+        ] {
+            h.insert_value(v);
+        }
+        h
+    }
+
+    #[test]
+    fn counts_accumulate() {
+        let h = address_histogram();
+        assert_eq!(h.count("street"), 2);
+        assert_eq!(h.count("portland"), 1);
+        assert_eq!(h.count("zzz"), 0);
+        assert!(h.total() > 0);
+        assert!(h.distinct() > 5);
+    }
+
+    #[test]
+    fn paper_example_frequent_vs_infrequent() {
+        let h = address_histogram();
+        // In "18 Portland Street", 'street' is the frequent word and
+        // 'portland'/'18' the infrequent signal carriers.
+        assert_eq!(h.frequent_word_of_part("18 Portland Street").unwrap(), "street");
+        let inf = h.infrequent_word_of_part("18 Portland Street").unwrap();
+        assert_ne!(inf, "street");
+    }
+
+    #[test]
+    fn empty_part_yields_none() {
+        let h = address_histogram();
+        assert!(h.infrequent_word_of_part("").is_none());
+        assert!(h.frequent_word_of_part("  ").is_none());
+    }
+
+    #[test]
+    fn deterministic_tie_breaks() {
+        let mut h = TokenHistogram::new();
+        h.insert_value("alpha beta");
+        // both count 1 → infrequent picks lexicographic min
+        assert_eq!(h.infrequent_word_of_part("alpha beta").unwrap(), "alpha");
+        assert_eq!(h.frequent_word_of_part("alpha beta").unwrap(), "alpha");
+    }
+}

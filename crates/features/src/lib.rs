@@ -1,0 +1,27 @@
+//! # d3l-features — evidence feature extraction
+//!
+//! Implements the set representations of §III-A/B of the paper:
+//!
+//! * [`qgrams`] — q-gram sets of attribute names (**N** evidence,
+//!   q = 4);
+//! * [`tokenize`] — value tokenization: a value is a *document*, split
+//!   into *parts* at punctuation, parts into lowercase words;
+//! * [`histogram`] — token-occurrence histograms with the
+//!   frequent/infrequent split that feeds the value tset (**V**) and
+//!   the embedding token selection (**E**);
+//! * [`regex_format`] — format-describing pattern strings over the
+//!   primitive lexical classes `C U L N A P` (**F** evidence);
+//! * [`ks`] — the two-sample Kolmogorov–Smirnov statistic (**D**
+//!   evidence for numeric attributes).
+
+pub mod histogram;
+pub mod ks;
+pub mod qgrams;
+pub mod regex_format;
+pub mod tokenize;
+
+pub use histogram::TokenHistogram;
+pub use ks::ks_statistic;
+pub use qgrams::qgram_set;
+pub use regex_format::format_pattern;
+pub use tokenize::{parts, words};

@@ -1,0 +1,86 @@
+//! q-gram sets of attribute names (N evidence).
+//!
+//! The paper uses `q = 4`: "this avoids having too many similar qset
+//! pair candidates, while benefiting from fine-grained comparisons of
+//! attribute names" (§III-B, Example 2: `Address` →
+//! `{addr, ddre, dres, ress}`).
+
+use std::collections::HashSet;
+
+/// The paper's q.
+pub const DEFAULT_Q: usize = 4;
+
+/// The q-gram set of a name: lowercase, non-alphanumeric characters
+/// removed, then all contiguous windows of length `q`. Names shorter
+/// than `q` contribute their whole normalized form, so short names
+/// still produce a signal.
+pub fn qgram_set_q(name: &str, q: usize) -> HashSet<String> {
+    let normalized: Vec<char> = name
+        .chars()
+        .filter(|c| c.is_alphanumeric())
+        .flat_map(|c| c.to_lowercase())
+        .collect();
+    let mut set = HashSet::new();
+    if normalized.is_empty() {
+        return set;
+    }
+    if normalized.len() < q {
+        set.insert(normalized.into_iter().collect());
+        return set;
+    }
+    for w in normalized.windows(q) {
+        set.insert(w.iter().collect());
+    }
+    set
+}
+
+/// [`qgram_set_q`] with the paper's `q = 4`.
+pub fn qgram_set(name: &str) -> HashSet<String> {
+    qgram_set_q(name, DEFAULT_Q)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_address() {
+        let q = qgram_set("Address");
+        let expect: HashSet<String> =
+            ["addr", "ddre", "dres", "ress"].iter().map(|s| s.to_string()).collect();
+        assert_eq!(q, expect);
+    }
+
+    #[test]
+    fn case_and_punctuation_insensitive() {
+        assert_eq!(qgram_set("Practice Name"), qgram_set("practice_name"));
+        assert_eq!(qgram_set("Post-code"), qgram_set("postcode"));
+    }
+
+    #[test]
+    fn short_names_keep_whole_form() {
+        let q = qgram_set("GP");
+        assert_eq!(q.len(), 1);
+        assert!(q.contains("gp"));
+    }
+
+    #[test]
+    fn empty_name_is_empty_set() {
+        assert!(qgram_set("").is_empty());
+        assert!(qgram_set("--- ").is_empty());
+    }
+
+    #[test]
+    fn overlapping_names_share_grams() {
+        let a = qgram_set("practice");
+        let b = qgram_set("practices");
+        let inter = a.intersection(&b).count();
+        assert!(inter >= a.len() - 1);
+    }
+
+    #[test]
+    fn custom_q() {
+        let q2 = qgram_set_q("abc", 2);
+        assert!(q2.contains("ab") && q2.contains("bc"));
+    }
+}

@@ -1,0 +1,161 @@
+//! Format-describing pattern strings (F evidence, §III-B,
+//! `get_regex_string(v)`).
+//!
+//! Primitive lexical classes, matched in this priority order:
+//!
+//! | symbol | class |
+//! |---|---|
+//! | `C` | `[A-Z][a-z]+` — capitalized word |
+//! | `U` | `[A-Z]+` — uppercase run |
+//! | `L` | `[a-z]+` — lowercase run |
+//! | `N` | `[0-9]+` — digit run |
+//! | `A` | `[A-Za-z0-9]+` — mixed alphanumeric |
+//! | `P` | punctuation / anything else |
+//!
+//! Consecutive repetitions of the same symbol collapse to `symbol+`
+//! (e.g. the paper's `{NC+P+A+}`).
+
+/// One primitive class symbol.
+fn classify(token: &str) -> char {
+    debug_assert!(!token.is_empty());
+    let bytes: Vec<char> = token.chars().collect();
+    let all = |f: fn(char) -> bool| bytes.iter().copied().all(f);
+    let first_upper = bytes[0].is_ascii_uppercase();
+    let rest_lower = bytes.len() > 1 && bytes[1..].iter().all(|c| c.is_ascii_lowercase());
+    if first_upper && rest_lower {
+        'C'
+    } else if all(|c| c.is_ascii_uppercase()) {
+        'U'
+    } else if all(|c| c.is_ascii_lowercase()) {
+        'L'
+    } else if all(|c| c.is_ascii_digit()) {
+        'N'
+    } else if all(|c| c.is_ascii_alphanumeric()) {
+        'A'
+    } else {
+        'P'
+    }
+}
+
+/// Lex a value into maximal runs of one character category
+/// (letters+digits together form candidate tokens; punctuation and
+/// whitespace are their own runs).
+fn lex(value: &str) -> Vec<String> {
+    #[derive(PartialEq, Clone, Copy)]
+    enum Cat {
+        AlNum,
+        Space,
+        Punct,
+    }
+    fn cat(c: char) -> Cat {
+        if c.is_ascii_alphanumeric() {
+            Cat::AlNum
+        } else if c.is_whitespace() {
+            Cat::Space
+        } else {
+            Cat::Punct
+        }
+    }
+    let mut runs = Vec::new();
+    let mut cur = String::new();
+    let mut cur_cat: Option<Cat> = None;
+    for c in value.chars() {
+        let k = cat(c);
+        if Some(k) != cur_cat && !cur.is_empty() {
+            runs.push(std::mem::take(&mut cur));
+        }
+        cur_cat = Some(k);
+        if k != Cat::Space {
+            cur.push(c);
+        } else if !cur.is_empty() {
+            // whitespace terminates a run but emits nothing
+        }
+    }
+    if !cur.is_empty() {
+        runs.push(cur);
+    }
+    runs
+}
+
+/// The format pattern of a single attribute value, e.g.
+/// `"M1 3BE"` → `"A+"` … `"Dr E Cullen"` → `"CUC"` (after collapse:
+/// `"CUC"`), `"08:00-18:00"` → `"NP+N+"` collapsed.
+pub fn format_pattern(value: &str) -> String {
+    let mut out = String::new();
+    let mut last: Option<char> = None;
+    let mut plus_emitted = false;
+    for run in lex(value) {
+        let sym = classify(&run);
+        if last == Some(sym) {
+            if !plus_emitted {
+                out.push('+');
+                plus_emitted = true;
+            }
+        } else {
+            out.push(sym);
+            last = Some(sym);
+            plus_emitted = false;
+        }
+    }
+    out
+}
+
+/// The rset of an extent: distinct format patterns of its values
+/// (empty values produce no pattern).
+pub fn rset<'a, I: IntoIterator<Item = &'a str>>(values: I) -> std::collections::HashSet<String> {
+    values
+        .into_iter()
+        .filter(|v| !v.trim().is_empty())
+        .map(format_pattern)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_classes() {
+        assert_eq!(format_pattern("Portland"), "C");
+        assert_eq!(format_pattern("NHS"), "U");
+        assert_eq!(format_pattern("road"), "L");
+        assert_eq!(format_pattern("1202"), "N");
+        assert_eq!(format_pattern("M13"), "A");
+        assert_eq!(format_pattern("--"), "P");
+    }
+
+    #[test]
+    fn consecutive_collapse() {
+        // Dr E Cullen → C U C (no collapse needed)
+        assert_eq!(format_pattern("Dr E Cullen"), "CUC");
+        // three capitalized words collapse to C+
+        assert_eq!(format_pattern("One Two Three"), "C+");
+        // times: N P N P N P N → NPNPNPN? runs: 08 : 00 - 18 : 00
+        // symbols N P N P N P N — alternating, no collapse
+        assert_eq!(format_pattern("08:00-18:00"), "NPNPNPN");
+    }
+
+    #[test]
+    fn postcode_patterns_match_each_other() {
+        // UK postcodes share the A+ or 'A A' shape.
+        assert_eq!(format_pattern("M3 6AF"), format_pattern("W1G 6BW"));
+        assert_eq!(format_pattern("BT7 1JL"), format_pattern("M26 2SP"));
+    }
+
+    #[test]
+    fn rset_deduplicates() {
+        let r = rset(["M3 6AF", "W1G 6BW", "Salford", ""]);
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn mixed_tokens() {
+        // "1a Chapel St" → 1a: A, Chapel: C, St: A? 'St' = S uppercase + t lowercase → C
+        assert_eq!(format_pattern("1a Chapel St"), "AC+");
+    }
+
+    #[test]
+    fn empty_value() {
+        assert_eq!(format_pattern(""), "");
+    }
+}

@@ -1,0 +1,325 @@
+//! LSH Ensemble (Zhu, Nargesian, Pu, Miller — PVLDB 2016).
+//!
+//! The paper lists this as an LSH improvement "compatible with our use
+//! case" (§II): plain MinHash LSH under-performs for *containment*
+//! queries when set sizes are skewed, because the Jaccard similarity
+//! of a small query against a large superset is low even at full
+//! containment. LSH Ensemble partitions the indexed sets by size, and
+//! at query time converts the containment threshold `t` into a
+//! per-partition Jaccard threshold using the query size `|Q|` and the
+//! partition's upper size bound `u`:
+//!
+//! `J >= t·|Q| / (|Q| + u - t·|Q|)`
+//!
+//! Because the right banding depends on the query, each partition
+//! keeps banded buckets at several row granularities and the probe
+//! picks the granularity whose S-curve matches the converted
+//! threshold. Useful for D3L-style join discovery over attributes
+//! with very skewed extents (the `IV` overlap evidence of §IV).
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+use crate::banded::Signature;
+use crate::hash::splitmix64;
+use crate::minhash::MinHashSignature;
+use crate::{Hit, ItemId};
+
+/// Row granularities maintained per partition; the probe picks one.
+const ROW_CHOICES: [usize; 6] = [1, 2, 4, 8, 16, 32];
+
+/// Banded buckets at one row granularity.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct BandSet {
+    rows: usize,
+    bands: usize,
+    buckets: Vec<HashMap<u64, Vec<ItemId>>>,
+}
+
+impl BandSet {
+    fn new(sig_len: usize, rows: usize) -> Self {
+        let bands = (sig_len / rows).max(1);
+        BandSet { rows, bands, buckets: vec![HashMap::new(); bands] }
+    }
+
+    fn band_key(&self, sig: &MinHashSignature, band: usize) -> u64 {
+        let mut acc = splitmix64(band as u64 ^ 0x1234_5678);
+        let start = band * self.rows;
+        for i in 0..self.rows {
+            let pos = start + i;
+            if pos < sig.lsh_len() {
+                acc = splitmix64(acc ^ sig.lsh_hash(pos));
+            }
+        }
+        acc
+    }
+
+    fn insert(&mut self, id: ItemId, sig: &MinHashSignature) {
+        for band in 0..self.bands {
+            let key = self.band_key(sig, band);
+            self.buckets[band].entry(key).or_default().push(id);
+        }
+    }
+
+    fn candidates(&self, sig: &MinHashSignature, out: &mut Vec<ItemId>) {
+        for band in 0..self.bands {
+            let key = self.band_key(sig, band);
+            if let Some(members) = self.buckets[band].get(&key) {
+                out.extend_from_slice(members);
+            }
+        }
+    }
+
+    /// The Jaccard level at which this banding starts firing
+    /// reliably.
+    fn s_curve_threshold(&self) -> f64 {
+        (1.0 / self.bands as f64).powf(1.0 / self.rows as f64)
+    }
+}
+
+/// One size partition with multi-granularity bands.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Partition {
+    /// Inclusive lower bound on set size.
+    lower: usize,
+    /// Exclusive upper bound on set size.
+    upper: usize,
+    band_sets: Vec<BandSet>,
+}
+
+impl Partition {
+    /// The band set whose S-curve threshold sits just below the
+    /// requested Jaccard threshold (recall-safe choice).
+    fn pick(&self, jaccard: f64) -> &BandSet {
+        self.band_sets
+            .iter()
+            .rev() // coarse (high-threshold) first
+            .find(|b| b.s_curve_threshold() <= jaccard)
+            .unwrap_or(&self.band_sets[0])
+    }
+}
+
+/// A containment-oriented MinHash LSH index with size partitioning.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LshEnsemble {
+    sig_len: usize,
+    /// Containment threshold `t` the index answers for.
+    threshold: f64,
+    partitions: Vec<Partition>,
+    /// Stored signatures and set sizes for refinement.
+    sigs: HashMap<ItemId, (MinHashSignature, usize)>,
+}
+
+/// Convert a containment threshold to the equivalent Jaccard
+/// threshold for query size `q` and indexed-set upper bound `u`
+/// (Zhu et al., Eq. 4).
+pub fn containment_to_jaccard(t: f64, q: usize, u: usize) -> f64 {
+    let tq = t * q as f64;
+    let denom = q as f64 + u as f64 - tq;
+    if denom <= 0.0 {
+        1.0
+    } else {
+        (tq / denom).clamp(0.0, 1.0)
+    }
+}
+
+/// Estimate containment `|A ∩ Q| / |Q|` from a Jaccard estimate and
+/// the two set sizes (inclusion–exclusion).
+pub fn jaccard_to_containment(j: f64, q: usize, a: usize) -> f64 {
+    if q == 0 {
+        return 0.0;
+    }
+    // |A ∩ Q| = j · |A ∪ Q| = j (q + a) / (1 + j)
+    let inter = j * (q + a) as f64 / (1.0 + j);
+    (inter / q as f64).clamp(0.0, 1.0)
+}
+
+impl LshEnsemble {
+    /// An ensemble over signatures of length `sig_len`, tuned to
+    /// containment threshold `threshold`, with geometrically growing
+    /// size partitions `[1, 4), [4, 16), ...` (last partition open).
+    pub fn new(sig_len: usize, threshold: f64, num_partitions: usize) -> Self {
+        assert!(num_partitions >= 1);
+        let mut partitions = Vec::with_capacity(num_partitions);
+        let mut lower = 1usize;
+        for p in 0..num_partitions {
+            let upper = if p + 1 == num_partitions {
+                usize::MAX / 2
+            } else {
+                (lower * 4).max(lower + 1)
+            };
+            let band_sets = ROW_CHOICES
+                .iter()
+                .filter(|&&r| r <= sig_len)
+                .map(|&r| BandSet::new(sig_len, r))
+                .collect();
+            partitions.push(Partition { lower, upper, band_sets });
+            lower = upper;
+        }
+        LshEnsemble { sig_len, threshold, partitions, sigs: HashMap::new() }
+    }
+
+    /// Number of indexed items.
+    pub fn len(&self) -> usize {
+        self.sigs.len()
+    }
+
+    /// True when nothing is indexed.
+    pub fn is_empty(&self) -> bool {
+        self.sigs.is_empty()
+    }
+
+    /// The containment threshold.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// Partition count.
+    pub fn partition_count(&self) -> usize {
+        self.partitions.len()
+    }
+
+    /// Insert a set with its true size.
+    pub fn insert(&mut self, id: ItemId, sig: MinHashSignature, set_size: usize) {
+        assert_eq!(sig.len(), self.sig_len, "signature length mismatch");
+        let p = self
+            .partitions
+            .iter_mut()
+            .find(|p| set_size >= p.lower && set_size < p.upper)
+            .unwrap_or_else(|| panic!("no partition for size {set_size}"));
+        for bs in &mut p.band_sets {
+            bs.insert(id, &sig);
+        }
+        self.sigs.insert(id, (sig, set_size));
+    }
+
+    /// Items whose estimated containment-of-the-query
+    /// (`|X ∩ Q| / |Q|`) clears the threshold, best first.
+    pub fn query_containment(&self, sig: &MinHashSignature, query_size: usize) -> Vec<Hit> {
+        let mut cand = Vec::new();
+        for p in &self.partitions {
+            // Per-partition Jaccard threshold from the containment
+            // threshold and this partition's upper size bound.
+            let j = containment_to_jaccard(
+                self.threshold,
+                query_size.max(1),
+                p.upper.min(1 << 24),
+            );
+            p.pick(j.max(0.02)).candidates(sig, &mut cand);
+        }
+        cand.sort_unstable();
+        cand.dedup();
+        let mut hits: Vec<Hit> = cand
+            .into_iter()
+            .filter_map(|id| {
+                let (stored, size) = &self.sigs[&id];
+                let j = sig.jaccard(stored);
+                let c = jaccard_to_containment(j, query_size, *size);
+                (c >= self.threshold).then_some(Hit { id, similarity: c })
+            })
+            .collect();
+        hits.sort_by(|a, b| {
+            b.similarity
+                .partial_cmp(&a.similarity)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.id.cmp(&b.id))
+        });
+        hits
+    }
+
+    /// Approximate footprint in bytes.
+    pub fn byte_size(&self) -> usize {
+        let bucket_bytes: usize = self
+            .partitions
+            .iter()
+            .flat_map(|p| p.band_sets.iter())
+            .flat_map(|bs| bs.buckets.iter())
+            .map(|b| b.values().map(|v| 8 + v.len() * 8).sum::<usize>())
+            .sum();
+        bucket_bytes + self.sigs.values().map(|(s, _)| s.byte_size() + 8).sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::minhash::MinHasher;
+
+    fn tokens(prefix: &str, n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("{prefix}{i}")).collect()
+    }
+
+    #[test]
+    fn conversion_formulas() {
+        // Full containment of a 10-set in a 90-superset: J = 10/90.
+        let j = containment_to_jaccard(1.0, 10, 90);
+        assert!((j - 0.111).abs() < 0.01, "{j}");
+        let c = jaccard_to_containment(10.0 / 90.0, 10, 90);
+        assert!((c - 1.0).abs() < 0.02, "{c}");
+        assert_eq!(jaccard_to_containment(0.5, 0, 10), 0.0);
+        assert_eq!(containment_to_jaccard(1.0, 10, 0), 1.0);
+    }
+
+    #[test]
+    fn finds_skewed_containment_that_plain_jaccard_misses() {
+        let mh = MinHasher::new(256, 5);
+        let mut ens = LshEnsemble::new(256, 0.8, 6);
+        // A 500-element superset fully containing a 25-element query.
+        let sup = tokens("x", 500);
+        let sup_sig = mh.sign_strs(sup.iter().map(String::as_str));
+        ens.insert(1, sup_sig.clone(), 500);
+        // An unrelated 25-element set.
+        let other = tokens("zz", 25);
+        ens.insert(2, mh.sign_strs(other.iter().map(String::as_str)), 25);
+
+        let query = tokens("x", 25); // subset of the superset
+        let q_sig = mh.sign_strs(query.iter().map(String::as_str));
+        // Raw Jaccard is tiny (25/500), yet containment is 1.
+        assert!(q_sig.jaccard(&sup_sig) < 0.2);
+        let hits = ens.query_containment(&q_sig, 25);
+        assert!(hits.iter().any(|h| h.id == 1), "superset must be found");
+        assert!(hits.iter().all(|h| h.id != 2), "unrelated set must not clear 0.8");
+        let top = &hits[0];
+        assert!(top.similarity > 0.7, "containment estimate {}", top.similarity);
+    }
+
+    #[test]
+    fn near_threshold_containment_ranks_below_full() {
+        let mh = MinHasher::new(256, 9);
+        let mut ens = LshEnsemble::new(256, 0.5, 6);
+        let full: Vec<String> = tokens("q", 40); // contains all of the query
+        let half: Vec<String> = tokens("q", 20)
+            .into_iter()
+            .chain(tokens("r", 20))
+            .collect(); // contains half
+        ens.insert(1, mh.sign_strs(full.iter().map(String::as_str)), 40);
+        ens.insert(2, mh.sign_strs(half.iter().map(String::as_str)), 40);
+        let q = tokens("q", 40);
+        let hits = ens.query_containment(&mh.sign_strs(q.iter().map(String::as_str)), 40);
+        assert!(!hits.is_empty());
+        assert_eq!(hits[0].id, 1, "full containment ranks first");
+    }
+
+    #[test]
+    fn partitions_cover_all_sizes() {
+        let mh = MinHasher::new(64, 3);
+        let mut ens = LshEnsemble::new(64, 0.5, 4);
+        assert_eq!(ens.partition_count(), 4);
+        for (i, n) in [1usize, 5, 60, 100_000].iter().enumerate() {
+            let toks = tokens("t", *n);
+            ens.insert(i as u64, mh.sign_strs(toks.iter().map(String::as_str)), *n);
+        }
+        assert_eq!(ens.len(), 4);
+        assert!(!ens.is_empty());
+        assert!(ens.byte_size() > 0);
+        assert!((ens.threshold() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "signature length mismatch")]
+    fn wrong_signature_length_panics() {
+        let mh = MinHasher::new(32, 1);
+        let mut ens = LshEnsemble::new(64, 0.5, 2);
+        ens.insert(1, mh.sign_strs(["a"]), 1);
+    }
+}

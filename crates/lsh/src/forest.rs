@@ -1,0 +1,286 @@
+//! LSH Forest (Bawa, Condie, Ganesan — WWW 2005).
+//!
+//! The self-tuning LSH variant the paper uses for all three systems
+//! (§V, footnote 5: "LSH Forest configured with a threshold of 0.7 and
+//! a MinHash size of 256"). Each of `l` trees indexes items by a
+//! fixed-depth label derived from `k` signature positions; querying
+//! descends from the deepest shared prefix, so the answer size — not
+//! the repository size — dominates search cost.
+//!
+//! This implementation follows the sorted-array formulation (as in
+//! `datasketch`): each tree keeps its labels sorted and prefix ranges
+//! are found by binary search.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+use crate::banded::Signature;
+use crate::{top_k, Hit, ItemId};
+
+/// Default number of trees.
+pub const DEFAULT_TREES: usize = 16;
+
+/// An LSH Forest over signatures of type `S`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LshForest<S> {
+    /// Number of trees (`l`).
+    l: usize,
+    /// Label depth per tree (`k` hash positions, one byte each).
+    k: usize,
+    /// Per-tree sorted arrays of (label, item).
+    trees: Vec<Vec<(Box<[u8]>, ItemId)>>,
+    /// Full signatures for similarity refinement.
+    sigs: HashMap<ItemId, S>,
+    sorted: bool,
+}
+
+impl<S: Signature> LshForest<S> {
+    /// Forest with `l` trees over signatures of length `sig_len`;
+    /// depth is `sig_len / l` (every position is consumed exactly
+    /// once, as in the original construction).
+    pub fn new(sig_len: usize, l: usize) -> Self {
+        assert!(l > 0, "need at least one tree");
+        assert!(sig_len >= l, "signature too short for {l} trees");
+        let k = sig_len / l;
+        LshForest { l, k, trees: vec![Vec::new(); l], sigs: HashMap::new(), sorted: true }
+    }
+
+    /// Forest with the default tree count.
+    pub fn with_defaults(sig_len: usize) -> Self {
+        LshForest::new(sig_len, DEFAULT_TREES.min(sig_len.max(1)))
+    }
+
+    /// `(trees, depth)` shape.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.l, self.k)
+    }
+
+    /// Number of indexed items.
+    pub fn len(&self) -> usize {
+        self.sigs.len()
+    }
+
+    /// True when nothing has been inserted.
+    pub fn is_empty(&self) -> bool {
+        self.sigs.is_empty()
+    }
+
+    /// Label of `sig` in tree `t`: one byte per consumed position.
+    fn label(&self, sig: &S, t: usize) -> Box<[u8]> {
+        let start = t * self.k;
+        (0..self.k)
+            .map(|i| {
+                let pos = start + i;
+                if pos < sig.lsh_len() {
+                    (sig.lsh_hash(pos) & 0xff) as u8
+                } else {
+                    0
+                }
+            })
+            .collect()
+    }
+
+    /// Insert an item (lazily re-sorted on the next query).
+    pub fn insert(&mut self, id: ItemId, sig: S) {
+        for t in 0..self.l {
+            let lbl = self.label(&sig, t);
+            self.trees[t].push((lbl, id));
+        }
+        self.sigs.insert(id, sig);
+        self.sorted = false;
+    }
+
+    /// Sort all trees; called automatically by queries.
+    pub fn build(&mut self) {
+        if self.sorted {
+            return;
+        }
+        for tree in &mut self.trees {
+            tree.sort();
+        }
+        self.sorted = true;
+    }
+
+    /// Whether the trees are currently sorted.
+    pub fn is_built(&self) -> bool {
+        self.sorted
+    }
+
+    fn prefix_range(tree: &[(Box<[u8]>, ItemId)], label: &[u8], depth: usize) -> (usize, usize) {
+        let prefix = &label[..depth];
+        let lo = tree.partition_point(|(lbl, _)| lbl.as_ref()[..depth] < *prefix);
+        let hi = tree.partition_point(|(lbl, _)| lbl.as_ref()[..depth] <= *prefix);
+        (lo, hi)
+    }
+
+    /// Top-`k` most similar items to `sig` (requires `&mut` for the
+    /// lazy sort; use [`LshForest::build`] + [`LshForest::query_built`]
+    /// from shared contexts).
+    pub fn query(&mut self, sig: &S, k: usize) -> Vec<Hit> {
+        self.build();
+        self.query_built(sig, k)
+    }
+
+    /// Top-`k` query against an already-built forest.
+    ///
+    /// Descends each tree from the full depth, widening the prefix
+    /// until at least `k` distinct candidates are gathered (or depth
+    /// is exhausted), then ranks candidates by their estimated
+    /// similarity from the stored signatures.
+    pub fn query_built(&self, sig: &S, k: usize) -> Vec<Hit> {
+        assert!(self.sorted, "forest not built; call build() first");
+        if k == 0 || self.sigs.is_empty() {
+            return Vec::new();
+        }
+        let labels: Vec<Box<[u8]>> = (0..self.l).map(|t| self.label(sig, t)).collect();
+        let mut candidates: std::collections::HashSet<ItemId> = std::collections::HashSet::new();
+        // Synchronous descent across trees, deepest first.
+        for depth in (1..=self.k).rev() {
+            for (t, tree) in self.trees.iter().enumerate() {
+                let (lo, hi) = Self::prefix_range(tree, &labels[t], depth);
+                for (_, id) in &tree[lo..hi] {
+                    candidates.insert(*id);
+                }
+            }
+            if candidates.len() >= k {
+                break;
+            }
+        }
+        // Fall back to scanning when the lake is tiny or prefixes are
+        // unlucky — keeps recall sensible for small k.
+        if candidates.len() < k && candidates.len() < self.sigs.len() {
+            for id in self.sigs.keys() {
+                candidates.insert(*id);
+                if candidates.len() >= k.max(32) {
+                    break;
+                }
+            }
+        }
+        let hits: Vec<Hit> = candidates
+            .into_iter()
+            .map(|id| Hit { id, similarity: sig.similarity(&self.sigs[&id]) })
+            .collect();
+        top_k(hits, k)
+    }
+
+    /// Items whose estimated similarity clears `threshold`, best
+    /// first, bounded by `limit` candidates considered.
+    pub fn query_threshold(&self, sig: &S, threshold: f64, limit: usize) -> Vec<Hit> {
+        self.query_built(sig, limit)
+            .into_iter()
+            .filter(|h| h.similarity >= threshold)
+            .collect()
+    }
+
+    /// Stored signature of an item.
+    pub fn signature(&self, id: ItemId) -> Option<&S> {
+        self.sigs.get(&id)
+    }
+
+    /// Iterate all indexed item ids.
+    pub fn ids(&self) -> impl Iterator<Item = ItemId> + '_ {
+        self.sigs.keys().copied()
+    }
+
+    /// Approximate footprint in bytes: tree labels plus stored
+    /// signatures (Table II accounting).
+    pub fn byte_size(&self) -> usize {
+        let tree_bytes: usize = self
+            .trees
+            .iter()
+            .map(|t| t.iter().map(|(lbl, _)| lbl.len() + 8).sum::<usize>())
+            .sum();
+        let sig_bytes: usize = self.sigs.values().map(Signature::byte_size).sum();
+        tree_bytes + sig_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::minhash::{MinHashSignature, MinHasher};
+
+    fn tokens(prefix: &str, range: std::ops::Range<usize>) -> Vec<String> {
+        range.map(|i| format!("{prefix}{i}")).collect()
+    }
+
+    fn sign(mh: &MinHasher, toks: &[String]) -> MinHashSignature {
+        mh.sign_strs(toks.iter().map(String::as_str))
+    }
+
+    #[test]
+    fn shape_and_emptiness() {
+        let f: LshForest<MinHashSignature> = LshForest::new(256, 16);
+        assert_eq!(f.shape(), (16, 16));
+        assert!(f.is_empty());
+        assert_eq!(f.len(), 0);
+    }
+
+    #[test]
+    fn finds_most_similar_first() {
+        let mh = MinHasher::new(256, 77);
+        let mut f = LshForest::new(256, 16);
+        let base = tokens("x", 0..100);
+        f.insert(1, sign(&mh, &tokens("x", 10..110))); // J ≈ 0.8
+        f.insert(2, sign(&mh, &tokens("x", 50..150))); // J ≈ 0.33
+        f.insert(3, sign(&mh, &tokens("y", 0..100))); // J = 0
+        let hits = f.query(&sign(&mh, &base), 2);
+        assert_eq!(hits.len(), 2);
+        assert_eq!(hits[0].id, 1);
+        assert_eq!(hits[1].id, 2);
+        assert!(hits[0].similarity > hits[1].similarity);
+    }
+
+    #[test]
+    fn threshold_query_filters() {
+        let mh = MinHasher::new(256, 77);
+        let mut f = LshForest::new(256, 16);
+        f.insert(1, sign(&mh, &tokens("x", 0..100)));
+        f.insert(2, sign(&mh, &tokens("z", 0..100)));
+        f.build();
+        let hits = f.query_threshold(&sign(&mh, &tokens("x", 0..100)), 0.7, 10);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].id, 1);
+    }
+
+    #[test]
+    fn small_lake_fallback_returns_everything() {
+        let mh = MinHasher::new(64, 5);
+        let mut f = LshForest::new(64, 8);
+        f.insert(1, sign(&mh, &tokens("a", 0..5)));
+        f.insert(2, sign(&mh, &tokens("b", 0..5)));
+        let hits = f.query(&sign(&mh, &tokens("c", 0..5)), 2);
+        assert_eq!(hits.len(), 2);
+    }
+
+    #[test]
+    fn query_zero_k_is_empty() {
+        let mh = MinHasher::new(64, 5);
+        let mut f = LshForest::new(64, 8);
+        f.insert(1, sign(&mh, &tokens("a", 0..5)));
+        assert!(f.query(&sign(&mh, &tokens("a", 0..5)), 0).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "forest not built")]
+    fn unbuilt_query_panics() {
+        let mh = MinHasher::new(64, 5);
+        let mut f = LshForest::new(64, 8);
+        f.insert(1, sign(&mh, &tokens("a", 0..5)));
+        let _ = f.query_built(&sign(&mh, &tokens("a", 0..5)), 1);
+    }
+
+    #[test]
+    fn byte_size_grows_with_items() {
+        let mh = MinHasher::new(128, 5);
+        let mut f = LshForest::new(128, 8);
+        let empty = f.byte_size();
+        f.insert(1, sign(&mh, &tokens("a", 0..5)));
+        assert!(f.byte_size() > empty);
+        assert!(f.ids().count() == 1);
+        assert!(f.signature(1).is_some());
+        assert!(!f.is_built());
+        f.build();
+        assert!(f.is_built());
+    }
+}

@@ -1,0 +1,114 @@
+//! Hashing primitives: a fast 64-bit string hash and a universal hash
+//! family used to simulate MinHash permutations.
+
+/// FNV-1a 64-bit hash of a byte string. Stable across runs and
+/// platforms (important: signatures are serialized with indexes).
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf29ce484222325;
+    const PRIME: u64 = 0x100000001b3;
+    let mut h = OFFSET;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// Hash a string token to a 64-bit value.
+pub fn hash_str(s: &str) -> u64 {
+    fnv1a(s.as_bytes())
+}
+
+/// splitmix64: fast avalanche mixer used to derive per-permutation
+/// parameters and to finalize combined hashes.
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e3779b97f4a7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
+    x ^ (x >> 31)
+}
+
+/// A universal hash family `h_i(x) = mix(a_i * x + b_i)` indexed by
+/// `i`, deterministic in the seed. Used to simulate the `n`
+/// independent permutations MinHash needs.
+#[derive(Debug, Clone)]
+pub struct UniversalHasher {
+    params: Vec<(u64, u64)>,
+}
+
+impl UniversalHasher {
+    /// Create a family of `n` hash functions from a seed.
+    pub fn new(n: usize, seed: u64) -> Self {
+        let mut params = Vec::with_capacity(n);
+        let mut state = splitmix64(seed ^ SEED_TAG);
+        for _ in 0..n {
+            state = splitmix64(state);
+            let a = state | 1; // force odd so multiplication permutes
+            state = splitmix64(state);
+            let b = state;
+            params.push((a, b));
+        }
+        UniversalHasher { params }
+    }
+
+    /// Number of functions in the family.
+    pub fn len(&self) -> usize {
+        self.params.len()
+    }
+
+    /// True when the family is empty.
+    pub fn is_empty(&self) -> bool {
+        self.params.is_empty()
+    }
+
+    /// Apply the `i`-th function to `x`.
+    #[inline]
+    pub fn hash(&self, i: usize, x: u64) -> u64 {
+        let (a, b) = self.params[i];
+        splitmix64(a.wrapping_mul(x).wrapping_add(b))
+    }
+}
+
+/// A constant tag mixed into seeds so different substrates seeded with
+/// the same user seed do not produce correlated streams.
+const SEED_TAG: u64 = 0x6433_6c5f_6c73_6821; // "d3l_lsh!"
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_known_values() {
+        // Independent FNV-1a reference values.
+        assert_eq!(fnv1a(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv1a(b"a"), 0xaf63dc4c8601ec8c);
+    }
+
+    #[test]
+    fn hash_str_differs_across_tokens() {
+        assert_ne!(hash_str("portland"), hash_str("oxford"));
+        assert_eq!(hash_str("salford"), hash_str("salford"));
+    }
+
+    #[test]
+    fn splitmix_avalanches() {
+        let a = splitmix64(1);
+        let b = splitmix64(2);
+        assert_ne!(a, b);
+        assert_ne!((a ^ b).count_ones(), 0);
+    }
+
+    #[test]
+    fn universal_family_deterministic_and_distinct() {
+        let h1 = UniversalHasher::new(8, 42);
+        let h2 = UniversalHasher::new(8, 42);
+        let h3 = UniversalHasher::new(8, 43);
+        assert_eq!(h1.len(), 8);
+        assert!(!h1.is_empty());
+        for i in 0..8 {
+            assert_eq!(h1.hash(i, 123), h2.hash(i, 123));
+        }
+        assert_ne!(h1.hash(0, 123), h3.hash(0, 123));
+        assert_ne!(h1.hash(0, 123), h1.hash(1, 123));
+    }
+}

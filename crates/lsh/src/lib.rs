@@ -1,0 +1,95 @@
+//! # d3l-lsh — locality-sensitive hashing substrate
+//!
+//! Everything D3L (and the TUS/Aurum baselines) need for approximate
+//! similarity search, implemented from scratch:
+//!
+//! * [`minhash`] — MinHash signatures (Broder 1997) estimating Jaccard
+//!   similarity of sets;
+//! * [`randproj`] — random hyperplane projections (Charikar 2002)
+//!   estimating cosine similarity of dense vectors;
+//! * [`banded`] — the classic banded LSH index with `(bands, rows)`
+//!   tuned from a similarity threshold;
+//! * [`forest`] — LSH Forest (Bawa et al., WWW 2005), the self-tuning
+//!   variant the paper configures with threshold 0.7 and MinHash size
+//!   256, whose top-k search time varies little with repository size;
+//! * [`ensemble`] — LSH Ensemble (Zhu et al., PVLDB 2016), the
+//!   skew-robust containment index the paper cites as a compatible
+//!   improvement (§II).
+//!
+//! Items are identified by an opaque `u64` [`ItemId`]; callers map
+//! their attribute identifiers onto it.
+
+pub mod banded;
+pub mod ensemble;
+pub mod forest;
+pub mod hash;
+pub mod minhash;
+pub mod randproj;
+
+/// Opaque item identifier used by all indexes in this crate.
+pub type ItemId = u64;
+
+/// A query hit: the stored item and the estimated similarity (Jaccard
+/// for MinHash-backed indexes, cosine for random-projection ones).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Hit {
+    /// The matching item.
+    pub id: ItemId,
+    /// Estimated similarity in `[0, 1]`.
+    pub similarity: f64,
+}
+
+impl Hit {
+    /// Distance form of the similarity (`1 - similarity`), the space
+    /// D3L works in.
+    pub fn distance(&self) -> f64 {
+        1.0 - self.similarity
+    }
+}
+
+/// Sort hits by descending similarity, tie-broken by id for
+/// determinism, and truncate to `k`.
+pub fn top_k(mut hits: Vec<Hit>, k: usize) -> Vec<Hit> {
+    hits.sort_by(|a, b| {
+        b.similarity
+            .partial_cmp(&a.similarity)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.id.cmp(&b.id))
+    });
+    hits.truncate(k);
+    hits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_distance() {
+        let h = Hit { id: 1, similarity: 0.75 };
+        assert!((h.distance() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn top_k_orders_and_truncates() {
+        let hits = vec![
+            Hit { id: 1, similarity: 0.2 },
+            Hit { id: 2, similarity: 0.9 },
+            Hit { id: 3, similarity: 0.5 },
+        ];
+        let top = top_k(hits, 2);
+        assert_eq!(top.len(), 2);
+        assert_eq!(top[0].id, 2);
+        assert_eq!(top[1].id, 3);
+    }
+
+    #[test]
+    fn top_k_ties_break_by_id() {
+        let hits = vec![
+            Hit { id: 9, similarity: 0.5 },
+            Hit { id: 1, similarity: 0.5 },
+        ];
+        let top = top_k(hits, 2);
+        assert_eq!(top[0].id, 1);
+    }
+}

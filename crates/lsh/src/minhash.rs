@@ -1,0 +1,175 @@
+//! MinHash (Broder 1997): fixed-length signatures whose per-position
+//! collision probability equals the Jaccard similarity of the
+//! underlying sets.
+
+use serde::{Deserialize, Serialize};
+
+use crate::hash::{hash_str, UniversalHasher};
+
+/// A MinHash signature: `num_perm` 64-bit minimum hash values.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MinHashSignature(pub Vec<u64>);
+
+impl MinHashSignature {
+    /// Signature length.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True for the degenerate zero-length signature.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Estimate Jaccard similarity as the fraction of agreeing
+    /// positions. Panics if lengths differ (signatures must come from
+    /// the same [`MinHasher`]).
+    pub fn jaccard(&self, other: &MinHashSignature) -> f64 {
+        assert_eq!(self.len(), other.len(), "signature length mismatch");
+        if self.is_empty() {
+            return 0.0;
+        }
+        let agree = self
+            .0
+            .iter()
+            .zip(&other.0)
+            .filter(|(a, b)| a == b)
+            .count();
+        agree as f64 / self.len() as f64
+    }
+
+    /// Approximate serialized footprint in bytes (space accounting).
+    pub fn byte_size(&self) -> usize {
+        self.0.len() * 8
+    }
+}
+
+/// Factory producing MinHash signatures with a fixed permutation
+/// family. The paper uses `num_perm = 256`.
+#[derive(Debug, Clone)]
+pub struct MinHasher {
+    family: UniversalHasher,
+}
+
+/// Default signature size used across the reproduction (paper §V).
+pub const DEFAULT_NUM_PERM: usize = 256;
+
+impl MinHasher {
+    /// A hasher with `num_perm` simulated permutations.
+    pub fn new(num_perm: usize, seed: u64) -> Self {
+        MinHasher { family: UniversalHasher::new(num_perm, seed) }
+    }
+
+    /// Number of permutations (signature length).
+    pub fn num_perm(&self) -> usize {
+        self.family.len()
+    }
+
+    /// Signature of a set of string tokens. The empty set gets a
+    /// signature of all `u64::MAX`, which collides only with other
+    /// empty sets.
+    pub fn sign_strs<'a, I: IntoIterator<Item = &'a str>>(&self, items: I) -> MinHashSignature {
+        self.sign_hashes(items.into_iter().map(hash_str))
+    }
+
+    /// Signature of a set of pre-hashed tokens.
+    pub fn sign_hashes<I: IntoIterator<Item = u64>>(&self, hashes: I) -> MinHashSignature {
+        let n = self.family.len();
+        let mut sig = vec![u64::MAX; n];
+        for h in hashes {
+            for (i, slot) in sig.iter_mut().enumerate() {
+                let v = self.family.hash(i, h);
+                if v < *slot {
+                    *slot = v;
+                }
+            }
+        }
+        MinHashSignature(sig)
+    }
+}
+
+/// Exact Jaccard similarity of two string sets, for tests and for the
+/// paper's exact-distance formulas (§III-B).
+pub fn exact_jaccard<S: std::hash::BuildHasher, T: std::hash::BuildHasher>(
+    a: &std::collections::HashSet<String, S>,
+    b: &std::collections::HashSet<String, T>,
+) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    let inter = a.iter().filter(|x| b.contains(x.as_str())).count();
+    let union = a.len() + b.len() - inter;
+    if union == 0 {
+        0.0
+    } else {
+        inter as f64 / union as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    fn set(items: &[&str]) -> HashSet<String> {
+        items.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn identical_sets_have_similarity_one() {
+        let mh = MinHasher::new(128, 7);
+        let a = mh.sign_strs(["x", "y", "z"]);
+        let b = mh.sign_strs(["z", "y", "x"]);
+        assert!((a.jaccard(&b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disjoint_sets_have_similarity_near_zero() {
+        let mh = MinHasher::new(256, 7);
+        let a = mh.sign_strs(["a", "b", "c", "d"]);
+        let b = mh.sign_strs(["e", "f", "g", "h"]);
+        assert!(a.jaccard(&b) < 0.05);
+    }
+
+    #[test]
+    fn estimate_tracks_exact_jaccard() {
+        let mh = MinHasher::new(256, 11);
+        // |A ∩ B| = 50, |A ∪ B| = 150 → J = 1/3.
+        let a_items: Vec<String> = (0..100).map(|i| format!("tok{i}")).collect();
+        let b_items: Vec<String> = (50..150).map(|i| format!("tok{i}")).collect();
+        let a = mh.sign_strs(a_items.iter().map(String::as_str));
+        let b = mh.sign_strs(b_items.iter().map(String::as_str));
+        let est = a.jaccard(&b);
+        assert!((est - 1.0 / 3.0).abs() < 0.1, "estimate {est} too far from 1/3");
+    }
+
+    #[test]
+    fn empty_set_signature() {
+        let mh = MinHasher::new(16, 1);
+        let e1 = mh.sign_strs([]);
+        let e2 = mh.sign_strs([]);
+        let a = mh.sign_strs(["x"]);
+        assert!((e1.jaccard(&e2) - 1.0).abs() < 1e-12);
+        assert!(e1.jaccard(&a) < 1e-12);
+        assert_eq!(e1.byte_size(), 16 * 8);
+    }
+
+    #[test]
+    fn exact_jaccard_reference() {
+        let a = set(&["x", "y"]);
+        let b = set(&["y", "z"]);
+        assert!((exact_jaccard(&a, &b) - 1.0 / 3.0).abs() < 1e-12);
+        assert!((exact_jaccard(&a, &a) - 1.0).abs() < 1e-12);
+        let e: HashSet<String> = HashSet::new();
+        assert!((exact_jaccard(&e, &e) - 1.0).abs() < 1e-12);
+        assert!(exact_jaccard(&a, &e) < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "signature length mismatch")]
+    fn mismatched_lengths_panic() {
+        let a = MinHashSignature(vec![1, 2]);
+        let b = MinHashSignature(vec![1]);
+        a.jaccard(&b);
+    }
+}

@@ -1,0 +1,28 @@
+//! # d3l-ml — machine-learning substrate
+//!
+//! The two supervised components the paper relies on:
+//!
+//! * [`logreg`] — L2-regularized logistic regression optimized by
+//!   cyclic coordinate descent (the paper cites Hsieh et al., ICML
+//!   2008). D3L trains this on (related / unrelated) table pairs whose
+//!   features are the five Eq.-1 distances, and uses the coefficients
+//!   as the evidence weights of Eq. 3 (§III-D).
+//! * [`subject`] — the subject-attribute classifier (after Venetis et
+//!   al., PVLDB 2011): identifies the column naming the entities a
+//!   table is about, used by Algorithm 2's guards and by SA-join
+//!   discovery (§IV). "Favours leftmost non-numeric attributes with
+//!   fewer nulls and many distinct values" (§III-C).
+//!
+//! [`cv`] provides the seeded k-fold cross-validation used to report
+//! both models' ~89% accuracies, and [`metrics`] the usual binary
+//! classification measures.
+
+pub mod cv;
+pub mod logreg;
+pub mod metrics;
+pub mod subject;
+
+pub use cv::{cross_validate, kfold_indices};
+pub use logreg::LogisticRegression;
+pub use metrics::BinaryMetrics;
+pub use subject::{subject_attribute, subject_features, SubjectClassifier, SUBJECT_FEATURES};

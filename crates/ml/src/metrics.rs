@@ -1,0 +1,126 @@
+//! Binary classification metrics.
+
+/// Confusion-matrix-backed metrics for a binary classifier.
+#[derive(Debug, Default, Clone, Copy, PartialEq)]
+pub struct BinaryMetrics {
+    /// True positives.
+    pub tp: usize,
+    /// False positives.
+    pub fp: usize,
+    /// True negatives.
+    pub tn: usize,
+    /// False negatives.
+    pub fn_: usize,
+}
+
+impl BinaryMetrics {
+    /// Accumulate one (predicted, actual) observation.
+    pub fn observe(&mut self, predicted: bool, actual: bool) {
+        match (predicted, actual) {
+            (true, true) => self.tp += 1,
+            (true, false) => self.fp += 1,
+            (false, false) => self.tn += 1,
+            (false, true) => self.fn_ += 1,
+        }
+    }
+
+    /// Build from parallel prediction/label slices.
+    pub fn from_predictions(predicted: &[bool], actual: &[bool]) -> Self {
+        assert_eq!(predicted.len(), actual.len());
+        let mut m = BinaryMetrics::default();
+        for (&p, &a) in predicted.iter().zip(actual) {
+            m.observe(p, a);
+        }
+        m
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> usize {
+        self.tp + self.fp + self.tn + self.fn_
+    }
+
+    /// (tp + tn) / total; 0 when empty.
+    pub fn accuracy(&self) -> f64 {
+        let t = self.total();
+        if t == 0 {
+            0.0
+        } else {
+            (self.tp + self.tn) as f64 / t as f64
+        }
+    }
+
+    /// tp / (tp + fp); 0 when no positive predictions.
+    pub fn precision(&self) -> f64 {
+        let denom = self.tp + self.fp;
+        if denom == 0 {
+            0.0
+        } else {
+            self.tp as f64 / denom as f64
+        }
+    }
+
+    /// tp / (tp + fn); 0 when no actual positives.
+    pub fn recall(&self) -> f64 {
+        let denom = self.tp + self.fn_;
+        if denom == 0 {
+            0.0
+        } else {
+            self.tp as f64 / denom as f64
+        }
+    }
+
+    /// Harmonic mean of precision and recall; 0 when both are 0.
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_classifier() {
+        let m = BinaryMetrics::from_predictions(&[true, false, true], &[true, false, true]);
+        assert_eq!(m.accuracy(), 1.0);
+        assert_eq!(m.precision(), 1.0);
+        assert_eq!(m.recall(), 1.0);
+        assert_eq!(m.f1(), 1.0);
+    }
+
+    #[test]
+    fn mixed_confusion() {
+        // tp=1 fp=1 tn=1 fn=1
+        let m = BinaryMetrics::from_predictions(
+            &[true, true, false, false],
+            &[true, false, false, true],
+        );
+        assert_eq!(m.tp, 1);
+        assert_eq!(m.fp, 1);
+        assert_eq!(m.tn, 1);
+        assert_eq!(m.fn_, 1);
+        assert!((m.accuracy() - 0.5).abs() < 1e-12);
+        assert!((m.precision() - 0.5).abs() < 1e-12);
+        assert!((m.recall() - 0.5).abs() < 1e-12);
+        assert!((m.f1() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_cases() {
+        let empty = BinaryMetrics::default();
+        assert_eq!(empty.accuracy(), 0.0);
+        assert_eq!(empty.precision(), 0.0);
+        assert_eq!(empty.recall(), 0.0);
+        assert_eq!(empty.f1(), 0.0);
+        // never predicts positive
+        let m = BinaryMetrics::from_predictions(&[false, false], &[true, false]);
+        assert_eq!(m.precision(), 0.0);
+        assert_eq!(m.recall(), 0.0);
+    }
+}

@@ -1,0 +1,219 @@
+//! Columns: named vectors of string cells with an inferred type.
+
+use serde::{Deserialize, Serialize};
+
+use crate::typing;
+
+/// Domain-independent column type, inferred from cell values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ColumnType {
+    /// All (or a clear majority of) non-null cells are whole numbers.
+    Integer,
+    /// Numeric with at least one fractional value.
+    Float,
+    /// Non-numeric content.
+    Text,
+    /// No non-null cells at all.
+    Empty,
+}
+
+impl ColumnType {
+    /// Integer and Float columns are treated uniformly as "numeric" by
+    /// the paper (§III-C: the D evidence type applies, V and E do not).
+    pub fn is_numeric(self) -> bool {
+        matches!(self, ColumnType::Integer | ColumnType::Float)
+    }
+
+    /// Textual columns participate in value-token and embedding
+    /// evidence.
+    pub fn is_textual(self) -> bool {
+        matches!(self, ColumnType::Text)
+    }
+}
+
+/// A named column of string cells. The empty string is a null.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Column {
+    name: String,
+    values: Vec<String>,
+    ty: ColumnType,
+}
+
+impl Column {
+    /// Build a column, inferring its type from the supplied cells.
+    pub fn new(name: impl Into<String>, values: Vec<String>) -> Self {
+        let ty = typing::infer_type(values.iter().map(String::as_str));
+        Column { name: name.into(), values, ty }
+    }
+
+    /// Build a column from anything displayable (convenience for
+    /// generators and tests).
+    pub fn from_display<T: std::fmt::Display>(name: impl Into<String>, values: &[T]) -> Self {
+        Column::new(name, values.iter().map(|v| v.to_string()).collect())
+    }
+
+    /// Attribute name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Rename the column (used by the dirty-data generator).
+    pub fn set_name(&mut self, name: impl Into<String>) {
+        self.name = name.into();
+    }
+
+    /// Inferred domain-independent type.
+    pub fn column_type(&self) -> ColumnType {
+        self.ty
+    }
+
+    /// All cells including nulls, in row order.
+    pub fn values(&self) -> &[String] {
+        &self.values
+    }
+
+    /// Number of rows (including nulls).
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when the column has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Iterator over non-null (non-empty after trim) cells.
+    pub fn non_null(&self) -> impl Iterator<Item = &str> {
+        self.values.iter().map(String::as_str).filter(|v| !v.trim().is_empty())
+    }
+
+    /// Count of null cells.
+    pub fn null_count(&self) -> usize {
+        self.values.iter().filter(|v| v.trim().is_empty()).count()
+    }
+
+    /// Fraction of cells that are null; 0 for an empty column.
+    pub fn null_ratio(&self) -> f64 {
+        if self.values.is_empty() {
+            0.0
+        } else {
+            self.null_count() as f64 / self.values.len() as f64
+        }
+    }
+
+    /// Number of distinct non-null cell values.
+    pub fn distinct_count(&self) -> usize {
+        let mut set: std::collections::HashSet<&str> = std::collections::HashSet::new();
+        for v in self.non_null() {
+            set.insert(v);
+        }
+        set.len()
+    }
+
+    /// distinct / non-null count, in [0,1]; 0 for all-null columns.
+    pub fn distinct_ratio(&self) -> f64 {
+        let non_null = self.values.len() - self.null_count();
+        if non_null == 0 {
+            0.0
+        } else {
+            self.distinct_count() as f64 / non_null as f64
+        }
+    }
+
+    /// Mean character length of non-null cells.
+    pub fn avg_len(&self) -> f64 {
+        let mut n = 0usize;
+        let mut total = 0usize;
+        for v in self.non_null() {
+            n += 1;
+            total += v.chars().count();
+        }
+        if n == 0 {
+            0.0
+        } else {
+            total as f64 / n as f64
+        }
+    }
+
+    /// Parse the extent as numbers (for D-relatedness). Non-numeric
+    /// and null cells are skipped.
+    pub fn numeric_extent(&self) -> Vec<f64> {
+        self.non_null().filter_map(typing::parse_numeric).collect()
+    }
+
+    /// Approximate in-memory/on-disk footprint of the column in bytes
+    /// (cells + name), used for Table II space-overhead accounting.
+    pub fn byte_size(&self) -> usize {
+        self.name.len() + self.values.iter().map(|v| v.len() + 1).sum::<usize>()
+    }
+
+    /// Re-run type inference (after mutation by generators).
+    pub fn refresh_type(&mut self) {
+        self.ty = typing::infer_type(self.values.iter().map(String::as_str));
+    }
+
+    /// Mutable access to cells for in-place perturbation; callers
+    /// should `refresh_type` afterwards.
+    pub fn values_mut(&mut self) -> &mut Vec<String> {
+        &mut self.values
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn col(vals: &[&str]) -> Column {
+        Column::new("c", vals.iter().map(|s| s.to_string()).collect())
+    }
+
+    #[test]
+    fn type_inference_on_construction() {
+        assert_eq!(col(&["1", "2"]).column_type(), ColumnType::Integer);
+        assert_eq!(col(&["1.5", "2"]).column_type(), ColumnType::Float);
+        assert_eq!(col(&["x", "y"]).column_type(), ColumnType::Text);
+        assert_eq!(col(&["", ""]).column_type(), ColumnType::Empty);
+        assert!(ColumnType::Integer.is_numeric());
+        assert!(!ColumnType::Text.is_numeric());
+        assert!(ColumnType::Text.is_textual());
+    }
+
+    #[test]
+    fn null_and_distinct_accounting() {
+        let c = col(&["a", "", "a", "b", " "]);
+        assert_eq!(c.len(), 5);
+        assert_eq!(c.null_count(), 2);
+        assert!((c.null_ratio() - 0.4).abs() < 1e-12);
+        assert_eq!(c.distinct_count(), 2);
+        assert!((c.distinct_ratio() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn numeric_extent_skips_junk() {
+        let c = col(&["1", "x", "", "2.5"]);
+        assert_eq!(c.numeric_extent(), vec![1.0, 2.5]);
+    }
+
+    #[test]
+    fn avg_len_and_bytes() {
+        let c = col(&["ab", "abcd", ""]);
+        assert!((c.avg_len() - 3.0).abs() < 1e-12);
+        assert!(c.byte_size() > 6);
+    }
+
+    #[test]
+    fn refresh_after_mutation() {
+        let mut c = col(&["1", "2"]);
+        c.values_mut()[0] = "hello".into();
+        c.values_mut()[1] = "world".into();
+        c.refresh_type();
+        assert_eq!(c.column_type(), ColumnType::Text);
+    }
+
+    #[test]
+    fn from_display_works() {
+        let c = Column::from_display("n", &[1, 2, 3]);
+        assert_eq!(c.values(), &["1", "2", "3"]);
+        assert_eq!(c.column_type(), ColumnType::Integer);
+    }
+}

@@ -1,0 +1,229 @@
+//! Minimal RFC-4180 CSV reader/writer.
+//!
+//! Open-data lakes arrive as CSV files; this module parses them into
+//! [`Table`]s and serializes tables back out, with no third-party
+//! dependency. Quoted fields, embedded commas/quotes/newlines and both
+//! LF and CRLF line endings are supported.
+
+use crate::error::TableError;
+use crate::table::Table;
+
+/// Parse a CSV document (first record is the header) into a [`Table`].
+pub fn parse_csv(name: impl Into<String>, text: &str) -> Result<Table, TableError> {
+    let records = parse_records(text)?;
+    let mut it = records.into_iter();
+    let header: Vec<String> = match it.next() {
+        Some(h) => h,
+        None => return Table::from_rows(name, &[], &[]),
+    };
+    let rows: Vec<Vec<String>> = it.collect();
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    Table::from_rows(name, &header_refs, &rows)
+}
+
+/// Parse raw CSV text into records of fields.
+///
+/// Blank trailing lines are ignored; a record with a single empty field
+/// (a blank interior line) is dropped as well, matching what the
+/// open-data corpora look like in practice.
+pub fn parse_records(text: &str) -> Result<Vec<Vec<String>>, TableError> {
+    #[derive(PartialEq)]
+    enum State {
+        FieldStart,
+        InField,
+        InQuoted,
+        QuoteInQuoted, // saw a quote inside a quoted field
+    }
+
+    let mut records = Vec::new();
+    let mut record: Vec<String> = Vec::new();
+    let mut field = String::new();
+    let mut state = State::FieldStart;
+    let mut line = 1usize;
+
+    let chars = text.chars().peekable();
+    for c in chars {
+        match state {
+            State::FieldStart => match c {
+                '"' => state = State::InQuoted,
+                ',' => record.push(std::mem::take(&mut field)),
+                '\r' => {}
+                '\n' => {
+                    record.push(std::mem::take(&mut field));
+                    flush_record(&mut records, &mut record);
+                    line += 1;
+                }
+                _ => {
+                    field.push(c);
+                    state = State::InField;
+                }
+            },
+            State::InField => match c {
+                ',' => {
+                    record.push(std::mem::take(&mut field));
+                    state = State::FieldStart;
+                }
+                '\r' => {}
+                '\n' => {
+                    record.push(std::mem::take(&mut field));
+                    flush_record(&mut records, &mut record);
+                    state = State::FieldStart;
+                    line += 1;
+                }
+                _ => field.push(c),
+            },
+            State::InQuoted => match c {
+                '"' => state = State::QuoteInQuoted,
+                '\n' => {
+                    field.push(c);
+                    line += 1;
+                }
+                _ => field.push(c),
+            },
+            State::QuoteInQuoted => match c {
+                '"' => {
+                    field.push('"');
+                    state = State::InQuoted;
+                }
+                ',' => {
+                    record.push(std::mem::take(&mut field));
+                    state = State::FieldStart;
+                }
+                '\r' => {}
+                '\n' => {
+                    record.push(std::mem::take(&mut field));
+                    flush_record(&mut records, &mut record);
+                    state = State::FieldStart;
+                    line += 1;
+                }
+                _ => {
+                    return Err(TableError::Csv {
+                        line,
+                        message: format!("unexpected character {c:?} after closing quote"),
+                    })
+                }
+            },
+        }
+    }
+    match state {
+        State::InQuoted => {
+            return Err(TableError::Csv { line, message: "unterminated quoted field".into() })
+        }
+        State::FieldStart if field.is_empty() && record.is_empty() => {}
+        _ => {
+            record.push(field);
+            flush_record(&mut records, &mut record);
+        }
+    }
+    Ok(records)
+}
+
+fn flush_record(records: &mut Vec<Vec<String>>, record: &mut Vec<String>) {
+    // Drop blank lines: a lone empty field.
+    if record.len() == 1 && record[0].is_empty() {
+        record.clear();
+        return;
+    }
+    records.push(std::mem::take(record));
+}
+
+/// Serialize a table to CSV text (header + rows), quoting only fields
+/// that need it.
+pub fn to_csv(table: &Table) -> String {
+    let mut out = String::new();
+    let header: Vec<&str> = table.columns().iter().map(|c| c.name()).collect();
+    write_record(&mut out, &header);
+    for i in 0..table.cardinality() {
+        let row = table.row(i);
+        write_record(&mut out, &row);
+    }
+    out
+}
+
+fn write_record(out: &mut String, fields: &[&str]) {
+    for (i, f) in fields.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        if f.contains([',', '"', '\n', '\r']) {
+            out.push('"');
+            out.push_str(&f.replace('"', "\"\""));
+            out.push('"');
+        } else {
+            out.push_str(f);
+        }
+    }
+    out.push('\n');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_parse() {
+        let t = parse_csv("t", "a,b\n1,2\n3,4\n").unwrap();
+        assert_eq!(t.arity(), 2);
+        assert_eq!(t.cardinality(), 2);
+        assert_eq!(t.column("b").unwrap().values(), &["2", "4"]);
+    }
+
+    #[test]
+    fn quoted_fields() {
+        let t = parse_csv("t", "a,b\n\"x,y\",\"he said \"\"hi\"\"\"\n").unwrap();
+        assert_eq!(t.row(0), vec!["x,y", "he said \"hi\""]);
+    }
+
+    #[test]
+    fn embedded_newline() {
+        let t = parse_csv("t", "a\n\"line1\nline2\"\n").unwrap();
+        assert_eq!(t.row(0)[0], "line1\nline2");
+    }
+
+    #[test]
+    fn crlf_and_blank_lines() {
+        let t = parse_csv("t", "a,b\r\n1,2\r\n\r\n3,4\r\n").unwrap();
+        assert_eq!(t.cardinality(), 2);
+    }
+
+    #[test]
+    fn missing_trailing_newline() {
+        let t = parse_csv("t", "a,b\n1,2").unwrap();
+        assert_eq!(t.cardinality(), 1);
+    }
+
+    #[test]
+    fn empty_fields_preserved() {
+        let t = parse_csv("t", "a,b,c\n1,,3\n").unwrap();
+        assert_eq!(t.row(0), vec!["1", "", "3"]);
+    }
+
+    #[test]
+    fn unterminated_quote_errors() {
+        assert!(matches!(
+            parse_records("a\n\"oops"),
+            Err(TableError::Csv { .. })
+        ));
+    }
+
+    #[test]
+    fn junk_after_quote_errors() {
+        assert!(parse_records("\"x\"y,\n").is_err());
+    }
+
+    #[test]
+    fn round_trip() {
+        let src = "name,notes\nAlpha,\"comma, here\"\nBeta,\"quote \"\" here\"\n";
+        let t = parse_csv("t", src).unwrap();
+        let out = to_csv(&t);
+        let t2 = parse_csv("t", &out).unwrap();
+        assert_eq!(t, t2);
+    }
+
+    #[test]
+    fn empty_document() {
+        let t = parse_csv("t", "").unwrap();
+        assert_eq!(t.arity(), 0);
+        assert_eq!(t.cardinality(), 0);
+    }
+}

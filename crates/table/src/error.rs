@@ -1,0 +1,77 @@
+//! Error type shared by the tabular substrate.
+
+use std::fmt;
+
+/// Errors produced while parsing, loading or manipulating tables.
+#[derive(Debug)]
+pub enum TableError {
+    /// A CSV document violated RFC-4180 framing (e.g. unterminated
+    /// quoted field).
+    Csv { line: usize, message: String },
+    /// Rows of differing width were supplied for one table.
+    RaggedRows { expected: usize, found: usize },
+    /// A column name was referenced that the table does not have.
+    UnknownColumn(String),
+    /// A table name was referenced that the lake does not contain.
+    UnknownTable(String),
+    /// Underlying I/O failure while loading or persisting a lake.
+    Io(std::io::Error),
+    /// A table was inserted under a name that already exists.
+    DuplicateTable(String),
+}
+
+impl fmt::Display for TableError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TableError::Csv { line, message } => {
+                write!(f, "csv parse error at line {line}: {message}")
+            }
+            TableError::RaggedRows { expected, found } => {
+                write!(f, "ragged rows: expected width {expected}, found {found}")
+            }
+            TableError::UnknownColumn(name) => write!(f, "unknown column: {name}"),
+            TableError::UnknownTable(name) => write!(f, "unknown table: {name}"),
+            TableError::Io(e) => write!(f, "i/o error: {e}"),
+            TableError::DuplicateTable(name) => write!(f, "duplicate table name: {name}"),
+        }
+    }
+}
+
+impl std::error::Error for TableError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TableError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for TableError {
+    fn from(e: std::io::Error) -> Self {
+        TableError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = TableError::Csv { line: 3, message: "bad quote".into() };
+        assert!(e.to_string().contains("line 3"));
+        let e = TableError::RaggedRows { expected: 4, found: 2 };
+        assert!(e.to_string().contains("expected width 4"));
+        assert!(TableError::UnknownColumn("x".into()).to_string().contains('x'));
+        assert!(TableError::UnknownTable("t".into()).to_string().contains('t'));
+        assert!(TableError::DuplicateTable("d".into()).to_string().contains('d'));
+    }
+
+    #[test]
+    fn io_source_is_preserved() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e = TableError::from(io);
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(e.to_string().contains("gone"));
+    }
+}

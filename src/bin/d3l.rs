@@ -1,0 +1,173 @@
+//! `d3l` — command-line dataset discovery over a directory of CSVs.
+//!
+//! ```text
+//! d3l query  <lake-dir> <target.csv> [-k N] [--joins] [--evidence N|V|F|E|D]
+//! d3l stats  <lake-dir>
+//! d3l demo
+//! ```
+//!
+//! The lake directory is any folder of `*.csv` files (header row
+//! required). The target is a CSV with the schema you want to
+//! populate plus a few exemplar tuples.
+
+use std::collections::HashSet;
+use std::process::ExitCode;
+
+use d3l::benchgen;
+use d3l::prelude::*;
+use d3l::table::csv;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("query") => cmd_query(&args[1..]),
+        Some("stats") => cmd_stats(&args[1..]),
+        Some("demo") => cmd_demo(),
+        _ => {
+            eprintln!(
+                "usage:\n  d3l query <lake-dir> <target.csv> [-k N] [--joins] [--evidence N|V|F|E|D]\n  d3l stats <lake-dir>\n  d3l demo"
+            );
+            return ExitCode::from(2);
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn parse_evidence(s: &str) -> Option<Evidence> {
+    match s {
+        "N" | "n" => Some(Evidence::Name),
+        "V" | "v" => Some(Evidence::Value),
+        "F" | "f" => Some(Evidence::Format),
+        "E" | "e" => Some(Evidence::Embedding),
+        "D" | "d" => Some(Evidence::Distribution),
+        _ => None,
+    }
+}
+
+fn cmd_query(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let (mut dir, mut target_path) = (None, None);
+    let mut k = 10usize;
+    let mut joins = false;
+    let mut evidence = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "-k" => {
+                k = it.next().ok_or("missing value for -k")?.parse()?;
+            }
+            "--joins" => joins = true,
+            "--evidence" => {
+                let e = it.next().ok_or("missing value for --evidence")?;
+                evidence =
+                    Some(parse_evidence(e).ok_or_else(|| format!("unknown evidence {e}"))?);
+            }
+            other if dir.is_none() => dir = Some(other.to_string()),
+            other if target_path.is_none() => target_path = Some(other.to_string()),
+            other => return Err(format!("unexpected argument {other}").into()),
+        }
+    }
+    let dir = dir.ok_or("missing lake directory")?;
+    let target_path = target_path.ok_or("missing target csv")?;
+
+    eprintln!("loading lake from {dir} ...");
+    let lake = DataLake::load_dir(&dir)?;
+    eprintln!("indexing {} tables ...", lake.len());
+    let d3l = D3l::index_lake(&lake, D3lConfig::default());
+
+    let text = std::fs::read_to_string(&target_path)?;
+    let target = csv::parse_csv("target", &text)?;
+
+    let opts = d3l::core::query::QueryOptions { evidence, ..Default::default() };
+    let matches = d3l.query_with(&target, k, &opts);
+    if matches.is_empty() {
+        println!("no related tables found");
+        return Ok(());
+    }
+    println!("{:<40} {:>9} {:>9}", "table", "distance", "covered");
+    for m in &matches {
+        println!(
+            "{:<40} {:>9.4} {:>6}/{}",
+            d3l.table_name(m.table),
+            m.distance,
+            m.covered_targets().len(),
+            target.arity()
+        );
+        for a in &m.alignments {
+            println!(
+                "    target.{} ← {}",
+                target.columns()[a.target_column].name(),
+                d3l.profile(a.source).name
+            );
+        }
+    }
+
+    if joins {
+        let graph = d3l.build_join_graph();
+        let top: HashSet<TableId> = matches.iter().map(|m| m.table).collect();
+        let related = d3l.related_table_set(&target, d3l.config().lookup_width(k));
+        println!("\njoin paths from the top-{k}:");
+        let mut any = false;
+        for m in &matches {
+            for path in d3l.find_join_paths(&graph, m.table, &top, &related) {
+                let names: Vec<&str> =
+                    path.nodes.iter().map(|&t| d3l.table_name(t)).collect();
+                println!("  {}", names.join(" ⋈ "));
+                any = true;
+            }
+        }
+        if !any {
+            println!("  (none)");
+        }
+    }
+    Ok(())
+}
+
+fn cmd_stats(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let dir = args.first().ok_or("missing lake directory")?;
+    let lake = DataLake::load_dir(dir)?;
+    let stats = benchgen::RepoStats::compute(&lake);
+    println!("tables:         {}", stats.tables);
+    println!("attributes:     {}", stats.attributes);
+    println!("mean arity:     {:.1}", stats.mean_arity());
+    println!("mean rows:      {:.1}", stats.mean_cardinality());
+    println!("numeric ratio:  {:.1}%", stats.numeric_ratio * 100.0);
+    println!("raw bytes:      {}", stats.bytes);
+    let d3l = D3l::index_lake(&lake, D3lConfig::default());
+    println!(
+        "index bytes:    {} ({:.0}% overhead)",
+        d3l.index_byte_size(),
+        100.0 * d3l.index_byte_size() as f64 / stats.bytes.max(1) as f64
+    );
+    Ok(())
+}
+
+fn cmd_demo() -> Result<(), Box<dyn std::error::Error>> {
+    let dir = std::env::temp_dir().join(format!("d3l_demo_{}", std::process::id()));
+    eprintln!("generating a demo lake in {} ...", dir.display());
+    let bench = benchgen::smaller_real(48, 1);
+    bench.lake.save_dir(&dir)?;
+    // Keep the target outside the lake directory so it is not indexed
+    // as a lake member.
+    let target_path = std::env::temp_dir().join(format!("d3l_demo_target_{}.csv", std::process::id()));
+    // Use the first generated table's CSV as the target.
+    let tname = bench.pick_targets(1, 1)[0].clone();
+    let target = bench.lake.table_by_name(&tname).expect("member");
+    std::fs::write(&target_path, csv::to_csv(target))?;
+    println!("demo lake: {} tables; target: {tname}", bench.lake.len());
+    cmd_query(&[
+        dir.to_string_lossy().into_owned(),
+        target_path.to_string_lossy().into_owned(),
+        "-k".into(),
+        "5".into(),
+        "--joins".into(),
+    ])?;
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::remove_file(&target_path).ok();
+    Ok(())
+}

@@ -1,0 +1,150 @@
+//! Failure injection: malformed inputs, degenerate lakes, and edge
+//! shapes must degrade gracefully, never panic.
+
+use d3l::prelude::*;
+use d3l::table::{csv, TableError};
+
+#[test]
+fn malformed_csv_is_rejected_not_panicked() {
+    for bad in [
+        "a,b\n\"unterminated",
+        "\"x\"junk,\n",
+    ] {
+        assert!(matches!(csv::parse_csv("t", bad), Err(TableError::Csv { .. })), "{bad:?}");
+    }
+    // Ragged rows surface as RaggedRows.
+    assert!(matches!(
+        csv::parse_csv("t", "a,b\n1\n"),
+        Err(TableError::RaggedRows { .. })
+    ));
+}
+
+#[test]
+fn loading_missing_directory_errors() {
+    assert!(matches!(
+        DataLake::load_dir("/definitely/not/a/real/path"),
+        Err(TableError::Io(_))
+    ));
+}
+
+#[test]
+fn empty_lake_answers_empty() {
+    let d3l = D3l::index_lake(&DataLake::new(), D3lConfig::fast());
+    let target =
+        Table::from_rows("t", &["a"], &[vec!["x".into()]]).unwrap();
+    assert!(d3l.query(&target, 10).is_empty());
+    let graph = d3l.build_join_graph();
+    assert_eq!(graph.node_count(), 0);
+}
+
+#[test]
+fn empty_target_answers_empty() {
+    let mut lake = DataLake::new();
+    lake.add(Table::from_rows("s", &["a"], &[vec!["x".into()]]).unwrap()).unwrap();
+    let d3l = D3l::index_lake(&lake, D3lConfig::fast());
+    let empty_target = Table::from_rows("t", &[], &[]).unwrap();
+    assert!(d3l.query(&empty_target, 5).is_empty());
+}
+
+#[test]
+fn all_null_columns_survive_the_pipeline() {
+    let mut lake = DataLake::new();
+    lake.add(
+        Table::from_rows(
+            "ghosts",
+            &["empty1", "empty2"],
+            &[vec!["".into(), " ".into()], vec!["".into(), "".into()]],
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    lake.add(
+        Table::from_rows("real", &["City"], &[vec!["Salford".into()]]).unwrap(),
+    )
+    .unwrap();
+    let d3l = D3l::index_lake(&lake, D3lConfig::fast());
+    let target = Table::from_rows("t", &["City"], &[vec!["Salford".into()]]).unwrap();
+    let matches = d3l.query(&target, 2);
+    // The ghost table carries no evidence; the real one must rank
+    // first if both are returned at all.
+    assert!(!matches.is_empty());
+    assert_eq!(d3l.table_name(matches[0].table), "real");
+}
+
+#[test]
+fn single_row_and_single_column_tables() {
+    let mut lake = DataLake::new();
+    lake.add(Table::from_rows("one_cell", &["x"], &[vec!["42".into()]]).unwrap()).unwrap();
+    lake.add(
+        Table::from_rows(
+            "wide",
+            &["a", "b", "c", "d", "e", "f", "g", "h"],
+            &[(0..8).map(|i| format!("v{i}")).collect()],
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    let d3l = D3l::index_lake(&lake, D3lConfig::fast());
+    assert_eq!(d3l.table_count(), 2);
+    let target = Table::from_rows("t", &["x"], &[vec!["42".into()]]).unwrap();
+    // Must not panic; numeric one-value extents are fine for KS.
+    let _ = d3l.query(&target, 2);
+}
+
+#[test]
+fn unicode_content_is_handled() {
+    let mut lake = DataLake::new();
+    lake.add(
+        Table::from_rows(
+            "café",
+            &["Nom", "Ville"],
+            &[vec!["Crêperie Bretonne".into(), "Montréal".into()]],
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    let d3l = D3l::index_lake(&lake, D3lConfig::fast());
+    let target = Table::from_rows(
+        "t",
+        &["Nom", "Ville"],
+        &[vec!["Crêperie Bretonne".into(), "Montréal".into()]],
+    )
+    .unwrap();
+    let matches = d3l.query(&target, 1);
+    assert_eq!(matches.len(), 1);
+    assert!(matches[0].distance < 0.5);
+}
+
+#[test]
+fn query_k_larger_than_lake_is_bounded() {
+    let mut lake = DataLake::new();
+    for i in 0..3 {
+        lake.add(
+            Table::from_rows(
+                format!("t{i}"),
+                &["City"],
+                &[vec!["Salford".into()], vec!["Bolton".into()]],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+    }
+    let d3l = D3l::index_lake(&lake, D3lConfig::fast());
+    let target = Table::from_rows("q", &["City"], &[vec!["Salford".into()]]).unwrap();
+    let matches = d3l.query(&target, 1000);
+    assert!(matches.len() <= 3);
+}
+
+#[test]
+fn duplicate_column_names_do_not_crash() {
+    let t = Table::from_rows(
+        "dups",
+        &["x", "x"],
+        &[vec!["a".into(), "b".into()]],
+    )
+    .unwrap();
+    let mut lake = DataLake::new();
+    lake.add(t).unwrap();
+    let d3l = D3l::index_lake(&lake, D3lConfig::fast());
+    assert_eq!(d3l.table_arity(TableId(0)), 2);
+}

@@ -1,0 +1,199 @@
+//! Property-based tests over the core invariants, spanning crates.
+
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+use d3l::core::distance;
+use d3l::core::profile::AttributeProfile;
+use d3l::core::weights::{aggregate_evidence, ccdf_weight};
+use d3l::embedding::{cosine, HashEmbedder};
+use d3l::features::{format_pattern, ks_statistic, qgram_set};
+use d3l::lsh::minhash::{exact_jaccard, MinHasher};
+use d3l::lsh::randproj::{exact_cosine, RandomProjector};
+use d3l::prelude::*;
+use d3l::table::csv;
+
+fn token_vec() -> impl Strategy<Value = Vec<String>> {
+    prop::collection::vec("[a-z]{1,8}", 0..40)
+}
+
+fn cell() -> impl Strategy<Value = String> {
+    prop_oneof![
+        "[A-Za-z0-9 ,._-]{0,24}",
+        "[0-9]{1,6}",
+        Just(String::new()),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// MinHash estimates converge on exact Jaccard.
+    #[test]
+    fn minhash_estimates_jaccard(a in token_vec(), b in token_vec()) {
+        let mh = MinHasher::new(512, 7);
+        let sa: HashSet<String> = a.iter().cloned().collect();
+        let sb: HashSet<String> = b.iter().cloned().collect();
+        let exact = exact_jaccard(&sa, &sb);
+        let est = mh
+            .sign_strs(sa.iter().map(String::as_str))
+            .jaccard(&mh.sign_strs(sb.iter().map(String::as_str)));
+        prop_assert!((exact - est).abs() < 0.2, "exact {exact} vs est {est}");
+    }
+
+    /// Random projections estimate cosine within tolerance.
+    #[test]
+    fn randproj_estimates_cosine(v in prop::collection::vec(-10.0f64..10.0, 8),
+                                 w in prop::collection::vec(-10.0f64..10.0, 8)) {
+        let rp = RandomProjector::new(8, 1024, 3);
+        let exact = exact_cosine(&v, &w);
+        let est = rp.sign(&v).cosine(&rp.sign(&w));
+        prop_assert!((exact - est).abs() < 0.2, "exact {exact} vs est {est}");
+    }
+
+    /// The KS statistic is a bounded, symmetric discrepancy with
+    /// identity of indiscernibles on identical samples.
+    #[test]
+    fn ks_properties(mut a in prop::collection::vec(-1e6f64..1e6, 1..50),
+                     b in prop::collection::vec(-1e6f64..1e6, 1..50)) {
+        let d = ks_statistic(&a, &b);
+        prop_assert!((0.0..=1.0).contains(&d));
+        prop_assert!((ks_statistic(&b, &a) - d).abs() < 1e-12);
+        prop_assert!(ks_statistic(&a, &a) < 1e-12);
+        // order invariance
+        a.reverse();
+        prop_assert!((ks_statistic(&a, &b) - d).abs() < 1e-12);
+    }
+
+    /// q-gram sets are case/punctuation insensitive and nonempty for
+    /// names with any alphanumeric content.
+    #[test]
+    fn qgram_properties(name in "[A-Za-z _-]{1,20}") {
+        let q = qgram_set(&name);
+        let upper = qgram_set(&name.to_uppercase());
+        prop_assert_eq!(&q, &upper);
+        if name.chars().any(|c| c.is_alphanumeric()) {
+            prop_assert!(!q.is_empty());
+        }
+    }
+
+    /// Format patterns collapse repeats: no symbol appears twice in a
+    /// row, and the pattern of a pattern-equal string matches.
+    #[test]
+    fn format_pattern_properties(v in cell()) {
+        let p = format_pattern(&v);
+        let chars: Vec<char> = p.chars().collect();
+        for w in chars.windows(2) {
+            prop_assert!(!(w[0] == w[1] && w[0] != '+'), "uncollapsed repeat in {p}");
+        }
+        // idempotence under identical input
+        prop_assert_eq!(p.clone(), format_pattern(&v));
+    }
+
+    /// CCDF weights are monotone non-increasing in the observed
+    /// distance and bounded in [0, 1].
+    #[test]
+    fn ccdf_weight_properties(pop in prop::collection::vec(0.0f64..1.0, 1..30),
+                              d1 in 0.0f64..1.0, d2 in 0.0f64..1.0) {
+        let (lo, hi) = if d1 <= d2 { (d1, d2) } else { (d2, d1) };
+        let w_lo = ccdf_weight(lo, &pop);
+        let w_hi = ccdf_weight(hi, &pop);
+        prop_assert!(w_lo >= w_hi);
+        prop_assert!((0.0..=1.0).contains(&w_lo));
+        prop_assert!((0.0..=1.0).contains(&w_hi));
+    }
+
+    /// Eq. 1 aggregation stays within the distance bounds.
+    #[test]
+    fn aggregate_bounds(pairs in prop::collection::vec((0.0f64..=1.0, 0.0f64..=1.0), 0..10)) {
+        let agg = aggregate_evidence(&pairs);
+        prop_assert!((0.0..=1.0).contains(&agg), "aggregate {agg}");
+    }
+
+    /// Eq. 3 combined distance is bounded and zero iff all components
+    /// are zero.
+    #[test]
+    fn combined_distance_bounds(v in prop::collection::vec(0.0f64..=1.0, 5)) {
+        let dv = DistanceVector([v[0], v[1], v[2], v[3], v[4]]);
+        let w = EvidenceWeights::trained_default();
+        let d = w.combined_distance(&dv);
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&d));
+        if v.iter().all(|&x| x == 0.0) {
+            prop_assert!(d < 1e-12);
+        }
+    }
+
+    /// Exact pairwise distances are symmetric and self-distance is
+    /// minimal for every evidence type that applies.
+    #[test]
+    fn distances_symmetric(vals_a in prop::collection::vec(cell(), 1..20),
+                           vals_b in prop::collection::vec(cell(), 1..20)) {
+        let e = HashEmbedder::new(16, 1);
+        let ca = Column::new("A Col", vals_a);
+        let cb = Column::new("B Col", vals_b);
+        let pa = AttributeProfile::build(&ca, 4, &e);
+        let pb = AttributeProfile::build(&cb, 4, &e);
+        let ab = distance::exact_distances(&pa, &pb);
+        let ba = distance::exact_distances(&pb, &pa);
+        for (x, y) in ab.0.iter().zip(&ba.0) {
+            prop_assert!((x - y).abs() < 1e-9, "asymmetric: {:?} vs {:?}", ab, ba);
+        }
+        let aa = distance::exact_distances(&pa, &pa);
+        for (i, (self_d, cross_d)) in aa.0.iter().zip(&ab.0).enumerate() {
+            // D (index 4) is skipped: identical textual attrs keep D = 1.
+            if i != 4 && *self_d < 1.0 {
+                prop_assert!(self_d <= cross_d, "self farther than other at {i}");
+            }
+        }
+    }
+
+    /// CSV serialization round-trips arbitrary cell content.
+    #[test]
+    fn csv_round_trip(rows in prop::collection::vec(
+        prop::collection::vec("[ -~]{0,16}", 2..4), 1..8)) {
+        let width = rows[0].len();
+        let rows: Vec<Vec<String>> = rows.into_iter().map(|mut r| {
+            r.resize(width, String::new());
+            r
+        }).collect();
+        let header: Vec<&str> = (0..width).map(|i| ["col_a", "col_b", "col_c"][i]).collect();
+        let t = Table::from_rows("t", &header, &rows).unwrap();
+        let text = csv::to_csv(&t);
+        let t2 = csv::parse_csv("t", &text).unwrap();
+        prop_assert_eq!(t, t2);
+    }
+
+    /// Subword embeddings are unit vectors and deterministic.
+    #[test]
+    fn embedding_properties(word in "[a-z]{1,12}") {
+        let e = HashEmbedder::new(32, 5);
+        let v = e.embed(&word);
+        let norm: f64 = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+        prop_assert!((norm - 1.0).abs() < 1e-9);
+        prop_assert_eq!(v.clone(), e.embed(&word));
+        prop_assert!((cosine(&v, &v) - 1.0).abs() < 1e-9);
+    }
+
+    /// Ground-truth generators produce internally consistent truth:
+    /// relatedness is symmetric and anti-reflexive; every column of
+    /// every table is registered.
+    #[test]
+    fn ground_truth_consistency(tables in 8usize..24, seed in 0u64..500) {
+        let bench = d3l::benchgen::synthetic(tables, seed);
+        let names: Vec<String> = bench.truth.tables().map(str::to_string).collect();
+        for a in &names {
+            prop_assert!(!bench.truth.tables_related(a, a));
+            for b in &names {
+                prop_assert_eq!(
+                    bench.truth.tables_related(a, b),
+                    bench.truth.tables_related(b, a)
+                );
+            }
+        }
+        for (_, t) in bench.lake.iter() {
+            for c in t.columns() {
+                prop_assert!(bench.truth.kind_of(t.name(), c.name()).is_some());
+            }
+        }
+    }
+}
