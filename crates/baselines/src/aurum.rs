@@ -75,7 +75,14 @@ impl Default for AurumConfig {
 impl AurumConfig {
     /// Smaller settings for tests.
     pub fn fast() -> Self {
-        AurumConfig { num_perm: 64, embed_dim: 32, embed_bits: 64, trees: 8, build_width: 32, ..Default::default() }
+        AurumConfig {
+            num_perm: 64,
+            embed_dim: 32,
+            embed_bits: 64,
+            trees: 8,
+            build_width: 32,
+            ..Default::default()
+        }
     }
 }
 
@@ -153,10 +160,11 @@ impl Aurum {
         for &key in &keys {
             let (table, _) = attr_of_key(key);
             let content_sig = content_index.signature(key).expect("indexed").clone();
-            let add_edge = |a: u64, b: u64, score: f64, graph: &mut HashMap<u64, HashMap<u64, f64>>| {
-                let e = graph.entry(a).or_default().entry(b).or_insert(0.0);
-                *e = e.max(score); // certainty: max over evidence types
-            };
+            let add_edge =
+                |a: u64, b: u64, score: f64, graph: &mut HashMap<u64, HashMap<u64, f64>>| {
+                    let e = graph.entry(a).or_default().entry(b).or_insert(0.0);
+                    *e = e.max(score); // certainty: max over evidence types
+                };
             for hit in content_index.query_built(&content_sig, cfg.build_width) {
                 let (other_table, _) = attr_of_key(hit.id);
                 let score = hit.similarity
@@ -182,8 +190,8 @@ impl Aurum {
             let name_sig = name_index.signature(key).expect("indexed").clone();
             for hit in name_index.query_built(&name_sig, cfg.build_width) {
                 let (other_table, _) = attr_of_key(hit.id);
-                let score = hit.similarity
-                    * significance(name_sizes[&key].min(name_sizes[&hit.id]), 8.0);
+                let score =
+                    hit.similarity * significance(name_sizes[&key].min(name_sizes[&hit.id]), 8.0);
                 if other_table == table || score < cfg.edge_threshold {
                     continue;
                 }
@@ -205,7 +213,9 @@ impl Aurum {
             }
         }
 
-        let graph_bytes = graph.values().map(|nbrs| 8 + nbrs.len() * 16)
+        let graph_bytes = graph
+            .values()
+            .map(|nbrs| 8 + nbrs.len() * 16)
             .sum::<usize>()
             + pkfk.values().map(|s| 4 + s.len() * 4).sum::<usize>();
 
@@ -273,11 +283,18 @@ impl Aurum {
 
     /// Discovery for a lake-member target: pure graph lookup
     /// (independent of `k` until the final truncation).
-    pub fn query_member(&self, target: TableId, target_arity: usize, k: usize) -> Vec<BaselineMatch> {
+    pub fn query_member(
+        &self,
+        target: TableId,
+        target_arity: usize,
+        k: usize,
+    ) -> Vec<BaselineMatch> {
         let mut best: HashMap<TableId, HashMap<usize, BaselineAlignment>> = HashMap::new();
         for ci in 0..target_arity {
             let key = attr_key(target, ci as u32);
-            let Some(nbrs) = self.graph.get(&key) else { continue };
+            let Some(nbrs) = self.graph.get(&key) else {
+                continue;
+            };
             for (&other, &score) in nbrs {
                 let (table, column) = attr_of_key(other);
                 if table == target {
@@ -289,7 +306,12 @@ impl Aurum {
                     _ => {
                         slot.insert(
                             ci,
-                            BaselineAlignment { target_column: ci, table, column, score },
+                            BaselineAlignment {
+                                target_column: ci,
+                                table,
+                                column,
+                                score,
+                            },
                         );
                     }
                 }
@@ -309,27 +331,38 @@ impl Aurum {
             let textual = !col.column_type().is_numeric();
             let t_values = col.distinct_count();
             let t_grams = qgrams::qgram_set(col.name()).len();
-            let consider = |key: u64, score: f64, best: &mut HashMap<TableId, HashMap<usize, BaselineAlignment>>| {
-                if score < self.cfg.edge_threshold {
-                    return;
-                }
-                let (table, column) = attr_of_key(key);
-                if exclude == Some(table) {
-                    return;
-                }
-                let slot = best.entry(table).or_default();
-                match slot.get(&ci) {
-                    Some(e) if e.score >= score => {}
-                    _ => {
-                        slot.insert(
-                            ci,
-                            BaselineAlignment { target_column: ci, table, column, score },
-                        );
+            let consider =
+                |key: u64,
+                 score: f64,
+                 best: &mut HashMap<TableId, HashMap<usize, BaselineAlignment>>| {
+                    if score < self.cfg.edge_threshold {
+                        return;
                     }
-                }
-            };
+                    let (table, column) = attr_of_key(key);
+                    if exclude == Some(table) {
+                        return;
+                    }
+                    let slot = best.entry(table).or_default();
+                    match slot.get(&ci) {
+                        Some(e) if e.score >= score => {}
+                        _ => {
+                            slot.insert(
+                                ci,
+                                BaselineAlignment {
+                                    target_column: ci,
+                                    table,
+                                    column,
+                                    score,
+                                },
+                            );
+                        }
+                    }
+                };
             if textual {
-                for hit in self.content_index.query_built(&content, self.cfg.build_width) {
+                for hit in self
+                    .content_index
+                    .query_built(&content, self.cfg.build_width)
+                {
                     let sig = significance(t_values.min(self.value_sizes[&hit.id]), 15.0);
                     consider(hit.id, hit.similarity * sig, &mut best);
                 }
@@ -356,7 +389,11 @@ impl Aurum {
                 let mut alignments: Vec<BaselineAlignment> = aligns.into_values().collect();
                 alignments.sort_by_key(|a| a.target_column);
                 let score = alignments.iter().map(|a| a.score).fold(0.0_f64, f64::max);
-                BaselineMatch { table, score, alignments }
+                BaselineMatch {
+                    table,
+                    score,
+                    alignments,
+                }
             })
             .collect();
         rank_and_truncate(matches, k)
@@ -413,7 +450,10 @@ mod tests {
             let id = b.lake.id_of(tname).unwrap();
             let arity = b.lake.table(id).arity();
             let res = a.query_member(id, arity, 5);
-            if res.iter().any(|m| b.truth.tables_related(tname, a.table_name(m.table))) {
+            if res
+                .iter()
+                .any(|m| b.truth.tables_related(tname, a.table_name(m.table)))
+            {
                 hits += 1;
             }
         }

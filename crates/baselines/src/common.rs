@@ -76,7 +76,11 @@ mod tests {
 
     #[test]
     fn ranking_orders_by_score() {
-        let m = |t: u32, s: f64| BaselineMatch { table: TableId(t), score: s, alignments: vec![] };
+        let m = |t: u32, s: f64| BaselineMatch {
+            table: TableId(t),
+            score: s,
+            alignments: vec![],
+        };
         let ranked = rank_and_truncate(vec![m(1, 0.2), m(2, 0.9), m(3, 0.5)], 2);
         assert_eq!(ranked.len(), 2);
         assert_eq!(ranked[0].table, TableId(2));
@@ -85,7 +89,11 @@ mod tests {
 
     #[test]
     fn ties_break_by_id() {
-        let m = |t: u32| BaselineMatch { table: TableId(t), score: 0.5, alignments: vec![] };
+        let m = |t: u32| BaselineMatch {
+            table: TableId(t),
+            score: 0.5,
+            alignments: vec![],
+        };
         let ranked = rank_and_truncate(vec![m(9), m(1)], 2);
         assert_eq!(ranked[0].table, TableId(1));
     }
@@ -94,7 +102,12 @@ mod tests {
     fn whole_values_normalize() {
         let c = Column::new(
             "x",
-            vec!["Salford ".into(), "SALFORD".into(), "".into(), "Bolton".into()],
+            vec![
+                "Salford ".into(),
+                "SALFORD".into(),
+                "".into(),
+                "Bolton".into(),
+            ],
         );
         let s = whole_value_set(&c);
         assert_eq!(s.len(), 2);
@@ -116,9 +129,24 @@ mod tests {
             table: TableId(1),
             score: 1.0,
             alignments: vec![
-                BaselineAlignment { target_column: 0, table: TableId(1), column: 0, score: 0.9 },
-                BaselineAlignment { target_column: 0, table: TableId(1), column: 1, score: 0.8 },
-                BaselineAlignment { target_column: 2, table: TableId(1), column: 2, score: 0.7 },
+                BaselineAlignment {
+                    target_column: 0,
+                    table: TableId(1),
+                    column: 0,
+                    score: 0.9,
+                },
+                BaselineAlignment {
+                    target_column: 0,
+                    table: TableId(1),
+                    column: 1,
+                    score: 0.8,
+                },
+                BaselineAlignment {
+                    target_column: 2,
+                    table: TableId(1),
+                    column: 2,
+                    score: 0.7,
+                },
             ],
         };
         assert_eq!(m.covered_targets().len(), 2);

@@ -71,7 +71,14 @@ impl Default for TusConfig {
 impl TusConfig {
     /// Smaller settings for tests.
     pub fn fast() -> Self {
-        TusConfig { num_perm: 64, embed_dim: 32, embed_bits: 64, trees: 8, min_lookup: 20, ..Default::default() }
+        TusConfig {
+            num_perm: 64,
+            embed_dim: 32,
+            embed_bits: 64,
+            trees: 8,
+            min_lookup: 20,
+            ..Default::default()
+        }
     }
 }
 
@@ -131,11 +138,12 @@ impl Tus {
                 }
                 textual_attrs += 1;
                 let key = attr_key(id, ci as u32);
-                let (values, classes, words, embedding) =
-                    Self::profile_column(col, &kb, &embedder);
+                let (values, classes, words, embedding) = Self::profile_column(col, &kb, &embedder);
                 set_index.insert(key, minhasher.sign_strs(values.iter().map(String::as_str)));
-                class_index
-                    .insert(key, minhasher.sign_hashes(classes.iter().map(|&c| c as u64)));
+                class_index.insert(
+                    key,
+                    minhasher.sign_hashes(classes.iter().map(|&c| c as u64)),
+                );
                 let has_embedding = embedding.iter().any(|&x| x != 0.0);
                 nl_index.insert(key, projector.sign(&embedding));
                 profiles.insert(
@@ -224,7 +232,9 @@ impl Tus {
             let (values, classes, words, embedding) =
                 Self::profile_column(col, &self.kb, &self.embedder);
             let set_sig = self.minhasher.sign_strs(values.iter().map(String::as_str));
-            let class_sig = self.minhasher.sign_hashes(classes.iter().map(|&c| c as u64));
+            let class_sig = self
+                .minhasher
+                .sign_hashes(classes.iter().map(|&c| c as u64));
             let nl_sig = self.projector.sign(&embedding);
             let has_emb = embedding.iter().any(|&x| x != 0.0);
 
@@ -275,7 +285,12 @@ impl Tus {
                     _ => {
                         slot.insert(
                             ti,
-                            BaselineAlignment { target_column: ti, table, column, score },
+                            BaselineAlignment {
+                                target_column: ti,
+                                table,
+                                column,
+                                score,
+                            },
                         );
                     }
                 }
@@ -289,9 +304,12 @@ impl Tus {
                 alignments.sort_by_key(|a| a.target_column);
                 // Max-score aggregation: the table's rank is its best
                 // single pair.
-                let score =
-                    alignments.iter().map(|a| a.score).fold(0.0_f64, f64::max);
-                BaselineMatch { table, score, alignments }
+                let score = alignments.iter().map(|a| a.score).fold(0.0_f64, f64::max);
+                BaselineMatch {
+                    table,
+                    score,
+                    alignments,
+                }
             })
             .collect();
         rank_and_truncate(matches, k)
@@ -314,33 +332,57 @@ mod tests {
     #[test]
     fn finds_same_family_tables() {
         let b = small_bench();
-        let tus = Tus::index_lake(&b.lake, SyntheticKb::with_cost(0), embedder(), TusConfig::fast());
+        let tus = Tus::index_lake(
+            &b.lake,
+            SyntheticKb::with_cost(0),
+            embedder(),
+            TusConfig::fast(),
+        );
         let targets = b.pick_targets(5, 1);
         let mut hits = 0;
         for tname in &targets {
             let t = b.lake.table_by_name(tname).unwrap();
             let id = b.lake.id_of(tname).unwrap();
             let res = tus.query(t, 5, Some(id));
-            if res.iter().any(|m| b.truth.tables_related(tname, tus.table_name(m.table))) {
+            if res
+                .iter()
+                .any(|m| b.truth.tables_related(tname, tus.table_name(m.table)))
+            {
                 hits += 1;
             }
         }
-        assert!(hits >= 3, "TUS should find related tables for most targets ({hits}/5)");
+        assert!(
+            hits >= 3,
+            "TUS should find related tables for most targets ({hits}/5)"
+        );
     }
 
     #[test]
     fn numeric_attributes_are_ignored() {
         let b = small_bench();
-        let tus = Tus::index_lake(&b.lake, SyntheticKb::with_cost(0), embedder(), TusConfig::fast());
+        let tus = Tus::index_lake(
+            &b.lake,
+            SyntheticKb::with_cost(0),
+            embedder(),
+            TusConfig::fast(),
+        );
         let total_attrs = b.lake.total_attributes();
-        assert!(tus.attr_count() < total_attrs, "numeric columns must be skipped");
+        assert!(
+            tus.attr_count() < total_attrs,
+            "numeric columns must be skipped"
+        );
         assert!(tus.index_byte_size() > 0);
     }
 
     #[test]
     fn exclude_works() {
         let b = small_bench();
-        let tus = Tus::index_lake(&b.lake, SyntheticKb::with_cost(0), embedder(), TusConfig::fast());
+        let tus = Tus::index_lake(
+            &b.lake,
+            SyntheticKb::with_cost(0),
+            embedder(),
+            TusConfig::fast(),
+        );
         let tname = &b.pick_targets(1, 2)[0];
         let t = b.lake.table_by_name(tname).unwrap();
         let id = b.lake.id_of(tname).unwrap();
@@ -350,7 +392,12 @@ mod tests {
     #[test]
     fn scores_are_descending_and_bounded() {
         let b = small_bench();
-        let tus = Tus::index_lake(&b.lake, SyntheticKb::with_cost(0), embedder(), TusConfig::fast());
+        let tus = Tus::index_lake(
+            &b.lake,
+            SyntheticKb::with_cost(0),
+            embedder(),
+            TusConfig::fast(),
+        );
         let tname = &b.pick_targets(1, 3)[0];
         let t = b.lake.table_by_name(tname).unwrap();
         let res = tus.query(t, 10, b.lake.id_of(tname));

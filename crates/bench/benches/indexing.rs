@@ -39,7 +39,11 @@ fn bench_indexing(c: &mut Criterion) {
         });
         group.bench_with_input(BenchmarkId::new("aurum", n), &n, |b, _| {
             b.iter(|| {
-                black_box(Aurum::index_lake(&bench.lake, embedder(), AurumConfig::default()))
+                black_box(Aurum::index_lake(
+                    &bench.lake,
+                    embedder(),
+                    AurumConfig::default(),
+                ))
             })
         });
     }

@@ -6,7 +6,7 @@ use std::hint::black_box;
 
 use d3l_lsh::banded::BandedIndex;
 use d3l_lsh::forest::LshForest;
-use d3l_lsh::minhash::{MinHasher, MinHashSignature};
+use d3l_lsh::minhash::{MinHashSignature, MinHasher};
 
 fn token_set(i: usize, n: usize) -> Vec<String> {
     (0..n).map(|j| format!("tok{}_{}", i % 37, j)).collect()
@@ -20,7 +20,9 @@ fn bench_minhash(c: &mut Criterion) {
     });
     let a = mh.sign_strs(toks.iter().map(String::as_str));
     let bb = mh.sign_strs(token_set(1, 100).iter().map(String::as_str));
-    c.bench_function("minhash/jaccard_estimate", |b| b.iter(|| black_box(a.jaccard(&bb))));
+    c.bench_function("minhash/jaccard_estimate", |b| {
+        b.iter(|| black_box(a.jaccard(&bb)))
+    });
 }
 
 fn build_forest(items: usize, mh: &MinHasher) -> LshForest<MinHashSignature> {
@@ -74,5 +76,10 @@ fn bench_forest_insert(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_minhash, bench_forest_vs_banded, bench_forest_insert);
+criterion_group!(
+    benches,
+    bench_minhash,
+    bench_forest_vs_banded,
+    bench_forest_insert
+);
 criterion_main!(benches);

@@ -41,13 +41,19 @@ pub fn prf_at_k(systems: &Systems, kind: SystemKind, targets: &[String], k: usiz
     let mut r_sum = 0.0;
     for t in targets {
         let res = systems.query(kind, t, k);
-        let relevant: Vec<bool> =
-            res.iter().map(|r| truth.tables_related(t, &r.name)).collect();
+        let relevant: Vec<bool> = res
+            .iter()
+            .map(|r| truth.tables_related(t, &r.name))
+            .collect();
         p_sum += d3l_core::metrics::precision_at_k(&relevant);
         r_sum += d3l_core::metrics::recall_at_k(&relevant, truth.answer_set(t).len());
     }
     let n = targets.len().max(1) as f64;
-    EvalPoint { k, precision: p_sum / n, recall: r_sum / n }
+    EvalPoint {
+        k,
+        precision: p_sum / n,
+        recall: r_sum / n,
+    }
 }
 
 /// Fraction of a ranked table's proposed alignments confirmed by the

@@ -39,8 +39,18 @@ pub fn table1() {
         "S2",
         &["Practice", "City", "Postcode", "Payment"],
         &[
-            vec!["The London Clinic".into(), "London".into(), "W1G 6BW".into(), "73648".into()],
-            vec!["Blackfriars".into(), "Salford".into(), "M3 6AF".into(), "15530".into()],
+            vec![
+                "The London Clinic".into(),
+                "London".into(),
+                "W1G 6BW".into(),
+                "73648".into(),
+            ],
+            vec![
+                "Blackfriars".into(),
+                "Salford".into(),
+                "M3 6AF".into(),
+                "15530".into(),
+            ],
         ],
     )
     .unwrap();
@@ -76,13 +86,19 @@ pub fn table1() {
     )
     .unwrap();
     let e = embedder(64);
-    let profile =
-        |table: &Table, col: &str| {
-            let c = table.column(col).expect("column exists");
-            AttributeProfile::build(c, 4, &e)
-        };
-    println!("{:<28} {:>6} {:>6} {:>6} {:>6} {:>6}", "Pair", "DN", "DV", "DF", "DE", "DD");
-    for (tc, sc) in [("Practice", "Practice"), ("City", "City"), ("Postcode", "Postcode")] {
+    let profile = |table: &Table, col: &str| {
+        let c = table.column(col).expect("column exists");
+        AttributeProfile::build(c, 4, &e)
+    };
+    println!(
+        "{:<28} {:>6} {:>6} {:>6} {:>6} {:>6}",
+        "Pair", "DN", "DV", "DF", "DE", "DD"
+    );
+    for (tc, sc) in [
+        ("Practice", "Practice"),
+        ("City", "City"),
+        ("Postcode", "Postcode"),
+    ] {
         let dv = d3l_core::distance::exact_distances(&profile(&t, tc), &profile(&s2, sc));
         println!(
             "(T.{tc}, S2.{sc}){:>width$} {:>6.2} {:>6.2} {:>6.2} {:>6.2} {:>6.2}",
@@ -119,7 +135,10 @@ pub fn fig2(setting: &Setting) {
         );
         println!("  arity buckets [<3, 3-4, 5-6, 7+]      = {arity_h:?}");
         println!("  cardinality buckets [<25,25-49,50-99,100+] = {card_h:?}");
-        println!("  avg ground-truth answer size = {:.1}", bench.truth.avg_answer_size());
+        println!(
+            "  avg ground-truth answer size = {:.1}",
+            bench.truth.avg_answer_size()
+        );
     }
     println!("(paper: SmallerReal has a higher numeric ratio than Synthetic — Fig. 2c)");
 }
@@ -141,7 +160,11 @@ pub fn exp1(setting: &Setting) {
         ("D(dist)", SystemKind::D3lSingle(Evidence::Distribution)),
         ("ALL", SystemKind::D3l),
     ];
-    println!("{:<10} {}", "series", ks.iter().map(|k| format!("{k:>6}")).collect::<String>());
+    println!(
+        "{:<10} {}",
+        "series",
+        ks.iter().map(|k| format!("{k:>6}")).collect::<String>()
+    );
     for (label, kind) in modes {
         let mut p_row = String::new();
         let mut r_row = String::new();
@@ -176,10 +199,16 @@ pub fn comparative_effectiveness(setting: &Setting, smaller: bool) {
     let targets = systems.bench.pick_targets(setting.targets, setting.seed);
     let ks = Setting::k_sweep(avg);
     println!("avg answer size = {avg:.1}");
-    println!("{:<8} {}", "series", ks.iter().map(|k| format!("{k:>6}")).collect::<String>());
-    for (label, kind) in
-        [("D3L", SystemKind::D3l), ("TUS", SystemKind::Tus), ("Aurum", SystemKind::Aurum)]
-    {
+    println!(
+        "{:<8} {}",
+        "series",
+        ks.iter().map(|k| format!("{k:>6}")).collect::<String>()
+    );
+    for (label, kind) in [
+        ("D3L", SystemKind::D3l),
+        ("TUS", SystemKind::Tus),
+        ("Aurum", SystemKind::Aurum),
+    ] {
         let mut p_row = String::new();
         let mut r_row = String::new();
         for &k in &ks {
@@ -208,8 +237,12 @@ pub fn exp4(setting: &Setting) {
         let d3l = D3l::index_lake_with(&bench.lake, D3lConfig::default(), embedder(64));
         let d3l_t = secs(t0);
         let t0 = Instant::now();
-        let tus =
-            Tus::index_lake(&bench.lake, SyntheticKb::from_vocab(), embedder(64), TusConfig::default());
+        let tus = Tus::index_lake(
+            &bench.lake,
+            SyntheticKb::from_vocab(),
+            embedder(64),
+            TusConfig::default(),
+        );
         let tus_t = secs(t0);
         let t0 = Instant::now();
         let aurum = Aurum::index_lake(&bench.lake, embedder(64), AurumConfig::default());
@@ -236,7 +269,9 @@ pub fn search_time(setting: &Setting, smaller: bool) {
     header(name);
     let avg = bench.truth.avg_answer_size();
     let systems = Systems::build(bench, false);
-    let targets = systems.bench.pick_targets(setting.targets.min(15), setting.seed);
+    let targets = systems
+        .bench
+        .pick_targets(setting.targets.min(15), setting.seed);
     let ks = Setting::k_sweep(avg);
     println!(
         "{:>6} {:>12} {:>12}  (avg seconds per query)",
@@ -265,7 +300,9 @@ pub fn search_time(setting: &Setting, smaller: bool) {
         "Aurum avg search time (k-independent): {:.4}s",
         secs(t0) / targets.len() as f64
     );
-    println!("(paper: D3L beats TUS; gap narrows on SmallerReal where numeric columns are free for TUS)");
+    println!(
+        "(paper: D3L beats TUS; gap narrows on SmallerReal where numeric columns are free for TUS)"
+    );
 }
 
 /// Experiment 7 / Table II: index space overhead relative to raw lake
@@ -273,14 +310,23 @@ pub fn search_time(setting: &Setting, smaller: bool) {
 pub fn exp7(setting: &Setting) {
     header("Experiment 7 (Table II): index space overhead (% of repository size)");
     let repos: Vec<(&str, Benchmark)> = vec![
-        ("Synthetic", d3l_benchgen::synthetic(setting.synthetic_tables, setting.seed)),
-        ("SmallerReal", d3l_benchgen::smaller_real(setting.smaller_tables, setting.seed ^ 1)),
+        (
+            "Synthetic",
+            d3l_benchgen::synthetic(setting.synthetic_tables, setting.seed),
+        ),
+        (
+            "SmallerReal",
+            d3l_benchgen::smaller_real(setting.smaller_tables, setting.seed ^ 1),
+        ),
         (
             "LargerReal(sample)",
             d3l_benchgen::larger_real(setting.larger_tables / 3, setting.seed ^ 2),
         ),
     ];
-    println!("{:<20} {:>8} {:>8} {:>8}", "repository", "D3L", "TUS", "Aurum");
+    println!(
+        "{:<20} {:>8} {:>8} {:>8}",
+        "repository", "D3L", "TUS", "Aurum"
+    );
     for (name, bench) in &repos {
         let lake_bytes = bench.lake.byte_size() as f64;
         let d3l = D3l::index_lake_with(&bench.lake, D3lConfig::default(), embedder(64));
@@ -318,9 +364,15 @@ pub fn join_experiments(setting: &Setting, smaller: bool) {
     header(name);
     let avg = bench.truth.avg_answer_size();
     let systems = Systems::build(bench, false);
-    let targets = systems.bench.pick_targets(setting.targets.min(20), setting.seed);
+    let targets = systems
+        .bench
+        .pick_targets(setting.targets.min(20), setting.seed);
     let ks = Setting::k_sweep(avg);
-    println!("{:<10} {}", "series", ks.iter().map(|k| format!("{k:>7}")).collect::<String>());
+    println!(
+        "{:<10} {}",
+        "series",
+        ks.iter().map(|k| format!("{k:>7}")).collect::<String>()
+    );
     let mut rows: Vec<(String, Vec<f64>)> = vec![
         ("D3L cov".into(), vec![]),
         ("D3L+J cov".into(), vec![]),
@@ -359,7 +411,9 @@ pub fn join_experiments(setting: &Setting, smaller: bool) {
             vals.iter().map(|v| format!("{v:>7.2}")).collect::<String>()
         );
     }
-    println!("(paper: +J lifts coverage substantially; D3L+J attribute precision stays at or above D3L)");
+    println!(
+        "(paper: +J lifts coverage substantially; D3L+J attribute precision stays at or above D3L)"
+    );
 }
 
 /// §III-D: train the Eq. 3 evidence weights by logistic regression on
@@ -376,13 +430,19 @@ pub fn weights(setting: &Setting) {
         .zip(&test_y)
         .filter(|(v, &y)| model.predict(&v.0) == y)
         .count();
-    println!("trained weights [N V F E D] = {:?}", w.0.map(|x| (x * 100.0).round() / 100.0));
+    println!(
+        "trained weights [N V F E D] = {:?}",
+        w.0.map(|x| (x * 100.0).round() / 100.0)
+    );
     println!(
         "test accuracy on SmallerReal pairs: {:.1}% over {} pairs (paper: ~89%)",
         100.0 * correct as f64 / test_x.len().max(1) as f64,
         test_x.len()
     );
-    println!("shipped defaults: {:?}", d3l_core::EvidenceWeights::trained_default().0);
+    println!(
+        "shipped defaults: {:?}",
+        d3l_core::EvidenceWeights::trained_default().0
+    );
 }
 
 /// Build labelled (distance-vector, related) pairs from a benchmark
@@ -398,7 +458,10 @@ pub fn pair_vectors(
     for tname in bench.pick_targets(targets, seed) {
         let target = bench.lake.table_by_name(&tname).expect("member");
         let exclude = bench.lake.id_of(&tname);
-        let opts = d3l_core::query::QueryOptions { exclude, ..Default::default() };
+        let opts = d3l_core::query::QueryOptions {
+            exclude,
+            ..Default::default()
+        };
         for m in d3l.rank_all(target, 100, &opts) {
             xs.push(m.vector);
             ys.push(bench.truth.tables_related(&tname, d3l.table_name(m.table)));
@@ -423,7 +486,9 @@ pub fn subject(setting: &Setting) {
                 .kind_of(table.name(), table.columns()[i].name())
                 .is_some_and(|k| k.starts_with("entity:"))
         });
-        let Some(subject_col) = subject_col else { continue };
+        let Some(subject_col) = subject_col else {
+            continue;
+        };
         for i in 0..table.arity() {
             xs.push(subject_features(table, i).to_vec());
             ys.push(i == subject_col);
@@ -467,7 +532,9 @@ pub fn ablation_weights(setting: &Setting) {
     let bench = d3l_benchgen::smaller_real(setting.smaller_tables, setting.seed ^ 1);
     let avg = bench.truth.avg_answer_size();
     let systems = Systems::build(bench, false);
-    let targets = systems.bench.pick_targets(setting.targets.min(20), setting.seed);
+    let targets = systems
+        .bench
+        .pick_targets(setting.targets.min(20), setting.seed);
     let k = avg as usize;
     let truth = &systems.bench.truth;
     let run = |weights: Option<d3l_core::EvidenceWeights>, evidence: Option<Evidence>| {
@@ -475,7 +542,12 @@ pub fn ablation_weights(setting: &Setting) {
         for t in &targets {
             let target = systems.bench.lake.table_by_name(t).expect("member");
             let exclude = systems.bench.lake.id_of(t);
-            let opts = d3l_core::query::QueryOptions { exclude, weights, evidence, ..Default::default() };
+            let opts = d3l_core::query::QueryOptions {
+                exclude,
+                weights,
+                evidence,
+                ..Default::default()
+            };
             let res = systems.d3l.query_with(target, k, &opts);
             let rel: Vec<bool> = res
                 .iter()
@@ -485,7 +557,10 @@ pub fn ablation_weights(setting: &Setting) {
         }
         p / targets.len() as f64
     };
-    println!("precision@{k} with trained weights : {:.3}", run(None, None));
+    println!(
+        "precision@{k} with trained weights : {:.3}",
+        run(None, None)
+    );
     println!(
         "precision@{k} with uniform weights : {:.3}",
         run(Some(d3l_core::EvidenceWeights::uniform()), None)
@@ -514,18 +589,22 @@ pub fn ablation_granularity(setting: &Setting) {
                     if col_a.column_type().is_numeric() || col_b.column_type().is_numeric() {
                         continue;
                     }
-                    let pa = d3l.profile(d3l_core::AttrRef { table: *ia, column: ca as u32 });
-                    let pb = d3l.profile(d3l_core::AttrRef { table: ib, column: cb as u32 });
+                    let pa = d3l.profile(d3l_core::AttrRef {
+                        table: *ia,
+                        column: ca as u32,
+                    });
+                    let pb = d3l.profile(d3l_core::AttrRef {
+                        table: ib,
+                        column: cb as u32,
+                    });
                     let tok = d3l_core::distance::value_distance(pa, pb);
                     let wa = d3l_baselines::common::whole_value_set(col_a);
                     let wb = d3l_baselines::common::whole_value_set(col_b);
                     let whole = 1.0 - d3l_lsh::minhash::exact_jaccard(&wa, &wb);
-                    let related = bench.truth.attrs_related(
-                        ta.name(),
-                        col_a.name(),
-                        tb.name(),
-                        col_b.name(),
-                    );
+                    let related =
+                        bench
+                            .truth
+                            .attrs_related(ta.name(), col_a.name(), tb.name(), col_b.name());
                     if related {
                         rel_tok.push(tok);
                         rel_whole.push(whole);
@@ -538,11 +617,21 @@ pub fn ablation_granularity(setting: &Setting) {
         }
     }
     let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
-    println!("related pairs:   token distance {:.3} vs whole-value distance {:.3}", mean(&rel_tok), mean(&rel_whole));
-    println!("unrelated pairs: token distance {:.3} vs whole-value distance {:.3}", mean(&unrel_tok), mean(&unrel_whole));
+    println!(
+        "related pairs:   token distance {:.3} vs whole-value distance {:.3}",
+        mean(&rel_tok),
+        mean(&rel_whole)
+    );
+    println!(
+        "unrelated pairs: token distance {:.3} vs whole-value distance {:.3}",
+        mean(&unrel_tok),
+        mean(&unrel_whole)
+    );
     let sep_tok = mean(&unrel_tok) - mean(&rel_tok);
     let sep_whole = mean(&unrel_whole) - mean(&rel_whole);
-    println!("separability (unrelated - related): tokens {sep_tok:.3} vs whole values {sep_whole:.3}");
+    println!(
+        "separability (unrelated - related): tokens {sep_tok:.3} vs whole values {sep_whole:.3}"
+    );
     println!("(paper §III-A: finer-grained evidence reduces the impact of dirty data)");
 }
 
@@ -557,7 +646,10 @@ pub fn diag(setting: &Setting) {
         let cols: Vec<&str> = target.columns().iter().map(|c| c.name()).collect();
         println!("\ntarget {tname} (arity {}): {:?}", target.arity(), cols);
         let exclude = bench.lake.id_of(&tname);
-        let opts = d3l_core::query::QueryOptions { exclude, ..Default::default() };
+        let opts = d3l_core::query::QueryOptions {
+            exclude,
+            ..Default::default()
+        };
         for m in d3l.query_with(target, 10, &opts) {
             let name = d3l.table_name(m.table);
             let related = bench.truth.tables_related(&tname, name);

@@ -9,11 +9,19 @@ use d3l_table::{Column, Table};
 use crate::spec::{ColumnKind, Domain, TableSpec};
 
 fn count(tag: &str, lo: i64, hi: i64) -> ColumnKind {
-    ColumnKind::Count { tag: tag.into(), lo, hi }
+    ColumnKind::Count {
+        tag: tag.into(),
+        lo,
+        hi,
+    }
 }
 
 fn amount(tag: &str, lo: f64, hi: f64) -> ColumnKind {
-    ColumnKind::Amount { tag: tag.into(), lo, hi }
+    ColumnKind::Amount {
+        tag: tag.into(),
+        lo,
+        hi,
+    }
 }
 
 fn col(name: &str, kind: ColumnKind) -> (String, ColumnKind) {
@@ -66,7 +74,14 @@ fn domain_specs(domain: Domain) -> Vec<TableSpec> {
             col(&name_col, entity.clone()),
             col("City", ColumnKind::City(domain)),
             col("Postcode", ColumnKind::Postcode),
-            col("Payment", amount(&format!("{d}_payment"), 1_000.0 * scale as f64, 30_000.0 * scale as f64)),
+            col(
+                "Payment",
+                amount(
+                    &format!("{d}_payment"),
+                    1_000.0 * scale as f64,
+                    30_000.0 * scale as f64,
+                ),
+            ),
             col("Budget Year", count("year", 2012 + di, 2016 + di)),
         ],
     };
@@ -87,8 +102,14 @@ fn domain_specs(domain: Domain) -> Vec<TableSpec> {
         columns: vec![
             col(&name_col, entity),
             col("Opening Hours", ColumnKind::Hours(domain)),
-            col("Visitors", count(&format!("{d}_visitors"), 50 * scale, 5_000 * scale)),
-            col("Staff", count(&format!("{d}_staff"), 10 * scale, 60 * scale)),
+            col(
+                "Visitors",
+                count(&format!("{d}_visitors"), 50 * scale, 5_000 * scale),
+            ),
+            col(
+                "Staff",
+                count(&format!("{d}_staff"), 10 * scale, 60 * scale),
+            ),
             col("Day", ColumnKind::Category("day".into())),
         ],
     };
@@ -126,11 +147,7 @@ pub fn generate_table<R: Rng>(
 }
 
 /// Generate all base tables with a deterministic seed.
-pub fn generate_base_tables(
-    rows: usize,
-    entity_pool: usize,
-    seed: u64,
-) -> Vec<(TableSpec, Table)> {
+pub fn generate_base_tables(rows: usize, entity_pool: usize, seed: u64) -> Vec<(TableSpec, Table)> {
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
     base_specs()
         .into_iter()

@@ -157,8 +157,7 @@ pub fn derive(cfg: &DeriveConfig) -> Benchmark {
         for &c in &keep {
             let (col_name, kind) = &spec.columns[c];
             let src = &table.columns()[c];
-            let mut vals: Vec<String> =
-                rows.iter().map(|&r| src.values()[r].clone()).collect();
+            let mut vals: Vec<String> = rows.iter().map(|&r| src.values()[r].clone()).collect();
             let mut out_name = col_name.clone();
             if let Some(dirt) = &cfg.dirty {
                 out_name = maybe_rename(&mut rng, col_name, dirt);
@@ -177,8 +176,9 @@ pub fn derive(cfg: &DeriveConfig) -> Benchmark {
             let extra = rng.gen_range(0..=dirt.extra_numeric_max);
             for j in 0..extra {
                 let noise_name = format!("Metric {j}");
-                let vals: Vec<String> =
-                    (0..n_rows).map(|_| rng.gen_range(0..100_000).to_string()).collect();
+                let vals: Vec<String> = (0..n_rows)
+                    .map(|_| rng.gen_range(0..100_000).to_string())
+                    .collect();
                 truth.add_column(&name, &noise_name, &format!("noise:{name}:{j}"));
                 columns.push(Column::new(noise_name, vals));
             }
@@ -194,7 +194,12 @@ pub fn derive(cfg: &DeriveConfig) -> Benchmark {
 /// The *Synthetic* repository: clean derivations (paper: ~5,000
 /// tables from 32 base tables; scale via `tables`).
 pub fn synthetic(tables: usize, seed: u64) -> Benchmark {
-    derive(&DeriveConfig { tables, seed, dirty: None, ..Default::default() })
+    derive(&DeriveConfig {
+        tables,
+        seed,
+        dirty: None,
+        ..Default::default()
+    })
 }
 
 /// The *Smaller Real* repository: dirty derivations with smaller row
@@ -217,7 +222,10 @@ pub fn larger_real(tables: usize, seed: u64) -> Benchmark {
     derive(&DeriveConfig {
         tables,
         seed,
-        dirty: Some(DirtConfig { extra_numeric_max: 1, ..DirtConfig::default() }),
+        dirty: Some(DirtConfig {
+            extra_numeric_max: 1,
+            ..DirtConfig::default()
+        }),
         base_rows: 80,
         ..Default::default()
     })
@@ -265,7 +273,11 @@ pub fn perturb_value<R: Rng>(rng: &mut R, value: &str, dirt: &DirtConfig) -> Str
         }
     }
     if rng.gen_bool(dirt.case_prob) {
-        v = if rng.gen_bool(0.5) { v.to_uppercase() } else { v.to_lowercase() };
+        v = if rng.gen_bool(0.5) {
+            v.to_uppercase()
+        } else {
+            v.to_lowercase()
+        };
     }
     if rng.gen_bool(dirt.punct_prob) && v.contains(' ') {
         // comma-ify the first space or hyphenate all of them
@@ -331,11 +343,24 @@ mod tests {
         let clean = synthetic(64, 5);
         let dirty = smaller_real(64, 5);
         // Dirty lake has some renamed columns (not matching canonical).
-        let canonical: std::collections::HashSet<&str> = ["Address", "City",
-            "Postcode", "Phone", "Status", "Payment", "Budget Year", "Inspection Date",
-            "Rating", "Inspector Code", "Opening Hours", "Visitors", "Staff", "Day"]
-            .into_iter()
-            .collect();
+        let canonical: std::collections::HashSet<&str> = [
+            "Address",
+            "City",
+            "Postcode",
+            "Phone",
+            "Status",
+            "Payment",
+            "Budget Year",
+            "Inspection Date",
+            "Rating",
+            "Inspector Code",
+            "Opening Hours",
+            "Visitors",
+            "Staff",
+            "Day",
+        ]
+        .into_iter()
+        .collect();
         let renamed = dirty
             .lake
             .iter()
@@ -405,10 +430,24 @@ mod tests {
     #[test]
     fn perturbations_preserve_some_structure() {
         let mut rng = rand::rngs::StdRng::seed_from_u64(1);
-        let dirt = DirtConfig { abbrev_prob: 1.0, case_prob: 0.0, typo_prob: 0.0, punct_prob: 0.0, swap_prob: 0.0, ..Default::default() };
+        let dirt = DirtConfig {
+            abbrev_prob: 1.0,
+            case_prob: 0.0,
+            typo_prob: 0.0,
+            punct_prob: 0.0,
+            swap_prob: 0.0,
+            ..Default::default()
+        };
         let v = perturb_value(&mut rng, "18 Portland Street", &dirt);
         assert_eq!(v, "18 Portland St");
-        let dirt_case = DirtConfig { abbrev_prob: 0.0, case_prob: 1.0, typo_prob: 0.0, punct_prob: 0.0, swap_prob: 0.0, ..Default::default() };
+        let dirt_case = DirtConfig {
+            abbrev_prob: 0.0,
+            case_prob: 1.0,
+            typo_prob: 0.0,
+            punct_prob: 0.0,
+            swap_prob: 0.0,
+            ..Default::default()
+        };
         let v2 = perturb_value(&mut rng, "Salford", &dirt_case);
         assert!(v2 == "SALFORD" || v2 == "salford");
     }

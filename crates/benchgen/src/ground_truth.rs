@@ -41,13 +41,18 @@ impl GroundTruth {
     pub fn add_table(&mut self, table: &str, family: &str, group: &str) {
         self.family.insert(table.to_string(), family.to_string());
         self.group.insert(table.to_string(), group.to_string());
-        self.members.entry(group.to_string()).or_default().push(table.to_string());
+        self.members
+            .entry(group.to_string())
+            .or_default()
+            .push(table.to_string());
     }
 
     /// Register a column's value-domain kind.
     pub fn add_column(&mut self, table: &str, column: &str, kind_key: &str) {
-        self.kinds
-            .insert((table.to_string(), column.to_string()), kind_key.to_string());
+        self.kinds.insert(
+            (table.to_string(), column.to_string()),
+            kind_key.to_string(),
+        );
     }
 
     /// Family (base table) of a table.
@@ -181,7 +186,10 @@ mod tests {
         let gt = truth();
         // City columns are the same value domain everywhere.
         assert!(gt.attrs_related("a1", "City", "b1", "City"));
-        assert!(gt.attrs_related("a1", "City", "a2", "Town"), "renamed column still related");
+        assert!(
+            gt.attrs_related("a1", "City", "a2", "Town"),
+            "renamed column still related"
+        );
         assert!(!gt.attrs_related("a1", "Patients", "b1", "Payment"));
         assert!(!gt.attrs_related("a1", "City", "a1", "Nope"));
     }

@@ -58,15 +58,42 @@ impl SyntheticKb {
         add(vocab::STREET_NAMES, class::STREET);
         add(vocab::STREET_TYPES, class::STREET);
         add(vocab::ORG_WORDS, class::ORGANIZATION);
-        add(vocab::HEALTH_SUFFIXES, class::ORGANIZATION + Domain::Health as u32);
-        add(vocab::BUSINESS_SUFFIXES, class::ORGANIZATION + Domain::Business as u32);
-        add(vocab::SCHOOL_SUFFIXES, class::ORGANIZATION + Domain::Education as u32);
-        add(vocab::STATION_SUFFIXES, class::ORGANIZATION + Domain::Transport as u32);
-        add(vocab::SITE_SUFFIXES, class::ORGANIZATION + Domain::Environment as u32);
-        add(vocab::VENUE_SUFFIXES, class::ORGANIZATION + Domain::Culture as u32);
-        add(vocab::ESTATE_SUFFIXES, class::ORGANIZATION + Domain::Housing as u32);
-        add(vocab::AREA_SUFFIXES, class::ORGANIZATION + Domain::Crime as u32);
-        SyntheticKb { classes, lookup_cost }
+        add(
+            vocab::HEALTH_SUFFIXES,
+            class::ORGANIZATION + Domain::Health as u32,
+        );
+        add(
+            vocab::BUSINESS_SUFFIXES,
+            class::ORGANIZATION + Domain::Business as u32,
+        );
+        add(
+            vocab::SCHOOL_SUFFIXES,
+            class::ORGANIZATION + Domain::Education as u32,
+        );
+        add(
+            vocab::STATION_SUFFIXES,
+            class::ORGANIZATION + Domain::Transport as u32,
+        );
+        add(
+            vocab::SITE_SUFFIXES,
+            class::ORGANIZATION + Domain::Environment as u32,
+        );
+        add(
+            vocab::VENUE_SUFFIXES,
+            class::ORGANIZATION + Domain::Culture as u32,
+        );
+        add(
+            vocab::ESTATE_SUFFIXES,
+            class::ORGANIZATION + Domain::Housing as u32,
+        );
+        add(
+            vocab::AREA_SUFFIXES,
+            class::ORGANIZATION + Domain::Crime as u32,
+        );
+        SyntheticKb {
+            classes,
+            lookup_cost,
+        }
     }
 
     /// Number of mapped tokens.

@@ -69,33 +69,64 @@ impl Domain {
                 pick(pool, 0, h)
             }
         };
-        let suffix = |pool: &'static [&'static str]| -> &'static str {
-            pool[(idx / 16) % pool.len()]
-        };
+        let suffix =
+            |pool: &'static [&'static str]| -> &'static str { pool[(idx / 16) % pool.len()] };
         match self {
             Domain::Health => {
-                format!("{} {}", half(vocab::SURNAMES, false), suffix(vocab::HEALTH_SUFFIXES))
+                format!(
+                    "{} {}",
+                    half(vocab::SURNAMES, false),
+                    suffix(vocab::HEALTH_SUFFIXES)
+                )
             }
             Domain::Education => {
-                format!("{} {}", half(vocab::SURNAMES, true), suffix(vocab::SCHOOL_SUFFIXES))
+                format!(
+                    "{} {}",
+                    half(vocab::SURNAMES, true),
+                    suffix(vocab::SCHOOL_SUFFIXES)
+                )
             }
             Domain::Business => {
-                format!("{} {}", half(vocab::ORG_WORDS, false), suffix(vocab::BUSINESS_SUFFIXES))
+                format!(
+                    "{} {}",
+                    half(vocab::ORG_WORDS, false),
+                    suffix(vocab::BUSINESS_SUFFIXES)
+                )
             }
             Domain::Housing => {
-                format!("{} {}", half(vocab::ORG_WORDS, true), suffix(vocab::ESTATE_SUFFIXES))
+                format!(
+                    "{} {}",
+                    half(vocab::ORG_WORDS, true),
+                    suffix(vocab::ESTATE_SUFFIXES)
+                )
             }
             Domain::Transport => {
-                format!("{} {}", half(vocab::CITIES, false), suffix(vocab::STATION_SUFFIXES))
+                format!(
+                    "{} {}",
+                    half(vocab::CITIES, false),
+                    suffix(vocab::STATION_SUFFIXES)
+                )
             }
             Domain::Crime => {
-                format!("{} {}", half(vocab::CITIES, true), suffix(vocab::AREA_SUFFIXES))
+                format!(
+                    "{} {}",
+                    half(vocab::CITIES, true),
+                    suffix(vocab::AREA_SUFFIXES)
+                )
             }
             Domain::Environment => {
-                format!("{} {}", half(vocab::STREET_NAMES, false), suffix(vocab::SITE_SUFFIXES))
+                format!(
+                    "{} {}",
+                    half(vocab::STREET_NAMES, false),
+                    suffix(vocab::SITE_SUFFIXES)
+                )
             }
             Domain::Culture => {
-                format!("{} {}", half(vocab::STREET_NAMES, true), suffix(vocab::VENUE_SUFFIXES))
+                format!(
+                    "{} {}",
+                    half(vocab::STREET_NAMES, true),
+                    suffix(vocab::VENUE_SUFFIXES)
+                )
             }
         }
     }
@@ -189,7 +220,11 @@ impl ColumnKind {
                 format!("{a}{d1} {d2}{b}{c}{e}")
             }
             ColumnKind::Phone => {
-                format!("0{} {:06}", rng.gen_range(100..200), rng.gen_range(0..1_000_000))
+                format!(
+                    "0{} {:06}",
+                    rng.gen_range(100..200),
+                    rng.gen_range(0..1_000_000)
+                )
             }
             ColumnKind::Date(d) => {
                 let base_year = 2012 + (*d as i32);
@@ -221,8 +256,12 @@ impl ColumnKind {
                 let letters: String = (0..3)
                     .map(|_| (b'A' + rng.gen_range(0..26)) as char)
                     .collect();
-                format!("{}{}{:04}", tag.chars().next().unwrap_or('X').to_ascii_uppercase(),
-                    letters, rng.gen_range(0..10_000))
+                format!(
+                    "{}{}{:04}",
+                    tag.chars().next().unwrap_or('X').to_ascii_uppercase(),
+                    letters,
+                    rng.gen_range(0..10_000)
+                )
             }
         }
     }
@@ -267,8 +306,16 @@ mod tests {
 
     #[test]
     fn kind_keys_separate_value_domains() {
-        let patients = ColumnKind::Count { tag: "patients".into(), lo: 100, hi: 9000 };
-        let payment = ColumnKind::Amount { tag: "payment".into(), lo: 1e3, hi: 1e5 };
+        let patients = ColumnKind::Count {
+            tag: "patients".into(),
+            lo: 100,
+            hi: 9000,
+        };
+        let payment = ColumnKind::Amount {
+            tag: "payment".into(),
+            lo: 1e3,
+            hi: 1e5,
+        };
         assert_ne!(patients.kind_key(), payment.kind_key());
         assert_eq!(ColumnKind::City(Domain::Health).kind_key(), "city");
         assert!(patients.is_numeric());
@@ -283,12 +330,24 @@ mod tests {
         let hours = ColumnKind::Hours(Domain::Health).generate(&mut rng, 0);
         assert!(hours.contains('-') && hours.contains(':'));
         let hours_alt = ColumnKind::Hours(Domain::Business).generate(&mut rng, 0);
-        assert!(hours_alt.contains("am"), "business domain uses am/pm: {hours_alt}");
-        let count = ColumnKind::Count { tag: "x".into(), lo: 5, hi: 10 }.generate(&mut rng, 0);
+        assert!(
+            hours_alt.contains("am"),
+            "business domain uses am/pm: {hours_alt}"
+        );
+        let count = ColumnKind::Count {
+            tag: "x".into(),
+            lo: 5,
+            hi: 10,
+        }
+        .generate(&mut rng, 0);
         let v: i64 = count.parse().unwrap();
         assert!((5..=10).contains(&v));
-        let amount =
-            ColumnKind::Amount { tag: "y".into(), lo: 1.0, hi: 2.0 }.generate(&mut rng, 0);
+        let amount = ColumnKind::Amount {
+            tag: "y".into(),
+            lo: 1.0,
+            hi: 2.0,
+        }
+        .generate(&mut rng, 0);
         let f: f64 = amount.parse().unwrap();
         assert!((1.0..=2.0).contains(&f));
         let date = ColumnKind::Date(Domain::Health).generate(&mut rng, 0);

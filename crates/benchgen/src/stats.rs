@@ -42,7 +42,11 @@ impl RepoStats {
             attributes,
             arities,
             cardinalities,
-            numeric_ratio: if attributes == 0 { 0.0 } else { numeric as f64 / attributes as f64 },
+            numeric_ratio: if attributes == 0 {
+                0.0
+            } else {
+                numeric as f64 / attributes as f64
+            },
             bytes: lake.byte_size(),
         }
     }

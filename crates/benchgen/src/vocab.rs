@@ -4,21 +4,90 @@
 
 /// UK-style city/town names.
 pub const CITIES: &[&str] = &[
-    "Manchester", "Salford", "Belfast", "London", "Bolton", "Leeds", "Sheffield", "Bristol",
-    "Liverpool", "Newcastle", "Nottingham", "Leicester", "Coventry", "Bradford", "Cardiff",
-    "Glasgow", "Edinburgh", "Aberdeen", "Dundee", "Swansea", "Oxford", "Cambridge", "York",
-    "Derby", "Plymouth", "Southampton", "Portsmouth", "Brighton", "Norwich", "Exeter",
-    "Preston", "Blackpool", "Stockport", "Oldham", "Rochdale", "Bury", "Wigan", "Warrington",
-    "Chester", "Lancaster", "Durham", "Carlisle", "Hull", "Sunderland", "Middlesbrough",
-    "Reading", "Luton", "Watford", "Ipswich", "Gloucester",
+    "Manchester",
+    "Salford",
+    "Belfast",
+    "London",
+    "Bolton",
+    "Leeds",
+    "Sheffield",
+    "Bristol",
+    "Liverpool",
+    "Newcastle",
+    "Nottingham",
+    "Leicester",
+    "Coventry",
+    "Bradford",
+    "Cardiff",
+    "Glasgow",
+    "Edinburgh",
+    "Aberdeen",
+    "Dundee",
+    "Swansea",
+    "Oxford",
+    "Cambridge",
+    "York",
+    "Derby",
+    "Plymouth",
+    "Southampton",
+    "Portsmouth",
+    "Brighton",
+    "Norwich",
+    "Exeter",
+    "Preston",
+    "Blackpool",
+    "Stockport",
+    "Oldham",
+    "Rochdale",
+    "Bury",
+    "Wigan",
+    "Warrington",
+    "Chester",
+    "Lancaster",
+    "Durham",
+    "Carlisle",
+    "Hull",
+    "Sunderland",
+    "Middlesbrough",
+    "Reading",
+    "Luton",
+    "Watford",
+    "Ipswich",
+    "Gloucester",
 ];
 
 /// Street base names (suffixed by a street type).
 pub const STREET_NAMES: &[&str] = &[
-    "Portland", "Oxford", "Mirabel", "Chapel", "Church", "Botanic", "Rupert", "Victoria",
-    "Albert", "Station", "Market", "Mill", "Park", "Queens", "Kings", "Bridge", "High",
-    "Castle", "Garden", "Spring", "Chester", "Cross", "Green", "Grove", "Richmond", "Clarence",
-    "Windsor", "Stanley", "Cavendish", "Devonshire",
+    "Portland",
+    "Oxford",
+    "Mirabel",
+    "Chapel",
+    "Church",
+    "Botanic",
+    "Rupert",
+    "Victoria",
+    "Albert",
+    "Station",
+    "Market",
+    "Mill",
+    "Park",
+    "Queens",
+    "Kings",
+    "Bridge",
+    "High",
+    "Castle",
+    "Garden",
+    "Spring",
+    "Chester",
+    "Cross",
+    "Green",
+    "Grove",
+    "Richmond",
+    "Clarence",
+    "Windsor",
+    "Stanley",
+    "Cavendish",
+    "Devonshire",
 ];
 
 /// Street types, deliberately inconsistently abbreviated in dirty
@@ -27,37 +96,108 @@ pub const STREET_TYPES: &[&str] = &["Street", "Road", "Avenue", "Lane", "Drive",
 
 /// Person surnames for entity-name construction.
 pub const SURNAMES: &[&str] = &[
-    "Cullen", "Holloway", "Radclife", "Whitfield", "Merton", "Ashworth", "Pemberton", "Langley",
-    "Oakden", "Farrow", "Birchall", "Stanton", "Hargreave", "Winslow", "Cartwright", "Duffield",
-    "Eastwood", "Fenwick", "Garside", "Hartley", "Ingram", "Jowett", "Kershaw", "Lomax",
-    "Midgley", "Naylor", "Ormerod", "Pickles", "Quirk", "Ramsden", "Sutcliffe", "Thackray",
-    "Underhill", "Varley", "Walmsley", "Yardley", "Ackroyd", "Bamford", "Clegg", "Dewhurst",
+    "Cullen",
+    "Holloway",
+    "Radclife",
+    "Whitfield",
+    "Merton",
+    "Ashworth",
+    "Pemberton",
+    "Langley",
+    "Oakden",
+    "Farrow",
+    "Birchall",
+    "Stanton",
+    "Hargreave",
+    "Winslow",
+    "Cartwright",
+    "Duffield",
+    "Eastwood",
+    "Fenwick",
+    "Garside",
+    "Hartley",
+    "Ingram",
+    "Jowett",
+    "Kershaw",
+    "Lomax",
+    "Midgley",
+    "Naylor",
+    "Ormerod",
+    "Pickles",
+    "Quirk",
+    "Ramsden",
+    "Sutcliffe",
+    "Thackray",
+    "Underhill",
+    "Varley",
+    "Walmsley",
+    "Yardley",
+    "Ackroyd",
+    "Bamford",
+    "Clegg",
+    "Dewhurst",
 ];
 
 /// Organization-ish first words for business/venue names.
 pub const ORG_WORDS: &[&str] = &[
-    "Alpha", "Beacon", "Crescent", "Dynamo", "Everest", "Falcon", "Granite", "Horizon",
-    "Ivory", "Jubilee", "Keystone", "Lantern", "Meridian", "Northgate", "Orchard", "Pinnacle",
-    "Quantum", "Riverside", "Summit", "Trident", "Unity", "Vanguard", "Westbrook", "Zenith",
+    "Alpha",
+    "Beacon",
+    "Crescent",
+    "Dynamo",
+    "Everest",
+    "Falcon",
+    "Granite",
+    "Horizon",
+    "Ivory",
+    "Jubilee",
+    "Keystone",
+    "Lantern",
+    "Meridian",
+    "Northgate",
+    "Orchard",
+    "Pinnacle",
+    "Quantum",
+    "Riverside",
+    "Summit",
+    "Trident",
+    "Unity",
+    "Vanguard",
+    "Westbrook",
+    "Zenith",
 ];
 
 /// Health-domain facility suffixes.
-pub const HEALTH_SUFFIXES: &[&str] =
-    &["Practice", "Surgery", "Medical Centre", "Health Centre", "Clinic"];
+pub const HEALTH_SUFFIXES: &[&str] = &[
+    "Practice",
+    "Surgery",
+    "Medical Centre",
+    "Health Centre",
+    "Clinic",
+];
 
 /// Business suffixes.
 pub const BUSINESS_SUFFIXES: &[&str] = &["Ltd", "Holdings", "Trading", "Services", "Group"];
 
 /// School suffixes.
-pub const SCHOOL_SUFFIXES: &[&str] =
-    &["Primary School", "High School", "Academy", "College", "Grammar School"];
+pub const SCHOOL_SUFFIXES: &[&str] = &[
+    "Primary School",
+    "High School",
+    "Academy",
+    "College",
+    "Grammar School",
+];
 
 /// Station suffixes.
 pub const STATION_SUFFIXES: &[&str] = &["Central", "Parkway", "Junction", "North", "South"];
 
 /// Environmental site suffixes.
-pub const SITE_SUFFIXES: &[&str] =
-    &["Nature Reserve", "Country Park", "Wetland", "Woodland", "Meadow"];
+pub const SITE_SUFFIXES: &[&str] = &[
+    "Nature Reserve",
+    "Country Park",
+    "Wetland",
+    "Woodland",
+    "Meadow",
+];
 
 /// Library/venue suffixes.
 pub const VENUE_SUFFIXES: &[&str] = &["Library", "Museum", "Gallery", "Theatre", "Arts Centre"];
@@ -84,9 +224,23 @@ pub fn category_pool(name: &str) -> &'static [&'static str] {
         "status0" => &["Active", "Closed", "Pending", "Suspended"],
         "status1" => &["Operational", "Dormant", "Dissolved", "Under Review"],
         "status2" => &["Open", "Shut", "Proposed", "Archived"],
-        "sector" => &["Retail", "Manufacturing", "Services", "Agriculture", "Technology"],
+        "sector" => &[
+            "Retail",
+            "Manufacturing",
+            "Services",
+            "Agriculture",
+            "Technology",
+        ],
         "severity" => &["Low", "Medium", "High", "Critical"],
-        "day" => &["Monday", "Tuesday", "Wednesday", "Thursday", "Friday", "Saturday", "Sunday"],
+        "day" => &[
+            "Monday",
+            "Tuesday",
+            "Wednesday",
+            "Thursday",
+            "Friday",
+            "Saturday",
+            "Sunday",
+        ],
         "fuel" => &["Diesel", "Electric", "Hybrid", "Petrol"],
         "tenure" => &["Owned", "Rented", "Social Housing", "Shared Ownership"],
         _ => &["A", "B", "C", "D"],
@@ -102,7 +256,12 @@ pub fn name_synonyms(canonical: &str) -> &'static [&'static str] {
         "City" => &["City", "Town", "Locality", "Area"],
         "Postcode" => &["Postcode", "Post Code", "PostalCode", "PCode"],
         "Address" => &["Address", "Street Address", "Location", "Addr"],
-        "Patients" => &["Patients", "Registered Patients", "List Size", "Patient Count"],
+        "Patients" => &[
+            "Patients",
+            "Registered Patients",
+            "List Size",
+            "Patient Count",
+        ],
         "Payment" => &["Payment", "Funding", "Amount Paid", "Total Payment"],
         "Opening Hours" => &["Opening Hours", "Hours", "Open Times", "Opening Times"],
         "Phone" => &["Phone", "Telephone", "Contact Number", "Tel"],
@@ -119,21 +278,43 @@ pub fn name_synonyms(canonical: &str) -> &'static [&'static str] {
 /// domain-indicator value words that a real WEM would place together.
 pub fn lexicon_groups() -> Vec<Vec<String>> {
     let mut groups: Vec<Vec<&str>> = vec![
-        vec!["street", "road", "avenue", "lane", "drive", "close", "way", "st", "rd", "av"],
-        vec!["practice", "surgery", "clinic", "gp", "doctor", "dr", "medical", "health"],
-        vec!["city", "town", "locality", "area", "borough", "district", "ward"],
+        vec![
+            "street", "road", "avenue", "lane", "drive", "close", "way", "st", "rd", "av",
+        ],
+        vec![
+            "practice", "surgery", "clinic", "gp", "doctor", "dr", "medical", "health",
+        ],
+        vec![
+            "city", "town", "locality", "area", "borough", "district", "ward",
+        ],
         vec!["postcode", "postal", "pcode", "zip"],
         vec!["patients", "registered", "enrolled", "list"],
-        vec!["payment", "funding", "amount", "paid", "cost", "price", "budget"],
+        vec![
+            "payment", "funding", "amount", "paid", "cost", "price", "budget",
+        ],
         vec!["hours", "opening", "times", "open"],
         vec!["phone", "telephone", "tel", "contact"],
-        vec!["school", "academy", "college", "grammar", "primary", "education"],
+        vec![
+            "school",
+            "academy",
+            "college",
+            "grammar",
+            "primary",
+            "education",
+        ],
         vec!["station", "junction", "parkway", "route", "transport"],
         vec!["reserve", "park", "wetland", "woodland", "meadow", "nature"],
         vec!["library", "museum", "gallery", "theatre", "arts"],
         vec!["estate", "court", "house", "gardens", "heights", "housing"],
         vec!["centre", "center", "building"],
-        vec!["name", "title", "organisation", "organization", "provider", "entity"],
+        vec![
+            "name",
+            "title",
+            "organisation",
+            "organization",
+            "provider",
+            "entity",
+        ],
         vec!["date", "recorded", "reported", "entry"],
         vec!["rating", "grade", "assessment", "score", "band"],
         vec!["status", "state", "condition"],
@@ -143,7 +324,10 @@ pub fn lexicon_groups() -> Vec<Vec<String>> {
     // Cities form one concept (place names): a WEM puts them in a
     // tight region.
     groups.push(CITIES.to_vec());
-    groups.into_iter().map(|g| g.into_iter().map(str::to_lowercase).collect()).collect()
+    groups
+        .into_iter()
+        .map(|g| g.into_iter().map(str::to_lowercase).collect())
+        .collect()
 }
 
 /// Build the embedding lexicon used by both D3L and the baselines.

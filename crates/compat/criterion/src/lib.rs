@@ -1,0 +1,291 @@
+//! Offline stand-in for `criterion` 0.5 (see `crates/compat/README.md`).
+//!
+//! Implements the API surface the workspace's benches use —
+//! [`criterion_group!`]/[`criterion_main!`], [`Criterion::bench_function`],
+//! [`Criterion::benchmark_group`] with `bench_with_input`/`sample_size`,
+//! and [`BenchmarkId`] — over a deliberately simple measurement loop:
+//! a short warm-up, then `sample_size` timed samples whose per-iteration
+//! median/mean are reported. No statistics beyond that, no plots, no
+//! baseline comparison; swap the root manifest to the real crate for
+//! those.
+//!
+//! Honors the argument conventions cargo uses when driving bench
+//! binaries (`--bench` is accepted and ignored; a positional argument
+//! filters benchmarks by substring; `--test`/`--list` run/print without
+//! measuring), so `cargo bench` and `cargo bench -- <filter>` work.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// How a bench binary was invoked.
+#[derive(Debug, Clone)]
+struct RunMode {
+    filter: Option<String>,
+    /// `--list`: print names, run nothing.
+    list: bool,
+    /// `--test`: run one iteration per bench, no measurement.
+    test: bool,
+}
+
+impl RunMode {
+    fn from_args() -> Self {
+        let mut mode = RunMode {
+            filter: None,
+            list: false,
+            test: false,
+        };
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--bench" | "--profile-time" => {}
+                "--list" => mode.list = true,
+                "--test" => mode.test = true,
+                s if s.starts_with("--") => {}
+                s => mode.filter = Some(s.to_string()),
+            }
+        }
+        mode
+    }
+
+    fn selected(&self, name: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| name.contains(f))
+    }
+}
+
+/// Entry point handle passed to every bench function.
+pub struct Criterion {
+    mode: RunMode,
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            mode: RunMode::from_args(),
+            default_sample_size: 20,
+        }
+    }
+}
+
+impl Criterion {
+    /// Run one named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let sample_size = self.default_sample_size;
+        self.run_one(name, sample_size, f);
+        self
+    }
+
+    /// Start a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size: None,
+        }
+    }
+
+    fn run_one<F>(&mut self, name: &str, sample_size: usize, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if !self.mode.selected(name) {
+            return;
+        }
+        if self.mode.list {
+            println!("{name}: benchmark");
+            return;
+        }
+        let mut bencher = Bencher {
+            samples: Vec::with_capacity(sample_size),
+            sample_size,
+            test_mode: self.mode.test,
+        };
+        f(&mut bencher);
+        if self.mode.test {
+            println!("{name} ... ok (test mode)");
+            return;
+        }
+        bencher.report(name);
+    }
+}
+
+/// A benchmark group: shared prefix plus per-group configuration.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl<'c> BenchmarkGroup<'c> {
+    /// Set the number of timed samples for benches in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Run one benchmark inside the group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into_benchmark_id());
+        let n = self
+            .sample_size
+            .unwrap_or(self.criterion.default_sample_size);
+        self.criterion.run_one(&full, n, f);
+        self
+    }
+
+    /// Run one benchmark with an explicit input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// End the group (reporting happens eagerly; this is a no-op kept
+    /// for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Identifier of one benchmark within a group.
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` display form, as in the real crate.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            text: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            text: parameter.to_string(),
+        }
+    }
+}
+
+/// Anything acceptable where the real crate takes `impl Into<BenchmarkId>`.
+pub trait IntoBenchmarkId {
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.text
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+/// Measurement handle: `b.iter(|| work())`.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+    test_mode: bool,
+}
+
+impl Bencher {
+    /// Time the closure. Each sample runs the closure enough times to
+    /// dominate timer resolution, and `sample_size` samples are kept.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.test_mode {
+            std::hint::black_box(f());
+            return;
+        }
+        // Warm-up and per-sample iteration-count calibration: aim for
+        // samples of ~2ms, bounded so cheap closures don't spin forever.
+        let calib_start = Instant::now();
+        std::hint::black_box(f());
+        let once = calib_start.elapsed().max(Duration::from_nanos(1));
+        let iters_per_sample =
+            (Duration::from_millis(2).as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u32;
+
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                std::hint::black_box(f());
+            }
+            self.samples.push(start.elapsed() / iters_per_sample);
+        }
+    }
+
+    fn report(&mut self, name: &str) {
+        if self.samples.is_empty() {
+            println!("{name:<50} (no measurement: bencher.iter never called)");
+            return;
+        }
+        self.samples.sort_unstable();
+        let median = self.samples[self.samples.len() / 2];
+        let mean = self.samples.iter().sum::<Duration>() / self.samples.len() as u32;
+        let (lo, hi) = (self.samples[0], *self.samples.last().unwrap());
+        println!(
+            "{name:<50} median {} mean {} range [{} .. {}]",
+            fmt_ns(median),
+            fmt_ns(mean),
+            fmt_ns(lo),
+            fmt_ns(hi),
+        );
+    }
+}
+
+fn fmt_ns(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// Define a bench group function: `criterion_group!(name, fn_a, fn_b)`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Define the bench binary's `main`: `criterion_main!(group_a, group_b)`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+/// Re-export matching the real crate (benches here use
+/// `std::hint::black_box` directly, but the symbol is part of the API).
+pub use std::hint::black_box;

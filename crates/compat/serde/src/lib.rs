@@ -1,0 +1,18 @@
+//! Offline stand-in for `serde` (see `crates/compat/README.md`).
+//!
+//! Provides the two trait names and the derive macros under the names
+//! the real crate exports, so `use serde::{Deserialize, Serialize};`
+//! plus `#[derive(Serialize, Deserialize)]` compile unchanged. The
+//! traits are markers with blanket impls: no code in this workspace
+//! serializes anything yet, but downstream bounds like
+//! `T: serde::Serialize` still hold.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}

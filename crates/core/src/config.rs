@@ -75,7 +75,9 @@ impl D3lConfig {
         if self.index_threads > 0 {
             self.index_threads
         } else {
-            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
         }
     }
 
@@ -107,7 +109,10 @@ mod tests {
     #[test]
     fn effective_threads_positive() {
         assert!(D3lConfig::default().effective_threads() >= 1);
-        let c = D3lConfig { index_threads: 3, ..Default::default() };
+        let c = D3lConfig {
+            index_threads: 3,
+            ..Default::default()
+        };
         assert_eq!(c.effective_threads(), 3);
     }
 }

@@ -169,7 +169,10 @@ mod tests {
         let b = profile("Payment", &["73648", "15530"]);
         let d = exact_distances(&a, &b);
         assert!((d.get(Evidence::Name) - 1.0).abs() < 1e-12);
-        assert!((d.get(Evidence::Value) - 1.0).abs() < 1e-12, "numeric has no tset");
+        assert!(
+            (d.get(Evidence::Value) - 1.0).abs() < 1e-12,
+            "numeric has no tset"
+        );
     }
 
     #[test]
@@ -179,7 +182,10 @@ mod tests {
         let d = exact_distances(&a, &b);
         assert!(d.get(Evidence::Distribution) < 1e-12, "same distribution");
         let c = profile("Payment", &["90000", "95000"]);
-        assert!((distribution_distance(&a, &c) - 1.0).abs() < 1e-12, "disjoint ranges");
+        assert!(
+            (distribution_distance(&a, &c) - 1.0).abs() < 1e-12,
+            "disjoint ranges"
+        );
     }
 
     #[test]

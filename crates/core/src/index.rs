@@ -6,7 +6,7 @@
 //! guarded KS computation and join-overlap checks), and each table's
 //! subject attribute.
 //!
-//! Index construction profiles tables in parallel (crossbeam scoped
+//! Index construction profiles tables in parallel (std scoped
 //! threads over table chunks) and inserts signatures sequentially —
 //! profiling and signature generation dominate, as the paper observes
 //! for all three compared systems (Experiment 4).
@@ -34,14 +34,30 @@ pub struct AttrRef {
 }
 
 impl AttrRef {
+    /// Widest column index that survives [`AttrRef::key`] packing
+    /// (the low 24 bits of the item id).
+    pub const MAX_COLUMN: u32 = (1 << 24) - 1;
+
     /// Pack into the `u64` item id the LSH indexes use.
+    ///
+    /// The column occupies the low 24 bits; a column index beyond
+    /// [`AttrRef::MAX_COLUMN`] would silently corrupt the table bits,
+    /// so packing asserts the invariant in debug builds.
     pub fn key(self) -> ItemId {
-        ((self.table.0 as u64) << 24) | self.column as u64
+        debug_assert!(
+            self.column <= Self::MAX_COLUMN,
+            "AttrRef column {} exceeds the 24-bit packing limit",
+            self.column
+        );
+        ((self.table.0 as u64) << 24) | (self.column & Self::MAX_COLUMN) as u64
     }
 
     /// Unpack from an LSH item id.
     pub fn from_key(key: ItemId) -> Self {
-        AttrRef { table: TableId((key >> 24) as u32), column: (key & 0xff_ffff) as u32 }
+        AttrRef {
+            table: TableId((key >> 24) as u32),
+            column: (key & Self::MAX_COLUMN as u64) as u32,
+        }
     }
 }
 
@@ -89,7 +105,11 @@ impl D3l {
 
     /// Index a lake with the supplied word-embedding model.
     pub fn index_lake_with(lake: &DataLake, cfg: D3lConfig, embedder: SemanticEmbedder) -> Self {
-        assert_eq!(embedder.lexicon().dim(), cfg.embed_dim, "embedder/config dim mismatch");
+        assert_eq!(
+            embedder.lexicon().dim(),
+            cfg.embed_dim,
+            "embedder/config dim mismatch"
+        );
         let minhasher = MinHasher::new(cfg.num_perm, cfg.seed);
         let projector = RandomProjector::new(cfg.embed_dim, cfg.embed_bits, cfg.seed ^ 0xee);
         let classifier = SubjectClassifier::default_model();
@@ -98,9 +118,14 @@ impl D3l {
         let tables: Vec<(TableId, &Table)> = lake.iter().collect();
         let threads = cfg.effective_threads().min(tables.len().max(1));
         let chunk = tables.len().div_ceil(threads.max(1)).max(1);
-        type ProfiledTable = (TableId, Vec<AttributeProfile>, Vec<AttrSignatures>, Option<u32>);
+        type ProfiledTable = (
+            TableId,
+            Vec<AttributeProfile>,
+            Vec<AttrSignatures>,
+            Option<u32>,
+        );
         let mut results: Vec<ProfiledTable> = Vec::with_capacity(tables.len());
-        crossbeam::scope(|scope| {
+        std::thread::scope(|scope| {
             let mut handles = Vec::new();
             for batch in tables.chunks(chunk) {
                 let embedder = &embedder;
@@ -108,7 +133,7 @@ impl D3l {
                 let projector = &projector;
                 let classifier = &classifier;
                 let cfg = &cfg;
-                handles.push(scope.spawn(move |_| {
+                handles.push(scope.spawn(move || {
                     batch
                         .iter()
                         .map(|(id, table)| {
@@ -117,8 +142,7 @@ impl D3l {
                                 .iter()
                                 .map(|p| sign_profile(p, minhasher, projector))
                                 .collect::<Vec<_>>();
-                            let subject =
-                                classifier.subject_of(table).map(|i| i as u32);
+                            let subject = classifier.subject_of(table).map(|i| i as u32);
                             (*id, profiles, sigs, subject)
                         })
                         .collect::<Vec<_>>()
@@ -127,8 +151,7 @@ impl D3l {
             for h in handles {
                 results.extend(h.join().expect("profiling worker panicked"));
             }
-        })
-        .expect("crossbeam scope failed");
+        });
         results.sort_by_key(|(id, ..)| *id);
 
         let mut i_n = LshForest::new(cfg.num_perm, cfg.trees);
@@ -142,7 +165,11 @@ impl D3l {
 
         for (id, table_profiles, sigs, subject) in results {
             for (col, sig) in sigs.into_iter().enumerate() {
-                let key = AttrRef { table: id, column: col as u32 }.key();
+                let key = AttrRef {
+                    table: id,
+                    column: col as u32,
+                }
+                .key();
                 // Algorithm 1 lines 15–18, with the §III-C rule that
                 // numeric attributes skip IV and IE.
                 i_n.insert(key, sig.name);
@@ -189,7 +216,11 @@ impl D3l {
         let classifier = SubjectClassifier::default_model();
         for (col, p) in profiles.iter().enumerate() {
             let sig = sign_profile(p, &self.minhasher, &self.projector);
-            let key = AttrRef { table: id, column: col as u32 }.key();
+            let key = AttrRef {
+                table: id,
+                column: col as u32,
+            }
+            .key();
             self.i_n.insert(key, sig.name);
             self.i_f.insert(key, sig.format);
             if !p.is_numeric {
@@ -203,7 +234,8 @@ impl D3l {
         self.i_e.build();
         self.names.push(table.name().to_string());
         self.arities.push(profiles.len());
-        self.subjects.push(classifier.subject_of(table).map(|i| i as u32));
+        self.subjects
+            .push(classifier.subject_of(table).map(|i| i as u32));
         self.profiles.push(profiles);
         id
     }
@@ -235,7 +267,10 @@ impl D3l {
 
     /// Subject attribute of an indexed table, if any.
     pub fn subject_of(&self, id: TableId) -> Option<AttrRef> {
-        self.subjects[id.index()].map(|c| AttrRef { table: id, column: c })
+        self.subjects[id.index()].map(|c| AttrRef {
+            table: id,
+            column: c,
+        })
     }
 
     /// The word embedder used at indexing (targets must be profiled
@@ -261,8 +296,16 @@ impl D3l {
     /// in `IN`/`IF`; numeric ones are absent from `IV`/`IE`).
     pub(crate) fn stored_signatures(&self, attr: AttrRef) -> AttrSignatures {
         let key = attr.key();
-        let name = self.i_n.signature(key).expect("attribute not indexed").clone();
-        let format = self.i_f.signature(key).expect("attribute not indexed").clone();
+        let name = self
+            .i_n
+            .signature(key)
+            .expect("attribute not indexed")
+            .clone();
+        let format = self
+            .i_f
+            .signature(key)
+            .expect("attribute not indexed")
+            .clone();
         let value = self
             .i_v
             .signature(key)
@@ -273,7 +316,12 @@ impl D3l {
             .signature(key)
             .cloned()
             .unwrap_or_else(|| self.projector.sign(&vec![0.0; self.cfg.embed_dim]));
-        AttrSignatures { name, value, format, embedding }
+        AttrSignatures {
+            name,
+            value,
+            format,
+            embedding,
+        }
     }
 
     /// Total byte footprint of the four indexes (Table II accounting:
@@ -358,7 +406,12 @@ mod tests {
                         "W1G 6BW".into(),
                         "73648".into(),
                     ],
-                    vec!["Blackfriars".into(), "Salford".into(), "M3 6AF".into(), "15530".into()],
+                    vec![
+                        "Blackfriars".into(),
+                        "Salford".into(),
+                        "M3 6AF".into(),
+                        "15530".into(),
+                    ],
                 ],
             )
             .unwrap(),
@@ -381,8 +434,49 @@ mod tests {
 
     #[test]
     fn attr_ref_key_round_trip() {
-        let a = AttrRef { table: TableId(12345), column: 67 };
+        let a = AttrRef {
+            table: TableId(12345),
+            column: 67,
+        };
         assert_eq!(AttrRef::from_key(a.key()), a);
+    }
+
+    #[test]
+    fn attr_ref_key_round_trips_at_packing_limits() {
+        for table in [0, 1, u32::MAX] {
+            for column in [0, 1, AttrRef::MAX_COLUMN] {
+                let a = AttrRef {
+                    table: TableId(table),
+                    column,
+                };
+                assert_eq!(
+                    AttrRef::from_key(a.key()),
+                    a,
+                    "corrupted at table={table} column={column}"
+                );
+            }
+        }
+        // Distinct refs at the bit boundary stay distinct.
+        let hi_col = AttrRef {
+            table: TableId(0),
+            column: AttrRef::MAX_COLUMN,
+        };
+        let lo_tab = AttrRef {
+            table: TableId(1),
+            column: 0,
+        };
+        assert_ne!(hi_col.key(), lo_tab.key());
+    }
+
+    #[test]
+    #[should_panic(expected = "24-bit packing limit")]
+    #[cfg(debug_assertions)]
+    fn attr_ref_key_rejects_oversized_column() {
+        let _ = AttrRef {
+            table: TableId(0),
+            column: AttrRef::MAX_COLUMN + 1,
+        }
+        .key();
     }
 
     #[test]
@@ -407,7 +501,13 @@ mod tests {
         let lake = figure1_lake();
         let d3l = D3l::index_lake(&lake, D3lConfig::fast());
         // S1's subject is Practice Name (column 0).
-        assert_eq!(d3l.subject_of(TableId(0)), Some(AttrRef { table: TableId(0), column: 0 }));
+        assert_eq!(
+            d3l.subject_of(TableId(0)),
+            Some(AttrRef {
+                table: TableId(0),
+                column: 0
+            })
+        );
         // S2's subject is Practice (column 0).
         assert_eq!(d3l.subject_of(TableId(1)).unwrap().column, 0);
         // S3's subject is GP (column 0).
@@ -418,7 +518,10 @@ mod tests {
     fn stored_signatures_round_trip() {
         let lake = figure1_lake();
         let d3l = D3l::index_lake(&lake, D3lConfig::fast());
-        let attr = AttrRef { table: TableId(0), column: 0 };
+        let attr = AttrRef {
+            table: TableId(0),
+            column: 0,
+        };
         let sigs = d3l.stored_signatures(attr);
         // Same profile signed fresh gives identical signatures.
         let fresh = sign_profile(d3l.profile(attr), &d3l.minhasher, &d3l.projector);
@@ -430,7 +533,10 @@ mod tests {
     fn numeric_attr_gets_empty_value_signature() {
         let lake = figure1_lake();
         let d3l = D3l::index_lake(&lake, D3lConfig::fast());
-        let patients = AttrRef { table: TableId(0), column: 4 };
+        let patients = AttrRef {
+            table: TableId(0),
+            column: 4,
+        };
         let sigs = d3l.stored_signatures(patients);
         let empty = d3l.minhasher.sign_strs([]);
         assert_eq!(sigs.value, empty);
@@ -459,12 +565,18 @@ mod tests {
         assert_eq!(incremental.table_count(), 3);
         assert_eq!(incremental.i_n.len(), batch.i_n.len());
         // Signatures are identical (same hashers).
-        let attr = AttrRef { table: TableId(2), column: 0 };
+        let attr = AttrRef {
+            table: TableId(2),
+            column: 0,
+        };
         assert_eq!(
             incremental.stored_signatures(attr).name,
             batch.stored_signatures(attr).name
         );
-        assert_eq!(incremental.subject_of(TableId(2)), batch.subject_of(TableId(2)));
+        assert_eq!(
+            incremental.subject_of(TableId(2)),
+            batch.subject_of(TableId(2))
+        );
     }
 
     #[test]
@@ -485,12 +597,25 @@ mod tests {
     #[test]
     fn parallel_and_serial_agree() {
         let lake = figure1_lake();
-        let serial =
-            D3l::index_lake(&lake, D3lConfig { index_threads: 1, ..D3lConfig::fast() });
-        let parallel =
-            D3l::index_lake(&lake, D3lConfig { index_threads: 4, ..D3lConfig::fast() });
+        let serial = D3l::index_lake(
+            &lake,
+            D3lConfig {
+                index_threads: 1,
+                ..D3lConfig::fast()
+            },
+        );
+        let parallel = D3l::index_lake(
+            &lake,
+            D3lConfig {
+                index_threads: 4,
+                ..D3lConfig::fast()
+            },
+        );
         assert_eq!(serial.i_n.len(), parallel.i_n.len());
-        let attr = AttrRef { table: TableId(1), column: 2 };
+        let attr = AttrRef {
+            table: TableId(1),
+            column: 2,
+        };
         assert_eq!(
             serial.stored_signatures(attr).name,
             parallel.stored_signatures(attr).name

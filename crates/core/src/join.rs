@@ -36,7 +36,10 @@ pub struct SaJoinGraph {
 impl SaJoinGraph {
     /// Neighbours of a table.
     pub fn neighbours(&self, t: TableId) -> impl Iterator<Item = (TableId, &JoinEdge)> {
-        self.adj.get(&t).into_iter().flat_map(|m| m.iter().map(|(k, v)| (*k, v)))
+        self.adj
+            .get(&t)
+            .into_iter()
+            .flat_map(|m| m.iter().map(|(k, v)| (*k, v)))
     }
 
     /// The edge between two tables, if SA-joinable.
@@ -123,7 +126,9 @@ impl D3l {
         let width = self.cfg.lookup_width(32);
         for t in 0..self.table_count() {
             let table = TableId(t as u32);
-            let Some(subject) = self.subject_of(table) else { continue };
+            let Some(subject) = self.subject_of(table) else {
+                continue;
+            };
             let sp = self.profile(subject);
             if !sp.has_text() {
                 continue;
@@ -134,9 +139,17 @@ impl D3l {
                 if other.table == table || hit.similarity < self.cfg.join_threshold {
                     continue;
                 }
-                let edge = JoinEdge { from_attr: subject, to_attr: other, similarity: hit.similarity };
+                let edge = JoinEdge {
+                    from_attr: subject,
+                    to_attr: other,
+                    similarity: hit.similarity,
+                };
                 graph.add_edge(table, other.table, edge);
-                let back = JoinEdge { from_attr: other, to_attr: subject, similarity: hit.similarity };
+                let back = JoinEdge {
+                    from_attr: other,
+                    to_attr: subject,
+                    similarity: hit.similarity,
+                };
                 graph.add_edge(other.table, table, back);
             }
         }
@@ -157,13 +170,7 @@ impl D3l {
     ) -> Vec<JoinPath> {
         let mut paths = Vec::new();
         let mut current = vec![start];
-        self.dfs_join(
-            graph,
-            top_k,
-            related_to_target,
-            &mut current,
-            &mut paths,
-        );
+        self.dfs_join(graph, top_k, related_to_target, &mut current, &mut paths);
         paths
     }
 
@@ -187,7 +194,9 @@ impl D3l {
                 continue;
             }
             current.push(n);
-            out.push(JoinPath { nodes: current.clone() });
+            out.push(JoinPath {
+                nodes: current.clone(),
+            });
             self.dfs_join(graph, top_k, related, current, out);
             current.pop();
         }
@@ -209,19 +218,22 @@ mod tests {
             .iter()
             .map(|p| vec![p.clone(), "Salford".to_string()])
             .collect();
-        lake.add(Table::from_rows("hub", &["Practice", "City"], &rows_a).unwrap()).unwrap();
+        lake.add(Table::from_rows("hub", &["Practice", "City"], &rows_a).unwrap())
+            .unwrap();
         let rows_b: Vec<Vec<String>> = practices
             .iter()
             .enumerate()
             .map(|(i, p)| vec![p.clone(), format!("0{i}00-1800")])
             .collect();
-        lake.add(Table::from_rows("mid", &["GP", "Hours"], &rows_b).unwrap()).unwrap();
+        lake.add(Table::from_rows("mid", &["GP", "Hours"], &rows_b).unwrap())
+            .unwrap();
         let rows_c: Vec<Vec<String>> = practices
             .iter()
             .enumerate()
             .map(|(i, p)| vec![p.clone(), format!("{}", 1000 + i)])
             .collect();
-        lake.add(Table::from_rows("leaf", &["Surgery", "Payment"], &rows_c).unwrap()).unwrap();
+        lake.add(Table::from_rows("leaf", &["Surgery", "Payment"], &rows_c).unwrap())
+            .unwrap();
         // Single-token subject values so the decoy's tset shares
         // nothing with the practice tables (multi-word values would
         // contribute their row number as the informative token, which
@@ -229,7 +241,8 @@ mod tests {
         let rows_d: Vec<Vec<String>> = (0..30)
             .map(|i| vec![format!("asteroidbody{i}"), format!("{i}")])
             .collect();
-        lake.add(Table::from_rows("decoy", &["Rock", "Radius"], &rows_d).unwrap()).unwrap();
+        lake.add(Table::from_rows("decoy", &["Rock", "Radius"], &rows_d).unwrap())
+            .unwrap();
         lake
     }
 
@@ -241,7 +254,10 @@ mod tests {
         let hub = lake.id_of("hub").unwrap();
         let mid = lake.id_of("mid").unwrap();
         let decoy = lake.id_of("decoy").unwrap();
-        assert!(g.edge(hub, mid).is_some(), "hub and mid share practice names");
+        assert!(
+            g.edge(hub, mid).is_some(),
+            "hub and mid share practice names"
+        );
         assert!(g.edge(hub, decoy).is_none(), "decoy shares nothing");
         assert!(g.edge(mid, hub).is_some(), "edges are symmetric");
         assert!(g.edge_count() >= 2);
@@ -313,10 +329,14 @@ mod tests {
 
     #[test]
     fn join_path_accessors() {
-        let p = JoinPath { nodes: vec![TableId(1), TableId(2), TableId(3)] };
+        let p = JoinPath {
+            nodes: vec![TableId(1), TableId(2), TableId(3)],
+        };
         assert_eq!(p.len(), 2);
         assert_eq!(p.extensions(), &[TableId(2), TableId(3)]);
-        let trivial = JoinPath { nodes: vec![TableId(1)] };
+        let trivial = JoinPath {
+            nodes: vec![TableId(1)],
+        };
         assert!(trivial.is_empty());
     }
 }

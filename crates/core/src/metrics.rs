@@ -116,7 +116,10 @@ mod tests {
                 .iter()
                 .map(|&t| Alignment {
                     target_column: t,
-                    source: AttrRef { table: TableId(table), column: t as u32 },
+                    source: AttrRef {
+                        table: TableId(table),
+                        column: t as u32,
+                    },
                     distances: DistanceVector::max_distant(),
                 })
                 .collect(),

@@ -102,9 +102,17 @@ impl D3l {
             .collect();
         out_columns.push(Column::new("_provenance", provenance));
         let table = Table::new(format!("{}_populated", target.name()), out_columns)?;
-        let covered_columns =
-            covered.iter().enumerate().filter(|(_, &c)| c).map(|(i, _)| i).collect();
-        Ok(Population { table, contributed, covered_columns })
+        let covered_columns = covered
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c)
+            .map(|(i, _)| i)
+            .collect();
+        Ok(Population {
+            table,
+            contributed,
+            covered_columns,
+        })
     }
 }
 
@@ -144,7 +152,11 @@ mod tests {
         Table::from_rows(
             "gps",
             &["Practice", "City", "Hours"],
-            &[vec!["Blackfriars".into(), "Salford".into(), "08:00-18:00".into()]],
+            &[vec![
+                "Blackfriars".into(),
+                "Salford".into(),
+                "08:00-18:00".into(),
+            ]],
         )
         .unwrap()
     }
@@ -162,7 +174,10 @@ mod tests {
         assert_eq!(pop.table.columns()[3].name(), "_provenance");
         // Two registry rows contributed.
         assert_eq!(pop.table.cardinality(), 2);
-        assert_eq!(pop.contributed, vec![(lake.id_of("gp_registry").unwrap(), 2)]);
+        assert_eq!(
+            pop.contributed,
+            vec![(lake.id_of("gp_registry").unwrap(), 2)]
+        );
         // Practice and City populated; Hours has no source → nulls.
         assert!(pop.covered_columns.contains(&0));
         assert!(pop.covered_columns.contains(&1));

@@ -95,7 +95,15 @@ impl AttributeProfile {
             Vec::new()
         };
 
-        AttributeProfile { name, qset, tset, rset, embedding, numeric_extent, is_numeric }
+        AttributeProfile {
+            name,
+            qset,
+            tset,
+            rset,
+            embedding,
+            numeric_extent,
+            is_numeric,
+        }
     }
 
     /// True when the attribute has textual content usable by V and E
@@ -149,7 +157,10 @@ mod tests {
     fn embedder() -> SemanticEmbedder {
         SemanticEmbedder::new(Lexicon::with_groups(
             32,
-            &[&["street", "road", "avenue"], &["salford", "belfast", "manchester"]],
+            &[
+                &["street", "road", "avenue"],
+                &["salford", "belfast", "manchester"],
+            ],
         ))
     }
 
@@ -188,7 +199,11 @@ mod tests {
         assert!(p.is_numeric);
         assert!(p.tset.is_empty());
         assert!(!p.has_embedding());
-        assert_eq!(p.numeric_extent, vec![980.0, 1202.0, 3572.0], "extent is sorted");
+        assert_eq!(
+            p.numeric_extent,
+            vec![980.0, 1202.0, 3572.0],
+            "extent is sorted"
+        );
         // but N and F evidence still exists
         assert!(!p.qset.is_empty());
         assert!(p.rset.contains("N"));

@@ -12,9 +12,7 @@ use std::collections::{HashMap, HashSet};
 use d3l_features::ks;
 use d3l_table::{Table, TableId};
 
-use crate::distance::{
-    estimated_cosine_distance, estimated_jaccard_distance, DistanceVector,
-};
+use crate::distance::{estimated_cosine_distance, estimated_jaccard_distance, DistanceVector};
 use crate::evidence::Evidence;
 use crate::index::{AttrRef, AttrSignatures, D3l};
 use crate::profile::AttributeProfile;
@@ -76,7 +74,9 @@ impl D3l {
 
     /// The k-most related lake tables with explicit options.
     pub fn query_with(&self, target: &Table, k: usize, opts: &QueryOptions) -> Vec<TableMatch> {
-        let width = opts.lookup_width.unwrap_or_else(|| self.cfg.lookup_width(k));
+        let width = opts
+            .lookup_width
+            .unwrap_or_else(|| self.cfg.lookup_width(k));
         let mut all = self.rank_all(target, width, opts);
         all.truncate(k);
         all
@@ -181,7 +181,12 @@ impl D3l {
                     Some(e) => vector.get(e),
                     None => weights.combined_distance(&vector),
                 };
-                TableMatch { table, distance, vector, alignments }
+                TableMatch {
+                    table,
+                    distance,
+                    vector,
+                    alignments,
+                }
             })
             .collect();
 
@@ -262,9 +267,9 @@ impl D3l {
         let sp = self.profile(attr);
         let ss = self.stored_signatures(attr);
 
-        let d_n = estimated_jaccard_distance(&ts.name, &ss.name, tp.qset.is_empty(), sp.qset.is_empty());
-        let d_v =
-            estimated_jaccard_distance(&ts.value, &ss.value, !tp.has_text(), !sp.has_text());
+        let d_n =
+            estimated_jaccard_distance(&ts.name, &ss.name, tp.qset.is_empty(), sp.qset.is_empty());
+        let d_v = estimated_jaccard_distance(&ts.value, &ss.value, !tp.has_text(), !sp.has_text());
         let d_f = estimated_jaccard_distance(
             &ts.format,
             &ss.format,
@@ -281,9 +286,9 @@ impl D3l {
         // Algorithm 2: only both-numeric pairs get a KS measurement,
         // and only when blocked-in by existing evidence.
         let d_d = if tp.is_numeric && sp.is_numeric {
-            let guard_subject = *subject_guard.entry(attr.table).or_insert_with(|| {
-                self.subjects_related(target, t_subject, t_sigs, attr.table)
-            });
+            let guard_subject = *subject_guard
+                .entry(attr.table)
+                .or_insert_with(|| self.subjects_related(target, t_subject, t_sigs, attr.table));
             let guard_name = 1.0 - d_n >= self.cfg.threshold;
             let guard_format = 1.0 - d_f >= self.cfg.threshold;
             if guard_subject || guard_name || guard_format {
@@ -445,11 +450,23 @@ mod tests {
         let matches = d3l.query(&target(), 3);
         assert!(matches.len() >= 2);
         let names: Vec<&str> = matches.iter().map(|m| d3l.table_name(m.table)).collect();
-        assert!(names[0].starts_with("s1") || names[0].starts_with("s2"), "{names:?}");
-        assert!(names[1].starts_with("s1") || names[1].starts_with("s2"), "{names:?}");
-        if let Some(decoy) = matches.iter().find(|m| d3l.table_name(m.table) == "decoy_planets") {
+        assert!(
+            names[0].starts_with("s1") || names[0].starts_with("s2"),
+            "{names:?}"
+        );
+        assert!(
+            names[1].starts_with("s1") || names[1].starts_with("s2"),
+            "{names:?}"
+        );
+        if let Some(decoy) = matches
+            .iter()
+            .find(|m| d3l.table_name(m.table) == "decoy_planets")
+        {
             let best = matches[0].distance;
-            assert!(decoy.distance > best, "decoy must rank below related tables");
+            assert!(
+                decoy.distance > best,
+                "decoy must rank below related tables"
+            );
         }
         // Distances ascend.
         for w in matches.windows(2) {
@@ -477,7 +494,10 @@ mod tests {
     fn exclude_removes_self_matches() {
         let d3l = D3l::index_lake(&lake(), D3lConfig::fast());
         let t = lake().table_by_name("s1_gp_practices").unwrap().clone();
-        let opts = QueryOptions { exclude: Some(TableId(0)), ..Default::default() };
+        let opts = QueryOptions {
+            exclude: Some(TableId(0)),
+            ..Default::default()
+        };
         let matches = d3l.query_with(&t, 3, &opts);
         assert!(matches.iter().all(|m| m.table != TableId(0)));
     }
@@ -485,7 +505,10 @@ mod tests {
     #[test]
     fn single_evidence_mode_ranks_by_that_evidence() {
         let d3l = D3l::index_lake(&lake(), D3lConfig::fast());
-        let opts = QueryOptions { evidence: Some(Evidence::Name), ..Default::default() };
+        let opts = QueryOptions {
+            evidence: Some(Evidence::Name),
+            ..Default::default()
+        };
         let matches = d3l.query_with(&target(), 3, &opts);
         for m in &matches {
             assert!((m.distance - m.vector.get(Evidence::Name)).abs() < 1e-12);
@@ -507,8 +530,9 @@ mod tests {
         // must stay at 1 for the decoy's numeric column.
         let d3l = D3l::index_lake(&lake(), D3lConfig::fast());
         let matches = d3l.rank_all(&target(), 50, &QueryOptions::default());
-        if let Some(decoy) =
-            matches.iter().find(|m| d3l.table_name(m.table) == "decoy_planets")
+        if let Some(decoy) = matches
+            .iter()
+            .find(|m| d3l.table_name(m.table) == "decoy_planets")
         {
             assert!(
                 (decoy.vector.get(Evidence::Distribution) - 1.0).abs() < 1e-9,

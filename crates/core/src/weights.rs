@@ -78,7 +78,11 @@ impl EvidenceWeights {
     /// floored at a small positive value so no evidence is discarded
     /// outright.
     pub fn from_model(model: &LogisticRegression) -> Self {
-        assert_eq!(model.weights().len(), 5, "model must have five distance features");
+        assert_eq!(
+            model.weights().len(),
+            5,
+            "model must have five distance features"
+        );
         let mut w = [0.0; 5];
         for (i, &c) in model.weights().iter().enumerate() {
             w[i] = (-c).max(0.05);

@@ -28,7 +28,11 @@ impl Lexicon {
     /// An empty lexicon of the given dimensionality.
     pub fn new(dim: usize) -> Self {
         assert!(dim > 0, "dimension must be positive");
-        Lexicon { dim, word_to_concept: HashMap::new(), concept_count: 0 }
+        Lexicon {
+            dim,
+            word_to_concept: HashMap::new(),
+            concept_count: 0,
+        }
     }
 
     /// Build from synonym groups: every word in a group shares one
@@ -47,7 +51,9 @@ impl Lexicon {
         let concept = self.concept_count;
         self.concept_count += 1;
         for w in words {
-            self.word_to_concept.entry(w.to_lowercase()).or_insert(concept);
+            self.word_to_concept
+                .entry(w.to_lowercase())
+                .or_insert(concept);
         }
         concept
     }

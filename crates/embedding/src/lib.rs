@@ -64,7 +64,11 @@ impl SemanticEmbedder {
     /// dominance while keeping subword robustness.
     pub fn new(lexicon: Lexicon) -> Self {
         let dim = lexicon.dim();
-        SemanticEmbedder { lexicon, subword: HashEmbedder::new(dim, 0xd3ee), alpha: 0.85 }
+        SemanticEmbedder {
+            lexicon,
+            subword: HashEmbedder::new(dim, 0xd3ee),
+            alpha: 0.85,
+        }
     }
 
     /// Override the blend weight (clamped to `[0, 1]`).
@@ -135,7 +139,10 @@ mod tests {
         let a = e.embed("blackfriars");
         let b = e.embed("blackfriers"); // typo
         let c = e.embed("helicopter");
-        assert!(cosine(&a, &b) > cosine(&a, &c), "subword similarity should dominate");
+        assert!(
+            cosine(&a, &b) > cosine(&a, &c),
+            "subword similarity should dominate"
+        );
     }
 
     #[test]

@@ -99,7 +99,10 @@ mod tests {
         let h = address_histogram();
         // In "18 Portland Street", 'street' is the frequent word and
         // 'portland'/'18' the infrequent signal carriers.
-        assert_eq!(h.frequent_word_of_part("18 Portland Street").unwrap(), "street");
+        assert_eq!(
+            h.frequent_word_of_part("18 Portland Street").unwrap(),
+            "street"
+        );
         let inf = h.infrequent_word_of_part("18 Portland Street").unwrap();
         assert_ne!(inf, "street");
     }

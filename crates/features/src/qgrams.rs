@@ -46,8 +46,10 @@ mod tests {
     #[test]
     fn paper_example_address() {
         let q = qgram_set("Address");
-        let expect: HashSet<String> =
-            ["addr", "ddre", "dres", "ress"].iter().map(|s| s.to_string()).collect();
+        let expect: HashSet<String> = ["addr", "ddre", "dres", "ress"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
         assert_eq!(q, expect);
     }
 

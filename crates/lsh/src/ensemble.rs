@@ -39,7 +39,11 @@ struct BandSet {
 impl BandSet {
     fn new(sig_len: usize, rows: usize) -> Self {
         let bands = (sig_len / rows).max(1);
-        BandSet { rows, bands, buckets: vec![HashMap::new(); bands] }
+        BandSet {
+            rows,
+            bands,
+            buckets: vec![HashMap::new(); bands],
+        }
     }
 
     fn band_key(&self, sig: &MinHashSignature, band: usize) -> u64 {
@@ -153,10 +157,19 @@ impl LshEnsemble {
                 .filter(|&&r| r <= sig_len)
                 .map(|&r| BandSet::new(sig_len, r))
                 .collect();
-            partitions.push(Partition { lower, upper, band_sets });
+            partitions.push(Partition {
+                lower,
+                upper,
+                band_sets,
+            });
             lower = upper;
         }
-        LshEnsemble { sig_len, threshold, partitions, sigs: HashMap::new() }
+        LshEnsemble {
+            sig_len,
+            threshold,
+            partitions,
+            sigs: HashMap::new(),
+        }
     }
 
     /// Number of indexed items.
@@ -200,11 +213,7 @@ impl LshEnsemble {
         for p in &self.partitions {
             // Per-partition Jaccard threshold from the containment
             // threshold and this partition's upper size bound.
-            let j = containment_to_jaccard(
-                self.threshold,
-                query_size.max(1),
-                p.upper.min(1 << 24),
-            );
+            let j = containment_to_jaccard(self.threshold, query_size.max(1), p.upper.min(1 << 24));
             p.pick(j.max(0.02)).candidates(sig, &mut cand);
         }
         cand.sort_unstable();
@@ -236,7 +245,12 @@ impl LshEnsemble {
             .flat_map(|bs| bs.buckets.iter())
             .map(|b| b.values().map(|v| 8 + v.len() * 8).sum::<usize>())
             .sum();
-        bucket_bytes + self.sigs.values().map(|(s, _)| s.byte_size() + 8).sum::<usize>()
+        bucket_bytes
+            + self
+                .sigs
+                .values()
+                .map(|(s, _)| s.byte_size() + 8)
+                .sum::<usize>()
     }
 }
 
@@ -278,9 +292,16 @@ mod tests {
         assert!(q_sig.jaccard(&sup_sig) < 0.2);
         let hits = ens.query_containment(&q_sig, 25);
         assert!(hits.iter().any(|h| h.id == 1), "superset must be found");
-        assert!(hits.iter().all(|h| h.id != 2), "unrelated set must not clear 0.8");
+        assert!(
+            hits.iter().all(|h| h.id != 2),
+            "unrelated set must not clear 0.8"
+        );
         let top = &hits[0];
-        assert!(top.similarity > 0.7, "containment estimate {}", top.similarity);
+        assert!(
+            top.similarity > 0.7,
+            "containment estimate {}",
+            top.similarity
+        );
     }
 
     #[test]
@@ -288,10 +309,7 @@ mod tests {
         let mh = MinHasher::new(256, 9);
         let mut ens = LshEnsemble::new(256, 0.5, 6);
         let full: Vec<String> = tokens("q", 40); // contains all of the query
-        let half: Vec<String> = tokens("q", 20)
-            .into_iter()
-            .chain(tokens("r", 20))
-            .collect(); // contains half
+        let half: Vec<String> = tokens("q", 20).into_iter().chain(tokens("r", 20)).collect(); // contains half
         ens.insert(1, mh.sign_strs(full.iter().map(String::as_str)), 40);
         ens.insert(2, mh.sign_strs(half.iter().map(String::as_str)), 40);
         let q = tokens("q", 40);

@@ -42,7 +42,13 @@ impl<S: Signature> LshForest<S> {
         assert!(l > 0, "need at least one tree");
         assert!(sig_len >= l, "signature too short for {l} trees");
         let k = sig_len / l;
-        LshForest { l, k, trees: vec![Vec::new(); l], sigs: HashMap::new(), sorted: true }
+        LshForest {
+            l,
+            k,
+            trees: vec![Vec::new(); l],
+            sigs: HashMap::new(),
+            sorted: true,
+        }
     }
 
     /// Forest with the default tree count.
@@ -158,7 +164,10 @@ impl<S: Signature> LshForest<S> {
         }
         let hits: Vec<Hit> = candidates
             .into_iter()
-            .map(|id| Hit { id, similarity: sig.similarity(&self.sigs[&id]) })
+            .map(|id| Hit {
+                id,
+                similarity: sig.similarity(&self.sigs[&id]),
+            })
             .collect();
         top_k(hits, k)
     }

@@ -66,16 +66,28 @@ mod tests {
 
     #[test]
     fn hit_distance() {
-        let h = Hit { id: 1, similarity: 0.75 };
+        let h = Hit {
+            id: 1,
+            similarity: 0.75,
+        };
         assert!((h.distance() - 0.25).abs() < 1e-12);
     }
 
     #[test]
     fn top_k_orders_and_truncates() {
         let hits = vec![
-            Hit { id: 1, similarity: 0.2 },
-            Hit { id: 2, similarity: 0.9 },
-            Hit { id: 3, similarity: 0.5 },
+            Hit {
+                id: 1,
+                similarity: 0.2,
+            },
+            Hit {
+                id: 2,
+                similarity: 0.9,
+            },
+            Hit {
+                id: 3,
+                similarity: 0.5,
+            },
         ];
         let top = top_k(hits, 2);
         assert_eq!(top.len(), 2);
@@ -86,8 +98,14 @@ mod tests {
     #[test]
     fn top_k_ties_break_by_id() {
         let hits = vec![
-            Hit { id: 9, similarity: 0.5 },
-            Hit { id: 1, similarity: 0.5 },
+            Hit {
+                id: 9,
+                similarity: 0.5,
+            },
+            Hit {
+                id: 1,
+                similarity: 0.5,
+            },
         ];
         let top = top_k(hits, 2);
         assert_eq!(top[0].id, 1);

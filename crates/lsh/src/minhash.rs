@@ -29,12 +29,7 @@ impl MinHashSignature {
         if self.is_empty() {
             return 0.0;
         }
-        let agree = self
-            .0
-            .iter()
-            .zip(&other.0)
-            .filter(|(a, b)| a == b)
-            .count();
+        let agree = self.0.iter().zip(&other.0).filter(|(a, b)| a == b).count();
         agree as f64 / self.len() as f64
     }
 
@@ -57,7 +52,9 @@ pub const DEFAULT_NUM_PERM: usize = 256;
 impl MinHasher {
     /// A hasher with `num_perm` simulated permutations.
     pub fn new(num_perm: usize, seed: u64) -> Self {
-        MinHasher { family: UniversalHasher::new(num_perm, seed) }
+        MinHasher {
+            family: UniversalHasher::new(num_perm, seed),
+        }
     }
 
     /// Number of permutations (signature length).
@@ -140,7 +137,10 @@ mod tests {
         let a = mh.sign_strs(a_items.iter().map(String::as_str));
         let b = mh.sign_strs(b_items.iter().map(String::as_str));
         let est = a.jaccard(&b);
-        assert!((est - 1.0 / 3.0).abs() < 0.1, "estimate {est} too far from 1/3");
+        assert!(
+            (est - 1.0 / 3.0).abs() < 0.1,
+            "estimate {est} too far from 1/3"
+        );
     }
 
     #[test]

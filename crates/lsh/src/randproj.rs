@@ -141,7 +141,10 @@ impl RandomProjector {
                 bits[plane / 64] |= 1 << (plane % 64);
             }
         }
-        BitSignature { bits, nbits: self.nbits }
+        BitSignature {
+            bits,
+            nbits: self.nbits,
+        }
     }
 }
 

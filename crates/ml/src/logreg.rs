@@ -23,7 +23,11 @@ pub struct TrainConfig {
 
 impl Default for TrainConfig {
     fn default() -> Self {
-        TrainConfig { lambda: 1e-3, max_iters: 200, tol: 1e-6 }
+        TrainConfig {
+            lambda: 1e-3,
+            max_iters: 200,
+            tol: 1e-6,
+        }
     }
 }
 
@@ -146,7 +150,10 @@ impl LogisticRegression {
                 break;
             }
         }
-        LogisticRegression { weights: w, bias: b }
+        LogisticRegression {
+            weights: w,
+            bias: b,
+        }
     }
 }
 
@@ -178,7 +185,11 @@ mod tests {
             .zip(&ys)
             .filter(|(x, &y)| m.predict(x) == y)
             .count();
-        assert!(correct as f64 / xs.len() as f64 > 0.97, "{correct}/{}", xs.len());
+        assert!(
+            correct as f64 / xs.len() as f64 > 0.97,
+            "{correct}/{}",
+            xs.len()
+        );
         // weights should be positive for both coordinates
         assert!(m.weights()[0] > 0.0 && m.weights()[1] > 0.0);
     }
@@ -208,16 +219,20 @@ mod tests {
         let loose = LogisticRegression::train_with(
             &xs,
             &ys,
-            &TrainConfig { lambda: 1e-6, ..Default::default() },
+            &TrainConfig {
+                lambda: 1e-6,
+                ..Default::default()
+            },
         );
         let tight = LogisticRegression::train_with(
             &xs,
             &ys,
-            &TrainConfig { lambda: 1.0, ..Default::default() },
+            &TrainConfig {
+                lambda: 1.0,
+                ..Default::default()
+            },
         );
-        let norm = |m: &LogisticRegression| {
-            m.weights().iter().map(|w| w * w).sum::<f64>().sqrt()
-        };
+        let norm = |m: &LogisticRegression| m.weights().iter().map(|w| w * w).sum::<f64>().sqrt();
         assert!(norm(&tight) < norm(&loose));
     }
 

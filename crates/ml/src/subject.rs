@@ -34,7 +34,11 @@ pub fn subject_features(table: &Table, idx: usize) -> [f64; SUBJECT_FEATURES] {
     let col = &table.columns()[idx];
     let arity = table.arity().max(1) as f64;
     let leftness = 1.0 - idx as f64 / arity;
-    let non_numeric = if col.column_type() == ColumnType::Text { 1.0 } else { 0.0 };
+    let non_numeric = if col.column_type() == ColumnType::Text {
+        1.0
+    } else {
+        0.0
+    };
     let distinct = col.distinct_ratio();
     let fill = 1.0 - col.null_ratio();
     let avg_len = (col.avg_len() / 20.0).min(1.0);
@@ -59,10 +63,7 @@ impl SubjectClassifier {
     /// intuition, usable without a training corpus.
     pub fn default_model() -> Self {
         SubjectClassifier {
-            model: LogisticRegression::from_coefficients(
-                vec![2.5, 3.0, 2.0, 1.5, 1.0],
-                -5.5,
-            ),
+            model: LogisticRegression::from_coefficients(vec![2.5, 3.0, 2.0, 1.5, 1.0], -5.5),
         }
     }
 
@@ -154,7 +155,10 @@ mod tests {
         let t = Table::from_rows(
             "nums",
             &["id", "value"],
-            &[vec!["1".into(), "2.5".into()], vec!["2".into(), "3.5".into()]],
+            &[
+                vec!["1".into(), "2.5".into()],
+                vec!["2".into(), "3.5".into()],
+            ],
         )
         .unwrap();
         assert_eq!(subject_attribute(&t), None);
@@ -187,7 +191,11 @@ mod tests {
         let mostly_null: Vec<Vec<String>> = (0..10)
             .map(|i| {
                 vec![
-                    if i < 8 { String::new() } else { format!("name{i}") },
+                    if i < 8 {
+                        String::new()
+                    } else {
+                        format!("name{i}")
+                    },
                     format!("entity number {i}"),
                 ]
             })

@@ -43,7 +43,11 @@ impl Column {
     /// Build a column, inferring its type from the supplied cells.
     pub fn new(name: impl Into<String>, values: Vec<String>) -> Self {
         let ty = typing::infer_type(values.iter().map(String::as_str));
-        Column { name: name.into(), values, ty }
+        Column {
+            name: name.into(),
+            values,
+            ty,
+        }
     }
 
     /// Build a column from anything displayable (convenience for
@@ -84,7 +88,10 @@ impl Column {
 
     /// Iterator over non-null (non-empty after trim) cells.
     pub fn non_null(&self) -> impl Iterator<Item = &str> {
-        self.values.iter().map(String::as_str).filter(|v| !v.trim().is_empty())
+        self.values
+            .iter()
+            .map(String::as_str)
+            .filter(|v| !v.trim().is_empty())
     }
 
     /// Count of null cells.

@@ -107,7 +107,10 @@ pub fn parse_records(text: &str) -> Result<Vec<Vec<String>>, TableError> {
     }
     match state {
         State::InQuoted => {
-            return Err(TableError::Csv { line, message: "unterminated quoted field".into() })
+            return Err(TableError::Csv {
+                line,
+                message: "unterminated quoted field".into(),
+            })
         }
         State::FieldStart if field.is_empty() && record.is_empty() => {}
         _ => {

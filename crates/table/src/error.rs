@@ -58,13 +58,25 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        let e = TableError::Csv { line: 3, message: "bad quote".into() };
+        let e = TableError::Csv {
+            line: 3,
+            message: "bad quote".into(),
+        };
         assert!(e.to_string().contains("line 3"));
-        let e = TableError::RaggedRows { expected: 4, found: 2 };
+        let e = TableError::RaggedRows {
+            expected: 4,
+            found: 2,
+        };
         assert!(e.to_string().contains("expected width 4"));
-        assert!(TableError::UnknownColumn("x".into()).to_string().contains('x'));
-        assert!(TableError::UnknownTable("t".into()).to_string().contains('t'));
-        assert!(TableError::DuplicateTable("d".into()).to_string().contains('d'));
+        assert!(TableError::UnknownColumn("x".into())
+            .to_string()
+            .contains('x'));
+        assert!(TableError::UnknownTable("t".into())
+            .to_string()
+            .contains('t'));
+        assert!(TableError::DuplicateTable("d".into())
+            .to_string()
+            .contains('d'));
     }
 
     #[test]

@@ -79,7 +79,10 @@ impl DataLake {
 
     /// All (id, table) pairs in insertion order.
     pub fn iter(&self) -> impl Iterator<Item = (TableId, &Table)> {
-        self.tables.iter().enumerate().map(|(i, t)| (TableId(i as u32), t))
+        self.tables
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (TableId(i as u32), t))
     }
 
     /// All ids.
@@ -158,7 +161,10 @@ mod tests {
     fn duplicate_names_rejected() {
         let mut lake = DataLake::new();
         lake.add(tiny("t")).unwrap();
-        assert!(matches!(lake.add(tiny("t")), Err(TableError::DuplicateTable(_))));
+        assert!(matches!(
+            lake.add(tiny("t")),
+            Err(TableError::DuplicateTable(_))
+        ));
     }
 
     #[test]
@@ -189,7 +195,12 @@ mod tests {
         let loaded = DataLake::load_dir(&dir).unwrap();
         assert_eq!(loaded.len(), 1);
         assert_eq!(
-            loaded.table_by_name("gp").unwrap().column("City").unwrap().values()[0],
+            loaded
+                .table_by_name("gp")
+                .unwrap()
+                .column("City")
+                .unwrap()
+                .values()[0],
             "Salford"
         );
         std::fs::remove_dir_all(dir).ok();

@@ -22,11 +22,17 @@ impl Table {
             let expected = first.len();
             for c in &columns {
                 if c.len() != expected {
-                    return Err(TableError::RaggedRows { expected, found: c.len() });
+                    return Err(TableError::RaggedRows {
+                        expected,
+                        found: c.len(),
+                    });
                 }
             }
         }
-        Ok(Table { name: name.into(), columns })
+        Ok(Table {
+            name: name.into(),
+            columns,
+        })
     }
 
     /// Build a table from a header row and string rows (CSV shape).
@@ -39,7 +45,10 @@ impl Table {
         let mut cols: Vec<Vec<String>> = vec![Vec::with_capacity(rows.len()); width];
         for row in rows {
             if row.len() != width {
-                return Err(TableError::RaggedRows { expected: width, found: row.len() });
+                return Err(TableError::RaggedRows {
+                    expected: width,
+                    found: row.len(),
+                });
             }
             for (i, cell) in row.iter().enumerate() {
                 cols[i].push(cell.clone());
@@ -95,7 +104,10 @@ impl Table {
 
     /// One row as a vector of cell references.
     pub fn row(&self, i: usize) -> Vec<&str> {
-        self.columns.iter().map(|c| c.values()[i].as_str()).collect()
+        self.columns
+            .iter()
+            .map(|c| c.values()[i].as_str())
+            .collect()
     }
 
     /// Iterate rows as cell-reference vectors.
@@ -104,7 +116,11 @@ impl Table {
     }
 
     /// Projection: keep the named columns, in the given order.
-    pub fn project(&self, names: &[&str], new_name: impl Into<String>) -> Result<Table, TableError> {
+    pub fn project(
+        &self,
+        names: &[&str],
+        new_name: impl Into<String>,
+    ) -> Result<Table, TableError> {
         let mut cols = Vec::with_capacity(names.len());
         for n in names {
             let c = self
@@ -125,7 +141,10 @@ impl Table {
                 Column::new(c.name(), vals)
             })
             .collect();
-        Table { name: new_name.into(), columns }
+        Table {
+            name: new_name.into(),
+            columns,
+        }
     }
 
     /// Equi hash-join with `other` on `self.left_col == other.right_col`.
@@ -189,8 +208,7 @@ impl Table {
             if ci == ri {
                 continue;
             }
-            let vals: Vec<String> =
-                right_keep.iter().map(|&i| c.values()[i].clone()).collect();
+            let vals: Vec<String> = right_keep.iter().map(|&i| c.values()[i].clone()).collect();
             let name = if left_names.contains(c.name()) {
                 format!("{}.{}", other.name(), c.name())
             } else {
@@ -236,7 +254,13 @@ mod tests {
     #[test]
     fn ragged_rows_rejected() {
         let r = Table::from_rows("t", &["a", "b"], &[vec!["1".into()]]);
-        assert!(matches!(r, Err(TableError::RaggedRows { expected: 2, found: 1 })));
+        assert!(matches!(
+            r,
+            Err(TableError::RaggedRows {
+                expected: 2,
+                found: 1
+            })
+        ));
         let c1 = Column::new("a", vec!["1".into()]);
         let c2 = Column::new("b", vec![]);
         assert!(Table::new("t", vec![c1, c2]).is_err());
@@ -274,7 +298,10 @@ mod tests {
         let j = t.hash_join(&hours, "Practice Name", "GP", "j").unwrap();
         assert_eq!(j.cardinality(), 1);
         assert_eq!(j.arity(), 4); // 3 left + 1 right (join col dropped)
-        assert_eq!(j.column("Opening hours").unwrap().values()[0], "08:00-18:00");
+        assert_eq!(
+            j.column("Opening hours").unwrap().values()[0],
+            "08:00-18:00"
+        );
     }
 
     #[test]

@@ -65,7 +65,10 @@ pub fn parse_numeric(cell: &str) -> Option<f64> {
         None => (s, false),
     };
     let cleaned: String = s.chars().filter(|c| *c != ',').collect();
-    cleaned.parse::<f64>().ok().map(|v| if pct { v / 100.0 } else { v })
+    cleaned
+        .parse::<f64>()
+        .ok()
+        .map(|v| if pct { v / 100.0 } else { v })
 }
 
 /// Infer the [`ColumnType`] of a column from its cell values.
@@ -114,10 +117,23 @@ mod tests {
 
     #[test]
     fn numeric_cells() {
-        for ok in ["0", "42", "-17", "+3", "3.14", "1,202", "73,648", "12%", "1e5", "2.5E-3"] {
+        for ok in [
+            "0", "42", "-17", "+3", "3.14", "1,202", "73,648", "12%", "1e5", "2.5E-3",
+        ] {
             assert!(is_numeric_cell(ok), "{ok} should be numeric");
         }
-        for bad in ["", " ", "abc", "12a", "M3 6AF", "08:00-18:00", "1.2.3", "--4", ".", ","] {
+        for bad in [
+            "",
+            " ",
+            "abc",
+            "12a",
+            "M3 6AF",
+            "08:00-18:00",
+            "1.2.3",
+            "--4",
+            ".",
+            ",",
+        ] {
             assert!(!is_numeric_cell(bad), "{bad} should not be numeric");
         }
     }

@@ -18,7 +18,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Reload from disk — this is all a downstream user needs to do.
     let lake = DataLake::load_dir(&dir)?;
     assert_eq!(lake.len(), bench.lake.len());
-    println!("reloaded {} tables ({} bytes of raw data)", lake.len(), lake.byte_size());
+    println!(
+        "reloaded {} tables ({} bytes of raw data)",
+        lake.len(),
+        lake.byte_size()
+    );
 
     let d3l = D3l::index_lake(&lake, D3lConfig::default());
     println!(

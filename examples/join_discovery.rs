@@ -29,11 +29,18 @@ fn main() {
     println!(
         "target {tname} (arity {}): {:?}",
         target.arity(),
-        target.columns().iter().map(|c| c.name()).collect::<Vec<_>>()
+        target
+            .columns()
+            .iter()
+            .map(|c| c.name())
+            .collect::<Vec<_>>()
     );
 
     let k = 3;
-    let opts = QueryOptions { exclude: bench.lake.id_of(&tname), ..Default::default() };
+    let opts = QueryOptions {
+        exclude: bench.lake.id_of(&tname),
+        ..Default::default()
+    };
     let top = d3l.query_with(&target, k, &opts);
     let top_ids: HashSet<TableId> = top.iter().map(|m| m.table).collect();
 

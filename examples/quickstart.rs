@@ -56,7 +56,10 @@ fn main() {
         Table::from_rows(
             "decoy_planets",
             &["Planet", "Mass", "Moons"],
-            &[row(&["Jupiter", "1.898e27", "95"]), row(&["Saturn", "5.683e26", "146"])],
+            &[
+                row(&["Jupiter", "1.898e27", "95"]),
+                row(&["Saturn", "5.683e26", "146"]),
+            ],
         )
         .expect("well-formed table"),
     )
@@ -70,9 +73,27 @@ fn main() {
         "target_gps",
         &["Practice", "Street", "City", "Postcode", "Hours"],
         &[
-            row(&["Radclife", "69 Church St", "Manchester", "M26 2SP", "07:00-20:00"]),
-            row(&["Bolton Medical", "21 Rupert St", "Bolton", "BL3 6PY", "08:00-16:00"]),
-            row(&["Blackfriars", "1a Chapel St", "Salford", "M3 6AF", "08:00-18:00"]),
+            row(&[
+                "Radclife",
+                "69 Church St",
+                "Manchester",
+                "M26 2SP",
+                "07:00-20:00",
+            ]),
+            row(&[
+                "Bolton Medical",
+                "21 Rupert St",
+                "Bolton",
+                "BL3 6PY",
+                "08:00-16:00",
+            ]),
+            row(&[
+                "Blackfriars",
+                "1a Chapel St",
+                "Salford",
+                "M3 6AF",
+                "08:00-18:00",
+            ]),
         ],
     )
     .expect("well-formed target");
@@ -98,7 +119,11 @@ fn main() {
     // Join discovery: reach S3 through shared practice names so the
     // Hours column of T can be populated.
     let graph = d3l.build_join_graph();
-    println!("\nSA-join graph: {} tables, {} edges", graph.node_count(), graph.edge_count());
+    println!(
+        "\nSA-join graph: {} tables, {} edges",
+        graph.node_count(),
+        graph.edge_count()
+    );
     let top: std::collections::HashSet<TableId> =
         d3l.query(&target, 2).iter().map(|m| m.table).collect();
     let related = d3l.related_table_set(&target, 50);

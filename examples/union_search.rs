@@ -33,7 +33,10 @@ fn main() {
     let mut r_sum = 0.0;
     for tname in &targets {
         let target = bench.lake.table_by_name(tname).expect("lake member");
-        let opts = QueryOptions { exclude: bench.lake.id_of(tname), ..Default::default() };
+        let opts = QueryOptions {
+            exclude: bench.lake.id_of(tname),
+            ..Default::default()
+        };
         let result = d3l.query_with(target, k, &opts);
 
         let relevant: Vec<bool> = result

@@ -64,8 +64,7 @@ fn cmd_query(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
             "--joins" => joins = true,
             "--evidence" => {
                 let e = it.next().ok_or("missing value for --evidence")?;
-                evidence =
-                    Some(parse_evidence(e).ok_or_else(|| format!("unknown evidence {e}"))?);
+                evidence = Some(parse_evidence(e).ok_or_else(|| format!("unknown evidence {e}"))?);
             }
             other if dir.is_none() => dir = Some(other.to_string()),
             other if target_path.is_none() => target_path = Some(other.to_string()),
@@ -83,7 +82,10 @@ fn cmd_query(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let text = std::fs::read_to_string(&target_path)?;
     let target = csv::parse_csv("target", &text)?;
 
-    let opts = d3l::core::query::QueryOptions { evidence, ..Default::default() };
+    let opts = d3l::core::query::QueryOptions {
+        evidence,
+        ..Default::default()
+    };
     let matches = d3l.query_with(&target, k, &opts);
     if matches.is_empty() {
         println!("no related tables found");
@@ -115,8 +117,7 @@ fn cmd_query(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         let mut any = false;
         for m in &matches {
             for path in d3l.find_join_paths(&graph, m.table, &top, &related) {
-                let names: Vec<&str> =
-                    path.nodes.iter().map(|&t| d3l.table_name(t)).collect();
+                let names: Vec<&str> = path.nodes.iter().map(|&t| d3l.table_name(t)).collect();
                 println!("  {}", names.join(" ⋈ "));
                 any = true;
             }
@@ -154,7 +155,8 @@ fn cmd_demo() -> Result<(), Box<dyn std::error::Error>> {
     bench.lake.save_dir(&dir)?;
     // Keep the target outside the lake directory so it is not indexed
     // as a lake member.
-    let target_path = std::env::temp_dir().join(format!("d3l_demo_target_{}.csv", std::process::id()));
+    let target_path =
+        std::env::temp_dir().join(format!("d3l_demo_target_{}.csv", std::process::id()));
     // Use the first generated table's CSV as the target.
     let tname = bench.pick_targets(1, 1)[0].clone();
     let target = bench.lake.table_by_name(&tname).expect("member");
@@ -170,4 +172,78 @@ fn cmd_demo() -> Result<(), Box<dyn std::error::Error>> {
     std::fs::remove_dir_all(&dir).ok();
     std::fs::remove_file(&target_path).ok();
     Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evidence_flags_parse_case_insensitively() {
+        for (flag, want) in [
+            ("N", Evidence::Name),
+            ("V", Evidence::Value),
+            ("F", Evidence::Format),
+            ("E", Evidence::Embedding),
+            ("D", Evidence::Distribution),
+        ] {
+            assert_eq!(parse_evidence(flag), Some(want));
+            assert_eq!(parse_evidence(&flag.to_lowercase()), Some(want));
+        }
+    }
+
+    #[test]
+    fn evidence_flags_cover_every_evidence_type() {
+        for e in Evidence::ALL {
+            let flag = format!("{e:?}").chars().next().unwrap().to_string();
+            assert_eq!(
+                parse_evidence(&flag),
+                Some(e),
+                "flag {flag} must map back to {e:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_evidence_flags_are_rejected() {
+        for bad in ["X", "", "NV", "name", "0"] {
+            assert_eq!(parse_evidence(bad), None, "{bad:?} must not parse");
+        }
+    }
+
+    #[test]
+    fn query_rejects_missing_and_unexpected_arguments() {
+        let args = |list: &[&str]| list.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        assert!(cmd_query(&args(&[])).is_err(), "missing lake dir must fail");
+        assert!(
+            cmd_query(&args(&["lake-dir"])).is_err(),
+            "missing target must fail"
+        );
+        assert!(
+            cmd_query(&args(&["a", "b", "c"])).is_err(),
+            "third positional argument must fail"
+        );
+        assert!(
+            cmd_query(&args(&["-k"])).is_err(),
+            "-k without value must fail"
+        );
+        assert!(
+            cmd_query(&args(&["-k", "x"])).is_err(),
+            "non-numeric -k must fail"
+        );
+        assert!(
+            cmd_query(&args(&["--evidence"])).is_err(),
+            "--evidence without value must fail"
+        );
+        assert!(
+            cmd_query(&args(&["--evidence", "Z", "a", "b"])).is_err(),
+            "unknown evidence letter must fail"
+        );
+    }
+
+    #[test]
+    fn stats_requires_a_directory() {
+        assert!(cmd_stats(&[]).is_err());
+        assert!(cmd_stats(&["/nonexistent/lake/dir".to_string()]).is_err());
+    }
 }

@@ -69,8 +69,8 @@ pub use d3l_table as table;
 /// The most common imports in one place.
 pub mod prelude {
     pub use d3l_core::{
-        AttrRef, D3l, D3lConfig, DistanceVector, Evidence, EvidenceWeights, JoinPath,
-        SaJoinGraph, TableMatch,
+        AttrRef, D3l, D3lConfig, DistanceVector, Evidence, EvidenceWeights, JoinPath, SaJoinGraph,
+        TableMatch,
     };
     pub use d3l_embedding::{Lexicon, SemanticEmbedder, WordEmbedder};
     pub use d3l_table::{Column, ColumnType, DataLake, Table, TableId};

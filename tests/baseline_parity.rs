@@ -20,9 +20,17 @@ fn precision(relevant: &[bool]) -> f64 {
 #[test]
 fn all_three_systems_find_related_tables_on_clean_data() {
     let bench = benchgen::synthetic(64, 61);
-    let cfg = D3lConfig { embed_dim: 32, ..D3lConfig::fast() };
+    let cfg = D3lConfig {
+        embed_dim: 32,
+        ..D3lConfig::fast()
+    };
     let d3l = D3l::index_lake_with(&bench.lake, cfg, embedder());
-    let tus = Tus::index_lake(&bench.lake, SyntheticKb::with_cost(0), embedder(), TusConfig::fast());
+    let tus = Tus::index_lake(
+        &bench.lake,
+        SyntheticKb::with_cost(0),
+        embedder(),
+        TusConfig::fast(),
+    );
     let aurum = Aurum::index_lake(&bench.lake, embedder(), AurumConfig::fast());
 
     let targets = bench.pick_targets(6, 1);
@@ -32,11 +40,16 @@ fn all_three_systems_find_related_tables_on_clean_data() {
         let table = bench.lake.table_by_name(t).unwrap();
         let id = bench.lake.id_of(t).unwrap();
         let rel = |names: Vec<String>| {
-            let flags: Vec<bool> =
-                names.iter().map(|n| bench.truth.tables_related(t, n)).collect();
+            let flags: Vec<bool> = names
+                .iter()
+                .map(|n| bench.truth.tables_related(t, n))
+                .collect();
             precision(&flags)
         };
-        let opts = QueryOptions { exclude: Some(id), ..Default::default() };
+        let opts = QueryOptions {
+            exclude: Some(id),
+            ..Default::default()
+        };
         pd += rel(d3l
             .query_with(table, k, &opts)
             .iter()
@@ -68,16 +81,26 @@ fn d3l_degrades_less_than_baselines_on_dirty_data() {
     let dirty = benchgen::smaller_real(64, 62);
     let k = 5;
     let run = |bench: &benchgen::Benchmark| -> (f64, f64) {
-        let cfg = D3lConfig { embed_dim: 32, ..D3lConfig::fast() };
+        let cfg = D3lConfig {
+            embed_dim: 32,
+            ..D3lConfig::fast()
+        };
         let d3l = D3l::index_lake_with(&bench.lake, cfg, embedder());
-        let tus =
-            Tus::index_lake(&bench.lake, SyntheticKb::with_cost(0), embedder(), TusConfig::fast());
+        let tus = Tus::index_lake(
+            &bench.lake,
+            SyntheticKb::with_cost(0),
+            embedder(),
+            TusConfig::fast(),
+        );
         let targets = bench.pick_targets(6, 3);
         let (mut pd, mut pt) = (0.0, 0.0);
         for t in &targets {
             let table = bench.lake.table_by_name(t).unwrap();
             let id = bench.lake.id_of(t).unwrap();
-            let opts = QueryOptions { exclude: Some(id), ..Default::default() };
+            let opts = QueryOptions {
+                exclude: Some(id),
+                ..Default::default()
+            };
             let flags: Vec<bool> = d3l
                 .query_with(table, k, &opts)
                 .iter()
@@ -101,7 +124,10 @@ fn d3l_degrades_less_than_baselines_on_dirty_data() {
         d3l_drop <= tus_drop + 0.15,
         "D3L drop {d3l_drop:.2} should not exceed TUS drop {tus_drop:.2} by much"
     );
-    assert!(d3l_dirty >= tus_dirty - 0.05, "on dirty data D3L ({d3l_dirty:.2}) >= TUS ({tus_dirty:.2})");
+    assert!(
+        d3l_dirty >= tus_dirty - 0.05,
+        "on dirty data D3L ({d3l_dirty:.2}) >= TUS ({tus_dirty:.2})"
+    );
 }
 
 #[test]
@@ -142,7 +168,12 @@ fn tus_is_blind_to_numeric_only_targets() {
         .unwrap(),
     )
     .unwrap();
-    let tus = Tus::index_lake(&lake, SyntheticKb::with_cost(0), embedder(), TusConfig::fast());
+    let tus = Tus::index_lake(
+        &lake,
+        SyntheticKb::with_cost(0),
+        embedder(),
+        TusConfig::fast(),
+    );
     assert_eq!(tus.attr_count(), 0);
     let target = Table::from_rows(
         "numbers_q",

@@ -1,0 +1,180 @@
+//! End-to-end tests of the `d3l` binary: usage/exit-code contract,
+//! evidence-flag handling, and the `demo`/`stats`/`query` paths.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+use d3l::prelude::*;
+use d3l::table::csv;
+
+fn d3l_cmd(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_d3l"))
+        .args(args)
+        .output()
+        .expect("failed to spawn the d3l binary")
+}
+
+fn stderr_of(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+fn stdout_of(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+/// A tiny on-disk lake plus a target CSV, cleaned up on drop.
+struct TempLake {
+    dir: PathBuf,
+    target: PathBuf,
+}
+
+impl TempLake {
+    fn create(tag: &str) -> Self {
+        let base = std::env::temp_dir().join(format!("d3l_cli_test_{}_{tag}", std::process::id()));
+        let dir = base.join("lake");
+        std::fs::create_dir_all(&dir).unwrap();
+
+        let mut lake = DataLake::new();
+        lake.add(
+            Table::from_rows(
+                "gp_funding",
+                &["Practice", "City", "Payment"],
+                &[
+                    vec!["Blackfriars".into(), "Salford".into(), "15530".into()],
+                    vec!["The London Clinic".into(), "London".into(), "73648".into()],
+                    vec!["Radclife Care".into(), "Manchester".into(), "24190".into()],
+                ],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        lake.add(
+            Table::from_rows(
+                "planets",
+                &["Planet", "Moons"],
+                &[
+                    vec!["Saturn".into(), "146".into()],
+                    vec!["Jupiter".into(), "95".into()],
+                ],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        lake.save_dir(&dir).unwrap();
+
+        let target = Table::from_rows(
+            "gps",
+            &["Practice", "City"],
+            &[vec!["Blackfriars".into(), "Salford".into()]],
+        )
+        .unwrap();
+        let target_path = base.join("target.csv");
+        std::fs::write(&target_path, csv::to_csv(&target)).unwrap();
+        TempLake {
+            dir,
+            target: target_path,
+        }
+    }
+
+    fn dir(&self) -> &str {
+        self.dir.to_str().unwrap()
+    }
+
+    fn target(&self) -> &str {
+        self.target.to_str().unwrap()
+    }
+}
+
+impl Drop for TempLake {
+    fn drop(&mut self) {
+        if let Some(base) = self.dir.parent() {
+            std::fs::remove_dir_all(base).ok();
+        }
+    }
+}
+
+#[test]
+fn no_arguments_prints_usage_and_exits_2() {
+    let out = d3l_cmd(&[]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = stderr_of(&out);
+    assert!(err.contains("usage:"), "stderr was: {err}");
+    assert!(
+        err.contains("--evidence N|V|F|E|D"),
+        "usage must document evidence flags: {err}"
+    );
+}
+
+#[test]
+fn unknown_subcommand_prints_usage_and_exits_2() {
+    let out = d3l_cmd(&["discover"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr_of(&out).contains("usage:"));
+}
+
+#[test]
+fn query_on_missing_lake_dir_exits_1_with_error() {
+    let out = d3l_cmd(&["query", "/nonexistent/lake", "/nonexistent/target.csv"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(stderr_of(&out).contains("error:"));
+}
+
+#[test]
+fn unknown_evidence_flag_exits_1_naming_the_flag() {
+    let lake = TempLake::create("bad_evidence");
+    let out = d3l_cmd(&["query", lake.dir(), lake.target(), "--evidence", "Z"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(stderr_of(&out).contains("unknown evidence Z"));
+}
+
+#[test]
+fn query_finds_the_related_table() {
+    let lake = TempLake::create("query");
+    let out = d3l_cmd(&["query", lake.dir(), lake.target(), "-k", "1"]);
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr_of(&out));
+    let stdout = stdout_of(&out);
+    assert!(
+        stdout.contains("gp_funding"),
+        "top-1 must be gp_funding, got: {stdout}"
+    );
+    assert!(!stdout.contains("no related tables"), "got: {stdout}");
+}
+
+#[test]
+fn query_accepts_each_evidence_flag() {
+    let lake = TempLake::create("evidence_ok");
+    for flag in ["N", "V", "F", "E", "D", "n", "v", "f", "e", "d"] {
+        let out = d3l_cmd(&["query", lake.dir(), lake.target(), "--evidence", flag]);
+        assert_eq!(
+            out.status.code(),
+            Some(0),
+            "--evidence {flag} failed: {}",
+            stderr_of(&out)
+        );
+    }
+}
+
+#[test]
+fn stats_reports_lake_shape() {
+    let lake = TempLake::create("stats");
+    let out = d3l_cmd(&["stats", lake.dir()]);
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr_of(&out));
+    let stdout = stdout_of(&out);
+    assert!(stdout.contains("tables:         2"), "got: {stdout}");
+    assert!(stdout.contains("attributes:     5"), "got: {stdout}");
+    assert!(stdout.contains("index bytes:"), "got: {stdout}");
+}
+
+#[test]
+fn demo_runs_end_to_end() {
+    let out = d3l_cmd(&["demo"]);
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr_of(&out));
+    let stdout = stdout_of(&out);
+    assert!(stdout.contains("demo lake:"), "got: {stdout}");
+    // The demo queries with --joins, so both result sections appear.
+    assert!(stdout.contains("table"), "result header missing: {stdout}");
+    assert!(
+        stdout.contains("join paths from the top-5"),
+        "got: {stdout}"
+    );
+}

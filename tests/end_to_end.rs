@@ -15,7 +15,10 @@ fn indexed(tables: usize, seed: u64, dirty: bool) -> (benchgen::Benchmark, D3l) 
         benchgen::synthetic(tables, seed)
     };
     let embedder = SemanticEmbedder::new(benchgen::vocab::domain_lexicon(32));
-    let cfg = D3lConfig { embed_dim: 32, ..D3lConfig::fast() };
+    let cfg = D3lConfig {
+        embed_dim: 32,
+        ..D3lConfig::fast()
+    };
     let d3l = D3l::index_lake_with(&bench.lake, cfg, embedder);
     (bench, d3l)
 }
@@ -29,10 +32,15 @@ fn discovery_beats_chance_on_clean_data() {
     let mut r = 0.0;
     for t in &targets {
         let target = bench.lake.table_by_name(t).unwrap();
-        let opts = QueryOptions { exclude: bench.lake.id_of(t), ..Default::default() };
+        let opts = QueryOptions {
+            exclude: bench.lake.id_of(t),
+            ..Default::default()
+        };
         let res = d3l.query_with(target, k, &opts);
-        let rel: Vec<bool> =
-            res.iter().map(|m| bench.truth.tables_related(t, d3l.table_name(m.table))).collect();
+        let rel: Vec<bool> = res
+            .iter()
+            .map(|m| bench.truth.tables_related(t, d3l.table_name(m.table)))
+            .collect();
         p += precision_at_k(&rel);
         r += recall_at_k(&rel, bench.truth.answer_set(t).len());
     }
@@ -49,10 +57,15 @@ fn discovery_survives_dirty_data() {
     let mut p = 0.0;
     for t in &targets {
         let target = bench.lake.table_by_name(t).unwrap();
-        let opts = QueryOptions { exclude: bench.lake.id_of(t), ..Default::default() };
+        let opts = QueryOptions {
+            exclude: bench.lake.id_of(t),
+            ..Default::default()
+        };
         let res = d3l.query_with(target, 5, &opts);
-        let rel: Vec<bool> =
-            res.iter().map(|m| bench.truth.tables_related(t, d3l.table_name(m.table))).collect();
+        let rel: Vec<bool> = res
+            .iter()
+            .map(|m| bench.truth.tables_related(t, d3l.table_name(m.table)))
+            .collect();
         p += precision_at_k(&rel);
     }
     p /= targets.len() as f64;
@@ -65,20 +78,30 @@ fn self_query_ranks_self_first_when_not_excluded() {
     let t = &bench.pick_targets(1, 3)[0];
     let target = bench.lake.table_by_name(t).unwrap();
     let res = d3l.query(target, 1);
-    assert_eq!(d3l.table_name(res[0].table), t, "a table is most related to itself");
+    assert_eq!(
+        d3l.table_name(res[0].table),
+        t,
+        "a table is most related to itself"
+    );
 }
 
 #[test]
 fn join_paths_extend_coverage() {
     let (bench, d3l) = indexed(96, 44, false);
     let graph = d3l.build_join_graph();
-    assert!(graph.edge_count() > 0, "shared entity pools must create SA-join edges");
+    assert!(
+        graph.edge_count() > 0,
+        "shared entity pools must create SA-join edges"
+    );
 
     let mut improved = 0usize;
     let targets = bench.pick_targets(6, 4);
     for tname in &targets {
         let target = bench.lake.table_by_name(tname).unwrap();
-        let opts = QueryOptions { exclude: bench.lake.id_of(tname), ..Default::default() };
+        let opts = QueryOptions {
+            exclude: bench.lake.id_of(tname),
+            ..Default::default()
+        };
         let top = d3l.query_with(target, 3, &opts);
         let top_ids: HashSet<TableId> = top.iter().map(|m| m.table).collect();
         let mut covered: HashSet<usize> = HashSet::new();
@@ -105,7 +128,10 @@ fn join_paths_extend_coverage() {
             improved += 1;
         }
     }
-    assert!(improved > 0, "join paths should add coverage for at least one target");
+    assert!(
+        improved > 0,
+        "join paths should add coverage for at least one target"
+    );
 }
 
 #[test]
@@ -124,7 +150,10 @@ fn join_paths_respect_algorithm3_invariants() {
             assert!(path.len() <= d3l.config().max_join_depth);
             for node in path.extensions() {
                 assert!(!top.contains(node), "interior nodes leave the top-k");
-                assert!(related.contains(node), "interior nodes relate to the target");
+                assert!(
+                    related.contains(node),
+                    "interior nodes relate to the target"
+                );
                 // consecutive nodes are SA-joinable
             }
             for w in path.nodes.windows(2) {
@@ -144,14 +173,23 @@ fn csv_round_trip_preserves_discovery() {
     assert_eq!(reloaded.len(), bench.lake.len());
 
     let embedder = SemanticEmbedder::new(benchgen::vocab::domain_lexicon(32));
-    let cfg = D3lConfig { embed_dim: 32, ..D3lConfig::fast() };
+    let cfg = D3lConfig {
+        embed_dim: 32,
+        ..D3lConfig::fast()
+    };
     let d3l2 = D3l::index_lake_with(&reloaded, cfg, embedder);
     let t = &bench.pick_targets(1, 6)[0];
     let target = bench.lake.table_by_name(t).unwrap();
-    let a: Vec<String> =
-        d3l.query(target, 5).iter().map(|m| d3l.table_name(m.table).to_string()).collect();
-    let b: Vec<String> =
-        d3l2.query(target, 5).iter().map(|m| d3l2.table_name(m.table).to_string()).collect();
+    let a: Vec<String> = d3l
+        .query(target, 5)
+        .iter()
+        .map(|m| d3l.table_name(m.table).to_string())
+        .collect();
+    let b: Vec<String> = d3l2
+        .query(target, 5)
+        .iter()
+        .map(|m| d3l2.table_name(m.table).to_string())
+        .collect();
     assert_eq!(a, b, "discovery is identical after a CSV round trip");
 }
 
@@ -162,16 +200,26 @@ fn evidence_weights_trainable_from_ground_truth() {
     let mut ys = Vec::new();
     for t in bench.pick_targets(8, 7) {
         let target = bench.lake.table_by_name(&t).unwrap();
-        let opts = QueryOptions { exclude: bench.lake.id_of(&t), ..Default::default() };
+        let opts = QueryOptions {
+            exclude: bench.lake.id_of(&t),
+            ..Default::default()
+        };
         for m in d3l.rank_all(target, 40, &opts) {
             xs.push(m.vector);
             ys.push(bench.truth.tables_related(&t, d3l.table_name(m.table)));
         }
     }
-    assert!(ys.iter().any(|&y| y) && ys.iter().any(|&y| !y), "need both classes");
+    assert!(
+        ys.iter().any(|&y| y) && ys.iter().any(|&y| !y),
+        "need both classes"
+    );
     let (w, model) = d3l::core::weights::train_evidence_weights(&xs, &ys);
     assert!(w.0.iter().all(|&x| x > 0.0));
-    let correct = xs.iter().zip(&ys).filter(|(x, &y)| model.predict(&x.0) == y).count();
+    let correct = xs
+        .iter()
+        .zip(&ys)
+        .filter(|(x, &y)| model.predict(&x.0) == y)
+        .count();
     assert!(
         correct as f64 / xs.len() as f64 > 0.75,
         "training accuracy {}",

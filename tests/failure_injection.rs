@@ -6,11 +6,11 @@ use d3l::table::{csv, TableError};
 
 #[test]
 fn malformed_csv_is_rejected_not_panicked() {
-    for bad in [
-        "a,b\n\"unterminated",
-        "\"x\"junk,\n",
-    ] {
-        assert!(matches!(csv::parse_csv("t", bad), Err(TableError::Csv { .. })), "{bad:?}");
+    for bad in ["a,b\n\"unterminated", "\"x\"junk,\n"] {
+        assert!(
+            matches!(csv::parse_csv("t", bad), Err(TableError::Csv { .. })),
+            "{bad:?}"
+        );
     }
     // Ragged rows surface as RaggedRows.
     assert!(matches!(
@@ -30,8 +30,7 @@ fn loading_missing_directory_errors() {
 #[test]
 fn empty_lake_answers_empty() {
     let d3l = D3l::index_lake(&DataLake::new(), D3lConfig::fast());
-    let target =
-        Table::from_rows("t", &["a"], &[vec!["x".into()]]).unwrap();
+    let target = Table::from_rows("t", &["a"], &[vec!["x".into()]]).unwrap();
     assert!(d3l.query(&target, 10).is_empty());
     let graph = d3l.build_join_graph();
     assert_eq!(graph.node_count(), 0);
@@ -40,7 +39,8 @@ fn empty_lake_answers_empty() {
 #[test]
 fn empty_target_answers_empty() {
     let mut lake = DataLake::new();
-    lake.add(Table::from_rows("s", &["a"], &[vec!["x".into()]]).unwrap()).unwrap();
+    lake.add(Table::from_rows("s", &["a"], &[vec!["x".into()]]).unwrap())
+        .unwrap();
     let d3l = D3l::index_lake(&lake, D3lConfig::fast());
     let empty_target = Table::from_rows("t", &[], &[]).unwrap();
     assert!(d3l.query(&empty_target, 5).is_empty());
@@ -58,10 +58,8 @@ fn all_null_columns_survive_the_pipeline() {
         .unwrap(),
     )
     .unwrap();
-    lake.add(
-        Table::from_rows("real", &["City"], &[vec!["Salford".into()]]).unwrap(),
-    )
-    .unwrap();
+    lake.add(Table::from_rows("real", &["City"], &[vec!["Salford".into()]]).unwrap())
+        .unwrap();
     let d3l = D3l::index_lake(&lake, D3lConfig::fast());
     let target = Table::from_rows("t", &["City"], &[vec!["Salford".into()]]).unwrap();
     let matches = d3l.query(&target, 2);
@@ -74,7 +72,8 @@ fn all_null_columns_survive_the_pipeline() {
 #[test]
 fn single_row_and_single_column_tables() {
     let mut lake = DataLake::new();
-    lake.add(Table::from_rows("one_cell", &["x"], &[vec!["42".into()]]).unwrap()).unwrap();
+    lake.add(Table::from_rows("one_cell", &["x"], &[vec!["42".into()]]).unwrap())
+        .unwrap();
     lake.add(
         Table::from_rows(
             "wide",
@@ -137,12 +136,7 @@ fn query_k_larger_than_lake_is_bounded() {
 
 #[test]
 fn duplicate_column_names_do_not_crash() {
-    let t = Table::from_rows(
-        "dups",
-        &["x", "x"],
-        &[vec!["a".into(), "b".into()]],
-    )
-    .unwrap();
+    let t = Table::from_rows("dups", &["x", "x"], &[vec!["a".into(), "b".into()]]).unwrap();
     let mut lake = DataLake::new();
     lake.add(t).unwrap();
     let d3l = D3l::index_lake(&lake, D3lConfig::fast());

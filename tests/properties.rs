@@ -18,11 +18,7 @@ fn token_vec() -> impl Strategy<Value = Vec<String>> {
 }
 
 fn cell() -> impl Strategy<Value = String> {
-    prop_oneof![
-        "[A-Za-z0-9 ,._-]{0,24}",
-        "[0-9]{1,6}",
-        Just(String::new()),
-    ]
+    prop_oneof!["[A-Za-z0-9 ,._-]{0,24}", "[0-9]{1,6}", Just(String::new()),]
 }
 
 proptest! {
