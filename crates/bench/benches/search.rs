@@ -1,10 +1,13 @@
 //! Search-time benches — the Criterion counterpart of Experiments 5/6
-//! (Figures 6b/6c): query latency as the answer size grows.
+//! (Figures 6b/6c): query latency as the answer size grows, plus the
+//! batched query engine against the sequential per-target loop and
+//! the query pipeline's 1-vs-N-thread scaling.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 use d3l_bench::runner::{SystemKind, Systems};
+use d3l_core::query::QueryOptions;
 
 fn bench_search(c: &mut Criterion) {
     let systems = Systems::build(d3l_benchgen::synthetic(160, 11), false);
@@ -26,5 +29,50 @@ fn bench_search(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_search);
+/// Batched query engine vs the sequential per-target replay over the
+/// evaluation-sized workload (100 targets), and the parallel
+/// pipeline's thread scaling on a single wide ranking. The batch and
+/// thread variants return byte-identical results (see
+/// tests/determinism.rs); only the wall-clock differs.
+fn bench_batch(c: &mut Criterion) {
+    let systems = Systems::build(d3l_benchgen::synthetic(160, 11), false);
+    let targets = systems.bench.pick_targets(100, 3);
+    assert!(targets.len() >= 100, "need >= 100 benchgen targets");
+    let k = 10usize;
+
+    let mut group = c.benchmark_group("batch");
+    group.sample_size(10);
+    group.bench_function(BenchmarkId::new("sequential", targets.len()), |b| {
+        b.iter(|| {
+            for t in &targets {
+                black_box(systems.query(SystemKind::D3l, t, k));
+            }
+        })
+    });
+    group.bench_function(BenchmarkId::new("query_batch", targets.len()), |b| {
+        b.iter(|| black_box(systems.query_batch(SystemKind::D3l, &targets, k)))
+    });
+    group.finish();
+
+    // Thread scaling of one rank_all: 1 worker vs every CPU.
+    let tname = &targets[0];
+    let table = systems.bench.lake.table_by_name(tname).unwrap();
+    let exclude = systems.bench.lake.id_of(tname);
+    let threads_cases = [("1", 1usize), ("auto", 0usize)];
+    let mut group = c.benchmark_group("query_threads");
+    group.sample_size(10);
+    for (label, n) in threads_cases {
+        let opts = QueryOptions {
+            exclude,
+            threads: Some(n),
+            ..Default::default()
+        };
+        group.bench_function(BenchmarkId::new("rank_all", label), |b| {
+            b.iter(|| black_box(systems.d3l.rank_all(table, 100, &opts)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_search, bench_batch);
 criterion_main!(benches);

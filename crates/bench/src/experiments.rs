@@ -274,8 +274,8 @@ pub fn search_time(setting: &Setting, smaller: bool) {
         .pick_targets(setting.targets.min(15), setting.seed);
     let ks = Setting::k_sweep(avg);
     println!(
-        "{:>6} {:>12} {:>12}  (avg seconds per query)",
-        "k", "D3L", "TUS"
+        "{:>6} {:>12} {:>12} {:>12}  (avg seconds per query)",
+        "k", "D3L", "D3L(batch)", "TUS"
     );
     for &k in &ks {
         let t0 = Instant::now();
@@ -283,12 +283,17 @@ pub fn search_time(setting: &Setting, smaller: bool) {
             std::hint::black_box(systems.query(SystemKind::D3l, t, k));
         }
         let d3l_t = secs(t0) / targets.len() as f64;
+        // The batched API answers the same workload with one call,
+        // fanned out over the configured query threads.
+        let t0 = Instant::now();
+        std::hint::black_box(systems.query_batch(SystemKind::D3l, &targets, k));
+        let d3l_batch_t = secs(t0) / targets.len() as f64;
         let t0 = Instant::now();
         for t in &targets {
             std::hint::black_box(systems.query(SystemKind::Tus, t, k));
         }
         let tus_t = secs(t0) / targets.len() as f64;
-        println!("{k:>6} {d3l_t:>12.4} {tus_t:>12.4}");
+        println!("{k:>6} {d3l_t:>12.4} {d3l_batch_t:>12.4} {tus_t:>12.4}");
     }
     // Aurum's query model is k-independent; report the average alone,
     // as the paper does.

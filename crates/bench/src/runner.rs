@@ -98,6 +98,59 @@ impl Systems {
         &self.join_graph
     }
 
+    /// Query one system for many lake-member targets at once, each
+    /// excluding itself from its answer. D3L modes go through
+    /// [`D3l::query_batch_with`], which shares per-target profiling
+    /// and fans the batch out over the configured query threads; the
+    /// baselines have no batch API and replay sequentially. Results
+    /// are identical to per-target [`Systems::query`] calls.
+    pub fn query_batch(
+        &self,
+        kind: SystemKind,
+        target_names: &[String],
+        k: usize,
+    ) -> Vec<Vec<RankedTable>> {
+        let evidence = match kind {
+            SystemKind::D3l => None,
+            SystemKind::D3lSingle(e) => Some(e),
+            SystemKind::Tus | SystemKind::Aurum => {
+                return target_names
+                    .iter()
+                    .map(|t| self.query(kind, t, k))
+                    .collect()
+            }
+        };
+        let targets: Vec<d3l_table::Table> = target_names
+            .iter()
+            .map(|t| {
+                self.bench
+                    .lake
+                    .table_by_name(t)
+                    .expect("target must be a lake member")
+                    .clone()
+            })
+            .collect();
+        let opts: Vec<QueryOptions> = target_names
+            .iter()
+            .map(|t| QueryOptions {
+                exclude: self.bench.lake.id_of(t),
+                evidence,
+                ..Default::default()
+            })
+            .collect();
+        self.d3l
+            .query_batch_with(&targets, k, &opts)
+            .into_iter()
+            .zip(target_names)
+            .map(|(matches, t)| {
+                matches
+                    .iter()
+                    .map(|m| self.ranked_of_d3l_match(t, m))
+                    .collect()
+            })
+            .collect()
+    }
+
     /// Query one system for a lake-member target, excluding the
     /// target itself from the answer.
     pub fn query(&self, kind: SystemKind, target_name: &str, k: usize) -> Vec<RankedTable> {
@@ -168,12 +221,15 @@ impl Systems {
             ..Default::default()
         };
         let width = self.d3l.config().lookup_width(k);
-        let all = self.d3l.rank_all(target, width, &opts);
+        // One profiling pass serves both the ranking and the
+        // related-set lookup.
+        let prepared = self.d3l.prepare_target(target);
+        let all = self.d3l.rank_all_prepared(&prepared, width, &opts);
         let alignments_of: HashMap<TableId, &d3l_core::TableMatch> =
             all.iter().map(|m| (m.table, m)).collect();
         let top: Vec<&d3l_core::TableMatch> = all.iter().take(k).collect();
         let top_set: HashSet<TableId> = top.iter().map(|m| m.table).collect();
-        let mut related = self.d3l.related_table_set(target, width);
+        let mut related = self.d3l.related_table_set_prepared(&prepared, width);
         related.remove(&exclude.unwrap_or(TableId(u32::MAX)));
 
         top.iter()
@@ -319,6 +375,28 @@ mod tests {
         for (_, joined) in &ext {
             for j in joined {
                 assert!(!top_names.contains(j.name.as_str()));
+            }
+        }
+    }
+
+    #[test]
+    fn batch_query_matches_sequential_for_every_system() {
+        let s = systems();
+        let targets = s.bench.pick_targets(4, 2);
+        for kind in [
+            SystemKind::D3l,
+            SystemKind::D3lSingle(Evidence::Value),
+            SystemKind::Tus,
+        ] {
+            let batched = s.query_batch(kind, &targets, 5);
+            assert_eq!(batched.len(), targets.len());
+            for (t, b) in targets.iter().zip(&batched) {
+                let seq = s.query(kind, t, 5);
+                assert_eq!(b.len(), seq.len(), "{kind:?} length for {t}");
+                for (x, y) in b.iter().zip(&seq) {
+                    assert_eq!(x.name, y.name, "{kind:?} ranking for {t}");
+                    assert_eq!(x.aligned, y.aligned, "{kind:?} alignments for {t}");
+                }
             }
         }
     }

@@ -36,6 +36,14 @@ pub struct D3lConfig {
     /// Number of worker threads for index construction (0 = number of
     /// available CPUs).
     pub index_threads: usize,
+    /// Number of worker threads for the query pipeline (0 = number of
+    /// available CPUs). Results are byte-identical at every thread
+    /// count; this only trades latency for cores. The
+    /// `D3L_QUERY_THREADS` environment variable overrides both this
+    /// field when no explicit per-query override is given (CI uses it
+    /// to exercise the single- and multi-threaded paths on the same
+    /// test suite).
+    pub query_threads: usize,
 }
 
 impl Default for D3lConfig {
@@ -53,6 +61,7 @@ impl Default for D3lConfig {
             max_join_depth: 3,
             seed: 0xd31,
             index_threads: 0,
+            query_threads: 0,
         }
     }
 }
@@ -72,8 +81,34 @@ impl D3lConfig {
 
     /// Effective thread count for index construction.
     pub fn effective_threads(&self) -> usize {
-        if self.index_threads > 0 {
-            self.index_threads
+        Self::auto_threads(self.index_threads)
+    }
+
+    /// Effective thread count for the query pipeline. Precedence: an
+    /// explicit `per_query` override
+    /// ([`crate::query::QueryOptions::threads`]) wins — callers that
+    /// set it (e.g. the determinism tests comparing thread counts)
+    /// mean it literally — then the `D3L_QUERY_THREADS` environment
+    /// variable (CI forces the whole suite through the single- and
+    /// fully-parallel paths with it), then
+    /// [`D3lConfig::query_threads`]; 0 at any level means "use every
+    /// available CPU".
+    pub fn effective_query_threads(&self, per_query: Option<usize>) -> usize {
+        if let Some(n) = per_query {
+            return Self::auto_threads(n);
+        }
+        if let Some(n) = std::env::var("D3L_QUERY_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+        {
+            return Self::auto_threads(n);
+        }
+        Self::auto_threads(self.query_threads)
+    }
+
+    fn auto_threads(n: usize) -> usize {
+        if n > 0 {
+            n
         } else {
             std::thread::available_parallelism()
                 .map(|n| n.get())
@@ -114,5 +149,23 @@ mod tests {
             ..Default::default()
         };
         assert_eq!(c.effective_threads(), 3);
+    }
+
+    #[test]
+    fn effective_query_threads_precedence() {
+        let c = D3lConfig {
+            query_threads: 2,
+            ..Default::default()
+        };
+        // Explicit per-query overrides always win, even under the CI
+        // env override.
+        assert_eq!(c.effective_query_threads(Some(5)), 5);
+        assert!(c.effective_query_threads(Some(0)) >= 1);
+        assert!(D3lConfig::default().effective_query_threads(None) >= 1);
+        // The config fallback only shows when the env override is not
+        // active.
+        if std::env::var("D3L_QUERY_THREADS").is_err() {
+            assert_eq!(c.effective_query_threads(None), 2);
+        }
     }
 }

@@ -245,6 +245,13 @@ impl D3l {
         &self.cfg
     }
 
+    /// Change the query-pipeline worker count (0 = all available
+    /// CPUs) without re-indexing. Thread count never changes query
+    /// results — only latency — so this is safe to flip at any time.
+    pub fn set_query_threads(&mut self, threads: usize) {
+        self.cfg.query_threads = threads;
+    }
+
     /// Number of indexed tables.
     pub fn table_count(&self) -> usize {
         self.profiles.len()

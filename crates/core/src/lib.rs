@@ -13,10 +13,17 @@
 //!    every attribute in the lake;
 //! 2. [`index`] — insert MinHash / random-projection signatures into
 //!    the four LSH Forests `IN`, `IV`, `IF`, `IE`;
-//! 3. [`query`] — look up a target's attributes, compute the five
-//!    distances per candidate pair (Algorithm 2 guards the numeric
-//!    KS case), aggregate column-wise with CCDF weights (Eq. 1–2) and
-//!    collapse with the weighted Euclidean norm (Eq. 3);
+//! 3. [`query`] — a three-stage pipeline: (a) *candidate generation*
+//!    (the prepared target's attributes are looked up in the four
+//!    forests; candidate sets are sorted by [`AttrRef::key`]),
+//!    (b) *pairwise evidence scoring* (five distances per candidate
+//!    pair, Algorithm 2 guarding the numeric KS case), and
+//!    (c) *CCDF-weighted aggregation* (Eq. 1–2 column-wise, Eq. 3
+//!    collapse). Stages (a) and (b) fan out over scoped threads
+//!    (`D3lConfig::query_threads`), and [`D3l::query_batch`] fans a
+//!    whole evaluation workload out over targets — profiling each
+//!    target exactly once — while guaranteeing results byte-identical
+//!    to the sequential path at every thread count;
 //! 4. [`join`] — Algorithm 3: extend the top-k with SA-join paths
 //!    that cover additional target attributes;
 //! 5. [`metrics`] — the paper's evaluation measures (precision,
@@ -57,5 +64,5 @@ pub use index::{AttrRef, D3l};
 pub use join::{JoinPath, SaJoinGraph};
 pub use populate::Population;
 pub use profile::AttributeProfile;
-pub use query::{Alignment, TableMatch};
+pub use query::{Alignment, PreparedTarget, QueryOptions, TableMatch};
 pub use weights::EvidenceWeights;

@@ -67,11 +67,11 @@ impl D3l {
         let mut contributed = Vec::new();
         let mut covered: Vec<bool> = vec![false; arity];
 
+        let weights = crate::weights::EvidenceWeights::trained_default();
         for m in matches {
             let source = lake.table(m.table);
             // target column → source column, quality-filtered.
             let mut mapping: HashMap<usize, usize> = HashMap::new();
-            let weights = crate::weights::EvidenceWeights::trained_default();
             for a in &m.alignments {
                 if weights.combined_distance(&a.distances) <= POPULATE_MAX_DISTANCE {
                     mapping.insert(a.target_column, a.source.column as usize);

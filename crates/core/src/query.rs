@@ -1,13 +1,30 @@
-//! Top-k discovery queries (§III-D).
+//! Top-k discovery queries (§III-D) — an explicit three-stage
+//! pipeline.
 //!
-//! Given a target table, each target attribute is looked up in the
-//! four LSH Forests; candidate attributes get a full five-distance
-//! vector (Algorithm 2 guards the numeric KS case); candidates are
-//! grouped by source table, aggregated column-wise with CCDF weights
-//! (Eq. 1–2) and collapsed to a scalar by the weighted Euclidean norm
-//! (Eq. 3). Tables are returned closest-first.
+//! Given a target table, the query path runs:
+//!
+//! 1. **Candidate generation** — each target attribute is profiled
+//!    once into a [`PreparedTarget`] and looked up in the four LSH
+//!    Forests; per-attribute candidate sets are sorted by
+//!    [`AttrRef::key`] so later stages iterate them in a fixed order.
+//! 2. **Pairwise evidence scoring** — every (target attribute,
+//!    candidate attribute) pair gets a full five-distance vector
+//!    (Algorithm 2 guards the numeric KS case with a precomputed
+//!    per-table subject guard).
+//! 3. **CCDF-weighted aggregation** — candidates are grouped by
+//!    source table, aggregated column-wise with CCDF weights
+//!    (Eq. 1–2) and collapsed to a scalar by the weighted Euclidean
+//!    norm (Eq. 3). Tables are returned closest-first.
+//!
+//! Stages 1 and 2 fan out over `std::thread::scope` workers
+//! (`D3lConfig::query_threads`, overridable per query via
+//! [`QueryOptions::threads`] and globally via the `D3L_QUERY_THREADS`
+//! environment variable); [`D3l::query_batch`] additionally fans out
+//! over targets. Work is split into contiguous chunks reassembled in
+//! input order and every reduction runs over key-sorted data, so
+//! results are **byte-identical at every thread count**.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 
 use d3l_features::ks;
 use d3l_table::{Table, TableId};
@@ -63,9 +80,82 @@ pub struct QueryOptions {
     pub weights: Option<EvidenceWeights>,
     /// Override the per-attribute lookup width.
     pub lookup_width: Option<usize>,
+    /// Per-query worker-thread override (`None` = the
+    /// `D3L_QUERY_THREADS` env var, then the config's
+    /// `query_threads`; `Some(0)` = all available CPUs). Ignored by
+    /// the batch APIs, which split the config/env budget across
+    /// targets themselves. Thread count never changes results, only
+    /// latency.
+    pub threads: Option<usize>,
+}
+
+/// A target profiled and signed against one index's hashers — the
+/// output of the pipeline's first stage.
+///
+/// Profiling a target (q-gram, token, pattern and embedding
+/// extraction plus four signatures per attribute) dominates the cost
+/// of small queries, so callers that query the same target repeatedly
+/// — `rank_all` plus `related_table_set` in the join workload, or the
+/// evaluation loop's many `k` values — should prepare once with
+/// [`D3l::prepare_target`] and pass the result to the `*_prepared`
+/// variants. A `PreparedTarget` is only meaningful for the `D3l`
+/// instance that produced it (signatures are bound to its hashers).
+pub struct PreparedTarget {
+    pub(crate) profiles: Vec<AttributeProfile>,
+    pub(crate) sigs: Vec<AttrSignatures>,
+    pub(crate) subject: Option<usize>,
+}
+
+impl PreparedTarget {
+    /// Number of target attributes.
+    pub fn arity(&self) -> usize {
+        self.profiles.len()
+    }
+}
+
+/// Map `f` over `items` on up to `threads` scoped workers, returning
+/// results in input order. Work is split into contiguous chunks whose
+/// results are reassembled in spawn order, so the output — and every
+/// float reduction downstream of it — is independent of the thread
+/// count.
+fn par_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let threads = threads.clamp(1, items.len().max(1));
+    if threads == 1 {
+        return items.iter().map(f).collect();
+    }
+    let chunk = items.len().div_ceil(threads);
+    let mut out = Vec::with_capacity(items.len());
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for batch in items.chunks(chunk) {
+            let f = &f;
+            handles.push(scope.spawn(move || batch.iter().map(f).collect::<Vec<R>>()));
+        }
+        for h in handles {
+            out.extend(h.join().expect("query worker panicked"));
+        }
+    });
+    out
 }
 
 impl D3l {
+    /// Stage 1 entry point: profile and sign a target once for reuse
+    /// across queries (`query_prepared`, `rank_all_prepared`,
+    /// `related_table_set_prepared`).
+    pub fn prepare_target(&self, target: &Table) -> PreparedTarget {
+        let (profiles, sigs) = self.profile_and_sign(target);
+        PreparedTarget {
+            profiles,
+            sigs,
+            subject: d3l_ml::subject_attribute(target),
+        }
+    }
+
     /// The k-most related lake tables to `target` with default
     /// options.
     pub fn query(&self, target: &Table, k: usize) -> Vec<TableMatch> {
@@ -74,10 +164,20 @@ impl D3l {
 
     /// The k-most related lake tables with explicit options.
     pub fn query_with(&self, target: &Table, k: usize, opts: &QueryOptions) -> Vec<TableMatch> {
+        self.query_prepared(&self.prepare_target(target), k, opts)
+    }
+
+    /// [`D3l::query_with`] over an already-prepared target.
+    pub fn query_prepared(
+        &self,
+        prepared: &PreparedTarget,
+        k: usize,
+        opts: &QueryOptions,
+    ) -> Vec<TableMatch> {
         let width = opts
             .lookup_width
             .unwrap_or_else(|| self.cfg.lookup_width(k));
-        let mut all = self.rank_all(target, width, opts);
+        let mut all = self.rank_all_prepared(prepared, width, opts);
         all.truncate(k);
         all
     }
@@ -86,43 +186,175 @@ impl D3l {
     /// closest first. `width` is the per-attribute, per-index lookup
     /// size.
     pub fn rank_all(&self, target: &Table, width: usize, opts: &QueryOptions) -> Vec<TableMatch> {
-        let (t_profiles, t_sigs) = self.profile_and_sign(target);
-        let t_subject = d3l_ml::subject_attribute(target);
+        self.rank_all_prepared(&self.prepare_target(target), width, opts)
+    }
 
-        // ---- Candidate gathering + per-pair distance vectors ------
-        // per target attribute: candidate attr → distance vector
-        let mut per_attr: Vec<HashMap<AttrRef, DistanceVector>> =
-            vec![HashMap::new(); t_profiles.len()];
-        // Cache of the Algorithm-2 subject guard per candidate table.
-        let mut subject_guard: HashMap<TableId, bool> = HashMap::new();
+    /// [`D3l::rank_all`] over an already-prepared target.
+    pub fn rank_all_prepared(
+        &self,
+        prepared: &PreparedTarget,
+        width: usize,
+        opts: &QueryOptions,
+    ) -> Vec<TableMatch> {
+        let threads = self.cfg.effective_query_threads(opts.threads);
+        self.rank_all_inner(prepared, width, opts, threads)
+    }
 
-        for (i, (tp, ts)) in t_profiles.iter().zip(&t_sigs).enumerate() {
-            let candidates = self.gather_candidates(tp, ts, width, opts.evidence);
-            for attr in candidates {
-                if opts.exclude == Some(attr.table) {
-                    continue;
-                }
-                let dv = self.pair_distances(
-                    tp,
-                    ts,
-                    attr,
-                    target,
-                    t_subject,
-                    &t_sigs,
-                    &mut subject_guard,
-                );
-                if dv.has_signal() {
-                    per_attr[i].insert(attr, dv);
-                }
+    /// The top-k answers for many targets at once, fanning the
+    /// batch out over the configured query threads. Each target is
+    /// profiled exactly once and ranked with the same deterministic
+    /// pipeline as [`D3l::query`], so
+    /// `query_batch(ts, k)[i] == query(&ts[i], k)` at every thread
+    /// count.
+    pub fn query_batch(&self, targets: &[Table], k: usize) -> Vec<Vec<TableMatch>> {
+        let opts = vec![QueryOptions::default(); targets.len()];
+        self.query_batch_with(targets, k, &opts)
+    }
+
+    /// [`D3l::query_batch`] with per-target options (one
+    /// [`QueryOptions`] per target — the evaluation loop excludes
+    /// each target itself from its own answer).
+    ///
+    /// The batch fans out over the config/env thread count;
+    /// [`QueryOptions::threads`] is ignored in batch mode. When the
+    /// batch is smaller than the thread budget, the leftover workers
+    /// parallelize *within* each target instead, so a one-element
+    /// batch performs like [`D3l::query_with`].
+    pub fn query_batch_with(
+        &self,
+        targets: &[Table],
+        k: usize,
+        opts: &[QueryOptions],
+    ) -> Vec<Vec<TableMatch>> {
+        assert_eq!(targets.len(), opts.len(), "one QueryOptions per target");
+        let work: Vec<(&Table, &QueryOptions)> = targets.iter().zip(opts).collect();
+        let (outer, inner) = self.batch_threads(work.len());
+        par_map(&work, outer, |&(target, opt)| {
+            let width = opt.lookup_width.unwrap_or_else(|| self.cfg.lookup_width(k));
+            let prepared = self.prepare_target(target);
+            let mut all = self.rank_all_inner(&prepared, width, opt, inner);
+            all.truncate(k);
+            all
+        })
+    }
+
+    /// [`D3l::rank_all`] for many targets at once, parallel over
+    /// targets (each worker runs the deterministic pipeline, so
+    /// batched and per-target results are identical; thread budget as
+    /// in [`D3l::query_batch_with`]).
+    pub fn rank_all_batch(
+        &self,
+        targets: &[Table],
+        width: usize,
+        opts: &[QueryOptions],
+    ) -> Vec<Vec<TableMatch>> {
+        assert_eq!(targets.len(), opts.len(), "one QueryOptions per target");
+        let work: Vec<(&Table, &QueryOptions)> = targets.iter().zip(opts).collect();
+        let (outer, inner) = self.batch_threads(work.len());
+        par_map(&work, outer, |&(target, opt)| {
+            let prepared = self.prepare_target(target);
+            self.rank_all_inner(&prepared, width, opt, inner)
+        })
+    }
+
+    /// Split the thread budget between batch fan-out (outer) and the
+    /// per-target pipeline (inner): big batches get one worker per
+    /// target, small batches hand the spare workers to the pipeline
+    /// stages.
+    fn batch_threads(&self, batch_len: usize) -> (usize, usize) {
+        let budget = self.cfg.effective_query_threads(None);
+        let outer = budget.min(batch_len.max(1));
+        let inner = (budget / outer.max(1)).max(1);
+        (outer, inner)
+    }
+
+    /// The full pipeline over one prepared target with an explicit
+    /// worker count (batch workers pass their share of the thread
+    /// budget — 1 for batches at least as large as the budget).
+    fn rank_all_inner(
+        &self,
+        prepared: &PreparedTarget,
+        width: usize,
+        opts: &QueryOptions,
+        threads: usize,
+    ) -> Vec<TableMatch> {
+        let candidates = self.stage_candidates(prepared, width, opts, threads);
+        let scored = self.stage_score(prepared, &candidates, threads);
+        self.stage_aggregate(&scored, opts)
+    }
+
+    /// Stage 1 — candidate generation: per target attribute, the
+    /// union of the four forests' lookups, filtered by `exclude` and
+    /// sorted by [`AttrRef::key`] so every downstream iteration order
+    /// is thread-count-independent.
+    fn stage_candidates(
+        &self,
+        prepared: &PreparedTarget,
+        width: usize,
+        opts: &QueryOptions,
+        threads: usize,
+    ) -> Vec<Vec<AttrRef>> {
+        let work: Vec<(&AttributeProfile, &AttrSignatures)> =
+            prepared.profiles.iter().zip(&prepared.sigs).collect();
+        par_map(&work, threads, |&(tp, ts)| {
+            let mut cands: Vec<AttrRef> = self
+                .gather_candidates(tp, ts, width, opts.evidence)
+                .into_iter()
+                .filter(|attr| opts.exclude != Some(attr.table))
+                .collect();
+            cands.sort_unstable_by_key(|a| a.key());
+            cands
+        })
+    }
+
+    /// Stage 2 — pairwise evidence scoring: a five-distance vector
+    /// per (target attribute, candidate) pair, parallel over the
+    /// flattened pair list. Pairs without signal (all distances 1)
+    /// are dropped. Candidate order within each attribute is
+    /// preserved from stage 1.
+    fn stage_score(
+        &self,
+        prepared: &PreparedTarget,
+        candidates: &[Vec<AttrRef>],
+        threads: usize,
+    ) -> Vec<Vec<(AttrRef, DistanceVector)>> {
+        // Algorithm 2 line 4 is a per-candidate-table predicate;
+        // precompute it for every table that could face a KS
+        // measurement so the per-pair workers stay pure.
+        let guards = self.subject_guards(prepared, candidates, threads);
+        let work: Vec<(usize, AttrRef)> = candidates
+            .iter()
+            .enumerate()
+            .flat_map(|(i, cands)| cands.iter().map(move |&attr| (i, attr)))
+            .collect();
+        let scored = par_map(&work, threads, |&(i, attr)| {
+            self.pair_distances(&prepared.profiles[i], &prepared.sigs[i], attr, &guards)
+        });
+        let mut out: Vec<Vec<(AttrRef, DistanceVector)>> = vec![Vec::new(); candidates.len()];
+        for (&(i, attr), dv) in work.iter().zip(scored) {
+            if dv.has_signal() {
+                out[i].push((attr, dv));
             }
         }
+        out
+    }
 
+    /// Stage 3 — CCDF-weighted aggregation (Eq. 1–3): build the
+    /// distance populations `R_t`, keep the best pair per (source
+    /// table, target attribute), aggregate column-wise and collapse
+    /// to the ranking. Sequential; all grouping uses ordered maps
+    /// over stage 2's sorted candidate lists.
+    fn stage_aggregate(
+        &self,
+        scored: &[Vec<(AttrRef, DistanceVector)>],
+        opts: &QueryOptions,
+    ) -> Vec<TableMatch> {
         // ---- Distance populations R_t per target attribute --------
-        let populations: Vec<[Vec<f64>; 5]> = per_attr
+        let populations: Vec<[Vec<f64>; 5]> = scored
             .iter()
             .map(|cands| {
                 let mut pops: [Vec<f64>; 5] = Default::default();
-                for dv in cands.values() {
+                for (_, dv) in cands {
                     for (t, pop) in pops.iter_mut().enumerate() {
                         if dv.0[t] < 1.0 {
                             pop.push(dv.0[t]);
@@ -138,14 +370,16 @@ impl D3l {
             Some(e) => dv.get(e),
             None => dv.mean(),
         };
-        let mut by_table: HashMap<TableId, Vec<Alignment>> = HashMap::new();
-        for (i, cands) in per_attr.iter().enumerate() {
-            let mut best: HashMap<TableId, (AttrRef, DistanceVector)> = HashMap::new();
-            for (&attr, dv) in cands {
+        let mut by_table: BTreeMap<TableId, Vec<Alignment>> = BTreeMap::new();
+        for (i, cands) in scored.iter().enumerate() {
+            let mut best: BTreeMap<TableId, (AttrRef, DistanceVector)> = BTreeMap::new();
+            // Candidates arrive sorted by key, so ties keep the
+            // lowest-key attribute deterministically.
+            for &(attr, dv) in cands {
                 match best.get(&attr.table) {
-                    Some((_, cur)) if pick(cur) <= pick(dv) => {}
+                    Some((_, cur)) if pick(cur) <= pick(&dv) => {}
                     _ => {
-                        best.insert(attr.table, (attr, *dv));
+                        best.insert(attr.table, (attr, dv));
                     }
                 }
             }
@@ -202,14 +436,27 @@ impl D3l {
     /// The set of lake tables related to `target` by at least one
     /// evidence type — `I*.lookup(T)` in Algorithms 2 and 3.
     pub fn related_table_set(&self, target: &Table, width: usize) -> HashSet<TableId> {
-        let (t_profiles, t_sigs) = self.profile_and_sign(target);
-        let mut out = HashSet::new();
-        for (tp, ts) in t_profiles.iter().zip(&t_sigs) {
-            for attr in self.gather_candidates(tp, ts, width, None) {
-                out.insert(attr.table);
-            }
-        }
-        out
+        self.related_table_set_prepared(&self.prepare_target(target), width)
+    }
+
+    /// [`D3l::related_table_set`] over an already-prepared target.
+    /// Runs stage 1 only, without the ranking pipeline's candidate
+    /// sort — the output is an unordered set.
+    pub fn related_table_set_prepared(
+        &self,
+        prepared: &PreparedTarget,
+        width: usize,
+    ) -> HashSet<TableId> {
+        let threads = self.cfg.effective_query_threads(None);
+        let work: Vec<(&AttributeProfile, &AttrSignatures)> =
+            prepared.profiles.iter().zip(&prepared.sigs).collect();
+        par_map(&work, threads, |&(tp, ts)| {
+            self.gather_candidates(tp, ts, width, None)
+        })
+        .into_iter()
+        .flatten()
+        .map(|attr| attr.table)
+        .collect()
     }
 
     /// Look up one target attribute in the indexes (restricted to one
@@ -251,18 +498,40 @@ impl D3l {
         out
     }
 
+    /// Algorithm 2 line 4 precomputation: for every candidate table
+    /// that contains a numeric candidate attribute paired with a
+    /// numeric target attribute, whether its subject attribute and
+    /// the target's are related in any index.
+    fn subject_guards(
+        &self,
+        prepared: &PreparedTarget,
+        candidates: &[Vec<AttrRef>],
+        threads: usize,
+    ) -> HashMap<TableId, bool> {
+        let mut tables: BTreeSet<TableId> = BTreeSet::new();
+        for (i, cands) in candidates.iter().enumerate() {
+            if !prepared.profiles[i].is_numeric {
+                continue;
+            }
+            for attr in cands {
+                if self.profile(*attr).is_numeric {
+                    tables.insert(attr.table);
+                }
+            }
+        }
+        let tables: Vec<TableId> = tables.into_iter().collect();
+        let guards = par_map(&tables, threads, |&t| self.subjects_related(prepared, t));
+        tables.into_iter().zip(guards).collect()
+    }
+
     /// The five estimated distances of a (target attr, lake attr)
     /// pair, with Algorithm 2 deciding whether KS is computed.
-    #[allow(clippy::too_many_arguments)]
     fn pair_distances(
         &self,
         tp: &AttributeProfile,
         ts: &AttrSignatures,
         attr: AttrRef,
-        target: &Table,
-        t_subject: Option<usize>,
-        t_sigs: &[AttrSignatures],
-        subject_guard: &mut HashMap<TableId, bool>,
+        subject_guards: &HashMap<TableId, bool>,
     ) -> DistanceVector {
         let sp = self.profile(attr);
         let ss = self.stored_signatures(attr);
@@ -286,9 +555,7 @@ impl D3l {
         // Algorithm 2: only both-numeric pairs get a KS measurement,
         // and only when blocked-in by existing evidence.
         let d_d = if tp.is_numeric && sp.is_numeric {
-            let guard_subject = *subject_guard
-                .entry(attr.table)
-                .or_insert_with(|| self.subjects_related(target, t_subject, t_sigs, attr.table));
+            let guard_subject = subject_guards.get(&attr.table).copied().unwrap_or(false);
             let guard_name = 1.0 - d_n >= self.cfg.threshold;
             let guard_format = 1.0 - d_f >= self.cfg.threshold;
             if guard_subject || guard_name || guard_format {
@@ -306,21 +573,14 @@ impl D3l {
     /// Algorithm 2 line 4: are the subject attributes of the target
     /// and of lake table `s_table` related in any index
     /// (`i' ∈ I*.lookup(i)`)?
-    fn subjects_related(
-        &self,
-        target: &Table,
-        t_subject: Option<usize>,
-        t_sigs: &[AttrSignatures],
-        s_table: TableId,
-    ) -> bool {
-        let (Some(ti), Some(s_attr)) = (t_subject, self.subject_of(s_table)) else {
+    fn subjects_related(&self, prepared: &PreparedTarget, s_table: TableId) -> bool {
+        let (Some(ti), Some(s_attr)) = (prepared.subject, self.subject_of(s_table)) else {
             return false;
         };
-        let tp_cols = target.columns();
-        if ti >= tp_cols.len() {
+        if ti >= prepared.sigs.len() {
             return false;
         }
-        let ts = &t_sigs[ti];
+        let ts = &prepared.sigs[ti];
         let ss = self.stored_signatures(s_attr);
         let thr = self.cfg.threshold;
         ts.name.jaccard(&ss.name) >= thr
@@ -545,5 +805,98 @@ mod tests {
     fn query_zero_k() {
         let d3l = D3l::index_lake(&lake(), D3lConfig::fast());
         assert!(d3l.query(&target(), 0).is_empty());
+    }
+
+    fn assert_identical(a: &[TableMatch], b: &[TableMatch]) {
+        assert_eq!(a.len(), b.len(), "ranking lengths differ");
+        for (x, y) in a.iter().zip(b) {
+            assert_eq!(x.table, y.table);
+            assert_eq!(x.distance.to_bits(), y.distance.to_bits());
+            for (dx, dy) in x.vector.0.iter().zip(&y.vector.0) {
+                assert_eq!(dx.to_bits(), dy.to_bits());
+            }
+            assert_eq!(x.alignments.len(), y.alignments.len());
+            for (ax, ay) in x.alignments.iter().zip(&y.alignments) {
+                assert_eq!(ax.target_column, ay.target_column);
+                assert_eq!(ax.source, ay.source);
+                for (dx, dy) in ax.distances.0.iter().zip(&ay.distances.0) {
+                    assert_eq!(dx.to_bits(), dy.to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn thread_count_never_changes_results() {
+        let d3l = D3l::index_lake(&lake(), D3lConfig::fast());
+        let t = target();
+        let at = |n: usize| {
+            d3l.rank_all(
+                &t,
+                50,
+                &QueryOptions {
+                    threads: Some(n),
+                    ..Default::default()
+                },
+            )
+        };
+        let base = at(1);
+        assert!(!base.is_empty());
+        for n in [2, 4, 8] {
+            assert_identical(&base, &at(n));
+        }
+    }
+
+    #[test]
+    fn prepared_target_reuse_matches_fresh_profiling() {
+        let d3l = D3l::index_lake(&lake(), D3lConfig::fast());
+        let t = target();
+        let prepared = d3l.prepare_target(&t);
+        assert_eq!(prepared.arity(), t.arity());
+        let opts = QueryOptions::default();
+        assert_identical(
+            &d3l.query_with(&t, 3, &opts),
+            &d3l.query_prepared(&prepared, 3, &opts),
+        );
+        assert_eq!(
+            d3l.related_table_set(&t, 50),
+            d3l.related_table_set_prepared(&prepared, 50)
+        );
+    }
+
+    #[test]
+    fn batch_matches_per_target_queries() {
+        let lake = lake();
+        let d3l = D3l::index_lake(&lake, D3lConfig::fast());
+        let targets: Vec<Table> = vec![
+            target(),
+            lake.table_by_name("s1_gp_practices").unwrap().clone(),
+            lake.table_by_name("decoy_planets").unwrap().clone(),
+        ];
+        let batched = d3l.query_batch(&targets, 3);
+        assert_eq!(batched.len(), targets.len());
+        for (t, b) in targets.iter().zip(&batched) {
+            assert_identical(&d3l.query(t, 3), b);
+        }
+        // Per-target options flow through.
+        let opts: Vec<QueryOptions> = targets
+            .iter()
+            .map(|t| QueryOptions {
+                exclude: lake.id_of(t.name()),
+                ..Default::default()
+            })
+            .collect();
+        let batched = d3l.query_batch_with(&targets, 3, &opts);
+        for (b, o) in batched.iter().zip(&opts) {
+            if let Some(ex) = o.exclude {
+                assert!(b.iter().all(|m| m.table != ex), "excluded self returned");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_empty() {
+        let d3l = D3l::index_lake(&lake(), D3lConfig::fast());
+        assert!(d3l.query_batch(&[], 5).is_empty());
     }
 }

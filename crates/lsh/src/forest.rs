@@ -153,14 +153,26 @@ impl<S: Signature> LshForest<S> {
             }
         }
         // Fall back to scanning when the lake is tiny or prefixes are
-        // unlucky — keeps recall sensible for small k.
+        // unlucky — keeps recall sensible for small k. The scan must
+        // visit ids in a fixed order: HashMap iteration order varies
+        // per map instance, and the query pipeline guarantees results
+        // that are byte-identical across runs and thread counts.
         if candidates.len() < k && candidates.len() < self.sigs.len() {
-            for id in self.sigs.keys() {
-                candidates.insert(*id);
-                if candidates.len() >= k.max(32) {
-                    break;
-                }
+            let need = k.max(32) - candidates.len();
+            let mut rest: Vec<ItemId> = self
+                .sigs
+                .keys()
+                .filter(|id| !candidates.contains(id))
+                .copied()
+                .collect();
+            // The smallest `need` ids, selected in O(n): ids are
+            // unique, so the resulting *set* is deterministic without
+            // a full sort.
+            if rest.len() > need {
+                rest.select_nth_unstable(need - 1);
+                rest.truncate(need);
             }
+            candidates.extend(rest);
         }
         let hits: Vec<Hit> = candidates
             .into_iter()

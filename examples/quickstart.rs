@@ -98,8 +98,12 @@ fn main() {
     )
     .expect("well-formed target");
 
+    // Profile the target once; every query below reuses the prepared
+    // form instead of re-extracting q-grams, tokens and embeddings.
+    let prepared = d3l.prepare_target(&target);
+
     println!("\ntop related tables for `{}`:", target.name());
-    for m in d3l.query(&target, 4) {
+    for m in d3l.query_prepared(&prepared, 4, &Default::default()) {
         println!(
             "  {:<18} distance={:.3} per-evidence [N V F E D] = {:?}",
             d3l.table_name(m.table),
@@ -124,9 +128,12 @@ fn main() {
         graph.node_count(),
         graph.edge_count()
     );
-    let top: std::collections::HashSet<TableId> =
-        d3l.query(&target, 2).iter().map(|m| m.table).collect();
-    let related = d3l.related_table_set(&target, 50);
+    let top: std::collections::HashSet<TableId> = d3l
+        .query_prepared(&prepared, 2, &Default::default())
+        .iter()
+        .map(|m| m.table)
+        .collect();
+    let related = d3l.related_table_set_prepared(&prepared, 50);
     for &start in &top {
         for path in d3l.find_join_paths(&graph, start, &top, &related) {
             let names: Vec<&str> = path.nodes.iter().map(|&t| d3l.table_name(t)).collect();

@@ -1,7 +1,7 @@
 //! `d3l` — command-line dataset discovery over a directory of CSVs.
 //!
 //! ```text
-//! d3l query  <lake-dir> <target.csv> [-k N] [--joins] [--evidence N|V|F|E|D]
+//! d3l query  <lake-dir> <target.csv> [-k N] [--joins] [--evidence N|V|F|E|D] [--threads N]
 //! d3l stats  <lake-dir>
 //! d3l demo
 //! ```
@@ -25,7 +25,7 @@ fn main() -> ExitCode {
         Some("demo") => cmd_demo(),
         _ => {
             eprintln!(
-                "usage:\n  d3l query <lake-dir> <target.csv> [-k N] [--joins] [--evidence N|V|F|E|D]\n  d3l stats <lake-dir>\n  d3l demo"
+                "usage:\n  d3l query <lake-dir> <target.csv> [-k N] [--joins] [--evidence N|V|F|E|D] [--threads N]\n  d3l stats <lake-dir>\n  d3l demo"
             );
             return ExitCode::from(2);
         }
@@ -55,6 +55,7 @@ fn cmd_query(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let mut k = 10usize;
     let mut joins = false;
     let mut evidence = None;
+    let mut threads: Option<usize> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -65,6 +66,9 @@ fn cmd_query(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
             "--evidence" => {
                 let e = it.next().ok_or("missing value for --evidence")?;
                 evidence = Some(parse_evidence(e).ok_or_else(|| format!("unknown evidence {e}"))?);
+            }
+            "--threads" => {
+                threads = Some(it.next().ok_or("missing value for --threads")?.parse()?);
             }
             other if dir.is_none() => dir = Some(other.to_string()),
             other if target_path.is_none() => target_path = Some(other.to_string()),
@@ -82,11 +86,17 @@ fn cmd_query(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let text = std::fs::read_to_string(&target_path)?;
     let target = csv::parse_csv("target", &text)?;
 
+    // An explicit --threads flag beats the D3L_QUERY_THREADS env var,
+    // so it goes through the per-query override.
     let opts = d3l::core::query::QueryOptions {
         evidence,
+        threads,
         ..Default::default()
     };
-    let matches = d3l.query_with(&target, k, &opts);
+    // Profile the target once; the ranking and the join-path
+    // related-set lookup both reuse it.
+    let prepared = d3l.prepare_target(&target);
+    let matches = d3l.query_prepared(&prepared, k, &opts);
     if matches.is_empty() {
         println!("no related tables found");
         return Ok(());
@@ -112,7 +122,7 @@ fn cmd_query(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     if joins {
         let graph = d3l.build_join_graph();
         let top: HashSet<TableId> = matches.iter().map(|m| m.table).collect();
-        let related = d3l.related_table_set(&target, d3l.config().lookup_width(k));
+        let related = d3l.related_table_set_prepared(&prepared, d3l.config().lookup_width(k));
         println!("\njoin paths from the top-{k}:");
         let mut any = false;
         for m in &matches {
@@ -234,6 +244,14 @@ mod tests {
         assert!(
             cmd_query(&args(&["--evidence"])).is_err(),
             "--evidence without value must fail"
+        );
+        assert!(
+            cmd_query(&args(&["--threads"])).is_err(),
+            "--threads without value must fail"
+        );
+        assert!(
+            cmd_query(&args(&["--threads", "x", "a", "b"])).is_err(),
+            "non-numeric --threads must fail"
         );
         assert!(
             cmd_query(&args(&["--evidence", "Z", "a", "b"])).is_err(),

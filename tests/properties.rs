@@ -170,6 +170,56 @@ proptest! {
         prop_assert!((cosine(&v, &v) - 1.0).abs() < 1e-9);
     }
 
+    /// Query pipeline invariants: at most `k` answers, aggregated
+    /// distances (scalar and per-evidence) stay in [0, 1], and the
+    /// ranking ascends.
+    #[test]
+    fn query_respects_k_and_distance_bounds(tables in 6usize..14,
+                                            seed in 0u64..200,
+                                            k in 0usize..8) {
+        let bench = d3l::benchgen::synthetic(tables, seed);
+        let embedder = SemanticEmbedder::new(d3l::benchgen::vocab::domain_lexicon(32));
+        let cfg = D3lConfig { embed_dim: 32, ..D3lConfig::fast() };
+        let d3l = D3l::index_lake_with(&bench.lake, cfg, embedder);
+        let tname = &bench.pick_targets(1, seed ^ 1)[0];
+        let target = bench.lake.table_by_name(tname).unwrap();
+        let res = d3l.query(target, k);
+        prop_assert!(res.len() <= k, "{} answers for k={k}", res.len());
+        for m in &res {
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&m.distance),
+                         "combined distance {} out of bounds", m.distance);
+            for d in &m.vector.0 {
+                prop_assert!((0.0..=1.0 + 1e-9).contains(d),
+                             "evidence distance {d} out of bounds");
+            }
+        }
+        for w in res.windows(2) {
+            prop_assert!(w[0].distance <= w[1].distance, "ranking must ascend");
+        }
+    }
+
+    /// `related_table_set` is a per-attribute index lookup, so
+    /// permuting the target's columns must not change it.
+    #[test]
+    fn related_set_invariant_under_column_permutation(tables in 6usize..12,
+                                                      seed in 0u64..200,
+                                                      rot in 1usize..6) {
+        let bench = d3l::benchgen::synthetic(tables, seed);
+        let embedder = SemanticEmbedder::new(d3l::benchgen::vocab::domain_lexicon(32));
+        let cfg = D3lConfig { embed_dim: 32, ..D3lConfig::fast() };
+        let d3l = D3l::index_lake_with(&bench.lake, cfg, embedder);
+        let tname = &bench.pick_targets(1, seed ^ 3)[0];
+        let target = bench.lake.table_by_name(tname).unwrap();
+        let mut cols = target.columns().to_vec();
+        let shift = rot % cols.len().max(1);
+        cols.rotate_left(shift);
+        let permuted = Table::new("permuted", cols).unwrap();
+        prop_assert_eq!(
+            d3l.related_table_set(target, 25),
+            d3l.related_table_set(&permuted, 25)
+        );
+    }
+
     /// Ground-truth generators produce internally consistent truth:
     /// relatedness is symmetric and anti-reflexive; every column of
     /// every table is registered.
