@@ -148,9 +148,9 @@ impl Aurum {
                 embed_index.insert(key, emb);
             }
         }
-        content_index.build();
-        name_index.build();
-        embed_index.build();
+        content_index.commit();
+        name_index.commit();
+        embed_index.commit();
 
         // Step 2: build the graph by querying each index once per
         // column.
@@ -165,7 +165,7 @@ impl Aurum {
                     let e = graph.entry(a).or_default().entry(b).or_insert(0.0);
                     *e = e.max(score); // certainty: max over evidence types
                 };
-            for hit in content_index.query_built(&content_sig, cfg.build_width) {
+            for hit in content_index.query(&content_sig, cfg.build_width) {
                 let (other_table, _) = attr_of_key(hit.id);
                 let score = hit.similarity
                     * significance(value_sizes[&key].min(value_sizes[&hit.id]), 15.0);
@@ -188,7 +188,7 @@ impl Aurum {
                 }
             }
             let name_sig = name_index.signature(key).expect("indexed").clone();
-            for hit in name_index.query_built(&name_sig, cfg.build_width) {
+            for hit in name_index.query(&name_sig, cfg.build_width) {
                 let (other_table, _) = attr_of_key(hit.id);
                 let score =
                     hit.similarity * significance(name_sizes[&key].min(name_sizes[&hit.id]), 8.0);
@@ -199,7 +199,7 @@ impl Aurum {
                 add_edge(hit.id, key, score, &mut graph);
             }
             let emb_sig = embed_index.signature(key).expect("indexed").clone();
-            for hit in embed_index.query_built(&emb_sig, cfg.build_width) {
+            for hit in embed_index.query(&emb_sig, cfg.build_width) {
                 let (other_table, _) = attr_of_key(hit.id);
                 let score = hit.similarity
                     * significance(value_sizes[&key].min(value_sizes[&hit.id]), 15.0);
@@ -359,19 +359,16 @@ impl Aurum {
                     }
                 };
             if textual {
-                for hit in self
-                    .content_index
-                    .query_built(&content, self.cfg.build_width)
-                {
+                for hit in self.content_index.query(&content, self.cfg.build_width) {
                     let sig = significance(t_values.min(self.value_sizes[&hit.id]), 15.0);
                     consider(hit.id, hit.similarity * sig, &mut best);
                 }
-                for hit in self.embed_index.query_built(&emb, self.cfg.build_width) {
+                for hit in self.embed_index.query(&emb, self.cfg.build_width) {
                     let sig = significance(t_values.min(self.value_sizes[&hit.id]), 15.0);
                     consider(hit.id, hit.similarity * sig, &mut best);
                 }
             }
-            for hit in self.name_index.query_built(&name_sig, self.cfg.build_width) {
+            for hit in self.name_index.query(&name_sig, self.cfg.build_width) {
                 let sig = significance(t_grams.min(self.name_sizes[&hit.id]), 8.0);
                 consider(hit.id, hit.similarity * sig, &mut best);
             }

@@ -157,9 +157,9 @@ impl Tus {
                 );
             }
         }
-        set_index.build();
-        class_index.build();
-        nl_index.build();
+        set_index.commit();
+        class_index.commit();
+        nl_index.commit();
         Tus {
             cfg,
             kb,
@@ -242,14 +242,14 @@ impl Tus {
             // the LSH similarity estimate scaled by its statistical
             // significance (hypergeometric-style small-set discount).
             let mut scores: HashMap<u64, f64> = HashMap::new();
-            for hit in self.set_index.query_built(&set_sig, width) {
+            for hit in self.set_index.query(&set_sig, width) {
                 let cand = &self.profiles[&hit.id];
                 let sig = significance(values.len().min(cand.value_count), 15.0);
                 let e = scores.entry(hit.id).or_insert(0.0);
                 *e = e.max(hit.similarity * sig);
             }
             if !classes.is_empty() {
-                for hit in self.class_index.query_built(&class_sig, width) {
+                for hit in self.class_index.query(&class_sig, width) {
                     let cand = &self.profiles[&hit.id];
                     if cand.class_count == 0 {
                         continue;
@@ -260,7 +260,7 @@ impl Tus {
                 }
             }
             if has_emb {
-                for hit in self.nl_index.query_built(&nl_sig, width) {
+                for hit in self.nl_index.query(&nl_sig, width) {
                     let cand = &self.profiles[&hit.id];
                     if !cand.has_embedding {
                         continue;

@@ -13,6 +13,28 @@ fn embedder() -> SemanticEmbedder {
     SemanticEmbedder::new(vocab::domain_lexicon(64))
 }
 
+/// The perf-tracking bench behind `BENCH_index.json`: D3L index
+/// construction on the synthetic-160 lake at one worker thread (the
+/// configuration the acceptance numbers are quoted in — on a
+/// single-core runner the parallel path collapses to this anyway).
+fn bench_index_build(c: &mut Criterion) {
+    let bench = d3l_benchgen::synthetic(160, 11);
+    let cfg = D3lConfig {
+        index_threads: 1,
+        query_threads: 1,
+        ..D3lConfig::default()
+    };
+    // Embedder construction is setup; a prebuilt instance is cloned
+    // inside the loop (cloning is far cheaper than constructing).
+    let e = embedder();
+    let mut group = c.benchmark_group("index_build");
+    group.sample_size(10);
+    group.bench_with_input(BenchmarkId::new("synthetic", 160), &160, |b, _| {
+        b.iter(|| black_box(D3l::index_lake_with(&bench.lake, cfg.clone(), e.clone())))
+    });
+    group.finish();
+}
+
 fn bench_indexing(c: &mut Criterion) {
     let mut group = c.benchmark_group("indexing");
     group.sample_size(10);
@@ -50,5 +72,5 @@ fn bench_indexing(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_indexing);
+criterion_group!(benches, bench_index_build, bench_indexing);
 criterion_main!(benches);

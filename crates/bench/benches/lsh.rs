@@ -31,7 +31,7 @@ fn build_forest(items: usize, mh: &MinHasher) -> LshForest<MinHashSignature> {
         let toks = token_set(i, 40);
         f.insert(i as u64, mh.sign_strs(toks.iter().map(String::as_str)));
     }
-    f.build();
+    f.commit();
     f
 }
 
@@ -47,7 +47,7 @@ fn bench_forest_vs_banded(c: &mut Criterion) {
         }
         let q = mh.sign_strs(token_set(3, 40).iter().map(String::as_str));
         group.bench_with_input(BenchmarkId::new("forest_top50", n), &n, |b, _| {
-            b.iter(|| black_box(forest.query_built(&q, 50)))
+            b.iter(|| black_box(forest.query(&q, 50)))
         });
         group.bench_with_input(BenchmarkId::new("banded_threshold", n), &n, |b, _| {
             b.iter(|| black_box(banded.query(&q)))
@@ -70,7 +70,7 @@ fn bench_forest_insert(c: &mut Criterion) {
             for (i, s) in sigs.iter().enumerate() {
                 f.insert(i as u64, s.clone());
             }
-            f.build();
+            f.commit();
             black_box(f.len())
         })
     });

@@ -1,0 +1,121 @@
+//! `bench_json` — machine-readable perf tracking.
+//!
+//! Times index construction and top-k search on the synthetic-160
+//! lake at one worker thread and writes two JSON files
+//! (`BENCH_index.json`, `BENCH_search.json`) so the perf trajectory is
+//! tracked in-repo from PR to PR. See README "Performance & memory
+//! model" for how to read them.
+//!
+//! ```text
+//! bench_json [out-dir]          # default: current directory
+//! D3L_BENCH_TABLES=160          # lake size
+//! D3L_BENCH_SAMPLES=5           # timed samples per measurement
+//! ```
+
+use std::time::Instant;
+
+use d3l_benchgen::vocab;
+use d3l_core::{D3l, D3lConfig};
+use d3l_embedding::SemanticEmbedder;
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(default)
+}
+
+/// Median of a sample vector, in milliseconds.
+fn median_ms(samples: &mut [f64]) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    samples[samples.len() / 2]
+}
+
+fn mean_ms(samples: &[f64]) -> f64 {
+    samples.iter().sum::<f64>() / samples.len().max(1) as f64
+}
+
+fn fmt_samples(samples: &[f64]) -> String {
+    let strs: Vec<String> = samples.iter().map(|s| format!("{s:.3}")).collect();
+    format!("[{}]", strs.join(", "))
+}
+
+fn main() {
+    let out_dir = std::env::args().nth(1).unwrap_or_else(|| ".".to_string());
+    let tables = env_usize("D3L_BENCH_TABLES", 160);
+    let samples = env_usize("D3L_BENCH_SAMPLES", 5);
+    let k = 10usize;
+    let n_targets = 20usize;
+
+    let cfg = D3lConfig {
+        index_threads: 1,
+        query_threads: 1,
+        ..D3lConfig::default()
+    };
+    let embedder = || SemanticEmbedder::new(vocab::domain_lexicon(cfg.embed_dim));
+    eprintln!("generating synthetic-{tables} lake ...");
+    let bench = d3l_benchgen::synthetic(tables, 11);
+
+    // ---- index build ------------------------------------------------
+    eprintln!("timing index build ({samples} samples, 1 thread) ...");
+    let mut build_ms = Vec::with_capacity(samples);
+    let mut d3l = None;
+    for i in 0..samples {
+        // Embedder construction is setup, not index build — keep it
+        // outside the timed region.
+        let e = embedder();
+        let start = Instant::now();
+        let built = D3l::index_lake_with(&bench.lake, cfg.clone(), e);
+        build_ms.push(start.elapsed().as_secs_f64() * 1e3);
+        eprintln!("  sample {}: {:.1} ms", i + 1, build_ms[i]);
+        d3l = Some(built);
+    }
+    let d3l = d3l.expect("at least one sample");
+    let (b_n, b_v, b_f, b_e) = d3l.index_byte_sizes();
+    let sig_bytes = b_n + b_v + b_f + b_e;
+
+    let index_json = format!(
+        "{{\n  \"bench\": \"index_build\",\n  \"lake\": \"synthetic\",\n  \"tables\": {tables},\n  \
+         \"threads\": 1,\n  \"samples\": {samples},\n  \"median_ms\": {:.3},\n  \"mean_ms\": {:.3},\n  \
+         \"samples_ms\": {},\n  \"peak_signature_bytes\": {sig_bytes},\n  \
+         \"index_bytes\": {{ \"i_n\": {b_n}, \"i_v\": {b_v}, \"i_f\": {b_f}, \"i_e\": {b_e} }}\n}}\n",
+        median_ms(&mut build_ms.clone()),
+        mean_ms(&build_ms),
+        fmt_samples(&build_ms),
+    );
+
+    // ---- search -----------------------------------------------------
+    eprintln!("timing search ({n_targets} targets, k={k}, {samples} samples) ...");
+    let target_names = bench.pick_targets(n_targets, 3);
+    let targets: Vec<d3l_table::Table> = target_names
+        .iter()
+        .map(|t| bench.lake.table_by_name(t).expect("member").clone())
+        .collect();
+    let mut search_ms = Vec::with_capacity(samples);
+    for i in 0..samples {
+        let start = Instant::now();
+        for t in &targets {
+            std::hint::black_box(d3l.query(t, k));
+        }
+        search_ms.push(start.elapsed().as_secs_f64() * 1e3 / targets.len() as f64);
+        eprintln!("  sample {}: {:.2} ms/query", i + 1, search_ms[i]);
+    }
+
+    let search_json = format!(
+        "{{\n  \"bench\": \"search\",\n  \"lake\": \"synthetic\",\n  \"tables\": {tables},\n  \
+         \"threads\": 1,\n  \"k\": {k},\n  \"targets\": {},\n  \"samples\": {samples},\n  \
+         \"median_ms\": {:.3},\n  \"mean_ms\": {:.3},\n  \"samples_ms\": {}\n}}\n",
+        targets.len(),
+        median_ms(&mut search_ms.clone()),
+        mean_ms(&search_ms),
+        fmt_samples(&search_ms),
+    );
+
+    std::fs::create_dir_all(&out_dir).expect("create output directory");
+    let index_path = format!("{out_dir}/BENCH_index.json");
+    let search_path = format!("{out_dir}/BENCH_search.json");
+    std::fs::write(&index_path, &index_json).expect("write BENCH_index.json");
+    std::fs::write(&search_path, &search_json).expect("write BENCH_search.json");
+    println!("wrote {index_path}:\n{index_json}");
+    println!("wrote {search_path}:\n{search_json}");
+}

@@ -605,6 +605,8 @@ pub fn ablation_granularity(setting: &Setting) {
                     let tok = d3l_core::distance::value_distance(pa, pb);
                     let wa = d3l_baselines::common::whole_value_set(col_a);
                     let wb = d3l_baselines::common::whole_value_set(col_b);
+                    let wa = d3l_lsh::TokenSet::from_strs(wa.iter().map(String::as_str));
+                    let wb = d3l_lsh::TokenSet::from_strs(wb.iter().map(String::as_str));
                     let whole = 1.0 - d3l_lsh::minhash::exact_jaccard(&wa, &wb);
                     let related =
                         bench

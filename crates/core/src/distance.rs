@@ -54,7 +54,8 @@ impl Default for DistanceVector {
     }
 }
 
-/// Exact name distance: Jaccard distance of q-gram sets.
+/// Exact name distance: Jaccard distance of hashed q-gram sets
+/// (a linear merge-intersection over the sorted token vecs).
 pub fn name_distance(a: &AttributeProfile, b: &AttributeProfile) -> f64 {
     if a.qset.is_empty() || b.qset.is_empty() {
         return 1.0;
@@ -62,8 +63,8 @@ pub fn name_distance(a: &AttributeProfile, b: &AttributeProfile) -> f64 {
     1.0 - exact_jaccard(&a.qset, &b.qset)
 }
 
-/// Exact value distance: Jaccard distance of tsets; 1 when either
-/// side has no textual tokens (numeric or empty attributes).
+/// Exact value distance: Jaccard distance of hashed tsets; 1 when
+/// either side has no textual tokens (numeric or empty attributes).
 pub fn value_distance(a: &AttributeProfile, b: &AttributeProfile) -> f64 {
     if a.tset.is_empty() || b.tset.is_empty() {
         return 1.0;
@@ -71,7 +72,7 @@ pub fn value_distance(a: &AttributeProfile, b: &AttributeProfile) -> f64 {
     1.0 - exact_jaccard(&a.tset, &b.tset)
 }
 
-/// Exact format distance: Jaccard distance of rsets.
+/// Exact format distance: Jaccard distance of hashed rsets.
 pub fn format_distance(a: &AttributeProfile, b: &AttributeProfile) -> f64 {
     if a.rset.is_empty() || b.rset.is_empty() {
         return 1.0;

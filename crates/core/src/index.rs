@@ -7,13 +7,18 @@
 //! subject attribute.
 //!
 //! Index construction profiles tables in parallel (std scoped
-//! threads over table chunks) and inserts signatures sequentially —
-//! profiling and signature generation dominate, as the paper observes
-//! for all three compared systems (Experiment 4).
+//! threads over table chunks) — profiling and signature generation
+//! dominate, as the paper observes for all three compared systems
+//! (Experiment 4) — then bulk-builds the four forests concurrently
+//! (one scoped thread per forest, per-tree parallel sorts inside
+//! each; see [`LshForest::build_from`]). Profiles store hashed token
+//! sets, so signatures are derived from the stored hashes in one pass
+//! with no re-tokenization, and the built index is byte-identical at
+//! every thread count.
 
 use std::collections::HashMap;
 
-use d3l_embedding::{Lexicon, SemanticEmbedder};
+use d3l_embedding::{CachedEmbedder, Lexicon, SemanticEmbedder};
 use d3l_lsh::forest::LshForest;
 use d3l_lsh::minhash::{MinHashSignature, MinHasher};
 use d3l_lsh::randproj::{BitSignature, RandomProjector};
@@ -134,10 +139,15 @@ impl D3l {
                 let classifier = &classifier;
                 let cfg = &cfg;
                 handles.push(scope.spawn(move || {
+                    // Per-worker embedding memo: domain vocabulary
+                    // recurs across a batch's columns, and cached
+                    // vectors are identical to fresh ones, so results
+                    // stay thread-count-invariant.
+                    let cached = CachedEmbedder::new(embedder);
                     batch
                         .iter()
                         .map(|(id, table)| {
-                            let profiles = profile_table(table, cfg.q, embedder);
+                            let profiles = profile_table(table, cfg.q, &cached);
                             let sigs = profiles
                                 .iter()
                                 .map(|p| sign_profile(p, minhasher, projector))
@@ -154,10 +164,17 @@ impl D3l {
         });
         results.sort_by_key(|(id, ..)| *id);
 
-        let mut i_n = LshForest::new(cfg.num_perm, cfg.trees);
-        let mut i_v = LshForest::new(cfg.num_perm, cfg.trees);
-        let mut i_f = LshForest::new(cfg.num_perm, cfg.trees);
-        let mut i_e = LshForest::new(cfg.embed_bits, cfg.trees);
+        // Partition the signatures into per-forest item lists
+        // (Algorithm 1 lines 15–18, with the §III-C rule that numeric
+        // attributes skip IV and IE), then bulk-build the four
+        // forests concurrently. Item lists are assembled in table-id
+        // order and each forest sorts total orders, so the built
+        // index is identical at every thread count.
+        let attr_count: usize = results.iter().map(|(_, p, ..)| p.len()).sum();
+        let mut n_items = Vec::with_capacity(attr_count);
+        let mut v_items = Vec::with_capacity(attr_count);
+        let mut f_items = Vec::with_capacity(attr_count);
+        let mut e_items = Vec::with_capacity(attr_count);
         let mut profiles = Vec::with_capacity(results.len());
         let mut subjects = Vec::with_capacity(results.len());
         let mut names = Vec::with_capacity(results.len());
@@ -170,13 +187,11 @@ impl D3l {
                     column: col as u32,
                 }
                 .key();
-                // Algorithm 1 lines 15–18, with the §III-C rule that
-                // numeric attributes skip IV and IE.
-                i_n.insert(key, sig.name);
-                i_f.insert(key, sig.format);
+                n_items.push((key, sig.name));
+                f_items.push((key, sig.format));
                 if !table_profiles[col].is_numeric {
-                    i_v.insert(key, sig.value);
-                    i_e.insert(key, sig.embedding);
+                    v_items.push((key, sig.value));
+                    e_items.push((key, sig.embedding));
                 }
             }
             names.push(lake.table(id).name().to_string());
@@ -185,10 +200,61 @@ impl D3l {
             subjects.push(subject);
         }
 
-        i_n.build();
-        i_v.build();
-        i_f.build();
-        i_e.build();
+        // Build the forests concurrently within the configured thread
+        // budget (the profiling fan-out above clamps to the table
+        // count; forest construction uses the raw budget): 4+ workers
+        // get one thread per forest with the leftover budget fanning
+        // each forest's tree sorts out, 2–3 workers pair the forests
+        // up, and 1 worker builds sequentially.
+        let budget = cfg.effective_threads();
+        let (i_n, i_v, i_f, i_e) = if budget >= 4 {
+            let sort_threads = (budget / 4).max(1);
+            std::thread::scope(|scope| {
+                let h_n = scope.spawn(|| {
+                    LshForest::build_from(cfg.num_perm, cfg.trees, n_items, sort_threads)
+                });
+                let h_v = scope.spawn(|| {
+                    LshForest::build_from(cfg.num_perm, cfg.trees, v_items, sort_threads)
+                });
+                let h_f = scope.spawn(|| {
+                    LshForest::build_from(cfg.num_perm, cfg.trees, f_items, sort_threads)
+                });
+                let h_e = scope.spawn(|| {
+                    LshForest::build_from(cfg.embed_bits, cfg.trees, e_items, sort_threads)
+                });
+                (
+                    h_n.join().expect("IN build worker panicked"),
+                    h_v.join().expect("IV build worker panicked"),
+                    h_f.join().expect("IF build worker panicked"),
+                    h_e.join().expect("IE build worker panicked"),
+                )
+            })
+        } else if budget > 1 {
+            std::thread::scope(|scope| {
+                let h_nf = scope.spawn(|| {
+                    (
+                        LshForest::build_from(cfg.num_perm, cfg.trees, n_items, 1),
+                        LshForest::build_from(cfg.num_perm, cfg.trees, f_items, 1),
+                    )
+                });
+                let h_ve = scope.spawn(|| {
+                    (
+                        LshForest::build_from(cfg.num_perm, cfg.trees, v_items, 1),
+                        LshForest::build_from(cfg.embed_bits, cfg.trees, e_items, 1),
+                    )
+                });
+                let (i_n, i_f) = h_nf.join().expect("IN/IF build worker panicked");
+                let (i_v, i_e) = h_ve.join().expect("IV/IE build worker panicked");
+                (i_n, i_v, i_f, i_e)
+            })
+        } else {
+            (
+                LshForest::build_from(cfg.num_perm, cfg.trees, n_items, 1),
+                LshForest::build_from(cfg.num_perm, cfg.trees, v_items, 1),
+                LshForest::build_from(cfg.num_perm, cfg.trees, f_items, 1),
+                LshForest::build_from(cfg.embed_bits, cfg.trees, e_items, 1),
+            )
+        };
 
         D3l {
             cfg,
@@ -207,12 +273,14 @@ impl D3l {
     }
 
     /// Incrementally index one more table (data lakes grow; Goods-style
-    /// systems reindex continuously). The forests re-sort lazily on
-    /// the next query. Returns the id the table would have in a lake
-    /// extended by it; the caller keeps the authoritative lake.
+    /// systems reindex continuously). The forests are re-committed
+    /// before returning, so queries keep taking `&self`. Returns the
+    /// id the table would have in a lake extended by it; the caller
+    /// keeps the authoritative lake.
     pub fn add_table(&mut self, table: &Table) -> TableId {
         let id = TableId(self.profiles.len() as u32);
-        let profiles = profile_table(table, self.cfg.q, &self.embedder);
+        let cached = CachedEmbedder::new(&self.embedder);
+        let profiles = profile_table(table, self.cfg.q, &cached);
         let classifier = SubjectClassifier::default_model();
         for (col, p) in profiles.iter().enumerate() {
             let sig = sign_profile(p, &self.minhasher, &self.projector);
@@ -228,10 +296,14 @@ impl D3l {
                 self.i_e.insert(key, sig.embedding);
             }
         }
-        self.i_n.build();
-        self.i_v.build();
-        self.i_f.build();
-        self.i_e.build();
+        // Re-commit within the configured budget: each forest's tree
+        // re-sorts fan out in turn (results are identical at any
+        // thread count; see LshForest::commit_parallel).
+        let threads = self.cfg.effective_threads();
+        self.i_n.commit_parallel(threads);
+        self.i_v.commit_parallel(threads);
+        self.i_f.commit_parallel(threads);
+        self.i_e.commit_parallel(threads);
         self.names.push(table.name().to_string());
         self.arities.push(profiles.len());
         self.subjects
@@ -291,7 +363,8 @@ impl D3l {
         &self,
         table: &Table,
     ) -> (Vec<AttributeProfile>, Vec<AttrSignatures>) {
-        let profiles = profile_table(table, self.cfg.q, &self.embedder);
+        let cached = CachedEmbedder::new(&self.embedder);
+        let profiles = profile_table(table, self.cfg.q, &cached);
         let sigs = profiles
             .iter()
             .map(|p| sign_profile(p, &self.minhasher, &self.projector))
@@ -317,7 +390,7 @@ impl D3l {
             .i_v
             .signature(key)
             .cloned()
-            .unwrap_or_else(|| self.minhasher.sign_strs([]));
+            .unwrap_or_else(|| self.minhasher.sign_hashed(&[]));
         let embedding = self
             .i_e
             .signature(key)
@@ -347,6 +420,29 @@ impl D3l {
         )
     }
 
+    /// Full memory accounting: per-index forest footprints split into
+    /// tree arrays and stored signature maps, plus the retained
+    /// attribute profiles.
+    pub fn byte_size(&self) -> MemoryFootprint {
+        let index_of = |trees: usize, sigs: usize| IndexFootprint {
+            tree_bytes: trees,
+            signature_bytes: sigs,
+        };
+        let profile_bytes: usize = self
+            .profiles
+            .iter()
+            .flat_map(|t| t.iter())
+            .map(AttributeProfile::byte_size)
+            .sum();
+        MemoryFootprint {
+            i_n: index_of(self.i_n.tree_byte_size(), self.i_n.signature_byte_size()),
+            i_v: index_of(self.i_v.tree_byte_size(), self.i_v.signature_byte_size()),
+            i_f: index_of(self.i_f.tree_byte_size(), self.i_f.signature_byte_size()),
+            i_e: index_of(self.i_e.tree_byte_size(), self.i_e.signature_byte_size()),
+            profile_bytes,
+        }
+    }
+
     /// Map from table name to id for result post-processing.
     pub fn name_to_id(&self) -> HashMap<&str, TableId> {
         self.names
@@ -357,16 +453,72 @@ impl D3l {
     }
 }
 
-/// Generate the four signatures of a profile.
+/// Byte footprint of one LSH forest, split by component.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IndexFootprint {
+    /// Sorted per-tree `(label, item)` arrays.
+    pub tree_bytes: usize,
+    /// Stored full signatures (similarity refinement at query time).
+    pub signature_bytes: usize,
+}
+
+impl IndexFootprint {
+    /// Trees plus signatures.
+    pub fn total(&self) -> usize {
+        self.tree_bytes + self.signature_bytes
+    }
+}
+
+/// Memory accounting of a [`D3l`] instance ([`D3l::byte_size`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemoryFootprint {
+    /// `IN` — attribute-name q-gram index.
+    pub i_n: IndexFootprint,
+    /// `IV` — value-token index.
+    pub i_v: IndexFootprint,
+    /// `IF` — format-pattern index.
+    pub i_f: IndexFootprint,
+    /// `IE` — embedding index.
+    pub i_e: IndexFootprint,
+    /// Retained attribute profiles (hashed token sets, embeddings,
+    /// numeric extents).
+    pub profile_bytes: usize,
+}
+
+impl MemoryFootprint {
+    /// Everything: the four indexes plus the profiles.
+    pub fn total(&self) -> usize {
+        self.i_n.total()
+            + self.i_v.total()
+            + self.i_f.total()
+            + self.i_e.total()
+            + self.profile_bytes
+    }
+
+    /// The four `(name, footprint)` index entries, for display.
+    pub fn indexes(&self) -> [(&'static str, IndexFootprint); 4] {
+        [
+            ("IN", self.i_n),
+            ("IV", self.i_v),
+            ("IF", self.i_f),
+            ("IE", self.i_e),
+        ]
+    }
+}
+
+/// Generate the four signatures of a profile, straight from the
+/// hashed token sets — each token was hashed once at profile time and
+/// the MinHash fast path derives every permutation value from the
+/// stored hashes.
 pub(crate) fn sign_profile(
     profile: &AttributeProfile,
     minhasher: &MinHasher,
     projector: &RandomProjector,
 ) -> AttrSignatures {
     AttrSignatures {
-        name: minhasher.sign_strs(profile.qset.iter().map(String::as_str)),
-        value: minhasher.sign_strs(profile.tset.iter().map(String::as_str)),
-        format: minhasher.sign_strs(profile.rset.iter().map(String::as_str)),
+        name: minhasher.sign_token_set(&profile.qset),
+        value: minhasher.sign_token_set(&profile.tset),
+        format: minhasher.sign_token_set(&profile.rset),
         embedding: projector.sign(&profile.embedding),
     }
 }
@@ -501,6 +653,25 @@ mod tests {
         assert!(d3l.index_byte_size() > 0);
         let (n, v, f, e) = d3l.index_byte_sizes();
         assert_eq!(n + v + f + e, d3l.index_byte_size());
+    }
+
+    #[test]
+    fn memory_footprint_is_consistent() {
+        let lake = figure1_lake();
+        let d3l = D3l::index_lake(&lake, D3lConfig::fast());
+        let fp = d3l.byte_size();
+        let (n, v, f, e) = d3l.index_byte_sizes();
+        assert_eq!(fp.i_n.total(), n);
+        assert_eq!(fp.i_v.total(), v);
+        assert_eq!(fp.i_f.total(), f);
+        assert_eq!(fp.i_e.total(), e);
+        assert!(fp.profile_bytes > 0, "profiles retain the token hashes");
+        assert_eq!(fp.total(), d3l.index_byte_size() + fp.profile_bytes);
+        for (name, idx) in fp.indexes() {
+            assert!(!name.is_empty());
+            assert!(idx.tree_bytes > 0, "{name} has tree labels");
+            assert!(idx.signature_bytes > 0, "{name} stores signatures");
+        }
     }
 
     #[test]

@@ -10,6 +10,7 @@
 
 use std::collections::{HashMap, HashSet};
 
+use d3l_lsh::TokenSet;
 use d3l_table::TableId;
 
 use crate::index::{AttrRef, D3l};
@@ -90,18 +91,10 @@ impl JoinPath {
     }
 }
 
-/// The overlap coefficient `ov(T(a), T(a'))` of §IV.
-pub fn overlap_coefficient(a: &HashSet<String>, b: &HashSet<String>) -> f64 {
-    let min = a.len().min(b.len());
-    if min == 0 {
-        return 0.0;
-    }
-    let inter = if a.len() <= b.len() {
-        a.iter().filter(|x| b.contains(x.as_str())).count()
-    } else {
-        b.iter().filter(|x| a.contains(x.as_str())).count()
-    };
-    inter as f64 / min as f64
+/// The overlap coefficient `ov(T(a), T(a'))` of §IV — a linear
+/// merge-intersection over the sorted hashed tsets.
+pub fn overlap_coefficient(a: &TokenSet, b: &TokenSet) -> f64 {
+    a.overlap_coefficient(b)
 }
 
 /// The paper's lower bound on the overlap coefficient implied by
@@ -134,7 +127,7 @@ impl D3l {
                 continue;
             }
             let sig = self.stored_signatures(subject);
-            for hit in self.i_v.query_built(&sig.value, width) {
+            for hit in self.i_v.query(&sig.value, width) {
                 let other = AttrRef::from_key(hit.id);
                 if other.table == table || hit.similarity < self.cfg.join_threshold {
                     continue;
@@ -306,20 +299,23 @@ mod tests {
 
     #[test]
     fn overlap_coefficient_basics() {
-        let a: HashSet<String> = ["x", "y", "z"].iter().map(|s| s.to_string()).collect();
-        let b: HashSet<String> = ["y", "z"].iter().map(|s| s.to_string()).collect();
+        let set = |items: &[&str]| TokenSet::from_strs(items.iter().copied());
+        let a = set(&["x", "y", "z"]);
+        let b = set(&["y", "z"]);
         assert!((overlap_coefficient(&a, &b) - 1.0).abs() < 1e-12, "b ⊆ a");
-        let c: HashSet<String> = ["q"].iter().map(|s| s.to_string()).collect();
+        let c = set(&["q"]);
         assert!(overlap_coefficient(&a, &c).abs() < 1e-12);
-        assert!(overlap_coefficient(&a, &HashSet::new()).abs() < 1e-12);
+        assert!(overlap_coefficient(&a, &TokenSet::new()).abs() < 1e-12);
     }
 
     #[test]
     fn overlap_bound_is_a_lower_bound() {
         // For sets with Jaccard ≥ τ the bound must not exceed the
         // actual overlap coefficient.
-        let a: HashSet<String> = (0..100).map(|i| format!("t{i}")).collect();
-        let b: HashSet<String> = (15..100).map(|i| format!("t{i}")).collect();
+        let strs_a: Vec<String> = (0..100).map(|i| format!("t{i}")).collect();
+        let strs_b: Vec<String> = (15..100).map(|i| format!("t{i}")).collect();
+        let a = TokenSet::from_strs(strs_a.iter().map(String::as_str));
+        let b = TokenSet::from_strs(strs_b.iter().map(String::as_str));
         // J = 85/100 = 0.85, ov = 85/85 = 1.0
         let bound = overlap_lower_bound(a.len(), b.len(), 0.85);
         let ov = overlap_coefficient(&a, &b);

@@ -60,7 +60,7 @@ pub mod weights;
 pub use config::D3lConfig;
 pub use distance::DistanceVector;
 pub use evidence::Evidence;
-pub use index::{AttrRef, D3l};
+pub use index::{AttrRef, D3l, IndexFootprint, MemoryFootprint};
 pub use join::{JoinPath, SaJoinGraph};
 pub use populate::Population;
 pub use profile::AttributeProfile;

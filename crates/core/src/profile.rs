@@ -17,19 +17,28 @@ use std::collections::HashSet;
 use d3l_embedding::WordEmbedder;
 use d3l_features::histogram::TokenHistogram;
 use d3l_features::{qgrams, regex_format, tokenize};
+use d3l_lsh::hash::hash_str;
+use d3l_lsh::TokenSet;
 use d3l_table::Column;
 
 /// The extracted set representations of one attribute.
+///
+/// The three token sets are stored as sorted, deduplicated vecs of
+/// 64-bit token hashes ([`TokenSet`]): every token is hashed exactly
+/// once here, the MinHash signatures are derived from the stored
+/// hashes, and the exact distances are linear merge-intersections —
+/// the resident footprint is 8 bytes per token instead of an owned
+/// `String` per token held for the lifetime of the lake.
 #[derive(Debug, Clone)]
 pub struct AttributeProfile {
     /// Attribute name as it appears in the table.
     pub name: String,
-    /// q-gram set of the name.
-    pub qset: HashSet<String>,
-    /// Informative value tokens (empty for numeric attributes).
-    pub tset: HashSet<String>,
-    /// Format pattern strings.
-    pub rset: HashSet<String>,
+    /// Hashed q-gram set of the name.
+    pub qset: TokenSet,
+    /// Hashed informative value tokens (empty for numeric attributes).
+    pub tset: TokenSet,
+    /// Hashed format pattern strings.
+    pub rset: TokenSet,
     /// Mean embedding vector of frequent tokens (zero vector when no
     /// textual content).
     pub embedding: Vec<f64>,
@@ -44,18 +53,19 @@ impl AttributeProfile {
     /// Run Algorithm 1's feature extraction over one column.
     pub fn build<E: WordEmbedder>(column: &Column, q: usize, embedder: &E) -> Self {
         let name = column.name().to_string();
-        let qset = qgrams::qgram_set_q(&name, q);
+        let qset = qgrams::qgram_hash_set(&name, q);
         let is_numeric = column.column_type().is_numeric();
 
-        let mut tset = HashSet::new();
-        let mut rset = HashSet::new();
+        let mut tset_hashes: Vec<u64> = Vec::new();
+        let mut rset_hashes: Vec<u64> = Vec::new();
         let mut frequent_tokens: HashSet<String> = HashSet::new();
 
-        // Pass 1: histogram of token occurrences + format patterns.
+        // Pass 1: histogram of token occurrences + format patterns
+        // (streamed straight to hashes; no pattern strings).
         let mut hist = TokenHistogram::new();
         for v in column.non_null() {
             hist.insert_value(v);
-            rset.insert(regex_format::format_pattern(v));
+            rset_hashes.push(regex_format::format_pattern_hash(v));
         }
 
         // Pass 2 (textual only): per part, the infrequent word joins
@@ -67,10 +77,8 @@ impl AttributeProfile {
         if !is_numeric {
             for v in column.non_null() {
                 for part in tokenize::parts(v) {
-                    if let Some(inf) = hist.infrequent_word_of_part(part) {
-                        tset.insert(inf);
-                    }
-                    if let Some(freq) = hist.frequent_word_of_part(part) {
+                    if let Some((inf, freq)) = hist.split_of_part(part) {
+                        tset_hashes.push(hash_str(&inf));
                         if is_wordlike(&freq) {
                             frequent_tokens.insert(freq);
                         }
@@ -78,6 +86,8 @@ impl AttributeProfile {
                 }
             }
         }
+        let tset = TokenSet::from_hashes(tset_hashes);
+        let rset = TokenSet::from_hashes(rset_hashes);
 
         let embedding = if frequent_tokens.is_empty() {
             vec![0.0; embedder.dim()]
@@ -115,6 +125,17 @@ impl AttributeProfile {
     /// True when the embedding vector carries signal.
     pub fn has_embedding(&self) -> bool {
         self.embedding.iter().any(|&x| x != 0.0)
+    }
+
+    /// Resident footprint in bytes: the three hashed token sets, the
+    /// embedding vector, the numeric extent and the name.
+    pub fn byte_size(&self) -> usize {
+        self.qset.byte_size()
+            + self.tset.byte_size()
+            + self.rset.byte_size()
+            + self.embedding.len() * std::mem::size_of::<f64>()
+            + self.numeric_extent.len() * std::mem::size_of::<f64>()
+            + self.name.len()
     }
 }
 
@@ -179,17 +200,18 @@ mod tests {
     fn paper_example_profile() {
         let p = AttributeProfile::build(&address_column(), 4, &embedder());
         // qset of "Address"
-        assert!(p.qset.contains("addr"));
-        assert!(p.qset.contains("ress"));
+        assert!(p.qset.contains_str("addr"));
+        assert!(p.qset.contains_str("ress"));
         // infrequent signal carriers in tset
-        assert!(p.tset.contains("portland") || p.tset.contains("18"));
-        assert!(p.tset.contains("oxford") || p.tset.contains("41"));
+        assert!(p.tset.contains_str("portland") || p.tset.contains_str("18"));
+        assert!(p.tset.contains_str("oxford") || p.tset.contains_str("41"));
         // 'street' is frequent → embedded, not in tset
-        assert!(!p.tset.contains("street"));
+        assert!(!p.tset.contains_str("street"));
         assert!(p.has_embedding());
         assert!(!p.is_numeric);
         assert!(p.numeric_extent.is_empty());
         assert!(p.has_text());
+        assert!(p.byte_size() > 0);
     }
 
     #[test]
@@ -206,7 +228,9 @@ mod tests {
         );
         // but N and F evidence still exists
         assert!(!p.qset.is_empty());
-        assert!(p.rset.contains("N"));
+        assert!(p
+            .rset
+            .contains_hash(d3l_features::regex_format::format_pattern_hash("1202")));
     }
 
     #[test]

@@ -476,22 +476,22 @@ impl D3l {
             Some(x) => x == e,
         };
         if want(Evidence::Name) && !tp.qset.is_empty() {
-            for h in self.i_n.query_built(&ts.name, width) {
+            for h in self.i_n.query(&ts.name, width) {
                 out.insert(AttrRef::from_key(h.id));
             }
         }
         if want(Evidence::Format) && !tp.rset.is_empty() {
-            for h in self.i_f.query_built(&ts.format, width) {
+            for h in self.i_f.query(&ts.format, width) {
                 out.insert(AttrRef::from_key(h.id));
             }
         }
         if want(Evidence::Value) && tp.has_text() {
-            for h in self.i_v.query_built(&ts.value, width) {
+            for h in self.i_v.query(&ts.value, width) {
                 out.insert(AttrRef::from_key(h.id));
             }
         }
         if want(Evidence::Embedding) && tp.has_embedding() {
-            for h in self.i_e.query_built(&ts.embedding, width) {
+            for h in self.i_e.query(&ts.embedding, width) {
                 out.insert(AttrRef::from_key(h.id));
             }
         }

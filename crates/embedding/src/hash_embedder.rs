@@ -21,12 +21,31 @@ fn splitmix64(mut x: u64) -> u64 {
     x ^ (x >> 31)
 }
 
+/// Reference string-form hash; the equivalence test checks
+/// [`fnv1a_chars`] against it.
+#[cfg_attr(not(test), allow(dead_code))]
 #[inline]
 fn fnv1a(bytes: &[u8]) -> u64 {
     let mut h: u64 = 0xcbf29ce484222325;
     for &b in bytes {
         h ^= b as u64;
         h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// FNV-1a over the UTF-8 encoding of a char window — the same value
+/// [`fnv1a`] gives for the window materialized as a `String`, without
+/// the allocation.
+#[inline]
+fn fnv1a_chars(chars: &[char]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    let mut buf = [0u8; 4];
+    for &c in chars {
+        for &b in c.encode_utf8(&mut buf).as_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
     }
     h
 }
@@ -63,10 +82,10 @@ impl HashEmbedder {
         grams
     }
 
-    /// Pseudorandom ±1 direction for one n-gram, accumulated into
-    /// `acc`.
-    fn accumulate(&self, gram: &str, acc: &mut [f64]) {
-        let base = splitmix64(fnv1a(gram.as_bytes()) ^ self.seed);
+    /// Pseudorandom ±1 direction for one n-gram hash, accumulated
+    /// into `acc`.
+    fn accumulate(&self, gram_hash: u64, acc: &mut [f64]) {
+        let base = splitmix64(gram_hash ^ self.seed);
         for (i, slot) in acc.iter_mut().enumerate() {
             let h = splitmix64(base ^ (i as u64).wrapping_mul(0x2545f4914f6cdd1d));
             *slot += if h & 1 == 1 { 1.0 } else { -1.0 };
@@ -75,14 +94,27 @@ impl HashEmbedder {
 
     /// Embed a word as the normalized sum of its n-gram directions.
     /// The empty word maps to the zero vector.
+    ///
+    /// The n-gram windows are hashed in place (FNV-1a over the chars)
+    /// rather than materialized through [`HashEmbedder::ngrams`], in
+    /// the same order, so the output is bit-identical to accumulating
+    /// the allocated gram strings while the profiling hot loop makes
+    /// no per-gram allocation.
     pub fn embed(&self, word: &str) -> Vec<f64> {
         let mut acc = vec![0.0; self.dim];
         if word.is_empty() {
             return acc;
         }
-        for gram in Self::ngrams(word) {
-            self.accumulate(&gram, &mut acc);
+        let bounded: Vec<char> = std::iter::once('<')
+            .chain(word.chars())
+            .chain(std::iter::once('>'))
+            .collect();
+        for n in 3..=5usize {
+            for w in bounded.windows(n) {
+                self.accumulate(fnv1a_chars(w), &mut acc);
+            }
         }
+        self.accumulate(fnv1a_chars(&bounded), &mut acc);
         normalize(acc)
     }
 }
@@ -138,6 +170,21 @@ mod tests {
         let v = e.embed("a"); // bounded form "<a>" has one 3-gram
         let norm: f64 = v.iter().map(|x| x * x).sum::<f64>().sqrt();
         assert!((norm - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn streamed_embedding_matches_materialized_grams() {
+        // The in-place window hashing must reproduce the historical
+        // path exactly: hash each materialized gram string, same
+        // accumulation order.
+        let e = HashEmbedder::new(48, 7);
+        for word in ["salford", "café", "a", "practices"] {
+            let mut acc = vec![0.0; 48];
+            for gram in HashEmbedder::ngrams(word) {
+                e.accumulate(fnv1a(gram.as_bytes()), &mut acc);
+            }
+            assert_eq!(e.embed(word), normalize(acc), "mismatch for {word}");
+        }
     }
 
     #[test]

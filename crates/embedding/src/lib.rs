@@ -25,6 +25,26 @@ pub use hash_embedder::HashEmbedder;
 pub use lexicon::Lexicon;
 pub use vecmath::{cosine, mean_vector, normalize};
 
+#[cfg(test)]
+mod cached_tests {
+    use super::*;
+
+    #[test]
+    fn cached_embedder_is_transparent() {
+        let inner = HashEmbedder::new(16, 3);
+        let cached = CachedEmbedder::new(&inner);
+        assert_eq!(cached.dim(), 16);
+        assert_eq!(cached.embed("street"), inner.embed("street"));
+        assert_eq!(cached.embed("street"), inner.embed("street")); // hit
+        assert_eq!(cached.cached_words(), 1);
+        assert_eq!(
+            cached.embed_all(["street", "road"]),
+            inner.embed_all(["street", "road"])
+        );
+        assert_eq!(cached.cached_words(), 2);
+    }
+}
+
 /// Dimensionality used across the reproduction (fastText's common
 /// small configuration is 100–300; 64 keeps signatures cheap while
 /// leaving plenty of room for near-orthogonal concepts).
@@ -46,6 +66,49 @@ pub trait WordEmbedder {
             return vec![0.0; self.dim()];
         }
         normalize(mean_vector(&vecs))
+    }
+}
+
+/// A memoizing [`WordEmbedder`] adapter: caches `embed` results by
+/// word so repeated tokens (domain vocabulary recurring across the
+/// columns of a profiling batch) are embedded once. Embedders are
+/// pure functions of the word, so cached results are identical to
+/// fresh ones — wrapping never changes any vector, only the cost.
+///
+/// Intended per profiling worker (it is `!Sync` by design: each
+/// worker owns its cache, so no locks sit on the hot path).
+pub struct CachedEmbedder<'a, E: WordEmbedder> {
+    inner: &'a E,
+    cache: std::cell::RefCell<std::collections::HashMap<String, Vec<f64>>>,
+}
+
+impl<'a, E: WordEmbedder> CachedEmbedder<'a, E> {
+    /// Wrap an embedder with an empty cache.
+    pub fn new(inner: &'a E) -> Self {
+        CachedEmbedder {
+            inner,
+            cache: std::cell::RefCell::new(std::collections::HashMap::new()),
+        }
+    }
+
+    /// Number of distinct words embedded so far.
+    pub fn cached_words(&self) -> usize {
+        self.cache.borrow().len()
+    }
+}
+
+impl<E: WordEmbedder> WordEmbedder for CachedEmbedder<'_, E> {
+    fn dim(&self) -> usize {
+        self.inner.dim()
+    }
+
+    fn embed(&self, word: &str) -> Vec<f64> {
+        if let Some(v) = self.cache.borrow().get(word) {
+            return v.clone();
+        }
+        let v = self.inner.embed(word);
+        self.cache.borrow_mut().insert(word.to_string(), v.clone());
+        v
     }
 }
 
@@ -89,7 +152,14 @@ impl WordEmbedder for SemanticEmbedder {
     }
 
     fn embed(&self, word: &str) -> Vec<f64> {
-        let lw = word.to_lowercase();
+        // Tokenized words arrive already lowercase; only allocate
+        // when there is actually something to fold.
+        let lw: std::borrow::Cow<'_, str> =
+            if word.bytes().any(|b| b.is_ascii_uppercase()) || !word.is_ascii() {
+                std::borrow::Cow::Owned(word.to_lowercase())
+            } else {
+                std::borrow::Cow::Borrowed(word)
+            };
         let sub = self.subword.embed(&lw);
         match self.lexicon.concept_vector(&lw) {
             Some(concept) => {

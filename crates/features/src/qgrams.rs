@@ -7,6 +7,9 @@
 
 use std::collections::HashSet;
 
+use d3l_lsh::hash::Fnv1a;
+use d3l_lsh::TokenSet;
+
 /// The paper's q.
 pub const DEFAULT_Q: usize = 4;
 
@@ -37,6 +40,34 @@ pub fn qgram_set_q(name: &str, q: usize) -> HashSet<String> {
 /// [`qgram_set_q`] with the paper's `q = 4`.
 pub fn qgram_set(name: &str) -> HashSet<String> {
     qgram_set_q(name, DEFAULT_Q)
+}
+
+/// The hashed q-gram set of a name: same windows as [`qgram_set_q`],
+/// but each window is streamed straight into an FNV-1a state — no
+/// per-gram `String` is ever allocated. Hash-for-hash identical to
+/// hashing each member of [`qgram_set_q`] with
+/// [`hash_str`](d3l_lsh::hash::hash_str), so LSH signatures derived
+/// from either representation agree bit for bit.
+pub fn qgram_hash_set(name: &str, q: usize) -> TokenSet {
+    let normalized: Vec<char> = name
+        .chars()
+        .filter(|c| c.is_alphanumeric())
+        .flat_map(|c| c.to_lowercase())
+        .collect();
+    if normalized.is_empty() {
+        return TokenSet::new();
+    }
+    let hash_window = |w: &[char]| {
+        let mut h = Fnv1a::new();
+        for &c in w {
+            h.write_char(c);
+        }
+        h.finish()
+    };
+    if normalized.len() < q {
+        return TokenSet::from_hashes(vec![hash_window(&normalized)]);
+    }
+    TokenSet::from_hashes(normalized.windows(q).map(hash_window).collect())
 }
 
 #[cfg(test)]
@@ -84,5 +115,19 @@ mod tests {
     fn custom_q() {
         let q2 = qgram_set_q("abc", 2);
         assert!(q2.contains("ab") && q2.contains("bc"));
+    }
+
+    /// The streamed hash path must agree with hashing the string
+    /// grams, member for member.
+    #[test]
+    fn hashed_grams_match_string_grams() {
+        for name in ["Address", "Practice Name", "GP", "", "--- ", "Café №5"] {
+            for q in [2usize, 4] {
+                let hashed = qgram_hash_set(name, q);
+                let strs = qgram_set_q(name, q);
+                let reference = TokenSet::from_strs(strs.iter().map(String::as_str));
+                assert_eq!(hashed, reference, "{name:?} q={q}");
+            }
+        }
     }
 }

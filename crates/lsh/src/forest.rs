@@ -10,6 +10,17 @@
 //! This implementation follows the sorted-array formulation (as in
 //! `datasketch`): each tree keeps its labels sorted and prefix ranges
 //! are found by binary search.
+//!
+//! Construction is a two-phase builder: [`LshForest::insert`] appends
+//! to the per-tree arrays, and an explicit [`LshForest::commit`] (or
+//! [`LshForest::commit_parallel`]) sorts them. All query methods take
+//! `&self` and require a committed forest, so a built forest can be
+//! shared lock-free across query workers. [`LshForest::build_from`]
+//! bulk-builds a forest from an item list, parallelizing label
+//! generation and tree sorting across trees; because each sorted tree
+//! array is a total order over `(label, item)` pairs, the committed
+//! forest is byte-identical for every insertion order and thread
+//! count.
 
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -86,7 +97,8 @@ impl<S: Signature> LshForest<S> {
             .collect()
     }
 
-    /// Insert an item (lazily re-sorted on the next query).
+    /// Insert an item. The forest must be (re-)committed before the
+    /// next query.
     pub fn insert(&mut self, id: ItemId, sig: S) {
         for t in 0..self.l {
             let lbl = self.label(&sig, t);
@@ -96,8 +108,9 @@ impl<S: Signature> LshForest<S> {
         self.sorted = false;
     }
 
-    /// Sort all trees; called automatically by queries.
-    pub fn build(&mut self) {
+    /// Commit pending inserts by sorting all trees. Queries require a
+    /// committed forest; committing twice is a no-op.
+    pub fn commit(&mut self) {
         if self.sorted {
             return;
         }
@@ -107,8 +120,32 @@ impl<S: Signature> LshForest<S> {
         self.sorted = true;
     }
 
-    /// Whether the trees are currently sorted.
-    pub fn is_built(&self) -> bool {
+    /// [`LshForest::commit`] with the tree sorts fanned out over up
+    /// to `threads` scoped workers. Each tree sorts a total order, so
+    /// the committed forest is identical at every thread count.
+    pub fn commit_parallel(&mut self, threads: usize) {
+        if self.sorted {
+            return;
+        }
+        let threads = threads.clamp(1, self.trees.len().max(1));
+        if threads == 1 {
+            return self.commit();
+        }
+        let chunk = self.trees.len().div_ceil(threads);
+        std::thread::scope(|scope| {
+            for batch in self.trees.chunks_mut(chunk) {
+                scope.spawn(move || {
+                    for tree in batch {
+                        tree.sort();
+                    }
+                });
+            }
+        });
+        self.sorted = true;
+    }
+
+    /// Whether all inserts have been committed (trees sorted).
+    pub fn is_committed(&self) -> bool {
         self.sorted
     }
 
@@ -119,22 +156,16 @@ impl<S: Signature> LshForest<S> {
         (lo, hi)
     }
 
-    /// Top-`k` most similar items to `sig` (requires `&mut` for the
-    /// lazy sort; use [`LshForest::build`] + [`LshForest::query_built`]
-    /// from shared contexts).
-    pub fn query(&mut self, sig: &S, k: usize) -> Vec<Hit> {
-        self.build();
-        self.query_built(sig, k)
-    }
-
-    /// Top-`k` query against an already-built forest.
+    /// Top-`k` most similar items to `sig`. Panics unless the forest
+    /// is committed ([`LshForest::commit`]); taking `&self` keeps the
+    /// forest shareable lock-free across query workers.
     ///
     /// Descends each tree from the full depth, widening the prefix
     /// until at least `k` distinct candidates are gathered (or depth
     /// is exhausted), then ranks candidates by their estimated
     /// similarity from the stored signatures.
-    pub fn query_built(&self, sig: &S, k: usize) -> Vec<Hit> {
-        assert!(self.sorted, "forest not built; call build() first");
+    pub fn query(&self, sig: &S, k: usize) -> Vec<Hit> {
+        assert!(self.sorted, "forest not committed; call commit() first");
         if k == 0 || self.sigs.is_empty() {
             return Vec::new();
         }
@@ -187,7 +218,7 @@ impl<S: Signature> LshForest<S> {
     /// Items whose estimated similarity clears `threshold`, best
     /// first, bounded by `limit` candidates considered.
     pub fn query_threshold(&self, sig: &S, threshold: f64, limit: usize) -> Vec<Hit> {
-        self.query_built(sig, limit)
+        self.query(sig, limit)
             .into_iter()
             .filter(|h| h.similarity >= threshold)
             .collect()
@@ -203,16 +234,73 @@ impl<S: Signature> LshForest<S> {
         self.sigs.keys().copied()
     }
 
+    /// Approximate footprint of the tree arrays in bytes (labels plus
+    /// item ids).
+    pub fn tree_byte_size(&self) -> usize {
+        self.trees
+            .iter()
+            .map(|t| t.iter().map(|(lbl, _)| lbl.len() + 8).sum::<usize>())
+            .sum()
+    }
+
+    /// Approximate footprint of the stored signature map in bytes.
+    pub fn signature_byte_size(&self) -> usize {
+        self.sigs.values().map(Signature::byte_size).sum()
+    }
+
     /// Approximate footprint in bytes: tree labels plus stored
     /// signatures (Table II accounting).
     pub fn byte_size(&self) -> usize {
-        let tree_bytes: usize = self
-            .trees
-            .iter()
-            .map(|t| t.iter().map(|(lbl, _)| lbl.len() + 8).sum::<usize>())
-            .sum();
-        let sig_bytes: usize = self.sigs.values().map(Signature::byte_size).sum();
-        tree_bytes + sig_bytes
+        self.tree_byte_size() + self.signature_byte_size()
+    }
+}
+
+impl<S: Signature + Send + Sync> LshForest<S> {
+    /// Bulk-build a committed forest from `(item, signature)` pairs.
+    ///
+    /// The indexing fast path: per-tree label arrays are generated and
+    /// sorted tree-major — fanned out over up to `threads` scoped
+    /// workers — instead of item-major `insert` calls followed by a
+    /// sequential sort. Each tree's sorted array is a total order over
+    /// `(label, item)` pairs, so the result is byte-identical to
+    /// insert-then-commit at every thread count and item order.
+    pub fn build_from(sig_len: usize, l: usize, items: Vec<(ItemId, S)>, threads: usize) -> Self {
+        let mut forest = LshForest::new(sig_len, l);
+        let threads = threads.clamp(1, forest.l);
+        if threads == 1 {
+            for (id, sig) in items {
+                forest.insert(id, sig);
+            }
+            forest.commit();
+            return forest;
+        }
+        let shape = forest.clone(); // empty: cheap label template
+        let chunk = forest.l.div_ceil(threads);
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            let items = &items;
+            let shape = &shape;
+            let mut t0 = 0usize;
+            for batch in forest.trees.chunks_mut(chunk) {
+                let start = t0;
+                t0 += batch.len();
+                handles.push(scope.spawn(move || {
+                    for (off, tree) in batch.iter_mut().enumerate() {
+                        *tree = items
+                            .iter()
+                            .map(|(id, sig)| (shape.label(sig, start + off), *id))
+                            .collect();
+                        tree.sort();
+                    }
+                }));
+            }
+            for h in handles {
+                h.join().expect("forest build worker panicked");
+            }
+        });
+        forest.sigs = items.into_iter().collect();
+        forest.sorted = true;
+        forest
     }
 }
 
@@ -245,6 +333,7 @@ mod tests {
         f.insert(1, sign(&mh, &tokens("x", 10..110))); // J ≈ 0.8
         f.insert(2, sign(&mh, &tokens("x", 50..150))); // J ≈ 0.33
         f.insert(3, sign(&mh, &tokens("y", 0..100))); // J = 0
+        f.commit();
         let hits = f.query(&sign(&mh, &base), 2);
         assert_eq!(hits.len(), 2);
         assert_eq!(hits[0].id, 1);
@@ -258,7 +347,7 @@ mod tests {
         let mut f = LshForest::new(256, 16);
         f.insert(1, sign(&mh, &tokens("x", 0..100)));
         f.insert(2, sign(&mh, &tokens("z", 0..100)));
-        f.build();
+        f.commit();
         let hits = f.query_threshold(&sign(&mh, &tokens("x", 0..100)), 0.7, 10);
         assert_eq!(hits.len(), 1);
         assert_eq!(hits[0].id, 1);
@@ -270,6 +359,7 @@ mod tests {
         let mut f = LshForest::new(64, 8);
         f.insert(1, sign(&mh, &tokens("a", 0..5)));
         f.insert(2, sign(&mh, &tokens("b", 0..5)));
+        f.commit();
         let hits = f.query(&sign(&mh, &tokens("c", 0..5)), 2);
         assert_eq!(hits.len(), 2);
     }
@@ -279,16 +369,17 @@ mod tests {
         let mh = MinHasher::new(64, 5);
         let mut f = LshForest::new(64, 8);
         f.insert(1, sign(&mh, &tokens("a", 0..5)));
+        f.commit();
         assert!(f.query(&sign(&mh, &tokens("a", 0..5)), 0).is_empty());
     }
 
     #[test]
-    #[should_panic(expected = "forest not built")]
-    fn unbuilt_query_panics() {
+    #[should_panic(expected = "forest not committed")]
+    fn uncommitted_query_panics() {
         let mh = MinHasher::new(64, 5);
         let mut f = LshForest::new(64, 8);
         f.insert(1, sign(&mh, &tokens("a", 0..5)));
-        let _ = f.query_built(&sign(&mh, &tokens("a", 0..5)), 1);
+        let _ = f.query(&sign(&mh, &tokens("a", 0..5)), 1);
     }
 
     #[test]
@@ -298,10 +389,52 @@ mod tests {
         let empty = f.byte_size();
         f.insert(1, sign(&mh, &tokens("a", 0..5)));
         assert!(f.byte_size() > empty);
+        assert_eq!(f.byte_size(), f.tree_byte_size() + f.signature_byte_size());
         assert!(f.ids().count() == 1);
         assert!(f.signature(1).is_some());
-        assert!(!f.is_built());
-        f.build();
-        assert!(f.is_built());
+        assert!(!f.is_committed());
+        f.commit();
+        assert!(f.is_committed());
+    }
+
+    /// `build_from` must equal insert-then-commit byte for byte, at
+    /// every thread count and under item-order permutations.
+    #[test]
+    fn build_from_matches_incremental_inserts() {
+        let mh = MinHasher::new(128, 3);
+        let items: Vec<(u64, MinHashSignature)> = (0..20)
+            .map(|i| (i, sign(&mh, &tokens("t", i as usize..i as usize + 30))))
+            .collect();
+        let mut incremental = LshForest::new(128, 8);
+        for (id, sig) in &items {
+            incremental.insert(*id, sig.clone());
+        }
+        incremental.commit();
+        let q = sign(&mh, &tokens("t", 5..35));
+        for threads in [1usize, 2, 8] {
+            let mut shuffled = items.clone();
+            shuffled.rotate_left(threads); // different insertion order
+            let bulk = LshForest::build_from(128, 8, shuffled, threads);
+            assert!(bulk.is_committed());
+            assert_eq!(bulk.len(), incremental.len());
+            assert_eq!(bulk.trees, incremental.trees, "trees @{threads} threads");
+            assert_eq!(bulk.query(&q, 5), incremental.query(&q, 5));
+        }
+    }
+
+    #[test]
+    fn commit_parallel_matches_commit() {
+        let mh = MinHasher::new(128, 4);
+        let mut a = LshForest::new(128, 8);
+        let mut b = LshForest::new(128, 8);
+        for i in 0..16u64 {
+            let s = sign(&mh, &tokens("p", i as usize..i as usize + 10));
+            a.insert(i, s.clone());
+            b.insert(i, s);
+        }
+        a.commit();
+        b.commit_parallel(4);
+        assert!(b.is_committed());
+        assert_eq!(a.trees, b.trees);
     }
 }

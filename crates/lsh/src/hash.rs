@@ -3,24 +3,76 @@
 
 /// FNV-1a 64-bit hash of a byte string. Stable across runs and
 /// platforms (important: signatures are serialized with indexes).
+#[inline]
 pub fn fnv1a(bytes: &[u8]) -> u64 {
-    const OFFSET: u64 = 0xcbf29ce484222325;
-    const PRIME: u64 = 0x100000001b3;
-    let mut h = OFFSET;
-    for &b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(PRIME);
-    }
-    h
+    let mut h = Fnv1a::new();
+    h.write(bytes);
+    h.finish()
 }
 
 /// Hash a string token to a 64-bit value.
+#[inline]
 pub fn hash_str(s: &str) -> u64 {
     fnv1a(s.as_bytes())
 }
 
+/// Incremental FNV-1a state: streaming equivalent of [`fnv1a`].
+/// Feeding it the same bytes in any number of chunks yields the same
+/// value as one [`fnv1a`] call over their concatenation — profile
+/// extraction uses it to hash q-gram windows and format patterns
+/// without materializing intermediate strings.
+#[derive(Debug, Clone, Copy)]
+pub struct Fnv1a(u64);
+
+impl Fnv1a {
+    const OFFSET: u64 = 0xcbf29ce484222325;
+    const PRIME: u64 = 0x100000001b3;
+
+    /// Fresh state (the FNV offset basis).
+    #[inline]
+    pub fn new() -> Self {
+        Fnv1a(Self::OFFSET)
+    }
+
+    /// Absorb one byte.
+    #[inline]
+    pub fn write_byte(&mut self, b: u8) {
+        self.0 ^= b as u64;
+        self.0 = self.0.wrapping_mul(Self::PRIME);
+    }
+
+    /// Absorb a byte slice.
+    #[inline]
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.write_byte(b);
+        }
+    }
+
+    /// Absorb a char as its UTF-8 bytes (matching [`hash_str`] on the
+    /// equivalent string).
+    #[inline]
+    pub fn write_char(&mut self, c: char) {
+        let mut buf = [0u8; 4];
+        self.write(c.encode_utf8(&mut buf).as_bytes());
+    }
+
+    /// The hash of everything absorbed so far.
+    #[inline]
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Fnv1a::new()
+    }
+}
+
 /// splitmix64: fast avalanche mixer used to derive per-permutation
 /// parameters and to finalize combined hashes.
+#[inline]
 pub fn splitmix64(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9e3779b97f4a7c15);
     x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
@@ -66,6 +118,14 @@ impl UniversalHasher {
     pub fn hash(&self, i: usize, x: u64) -> u64 {
         let (a, b) = self.params[i];
         splitmix64(a.wrapping_mul(x).wrapping_add(b))
+    }
+
+    /// The `(a_i, b_i)` parameter pairs, for hot loops that iterate
+    /// the whole family without per-call bounds checks (values equal
+    /// `hash(i, x)` position for position).
+    #[inline]
+    pub(crate) fn params(&self) -> &[(u64, u64)] {
+        &self.params
     }
 }
 

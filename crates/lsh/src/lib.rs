@@ -25,6 +25,9 @@ pub mod forest;
 pub mod hash;
 pub mod minhash;
 pub mod randproj;
+pub mod tokenset;
+
+pub use tokenset::TokenSet;
 
 /// Opaque item identifier used by all indexes in this crate.
 pub type ItemId = u64;

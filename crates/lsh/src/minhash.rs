@@ -4,7 +4,8 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::hash::{hash_str, UniversalHasher};
+use crate::hash::{hash_str, splitmix64, UniversalHasher};
+use crate::tokenset::TokenSet;
 
 /// A MinHash signature: `num_perm` 64-bit minimum hash values.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -69,47 +70,57 @@ impl MinHasher {
         self.sign_hashes(items.into_iter().map(hash_str))
     }
 
-    /// Signature of a set of pre-hashed tokens.
+    /// Signature of an iterator of pre-hashed tokens (buffers the
+    /// hashes, then runs the [`MinHasher::sign_hashed`] fast path).
     pub fn sign_hashes<I: IntoIterator<Item = u64>>(&self, hashes: I) -> MinHashSignature {
-        let n = self.family.len();
-        let mut sig = vec![u64::MAX; n];
-        for h in hashes {
-            for (i, slot) in sig.iter_mut().enumerate() {
-                let v = self.family.hash(i, h);
-                if v < *slot {
-                    *slot = v;
-                }
+        let buf: Vec<u64> = hashes.into_iter().collect();
+        self.sign_hashed(&buf)
+    }
+
+    /// Signature of a [`TokenSet`] — the indexing-side hot path: the
+    /// set's tokens were hashed once at profile time and the
+    /// signature is derived straight from the stored hashes, with no
+    /// re-tokenization or string hashing.
+    pub fn sign_token_set(&self, tokens: &TokenSet) -> MinHashSignature {
+        self.sign_hashed(tokens.as_slice())
+    }
+
+    /// Signature of a slice of pre-hashed tokens.
+    ///
+    /// Produces bit-identical output to the historical per-token ×
+    /// per-permutation formulation (`min_x splitmix64(a_i·x + b_i)`),
+    /// but iterates permutation-major: each permutation's `(a, b)`
+    /// pair stays in registers, the running minimum is a register
+    /// `min` (a branchless conditional move) instead of a
+    /// read-modify-write per signature slot, and the token hashes are
+    /// one contiguous scan. Duplicate hashes are harmless (minimums
+    /// ignore multiplicity).
+    pub fn sign_hashed(&self, hashes: &[u64]) -> MinHashSignature {
+        let mut sig = Vec::with_capacity(self.family.len());
+        for &(a, b) in self.family.params() {
+            let mut min = u64::MAX;
+            for &h in hashes {
+                min = min.min(splitmix64(a.wrapping_mul(h).wrapping_add(b)));
             }
+            sig.push(min);
         }
         MinHashSignature(sig)
     }
 }
 
-/// Exact Jaccard similarity of two string sets, for tests and for the
+/// Exact Jaccard similarity of two hashed token sets: a linear
+/// merge-intersection over the sorted vecs, for tests and for the
 /// paper's exact-distance formulas (§III-B).
-pub fn exact_jaccard<S: std::hash::BuildHasher, T: std::hash::BuildHasher>(
-    a: &std::collections::HashSet<String, S>,
-    b: &std::collections::HashSet<String, T>,
-) -> f64 {
-    if a.is_empty() && b.is_empty() {
-        return 1.0;
-    }
-    let inter = a.iter().filter(|x| b.contains(x.as_str())).count();
-    let union = a.len() + b.len() - inter;
-    if union == 0 {
-        0.0
-    } else {
-        inter as f64 / union as f64
-    }
+pub fn exact_jaccard(a: &TokenSet, b: &TokenSet) -> f64 {
+    a.jaccard(b)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::collections::HashSet;
 
-    fn set(items: &[&str]) -> HashSet<String> {
-        items.iter().map(|s| s.to_string()).collect()
+    fn set(items: &[&str]) -> TokenSet {
+        TokenSet::from_strs(items.iter().copied())
     }
 
     #[test]
@@ -160,9 +171,22 @@ mod tests {
         let b = set(&["y", "z"]);
         assert!((exact_jaccard(&a, &b) - 1.0 / 3.0).abs() < 1e-12);
         assert!((exact_jaccard(&a, &a) - 1.0).abs() < 1e-12);
-        let e: HashSet<String> = HashSet::new();
+        let e = TokenSet::new();
         assert!((exact_jaccard(&e, &e) - 1.0).abs() < 1e-12);
         assert!(exact_jaccard(&a, &e) < 1e-12);
+    }
+
+    #[test]
+    fn token_set_signing_matches_string_signing() {
+        // The one-pass hashed fast path must be bit-identical to
+        // signing the token strings directly.
+        let mh = MinHasher::new(128, 9);
+        let items = ["portland", "oxford", "salford", "m1", "3be"];
+        let by_strs = mh.sign_strs(items);
+        let by_set = mh.sign_token_set(&set(&items));
+        assert_eq!(by_strs, by_set);
+        // And empty sets through both paths.
+        assert_eq!(mh.sign_strs([]), mh.sign_token_set(&TokenSet::new()));
     }
 
     #[test]

@@ -150,11 +150,31 @@ fn cmd_stats(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     println!("numeric ratio:  {:.1}%", stats.numeric_ratio * 100.0);
     println!("raw bytes:      {}", stats.bytes);
     let d3l = D3l::index_lake(&lake, D3lConfig::default());
+    let fp = d3l.byte_size();
     println!(
         "index bytes:    {} ({:.0}% overhead)",
         d3l.index_byte_size(),
         100.0 * d3l.index_byte_size() as f64 / stats.bytes.max(1) as f64
     );
+    println!("memory footprint:");
+    println!(
+        "  {:<10} {:>12} {:>12} {:>12}",
+        "index", "trees", "signatures", "total"
+    );
+    for (name, idx) in fp.indexes() {
+        println!(
+            "  {:<10} {:>12} {:>12} {:>12}",
+            name,
+            idx.tree_bytes,
+            idx.signature_bytes,
+            idx.total()
+        );
+    }
+    println!(
+        "  {:<10} {:>12} {:>12} {:>12}",
+        "profiles", "-", "-", fp.profile_bytes
+    );
+    println!("  {:<10} {:>12} {:>12} {:>12}", "total", "", "", fp.total());
     Ok(())
 }
 

@@ -180,3 +180,56 @@ fn separately_built_indexes_agree() {
         );
     }
 }
+
+#[test]
+fn index_build_is_thread_count_invariant() {
+    // Indexes built at index threads {1, 2, 8} must be bitwise
+    // interchangeable: identical memory footprint (the forests hold
+    // the same trees and signatures) and byte-identical rankings for
+    // every combination of index and query thread counts.
+    let bench = benchgen::smaller_real(32, 23);
+    let build = |index_threads: usize| {
+        let embedder = SemanticEmbedder::new(benchgen::vocab::domain_lexicon(32));
+        let cfg = D3lConfig {
+            embed_dim: 32,
+            index_threads,
+            query_threads: 1,
+            ..D3lConfig::fast()
+        };
+        D3l::index_lake_with(&bench.lake, cfg, embedder)
+    };
+    let builds: Vec<D3l> = THREAD_COUNTS.iter().map(|&n| build(n)).collect();
+    for (d3l, &n) in builds.iter().zip(&THREAD_COUNTS).skip(1) {
+        assert_eq!(
+            builds[0].byte_size(),
+            d3l.byte_size(),
+            "footprint differs at {n} index threads"
+        );
+    }
+    for tname in bench.pick_targets(3, 9) {
+        let target = bench.lake.table_by_name(&tname).unwrap();
+        let base = {
+            let opts = QueryOptions {
+                exclude: bench.lake.id_of(&tname),
+                threads: Some(1),
+                ..Default::default()
+            };
+            builds[0].rank_all(target, 40, &opts)
+        };
+        assert!(!base.is_empty(), "{tname}: empty ranking");
+        for (d3l, &index_n) in builds.iter().zip(&THREAD_COUNTS) {
+            for &query_n in &THREAD_COUNTS {
+                let opts = QueryOptions {
+                    exclude: bench.lake.id_of(&tname),
+                    threads: Some(query_n),
+                    ..Default::default()
+                };
+                assert_identical(
+                    &base,
+                    &d3l.rank_all(target, 40, &opts),
+                    &format!("{tname} @{index_n} index / {query_n} query threads"),
+                );
+            }
+        }
+    }
+}

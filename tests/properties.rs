@@ -10,6 +10,7 @@ use d3l::embedding::{cosine, HashEmbedder};
 use d3l::features::{format_pattern, ks_statistic, qgram_set};
 use d3l::lsh::minhash::{exact_jaccard, MinHasher};
 use d3l::lsh::randproj::{exact_cosine, RandomProjector};
+use d3l::lsh::TokenSet;
 use d3l::prelude::*;
 use d3l::table::csv;
 
@@ -28,13 +29,44 @@ proptest! {
     #[test]
     fn minhash_estimates_jaccard(a in token_vec(), b in token_vec()) {
         let mh = MinHasher::new(512, 7);
-        let sa: HashSet<String> = a.iter().cloned().collect();
-        let sb: HashSet<String> = b.iter().cloned().collect();
+        let sa = TokenSet::from_strs(a.iter().map(String::as_str));
+        let sb = TokenSet::from_strs(b.iter().map(String::as_str));
         let exact = exact_jaccard(&sa, &sb);
         let est = mh
-            .sign_strs(sa.iter().map(String::as_str))
-            .jaccard(&mh.sign_strs(sb.iter().map(String::as_str)));
+            .sign_strs(a.iter().map(String::as_str))
+            .jaccard(&mh.sign_strs(b.iter().map(String::as_str)));
         prop_assert!((exact - est).abs() < 0.2, "exact {exact} vs est {est}");
+    }
+
+    /// The hashed-set migration preserves exact Jaccard: the linear
+    /// merge-intersection over sorted token-hash vecs equals the
+    /// historical `HashSet<String>` computation on random token sets.
+    #[test]
+    fn hashed_jaccard_matches_string_set_jaccard(a in token_vec(), b in token_vec()) {
+        let sa: HashSet<String> = a.iter().cloned().collect();
+        let sb: HashSet<String> = b.iter().cloned().collect();
+        // The pre-migration formulation, inlined as the reference.
+        let reference = if sa.is_empty() && sb.is_empty() {
+            1.0
+        } else {
+            let inter = sa.iter().filter(|x| sb.contains(x.as_str())).count();
+            inter as f64 / (sa.len() + sb.len() - inter) as f64
+        };
+        let ha = TokenSet::from_strs(a.iter().map(String::as_str));
+        let hb = TokenSet::from_strs(b.iter().map(String::as_str));
+        prop_assert!((exact_jaccard(&ha, &hb) - reference).abs() < 1e-12,
+                     "hashed {} vs string-set {reference}", exact_jaccard(&ha, &hb));
+        // Set sizes survive the migration (duplicates deduped identically).
+        prop_assert_eq!(ha.len(), sa.len());
+        prop_assert_eq!(hb.len(), sb.len());
+        // And the merge-intersection overlap coefficient agrees with
+        // the string-set one.
+        let min = sa.len().min(sb.len());
+        if min > 0 {
+            let inter = sa.iter().filter(|x| sb.contains(x.as_str())).count();
+            let ref_ov = inter as f64 / min as f64;
+            prop_assert!((ha.overlap_coefficient(&hb) - ref_ov).abs() < 1e-12);
+        }
     }
 
     /// Random projections estimate cosine within tolerance.
