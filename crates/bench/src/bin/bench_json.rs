@@ -1,8 +1,9 @@
 //! `bench_json` — machine-readable perf tracking.
 //!
-//! Times index construction and top-k search on the synthetic-160
-//! lake at one worker thread and writes two JSON files
-//! (`BENCH_index.json`, `BENCH_search.json`) so the perf trajectory is
+//! Times index construction, top-k search, and the persistent store
+//! (snapshot save / cold-start load) on the synthetic-160 lake at one
+//! worker thread and writes three JSON files (`BENCH_index.json`,
+//! `BENCH_search.json`, `BENCH_store.json`) so the perf trajectory is
 //! tracked in-repo from PR to PR. See README "Performance & memory
 //! model" for how to read them.
 //!
@@ -15,7 +16,7 @@
 use std::time::Instant;
 
 use d3l_benchgen::vocab;
-use d3l_core::{D3l, D3lConfig};
+use d3l_core::{D3l, D3lConfig, IndexStore};
 use d3l_embedding::SemanticEmbedder;
 
 fn env_usize(key: &str, default: usize) -> usize {
@@ -111,11 +112,57 @@ fn main() {
         fmt_samples(&search_ms),
     );
 
+    // ---- persistent store (save / cold-start load) ------------------
+    eprintln!("timing snapshot save + load ({samples} samples) ...");
+    let store_dir = std::env::temp_dir().join(format!("d3l_bench_store_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&store_dir);
+    let mut save_ms = Vec::with_capacity(samples);
+    let mut load_ms = Vec::with_capacity(samples);
+    let mut snapshot_bytes = 0u64;
+    for i in 0..samples {
+        let start = Instant::now();
+        let store = IndexStore::create(&store_dir, &d3l).expect("snapshot save");
+        save_ms.push(start.elapsed().as_secs_f64() * 1e3);
+        snapshot_bytes = store.disk_bytes().expect("store metadata").0;
+        let start = Instant::now();
+        let (_, loaded) = IndexStore::open(&store_dir).expect("snapshot load");
+        load_ms.push(start.elapsed().as_secs_f64() * 1e3);
+        std::hint::black_box(loaded);
+        eprintln!(
+            "  sample {}: save {:.1} ms, load {:.1} ms",
+            i + 1,
+            save_ms[i],
+            load_ms[i]
+        );
+    }
+    std::fs::remove_dir_all(&store_dir).ok();
+    let rebuild_median = median_ms(&mut build_ms.clone());
+    let load_median = median_ms(&mut load_ms.clone());
+    let speedup = rebuild_median / load_median.max(1e-9);
+
+    // `median_ms`/`mean_ms` describe the cold-start load — the number
+    // a serving process pays — so the CI schema check applies to it.
+    let store_json = format!(
+        "{{\n  \"bench\": \"store\",\n  \"lake\": \"synthetic\",\n  \"tables\": {tables},\n  \
+         \"samples\": {samples},\n  \"median_ms\": {:.3},\n  \"mean_ms\": {:.3},\n  \
+         \"samples_ms\": {},\n  \"save_median_ms\": {:.3},\n  \"save_samples_ms\": {},\n  \
+         \"snapshot_bytes\": {snapshot_bytes},\n  \"rebuild_median_ms\": {rebuild_median:.3},\n  \
+         \"load_vs_rebuild_speedup\": {speedup:.2}\n}}\n",
+        load_median,
+        mean_ms(&load_ms),
+        fmt_samples(&load_ms),
+        median_ms(&mut save_ms.clone()),
+        fmt_samples(&save_ms),
+    );
+
     std::fs::create_dir_all(&out_dir).expect("create output directory");
     let index_path = format!("{out_dir}/BENCH_index.json");
     let search_path = format!("{out_dir}/BENCH_search.json");
+    let store_path = format!("{out_dir}/BENCH_store.json");
     std::fs::write(&index_path, &index_json).expect("write BENCH_index.json");
     std::fs::write(&search_path, &search_json).expect("write BENCH_search.json");
+    std::fs::write(&store_path, &store_json).expect("write BENCH_store.json");
     println!("wrote {index_path}:\n{index_json}");
     println!("wrote {search_path}:\n{search_json}");
+    println!("wrote {store_path}:\n{store_json}");
 }

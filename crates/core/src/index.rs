@@ -97,6 +97,9 @@ pub struct D3l {
     pub(crate) names: Vec<String>,
     /// Per-table arity, parallel to ids.
     pub(crate) arities: Vec<usize>,
+    /// Tombstones: ids stay stable across removals, so a removed
+    /// table keeps its slot (emptied) and is skipped everywhere.
+    pub(crate) removed: Vec<bool>,
 }
 
 impl D3l {
@@ -256,6 +259,7 @@ impl D3l {
             )
         };
 
+        let removed = vec![false; names.len()];
         D3l {
             cfg,
             embedder,
@@ -269,6 +273,7 @@ impl D3l {
             subjects,
             names,
             arities,
+            removed,
         }
     }
 
@@ -278,10 +283,25 @@ impl D3l {
     /// id the table would have in a lake extended by it; the caller
     /// keeps the authoritative lake.
     pub fn add_table(&mut self, table: &Table) -> TableId {
-        let id = TableId(self.profiles.len() as u32);
         let cached = CachedEmbedder::new(&self.embedder);
         let profiles = profile_table(table, self.cfg.q, &cached);
         let classifier = SubjectClassifier::default_model();
+        let subject = classifier.subject_of(table).map(|i| i as u32);
+        self.insert_profiled_table(table.name().to_string(), subject, profiles)
+    }
+
+    /// The shared tail of [`D3l::add_table`] and the delta-segment
+    /// replay path: insert an already-profiled table. Signatures are
+    /// derived from the profiles' stored token hashes, so replaying a
+    /// persisted delta (which carries the profiles) patches the
+    /// forests bit-identically to the original `add_table` call.
+    pub(crate) fn insert_profiled_table(
+        &mut self,
+        name: String,
+        subject: Option<u32>,
+        profiles: Vec<AttributeProfile>,
+    ) -> TableId {
+        let id = TableId(self.profiles.len() as u32);
         for (col, p) in profiles.iter().enumerate() {
             let sig = sign_profile(p, &self.minhasher, &self.projector);
             let key = AttrRef {
@@ -304,12 +324,53 @@ impl D3l {
         self.i_v.commit_parallel(threads);
         self.i_f.commit_parallel(threads);
         self.i_e.commit_parallel(threads);
-        self.names.push(table.name().to_string());
+        self.names.push(name);
         self.arities.push(profiles.len());
-        self.subjects
-            .push(classifier.subject_of(table).map(|i| i as u32));
+        self.subjects.push(subject);
         self.profiles.push(profiles);
+        self.removed.push(false);
         id
+    }
+
+    /// Drop a table from the index (the maintenance counterpart of
+    /// [`D3l::add_table`]). Its attributes leave all four forests —
+    /// dropping entries preserves each tree's sort, so no re-commit is
+    /// needed — and the id becomes a tombstone: ids of other tables
+    /// never shift, the slot keeps its name for display, and
+    /// [`D3l::table_count`] still counts it (use
+    /// [`D3l::live_table_count`] for the serving population). Returns
+    /// whether the id named a live table.
+    pub fn remove_table(&mut self, id: TableId) -> bool {
+        let idx = id.index();
+        if idx >= self.profiles.len() || self.removed[idx] {
+            return false;
+        }
+        for col in 0..self.arities[idx] {
+            let key = AttrRef {
+                table: id,
+                column: col as u32,
+            }
+            .key();
+            self.i_n.remove(key);
+            self.i_v.remove(key);
+            self.i_f.remove(key);
+            self.i_e.remove(key);
+        }
+        self.profiles[idx] = Vec::new();
+        self.arities[idx] = 0;
+        self.subjects[idx] = None;
+        self.removed[idx] = true;
+        true
+    }
+
+    /// Whether an id is a removal tombstone.
+    pub fn is_removed(&self, id: TableId) -> bool {
+        self.removed.get(id.index()).copied().unwrap_or(false)
+    }
+
+    /// Number of tables still serving (total slots minus tombstones).
+    pub fn live_table_count(&self) -> usize {
+        self.removed.iter().filter(|&&r| !r).count()
     }
 
     /// The configuration in effect.
@@ -443,11 +504,13 @@ impl D3l {
         }
     }
 
-    /// Map from table name to id for result post-processing.
+    /// Map from table name to id for result post-processing. Removed
+    /// tables are excluded — their tombstoned ids must not resolve.
     pub fn name_to_id(&self) -> HashMap<&str, TableId> {
         self.names
             .iter()
             .enumerate()
+            .filter(|(i, _)| !self.removed[*i])
             .map(|(i, n)| (n.as_str(), TableId(i as u32)))
             .collect()
     }

@@ -55,6 +55,7 @@ pub mod metrics;
 pub mod populate;
 pub mod profile;
 pub mod query;
+pub mod snapshot;
 pub mod weights;
 
 pub use config::D3lConfig;
@@ -65,4 +66,5 @@ pub use join::{JoinPath, SaJoinGraph};
 pub use populate::Population;
 pub use profile::AttributeProfile;
 pub use query::{Alignment, PreparedTarget, QueryOptions, TableMatch};
+pub use snapshot::{DeltaRecord, IndexStore};
 pub use weights::EvidenceWeights;

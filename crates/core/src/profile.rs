@@ -89,10 +89,17 @@ impl AttributeProfile {
         let tset = TokenSet::from_hashes(tset_hashes);
         let rset = TokenSet::from_hashes(rset_hashes);
 
+        // Embed in sorted token order: mean_vector's float summation
+        // is order-sensitive in the low bits, and HashSet iteration
+        // order varies per instance — sorting makes the profile a
+        // bit-deterministic function of the column, which snapshot
+        // byte-identity (and `compact == rebuild`) depends on.
         let embedding = if frequent_tokens.is_empty() {
             vec![0.0; embedder.dim()]
         } else {
-            embedder.embed_all(frequent_tokens.iter().map(String::as_str))
+            let mut tokens: Vec<&str> = frequent_tokens.iter().map(String::as_str).collect();
+            tokens.sort_unstable();
+            embedder.embed_all(tokens)
         };
 
         // Sorted ascending so KS at query time is a linear merge

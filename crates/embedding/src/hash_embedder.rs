@@ -62,6 +62,12 @@ impl HashEmbedder {
         self.dim
     }
 
+    /// The seed every n-gram direction derives from (persisted so a
+    /// reloaded engine reproduces the same subword geometry).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
     /// Character n-grams of a word with boundary markers, n ∈ 3..=5,
     /// plus the whole bounded word (fastText's construction).
     pub fn ngrams(word: &str) -> Vec<String> {

@@ -97,6 +97,57 @@ impl Lexicon {
     pub fn concept_vector(&self, word: &str) -> Option<Vec<f64>> {
         self.concept_of(word).map(|c| self.vector_for_concept(c))
     }
+
+    /// Serialize the word → concept state for a snapshot section.
+    /// Entries are written in sorted word order, so equal lexicons
+    /// encode identically regardless of map iteration order.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut enc = d3l_store::Encoder::new();
+        enc.put_varint(self.dim as u64);
+        enc.put_varint(self.concept_count as u64);
+        let mut entries: Vec<(&String, &u32)> = self.word_to_concept.iter().collect();
+        entries.sort();
+        enc.put_varint(entries.len() as u64);
+        for (word, &concept) in entries {
+            enc.put_str(word);
+            enc.put_varint(concept as u64);
+        }
+        enc.into_bytes()
+    }
+
+    /// Deserialize a lexicon written by [`Lexicon::to_bytes`]. Concept
+    /// vectors are pure functions of the concept id, so only the
+    /// mapping needs to survive for every embedding to reproduce
+    /// bit-identically.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, d3l_store::StoreError> {
+        let mut dec = d3l_store::Decoder::new(bytes);
+        let dim = dec.get_varint()? as usize;
+        if dim == 0 {
+            return Err(d3l_store::StoreError::corrupt("lexicon dimension zero"));
+        }
+        let concept_count = u32::try_from(dec.get_varint()?)
+            .map_err(|_| d3l_store::StoreError::corrupt("concept count exceeds u32"))?;
+        let words = dec.get_len(2, "lexicon entries")?;
+        let mut word_to_concept = HashMap::with_capacity(words);
+        for _ in 0..words {
+            let word = dec.get_str()?;
+            let concept = dec.get_varint()? as u32;
+            if concept >= concept_count {
+                return Err(d3l_store::StoreError::corrupt(format!(
+                    "word {word:?} maps to concept {concept} of {concept_count}"
+                )));
+            }
+            if word_to_concept.insert(word, concept).is_some() {
+                return Err(d3l_store::StoreError::corrupt("duplicate lexicon word"));
+            }
+        }
+        dec.expect_exhausted("lexicon")?;
+        Ok(Lexicon {
+            dim,
+            word_to_concept,
+            concept_count,
+        })
+    }
 }
 
 #[cfg(test)]

@@ -144,6 +144,49 @@ impl SemanticEmbedder {
     pub fn lexicon(&self) -> &Lexicon {
         &self.lexicon
     }
+
+    /// The concept/subword blend weight.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// The subword embedder half of the blend.
+    pub fn subword(&self) -> &HashEmbedder {
+        &self.subword
+    }
+
+    /// Serialize the full embedder state (lexicon mapping, subword
+    /// seed, blend weight) for a snapshot section. An engine reloaded
+    /// from these bytes embeds every word bit-identically to the one
+    /// that built the index — the property the stored `IE` signatures
+    /// and profile embeddings depend on.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut enc = d3l_store::Encoder::new();
+        enc.put_bytes(&self.lexicon.to_bytes());
+        enc.put_u64(self.subword.seed());
+        enc.put_f64(self.alpha);
+        enc.into_bytes()
+    }
+
+    /// Deserialize an embedder written by [`SemanticEmbedder::to_bytes`].
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, d3l_store::StoreError> {
+        let mut dec = d3l_store::Decoder::new(bytes);
+        let lexicon = Lexicon::from_bytes(dec.get_bytes()?)?;
+        let seed = dec.get_u64()?;
+        let alpha = dec.get_f64()?;
+        if !(0.0..=1.0).contains(&alpha) {
+            return Err(d3l_store::StoreError::corrupt(format!(
+                "blend weight {alpha} outside [0, 1]"
+            )));
+        }
+        dec.expect_exhausted("embedder")?;
+        let dim = lexicon.dim();
+        Ok(SemanticEmbedder {
+            lexicon,
+            subword: HashEmbedder::new(dim, seed),
+            alpha,
+        })
+    }
 }
 
 impl WordEmbedder for SemanticEmbedder {
@@ -237,6 +280,39 @@ mod tests {
     fn case_insensitive() {
         let e = embedder();
         assert!((cosine(&e.embed("Street"), &e.embed("street")) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn embedder_state_round_trips_bit_identically() {
+        let e = embedder().with_alpha(0.6);
+        let loaded = SemanticEmbedder::from_bytes(&e.to_bytes()).unwrap();
+        assert_eq!(loaded.dim(), e.dim());
+        assert_eq!(loaded.alpha(), 0.6);
+        assert_eq!(loaded.subword().seed(), e.subword().seed());
+        assert_eq!(loaded.lexicon().words(), e.lexicon().words());
+        assert_eq!(loaded.lexicon().concepts(), e.lexicon().concepts());
+        for word in ["street", "road", "blackfriars", "zzz", "café"] {
+            assert_eq!(loaded.embed(word), e.embed(word), "vector for {word}");
+        }
+        // Equal embedders encode identically (map order independent).
+        assert_eq!(e.to_bytes(), embedder().with_alpha(0.6).to_bytes());
+    }
+
+    #[test]
+    fn corrupt_embedder_bytes_are_typed_errors() {
+        let bytes = embedder().to_bytes();
+        for cut in 0..bytes.len() {
+            assert!(
+                SemanticEmbedder::from_bytes(&bytes[..cut]).is_err(),
+                "cut {cut} must fail"
+            );
+        }
+        // Out-of-range alpha.
+        let mut enc = d3l_store::Encoder::new();
+        enc.put_bytes(&Lexicon::new(8).to_bytes());
+        enc.put_u64(1);
+        enc.put_f64(3.5);
+        assert!(SemanticEmbedder::from_bytes(&enc.into_bytes()).is_err());
     }
 
     #[test]

@@ -31,6 +31,9 @@ use crate::{top_k, Hit, ItemId};
 /// Default number of trees.
 pub const DEFAULT_TREES: usize = 16;
 
+/// One tree's sorted array of `(label, item)` entries.
+pub type TreeArray = Vec<(Box<[u8]>, ItemId)>;
+
 /// An LSH Forest over signatures of type `S`.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct LshForest<S> {
@@ -39,7 +42,7 @@ pub struct LshForest<S> {
     /// Label depth per tree (`k` hash positions, one byte each).
     k: usize,
     /// Per-tree sorted arrays of (label, item).
-    trees: Vec<Vec<(Box<[u8]>, ItemId)>>,
+    trees: Vec<TreeArray>,
     /// Full signatures for similarity refinement.
     sigs: HashMap<ItemId, S>,
     sorted: bool,
@@ -147,6 +150,55 @@ impl<S: Signature> LshForest<S> {
     /// Whether all inserts have been committed (trees sorted).
     pub fn is_committed(&self) -> bool {
         self.sorted
+    }
+
+    /// Remove an item from the forest (the incremental-maintenance
+    /// counterpart of [`LshForest::insert`]). Dropping entries from a
+    /// sorted tree preserves its order, so no re-commit is needed and
+    /// a committed forest stays committed. Returns whether the item
+    /// was present.
+    pub fn remove(&mut self, id: ItemId) -> bool {
+        if self.sigs.remove(&id).is_none() {
+            return false;
+        }
+        for tree in &mut self.trees {
+            tree.retain(|(_, item)| *item != id);
+        }
+        true
+    }
+
+    /// The per-tree sorted `(label, item)` arrays — the persistence
+    /// layer serializes them verbatim so a loaded forest needs no
+    /// re-sort.
+    pub fn tree_arrays(&self) -> &[TreeArray] {
+        &self.trees
+    }
+
+    /// Mutable tree access for corruption-injection tests.
+    #[cfg(test)]
+    pub(crate) fn tree_arrays_mut(&mut self) -> &mut [TreeArray] {
+        &mut self.trees
+    }
+
+    /// Reassemble a forest from deserialized parts. The caller (the
+    /// snapshot decoder) is responsible for having validated the
+    /// invariants: `k` label bytes per entry, one tree entry per
+    /// signature per tree, and sorted trees whenever `sorted` is set.
+    pub fn from_stored_parts(
+        l: usize,
+        k: usize,
+        trees: Vec<TreeArray>,
+        sigs: HashMap<ItemId, S>,
+        sorted: bool,
+    ) -> Self {
+        debug_assert_eq!(trees.len(), l, "one tree array per tree");
+        LshForest {
+            l,
+            k,
+            trees,
+            sigs,
+            sorted,
+        }
     }
 
     fn prefix_range(tree: &[(Box<[u8]>, ItemId)], label: &[u8], depth: usize) -> (usize, usize) {
@@ -420,6 +472,32 @@ mod tests {
             assert_eq!(bulk.trees, incremental.trees, "trees @{threads} threads");
             assert_eq!(bulk.query(&q, 5), incremental.query(&q, 5));
         }
+    }
+
+    #[test]
+    fn remove_drops_item_and_preserves_order() {
+        let mh = MinHasher::new(128, 9);
+        let mut with = LshForest::new(128, 8);
+        let mut without = LshForest::new(128, 8);
+        for i in 0..10u64 {
+            let s = sign(&mh, &tokens("r", i as usize..i as usize + 12));
+            with.insert(i, s.clone());
+            if i != 4 {
+                without.insert(i, s);
+            }
+        }
+        with.commit();
+        without.commit();
+        assert!(with.remove(4));
+        assert!(!with.remove(4), "second removal is a no-op");
+        assert!(!with.remove(999));
+        assert!(with.is_committed(), "removal never uncommits");
+        assert_eq!(with.len(), 9);
+        assert!(with.signature(4).is_none());
+        // Removal leaves exactly the forest that never saw the item.
+        assert_eq!(with.trees, without.trees);
+        let q = sign(&mh, &tokens("r", 3..15));
+        assert_eq!(with.query(&q, 5), without.query(&q, 5));
     }
 
     #[test]

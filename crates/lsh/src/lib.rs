@@ -25,8 +25,10 @@ pub mod forest;
 pub mod hash;
 pub mod minhash;
 pub mod randproj;
+pub mod store;
 pub mod tokenset;
 
+pub use store::SignatureCodec;
 pub use tokenset::TokenSet;
 
 /// Opaque item identifier used by all indexes in this crate.

@@ -68,6 +68,20 @@ impl BitSignature {
     pub fn byte_size(&self) -> usize {
         self.bits.len() * 8
     }
+
+    /// The packed bit words (persistence layout).
+    pub fn words(&self) -> &[u64] {
+        &self.bits
+    }
+
+    /// Reassemble from packed words; `None` unless the word count is
+    /// exactly what `nbits` bits pack into.
+    pub fn from_words(bits: Vec<u64>, nbits: usize) -> Option<Self> {
+        if bits.len() != nbits.div_ceil(64) {
+            return None;
+        }
+        Some(BitSignature { bits, nbits })
+    }
 }
 
 /// Factory of random hyperplanes for vectors of dimension `dim`,

@@ -1,0 +1,454 @@
+//! Hand-written binary encoders: LEB128 varints, fixed-width
+//! little-endian scalars, and length-prefixed byte/slice fields.
+//!
+//! The workspace builds against offline compat stand-ins, so there is
+//! no serde registry to lean on; these primitives are the entire
+//! wire vocabulary of the snapshot format. Every [`Decoder`] read is
+//! bounds-checked and returns a typed [`StoreError`] on truncation or
+//! overflow — on-disk bytes are untrusted input.
+
+use crate::error::StoreError;
+
+/// Maximum encoded length of a `u64` LEB128 varint.
+pub const MAX_VARINT_LEN: usize = 10;
+
+/// An append-only byte sink for snapshot payloads.
+#[derive(Debug, Default, Clone)]
+pub struct Encoder {
+    buf: Vec<u8>,
+}
+
+impl Encoder {
+    /// An empty encoder.
+    pub fn new() -> Self {
+        Encoder::default()
+    }
+
+    /// An empty encoder with reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        Encoder {
+            buf: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing was written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Consume into the encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// One raw byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Fixed-width little-endian `u32`.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Fixed-width little-endian `u64`.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// `f64` as its IEEE-754 bit pattern (bit-exact round trip).
+    pub fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+
+    /// LEB128 varint: 7 value bits per byte, high bit = continuation.
+    pub fn put_varint(&mut self, mut v: u64) {
+        loop {
+            let byte = (v & 0x7f) as u8;
+            v >>= 7;
+            if v == 0 {
+                self.buf.push(byte);
+                return;
+            }
+            self.buf.push(byte | 0x80);
+        }
+    }
+
+    /// Raw bytes with a varint length prefix.
+    pub fn put_bytes(&mut self, bytes: &[u8]) {
+        self.put_varint(bytes.len() as u64);
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Raw bytes with no prefix (caller carries the length).
+    pub fn put_raw(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// UTF-8 string with a varint length prefix.
+    pub fn put_str(&mut self, s: &str) {
+        self.put_bytes(s.as_bytes());
+    }
+
+    /// `u64` slice: varint count, then fixed-width values (the hot
+    /// layout for token-hash sets and MinHash signatures — decoding is
+    /// a straight chunked copy).
+    pub fn put_u64s(&mut self, vs: &[u64]) {
+        self.put_varint(vs.len() as u64);
+        for &v in vs {
+            self.put_u64(v);
+        }
+    }
+
+    /// `f64` slice: varint count, then bit patterns.
+    pub fn put_f64s(&mut self, vs: &[f64]) {
+        self.put_varint(vs.len() as u64);
+        for &v in vs {
+            self.put_f64(v);
+        }
+    }
+}
+
+/// A bounds-checked reader over untrusted encoded bytes.
+#[derive(Debug, Clone)]
+pub struct Decoder<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Decoder<'a> {
+    /// Read from the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Decoder { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// True when every byte was consumed.
+    pub fn is_exhausted(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// Error unless the input was consumed in full — trailing garbage
+    /// after a section's last field means the file is not what the
+    /// writer produced.
+    pub fn expect_exhausted(&self, context: &'static str) -> Result<(), StoreError> {
+        if self.is_exhausted() {
+            Ok(())
+        } else {
+            Err(StoreError::corrupt(format!(
+                "{} trailing bytes after {context}",
+                self.remaining()
+            )))
+        }
+    }
+
+    fn take(&mut self, n: usize, context: &'static str) -> Result<&'a [u8], StoreError> {
+        if self.remaining() < n {
+            return Err(StoreError::Truncated {
+                context,
+                needed: n,
+                remaining: self.remaining(),
+            });
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// One raw byte.
+    pub fn get_u8(&mut self) -> Result<u8, StoreError> {
+        Ok(self.take(1, "u8")?[0])
+    }
+
+    /// Fixed-width little-endian `u32`.
+    pub fn get_u32(&mut self) -> Result<u32, StoreError> {
+        let b = self.take(4, "u32")?;
+        Ok(u32::from_le_bytes(b.try_into().expect("4-byte slice")))
+    }
+
+    /// Fixed-width little-endian `u64`.
+    pub fn get_u64(&mut self) -> Result<u64, StoreError> {
+        let b = self.take(8, "u64")?;
+        Ok(u64::from_le_bytes(b.try_into().expect("8-byte slice")))
+    }
+
+    /// `f64` from its bit pattern.
+    pub fn get_f64(&mut self) -> Result<f64, StoreError> {
+        Ok(f64::from_bits(self.get_u64()?))
+    }
+
+    /// LEB128 varint; rejects encodings longer than 10 bytes and
+    /// 10-byte encodings whose final byte overflows 64 bits.
+    pub fn get_varint(&mut self) -> Result<u64, StoreError> {
+        let mut v: u64 = 0;
+        for i in 0..MAX_VARINT_LEN {
+            let byte = self.get_u8()?;
+            let payload = (byte & 0x7f) as u64;
+            if i == MAX_VARINT_LEN - 1 && payload > 1 {
+                return Err(StoreError::corrupt("varint overflows u64"));
+            }
+            v |= payload << (7 * i);
+            if byte & 0x80 == 0 {
+                return Ok(v);
+            }
+        }
+        Err(StoreError::corrupt("varint longer than 10 bytes"))
+    }
+
+    /// A varint length used to size an allocation; capped by the bytes
+    /// actually remaining (each element of the collection occupies at
+    /// least `min_elem_bytes`), so a corrupt length cannot trigger a
+    /// huge allocation before the truncation is even noticed.
+    pub fn get_len(
+        &mut self,
+        min_elem_bytes: usize,
+        context: &'static str,
+    ) -> Result<usize, StoreError> {
+        let n = self.get_varint()?;
+        let n = usize::try_from(n).map_err(|_| StoreError::corrupt("length exceeds usize"))?;
+        let cap = self.remaining() / min_elem_bytes.max(1);
+        if n > cap {
+            return Err(StoreError::Truncated {
+                context,
+                needed: n.saturating_mul(min_elem_bytes.max(1)),
+                remaining: self.remaining(),
+            });
+        }
+        Ok(n)
+    }
+
+    /// Length-prefixed raw bytes.
+    pub fn get_bytes(&mut self) -> Result<&'a [u8], StoreError> {
+        let n = self.get_len(1, "bytes")?;
+        self.take(n, "bytes")
+    }
+
+    /// `n` raw bytes with no prefix.
+    pub fn get_raw(&mut self, n: usize, context: &'static str) -> Result<&'a [u8], StoreError> {
+        self.take(n, context)
+    }
+
+    /// Length-prefixed UTF-8 string.
+    pub fn get_str(&mut self) -> Result<String, StoreError> {
+        let b = self.get_bytes()?;
+        String::from_utf8(b.to_vec()).map_err(|_| StoreError::corrupt("invalid utf-8 string"))
+    }
+
+    /// `u64` slice written by [`Encoder::put_u64s`].
+    pub fn get_u64s(&mut self) -> Result<Vec<u64>, StoreError> {
+        let n = self.get_len(8, "u64 slice")?;
+        let raw = self.take(n * 8, "u64 slice")?;
+        Ok(raw
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().expect("8-byte chunk")))
+            .collect())
+    }
+
+    /// `f64` slice written by [`Encoder::put_f64s`].
+    pub fn get_f64s(&mut self) -> Result<Vec<f64>, StoreError> {
+        let n = self.get_len(8, "f64 slice")?;
+        let raw = self.take(n * 8, "f64 slice")?;
+        Ok(raw
+            .chunks_exact(8)
+            .map(|c| f64::from_bits(u64::from_le_bytes(c.try_into().expect("8-byte chunk"))))
+            .collect())
+    }
+}
+
+/// FNV-1a over a byte slice — the section checksum. Not
+/// cryptographic; it catches torn writes, truncation and bit rot,
+/// which is the threat model for a local index directory.
+pub fn checksum(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn scalar_round_trips() {
+        let mut enc = Encoder::new();
+        enc.put_u8(7);
+        enc.put_u32(0xdead_beef);
+        enc.put_u64(u64::MAX);
+        enc.put_f64(-0.0);
+        enc.put_f64(f64::NAN);
+        let bytes = enc.into_bytes();
+        let mut dec = Decoder::new(&bytes);
+        assert_eq!(dec.get_u8().unwrap(), 7);
+        assert_eq!(dec.get_u32().unwrap(), 0xdead_beef);
+        assert_eq!(dec.get_u64().unwrap(), u64::MAX);
+        assert_eq!(dec.get_f64().unwrap().to_bits(), (-0.0f64).to_bits());
+        assert!(dec.get_f64().unwrap().is_nan());
+        assert!(dec.is_exhausted());
+        assert!(dec.expect_exhausted("scalars").is_ok());
+    }
+
+    #[test]
+    fn varint_boundary_values_round_trip() {
+        for v in [
+            0u64,
+            1,
+            127,
+            128,
+            16383,
+            16384,
+            u32::MAX as u64,
+            u64::MAX - 1,
+            u64::MAX,
+        ] {
+            let mut enc = Encoder::new();
+            enc.put_varint(v);
+            let bytes = enc.into_bytes();
+            assert!(bytes.len() <= MAX_VARINT_LEN);
+            let mut dec = Decoder::new(&bytes);
+            assert_eq!(dec.get_varint().unwrap(), v, "value {v}");
+            assert!(dec.is_exhausted());
+        }
+    }
+
+    #[test]
+    fn varint_overflow_is_rejected() {
+        // Ten continuation bytes then more: longer than any u64.
+        let bytes = [0x80u8; 11];
+        assert!(matches!(
+            Decoder::new(&bytes).get_varint(),
+            Err(StoreError::Corrupt(_))
+        ));
+        // A 10th byte carrying more than one bit overflows 64 bits.
+        let mut bytes = [0x80u8; 10];
+        bytes[9] = 0x02;
+        assert!(matches!(
+            Decoder::new(&bytes).get_varint(),
+            Err(StoreError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn truncation_is_a_typed_error_not_a_panic() {
+        let mut enc = Encoder::new();
+        enc.put_u64s(&[1, 2, 3]);
+        let bytes = enc.into_bytes();
+        for cut in 0..bytes.len() {
+            let mut dec = Decoder::new(&bytes[..cut]);
+            assert!(
+                matches!(dec.get_u64s(), Err(StoreError::Truncated { .. })),
+                "cut at {cut} must be Truncated"
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_length_prefix_cannot_allocate() {
+        // Claims u64::MAX elements with 2 bytes of payload behind it.
+        let mut enc = Encoder::new();
+        enc.put_varint(u64::MAX);
+        enc.put_u8(0);
+        enc.put_u8(0);
+        let bytes = enc.into_bytes();
+        let mut dec = Decoder::new(&bytes);
+        assert!(matches!(dec.get_u64s(), Err(StoreError::Truncated { .. })));
+    }
+
+    #[test]
+    fn invalid_utf8_is_corrupt() {
+        let mut enc = Encoder::new();
+        enc.put_bytes(&[0xff, 0xfe]);
+        let bytes = enc.into_bytes();
+        assert!(matches!(
+            Decoder::new(&bytes).get_str(),
+            Err(StoreError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut enc = Encoder::new();
+        enc.put_u8(1);
+        enc.put_u8(2);
+        let bytes = enc.into_bytes();
+        let mut dec = Decoder::new(&bytes);
+        dec.get_u8().unwrap();
+        assert!(matches!(
+            dec.expect_exhausted("one byte"),
+            Err(StoreError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn checksum_discriminates() {
+        assert_eq!(checksum(b"abc"), checksum(b"abc"));
+        assert_ne!(checksum(b"abc"), checksum(b"abd"));
+        assert_ne!(checksum(b""), checksum(b"\0"));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        /// Any u64 survives the varint round trip.
+        #[test]
+        fn varint_round_trip(v in 0u64..u64::MAX) {
+            let mut enc = Encoder::new();
+            enc.put_varint(v);
+            let bytes = enc.into_bytes();
+            let mut dec = Decoder::new(&bytes);
+            prop_assert_eq!(dec.get_varint().unwrap(), v);
+            prop_assert!(dec.is_exhausted());
+        }
+
+        /// Length-prefixed strings and slices round trip through a
+        /// shared buffer in order.
+        #[test]
+        fn composite_round_trip(
+            s in "[ -~]{0,24}",
+            hashes in prop::collection::vec(0u64..u64::MAX, 0..32),
+            floats in prop::collection::vec(-1.0e12f64..1.0e12, 0..16),
+        ) {
+            let mut enc = Encoder::new();
+            enc.put_str(&s);
+            enc.put_u64s(&hashes);
+            enc.put_f64s(&floats);
+            let bytes = enc.into_bytes();
+            let mut dec = Decoder::new(&bytes);
+            prop_assert_eq!(dec.get_str().unwrap(), s);
+            prop_assert_eq!(dec.get_u64s().unwrap(), hashes);
+            let out = dec.get_f64s().unwrap();
+            prop_assert_eq!(out.len(), floats.len());
+            for (a, b) in out.iter().zip(&floats) {
+                prop_assert_eq!(a.to_bits(), b.to_bits());
+            }
+            prop_assert!(dec.is_exhausted());
+        }
+
+        /// Decoding an arbitrary prefix of a valid encoding never
+        /// panics — it returns a typed error or a (shorter) value.
+        #[test]
+        fn prefix_decode_never_panics(
+            hashes in prop::collection::vec(0u64..u64::MAX, 0..32),
+            cut_frac in 0.0f64..1.0,
+        ) {
+            let mut enc = Encoder::new();
+            enc.put_u64s(&hashes);
+            let bytes = enc.into_bytes();
+            let cut = ((bytes.len() as f64) * cut_frac) as usize;
+            let mut dec = Decoder::new(&bytes[..cut.min(bytes.len())]);
+            let _ = dec.get_u64s(); // must not panic
+        }
+    }
+}

@@ -1,0 +1,323 @@
+//! The container format shared by base snapshots and delta segments:
+//! magic, format version, container kind, then a checksummed section
+//! table over opaque payloads.
+//!
+//! ```text
+//! offset  field
+//! 0       magic              "D3LSTORE" (8 bytes)
+//! 8       format version     u32 LE
+//! 12      container kind     u32 LE (1 = snapshot, 2 = delta)
+//! 16      section count      u32 LE
+//! 20      section table      count × { tag: 4 bytes, offset: u64,
+//!                                      len: u64, checksum: u64 }
+//! ...     payloads           concatenated section bytes
+//! ```
+//!
+//! Offsets are absolute. Each section's checksum is FNV-1a over its
+//! payload and is verified on access, so a torn write or bit flip in
+//! one section surfaces as [`StoreError::ChecksumMismatch`] naming the
+//! section rather than a garbled decode downstream.
+
+use crate::codec::{checksum, Decoder, Encoder};
+use crate::error::StoreError;
+
+/// Leading magic of every D3L store file.
+pub const MAGIC: &[u8; 8] = b"D3LSTORE";
+
+/// Newest container format version this build reads and writes.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Container kind of a full base snapshot.
+pub const KIND_SNAPSHOT: u32 = 1;
+
+/// Container kind of an incremental delta segment.
+pub const KIND_DELTA: u32 = 2;
+
+/// A four-character section tag.
+pub type SectionTag = [u8; 4];
+
+fn tag_str(tag: &SectionTag) -> String {
+    tag.iter().map(|&b| b as char).collect()
+}
+
+/// Builds a container file: sections are appended, `finish` lays out
+/// the header, table and payloads.
+#[derive(Debug, Default)]
+pub struct ContainerWriter {
+    kind: u32,
+    sections: Vec<(SectionTag, Vec<u8>)>,
+}
+
+impl ContainerWriter {
+    /// A writer for the given container kind.
+    pub fn new(kind: u32) -> Self {
+        ContainerWriter {
+            kind,
+            sections: Vec::new(),
+        }
+    }
+
+    /// Append one section. Tags must be unique within a container.
+    pub fn add_section(&mut self, tag: SectionTag, payload: Vec<u8>) {
+        debug_assert!(
+            self.sections.iter().all(|(t, _)| *t != tag),
+            "duplicate section {}",
+            tag_str(&tag)
+        );
+        self.sections.push((tag, payload));
+    }
+
+    /// Serialize the container.
+    pub fn finish(self) -> Vec<u8> {
+        let table_len = 20 + self.sections.len() * (4 + 8 + 8 + 8);
+        let payload_len: usize = self.sections.iter().map(|(_, p)| p.len()).sum();
+        let mut enc = Encoder::with_capacity(table_len + payload_len);
+        enc.put_raw(MAGIC);
+        enc.put_u32(FORMAT_VERSION);
+        enc.put_u32(self.kind);
+        enc.put_u32(self.sections.len() as u32);
+        let mut offset = table_len as u64;
+        for (tag, payload) in &self.sections {
+            enc.put_raw(tag);
+            enc.put_u64(offset);
+            enc.put_u64(payload.len() as u64);
+            enc.put_u64(checksum(payload));
+            offset += payload.len() as u64;
+        }
+        for (_, payload) in &self.sections {
+            enc.put_raw(payload);
+        }
+        enc.into_bytes()
+    }
+}
+
+/// One parsed section-table entry.
+#[derive(Debug, Clone, Copy)]
+struct SectionEntry {
+    tag: SectionTag,
+    offset: usize,
+    len: usize,
+    checksum: u64,
+}
+
+/// A parsed container over borrowed bytes. Parsing validates the
+/// header and the structural sanity of the section table; payload
+/// checksums are verified on access.
+#[derive(Debug)]
+pub struct ContainerReader<'a> {
+    buf: &'a [u8],
+    kind: u32,
+    entries: Vec<SectionEntry>,
+}
+
+impl<'a> ContainerReader<'a> {
+    /// Parse a container of the expected kind.
+    pub fn parse(buf: &'a [u8], expected_kind: u32) -> Result<Self, StoreError> {
+        if buf.len() < MAGIC.len() || &buf[..MAGIC.len()] != MAGIC {
+            return Err(StoreError::BadMagic {
+                found: buf[..buf.len().min(8)].to_vec(),
+            });
+        }
+        let mut dec = Decoder::new(&buf[MAGIC.len()..]);
+        let version = dec.get_u32()?;
+        if version > FORMAT_VERSION {
+            return Err(StoreError::UnsupportedVersion {
+                found: version,
+                supported: FORMAT_VERSION,
+            });
+        }
+        let kind = dec.get_u32()?;
+        if kind != expected_kind {
+            return Err(StoreError::WrongKind {
+                found: kind,
+                expected: expected_kind,
+            });
+        }
+        let count = dec.get_u32()? as usize;
+        // Each table row is 28 bytes; an absurd count is truncation.
+        if count > dec.remaining() / 28 {
+            return Err(StoreError::Truncated {
+                context: "section table",
+                needed: count * 28,
+                remaining: dec.remaining(),
+            });
+        }
+        let mut entries = Vec::with_capacity(count);
+        for _ in 0..count {
+            let tag: SectionTag = dec
+                .get_raw(4, "section tag")?
+                .try_into()
+                .expect("4-byte tag");
+            let offset = dec.get_u64()? as usize;
+            let len = dec.get_u64()? as usize;
+            let checksum = dec.get_u64()?;
+            let end = offset.checked_add(len).ok_or_else(|| {
+                StoreError::corrupt(format!("section {} offset overflow", tag_str(&tag)))
+            })?;
+            if end > buf.len() {
+                return Err(StoreError::Truncated {
+                    context: "section payload",
+                    needed: end,
+                    remaining: buf.len(),
+                });
+            }
+            entries.push(SectionEntry {
+                tag,
+                offset,
+                len,
+                checksum,
+            });
+        }
+        Ok(ContainerReader { buf, kind, entries })
+    }
+
+    /// The container kind stamped in the header.
+    pub fn kind(&self) -> u32 {
+        self.kind
+    }
+
+    /// Tags present, in file order.
+    pub fn tags(&self) -> Vec<SectionTag> {
+        self.entries.iter().map(|e| e.tag).collect()
+    }
+
+    /// A required section's payload, checksum-verified.
+    pub fn section(&self, tag: SectionTag) -> Result<&'a [u8], StoreError> {
+        self.section_opt(tag)?
+            .ok_or_else(|| StoreError::MissingSection {
+                section: tag_str(&tag),
+            })
+    }
+
+    /// An optional section's payload: `None` when absent,
+    /// checksum-verified when present.
+    pub fn section_opt(&self, tag: SectionTag) -> Result<Option<&'a [u8]>, StoreError> {
+        let Some(entry) = self.entries.iter().find(|e| e.tag == tag) else {
+            return Ok(None);
+        };
+        let payload = &self.buf[entry.offset..entry.offset + entry.len];
+        if checksum(payload) != entry.checksum {
+            return Err(StoreError::ChecksumMismatch {
+                section: tag_str(&tag),
+            });
+        }
+        Ok(Some(payload))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_section_container() -> Vec<u8> {
+        let mut w = ContainerWriter::new(KIND_SNAPSHOT);
+        w.add_section(*b"AAAA", vec![1, 2, 3]);
+        w.add_section(*b"BBBB", b"payload".to_vec());
+        w.finish()
+    }
+
+    #[test]
+    fn sections_round_trip() {
+        let bytes = two_section_container();
+        let r = ContainerReader::parse(&bytes, KIND_SNAPSHOT).unwrap();
+        assert_eq!(r.kind(), KIND_SNAPSHOT);
+        assert_eq!(r.tags(), vec![*b"AAAA", *b"BBBB"]);
+        assert_eq!(r.section(*b"AAAA").unwrap(), &[1, 2, 3]);
+        assert_eq!(r.section(*b"BBBB").unwrap(), b"payload");
+    }
+
+    #[test]
+    fn empty_container_is_valid() {
+        let bytes = ContainerWriter::new(KIND_DELTA).finish();
+        let r = ContainerReader::parse(&bytes, KIND_DELTA).unwrap();
+        assert!(r.tags().is_empty());
+        assert!(matches!(
+            r.section(*b"NOPE"),
+            Err(StoreError::MissingSection { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let mut bytes = two_section_container();
+        bytes[0] = b'X';
+        assert!(matches!(
+            ContainerReader::parse(&bytes, KIND_SNAPSHOT),
+            Err(StoreError::BadMagic { .. })
+        ));
+        // A short file is BadMagic, not a panic.
+        assert!(matches!(
+            ContainerReader::parse(&bytes[..4], KIND_SNAPSHOT),
+            Err(StoreError::BadMagic { .. })
+        ));
+        assert!(matches!(
+            ContainerReader::parse(&[], KIND_SNAPSHOT),
+            Err(StoreError::BadMagic { .. })
+        ));
+    }
+
+    #[test]
+    fn future_version_is_rejected() {
+        let mut bytes = two_section_container();
+        bytes[8..12].copy_from_slice(&(FORMAT_VERSION + 1).to_le_bytes());
+        assert!(matches!(
+            ContainerReader::parse(&bytes, KIND_SNAPSHOT),
+            Err(StoreError::UnsupportedVersion { found, supported })
+                if found == FORMAT_VERSION + 1 && supported == FORMAT_VERSION
+        ));
+    }
+
+    #[test]
+    fn wrong_kind_is_rejected() {
+        let bytes = two_section_container();
+        assert!(matches!(
+            ContainerReader::parse(&bytes, KIND_DELTA),
+            Err(StoreError::WrongKind { .. })
+        ));
+    }
+
+    #[test]
+    fn flipped_payload_bit_is_a_checksum_mismatch() {
+        let mut bytes = two_section_container();
+        let n = bytes.len();
+        bytes[n - 1] ^= 0x40; // inside BBBB's payload
+        let r = ContainerReader::parse(&bytes, KIND_SNAPSHOT).unwrap();
+        assert!(r.section(*b"AAAA").is_ok(), "AAAA untouched");
+        assert!(matches!(
+            r.section(*b"BBBB"),
+            Err(StoreError::ChecksumMismatch { section }) if section == "BBBB"
+        ));
+    }
+
+    #[test]
+    fn every_truncation_is_a_typed_error() {
+        let bytes = two_section_container();
+        for cut in 0..bytes.len() {
+            match ContainerReader::parse(&bytes[..cut], KIND_SNAPSHOT) {
+                Ok(r) => {
+                    // Parsing may succeed when payloads are intact but
+                    // the buffer shrank from elsewhere; section access
+                    // stays typed. (Unreachable in practice: payloads
+                    // sit at the end.)
+                    let _ = r.section(*b"AAAA");
+                }
+                Err(
+                    StoreError::BadMagic { .. }
+                    | StoreError::Truncated { .. }
+                    | StoreError::Corrupt(_),
+                ) => {}
+                Err(other) => panic!("cut {cut}: unexpected error {other}"),
+            }
+        }
+    }
+
+    #[test]
+    fn absurd_section_count_is_truncation() {
+        let mut bytes = ContainerWriter::new(KIND_SNAPSHOT).finish();
+        bytes[16..20].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            ContainerReader::parse(&bytes, KIND_SNAPSHOT),
+            Err(StoreError::Truncated { .. })
+        ));
+    }
+}

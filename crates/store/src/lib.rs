@@ -1,0 +1,36 @@
+//! # d3l-store — persistent index store substrate
+//!
+//! The bottom layer of D3L's persistence stack. The paper's core value
+//! proposition (Experiment 4) is that indexing cost is paid **once**
+//! and amortized across many queries; that amortization requires the
+//! built indexes to survive process restarts. This crate provides the
+//! wire vocabulary that makes the rest of the workspace serializable
+//! without any registry dependency (the workspace builds against
+//! offline compat stand-ins, so every encoder here is hand-written):
+//!
+//! * [`codec`] — LEB128 varints, fixed-width little-endian scalars,
+//!   length-prefixed strings/slices, plus the FNV-1a section checksum.
+//!   Every decode is bounds-checked and returns a typed error.
+//! * [`container`] — the shared file layout: `"D3LSTORE"` magic,
+//!   format version, container kind (base snapshot vs delta segment)
+//!   and a checksummed section table over opaque payloads.
+//! * [`error`] — [`StoreError`], the typed failure surface (bad magic,
+//!   unsupported version, truncation, checksum mismatch, corruption).
+//!
+//! Domain serialization lives with the domain types: `d3l-lsh` encodes
+//! LSH forests (`LshForest::{to,from}_bytes`), `d3l-embedding` encodes
+//! the lexicon state, and `d3l-core` assembles full engine snapshots,
+//! delta segments and the on-disk [`IndexStore`] directory layout on
+//! top of these primitives.
+//!
+//! [`IndexStore`]: https://docs.rs/d3l-core
+
+pub mod codec;
+pub mod container;
+pub mod error;
+
+pub use codec::{checksum, Decoder, Encoder};
+pub use container::{
+    ContainerReader, ContainerWriter, SectionTag, FORMAT_VERSION, KIND_DELTA, KIND_SNAPSHOT, MAGIC,
+};
+pub use error::StoreError;

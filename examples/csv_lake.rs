@@ -1,8 +1,12 @@
-//! File-based workflow: persist a lake as CSV files, reload it from
-//! disk, and run discovery — the shape of a real deployment over an
-//! open-data dump directory.
+//! File-based workflow: persist a lake as CSV files, index it once,
+//! persist the index, and answer later queries from a millisecond
+//! cold start — the shape of a real deployment over an open-data
+//! dump directory, where indexing cost is paid once and amortized
+//! across every query that follows (the paper's Experiment 4 story).
 //!
 //! Run with: `cargo run --release --example csv_lake`
+
+use std::time::Instant;
 
 use d3l::benchgen;
 use d3l::prelude::*;
@@ -24,9 +28,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         lake.byte_size()
     );
 
+    let build_start = Instant::now();
     let d3l = D3l::index_lake(&lake, D3lConfig::default());
+    let build_ms = build_start.elapsed().as_secs_f64() * 1e3;
     println!(
-        "index footprint: {} bytes ({:.0}% of the raw data)",
+        "indexed in {build_ms:.1} ms; index footprint {} bytes ({:.0}% of the raw data)",
         d3l.index_byte_size(),
         100.0 * d3l.index_byte_size() as f64 / lake.byte_size() as f64
     );
@@ -49,6 +55,40 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
 
+    // Persist the index: the profiling cost above is now paid for
+    // good. A serving process cold-starts from the snapshot without
+    // ever seeing the CSVs again.
+    let index_dir = std::env::temp_dir().join(format!("d3l_csv_index_{}", std::process::id()));
+    let store = IndexStore::create(&index_dir, &d3l)?;
+    let (snapshot_bytes, _) = store.disk_bytes()?;
+    drop(d3l); // the in-memory engine is gone; only the snapshot remains
+    println!(
+        "\npersisted the index to {} ({snapshot_bytes} bytes)",
+        index_dir.display()
+    );
+
+    let load_start = Instant::now();
+    let (_, cold) = IndexStore::open(&index_dir)?;
+    let load_ms = load_start.elapsed().as_secs_f64() * 1e3;
+    println!(
+        "cold start in {load_ms:.1} ms ({:.0}x faster than the {build_ms:.1} ms rebuild)",
+        build_ms / load_ms.max(1e-9)
+    );
+
+    // The second query is answered by the freshly loaded engine —
+    // same ranking, no re-profiling of the lake.
+    println!("\ntop 5 from the cold-started engine:");
+    for m in cold.query(&target, 5) {
+        println!(
+            "  {:<28} d={:.3} covers {} of {} target attrs",
+            cold.table_name(m.table),
+            m.distance,
+            m.covered_targets().len(),
+            target.arity()
+        );
+    }
+
     std::fs::remove_dir_all(&dir).ok();
+    std::fs::remove_dir_all(&index_dir).ok();
     Ok(())
 }

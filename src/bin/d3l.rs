@@ -1,32 +1,48 @@
 //! `d3l` — command-line dataset discovery over a directory of CSVs.
 //!
 //! ```text
-//! d3l query  <lake-dir> <target.csv> [-k N] [--joins] [--evidence N|V|F|E|D] [--threads N]
-//! d3l stats  <lake-dir>
+//! d3l index   <lake-dir> --out <index-dir>
+//! d3l query   <lake-dir>|--index <index-dir> <target.csv> [-k N] [--joins] [--evidence N|V|F|E|D] [--threads N]
+//! d3l stats   <lake-dir>|--index <index-dir>
+//! d3l add     <index-dir> <table.csv>
+//! d3l remove  <index-dir> <table-name>
+//! d3l compact <index-dir>
 //! d3l demo
 //! ```
 //!
 //! The lake directory is any folder of `*.csv` files (header row
 //! required). The target is a CSV with the schema you want to
 //! populate plus a few exemplar tuples.
+//!
+//! `index` pays the profiling cost once and persists the engine;
+//! `query --index` / `stats --index` then cold-start from the
+//! snapshot in milliseconds with no re-profiling. `add`/`remove`
+//! profile only the delta and append it as a segment; `compact` folds
+//! segments back into the base snapshot.
 
 use std::collections::HashSet;
 use std::process::ExitCode;
+use std::time::Instant;
 
 use d3l::benchgen;
+use d3l::core::IndexStore;
 use d3l::prelude::*;
 use d3l::table::csv;
+
+const USAGE: &str = "usage:\n  d3l index <lake-dir> --out <index-dir>\n  d3l query <lake-dir>|--index <index-dir> <target.csv> [-k N] [--joins] [--evidence N|V|F|E|D] [--threads N]\n  d3l stats <lake-dir>|--index <index-dir>\n  d3l add <index-dir> <table.csv>\n  d3l remove <index-dir> <table-name>\n  d3l compact <index-dir>\n  d3l demo";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
+        Some("index") => cmd_index(&args[1..]),
         Some("query") => cmd_query(&args[1..]),
         Some("stats") => cmd_stats(&args[1..]),
+        Some("add") => cmd_add(&args[1..]),
+        Some("remove") => cmd_remove(&args[1..]),
+        Some("compact") => cmd_compact(&args[1..]),
         Some("demo") => cmd_demo(),
         _ => {
-            eprintln!(
-                "usage:\n  d3l query <lake-dir> <target.csv> [-k N] [--joins] [--evidence N|V|F|E|D] [--threads N]\n  d3l stats <lake-dir>\n  d3l demo"
-            );
+            eprintln!("{USAGE}");
             return ExitCode::from(2);
         }
     };
@@ -50,8 +66,124 @@ fn parse_evidence(s: &str) -> Option<Evidence> {
     }
 }
 
+/// Build an engine for serving: either a millisecond cold start from
+/// a persisted index directory, or an index-on-the-fly over a raw
+/// CSV lake directory.
+fn load_engine(
+    lake_dir: Option<&str>,
+    index_dir: Option<&str>,
+) -> Result<D3l, Box<dyn std::error::Error>> {
+    match (lake_dir, index_dir) {
+        (None, Some(index)) => {
+            let start = Instant::now();
+            let (_, d3l) = IndexStore::open(index)?;
+            eprintln!(
+                "cold start: loaded {} tables from {index} in {:.1} ms (no re-profiling)",
+                d3l.live_table_count(),
+                start.elapsed().as_secs_f64() * 1e3
+            );
+            Ok(d3l)
+        }
+        (Some(dir), None) => {
+            eprintln!("loading lake from {dir} ...");
+            let lake = DataLake::load_dir(dir)?;
+            eprintln!("indexing {} tables ...", lake.len());
+            Ok(D3l::index_lake(&lake, D3lConfig::default()))
+        }
+        (Some(_), Some(_)) => Err("give either a lake directory or --index, not both".into()),
+        (None, None) => Err("missing lake directory (or --index <index-dir>)".into()),
+    }
+}
+
+fn cmd_index(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let mut dir = None;
+    let mut out = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--out" => out = Some(it.next().ok_or("missing value for --out")?.to_string()),
+            other if dir.is_none() => dir = Some(other.to_string()),
+            other => return Err(format!("unexpected argument {other}").into()),
+        }
+    }
+    let dir = dir.ok_or("missing lake directory")?;
+    let out = out.ok_or("missing --out <index-dir>")?;
+
+    eprintln!("loading lake from {dir} ...");
+    let lake = DataLake::load_dir(&dir)?;
+    eprintln!("indexing {} tables ...", lake.len());
+    let build_start = Instant::now();
+    let d3l = D3l::index_lake(&lake, D3lConfig::default());
+    let build_ms = build_start.elapsed().as_secs_f64() * 1e3;
+    let save_start = Instant::now();
+    let store = IndexStore::create(&out, &d3l)?;
+    let (base_bytes, _) = store.disk_bytes()?;
+    println!(
+        "indexed {} tables in {build_ms:.1} ms; snapshot {base_bytes} bytes written to {out} in {:.1} ms",
+        d3l.table_count(),
+        save_start.elapsed().as_secs_f64() * 1e3
+    );
+    Ok(())
+}
+
+fn cmd_add(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let [index_dir, table_path] = args else {
+        return Err("usage: d3l add <index-dir> <table.csv>".into());
+    };
+    let (mut store, mut d3l) = IndexStore::open(index_dir)?;
+    let text = std::fs::read_to_string(table_path)?;
+    let name = std::path::Path::new(table_path)
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "unnamed".to_string());
+    if d3l.name_to_id().contains_key(name.as_str()) {
+        return Err(format!("table {name:?} already indexed").into());
+    }
+    let table = csv::parse_csv(name, &text)?;
+    let start = Instant::now();
+    let id = store.append_add(&mut d3l, &table)?;
+    println!(
+        "added {} as {id} in {:.1} ms ({} delta segments pending; run `d3l compact` to fold)",
+        table.name(),
+        start.elapsed().as_secs_f64() * 1e3,
+        store.delta_count()?
+    );
+    Ok(())
+}
+
+fn cmd_remove(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let [index_dir, table_name] = args else {
+        return Err("usage: d3l remove <index-dir> <table-name>".into());
+    };
+    let (mut store, mut d3l) = IndexStore::open(index_dir)?;
+    let id = d3l
+        .name_to_id()
+        .get(table_name.as_str())
+        .copied()
+        .ok_or_else(|| format!("no indexed table named {table_name:?}"))?;
+    store.append_remove(&mut d3l, id)?;
+    println!(
+        "removed {table_name} ({id}); {} of {} tables still serving",
+        d3l.live_table_count(),
+        d3l.table_count()
+    );
+    Ok(())
+}
+
+fn cmd_compact(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let [index_dir] = args else {
+        return Err("usage: d3l compact <index-dir>".into());
+    };
+    let (mut store, d3l) = IndexStore::open(index_dir)?;
+    let folded = store.delta_count()?;
+    store.compact(&d3l)?;
+    let (base_bytes, _) = store.disk_bytes()?;
+    println!("folded {folded} delta segments; base snapshot now {base_bytes} bytes");
+    Ok(())
+}
+
 fn cmd_query(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
-    let (mut dir, mut target_path) = (None, None);
+    let (mut dir, mut index_dir, mut target_path) = (None, None, None);
     let mut k = 10usize;
     let mut joins = false;
     let mut evidence = None;
@@ -70,18 +202,16 @@ fn cmd_query(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
             "--threads" => {
                 threads = Some(it.next().ok_or("missing value for --threads")?.parse()?);
             }
-            other if dir.is_none() => dir = Some(other.to_string()),
+            "--index" => {
+                index_dir = Some(it.next().ok_or("missing value for --index")?.to_string());
+            }
+            other if dir.is_none() && index_dir.is_none() => dir = Some(other.to_string()),
             other if target_path.is_none() => target_path = Some(other.to_string()),
             other => return Err(format!("unexpected argument {other}").into()),
         }
     }
-    let dir = dir.ok_or("missing lake directory")?;
     let target_path = target_path.ok_or("missing target csv")?;
-
-    eprintln!("loading lake from {dir} ...");
-    let lake = DataLake::load_dir(&dir)?;
-    eprintln!("indexing {} tables ...", lake.len());
-    let d3l = D3l::index_lake(&lake, D3lConfig::default());
+    let d3l = load_engine(dir.as_deref(), index_dir.as_deref())?;
 
     let text = std::fs::read_to_string(&target_path)?;
     let target = csv::parse_csv("target", &text)?;
@@ -140,23 +270,59 @@ fn cmd_query(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
 }
 
 fn cmd_stats(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
-    let dir = args.first().ok_or("missing lake directory")?;
-    let lake = DataLake::load_dir(dir)?;
-    let stats = benchgen::RepoStats::compute(&lake);
-    println!("tables:         {}", stats.tables);
-    println!("attributes:     {}", stats.attributes);
-    println!("mean arity:     {:.1}", stats.mean_arity());
-    println!("mean rows:      {:.1}", stats.mean_cardinality());
-    println!("numeric ratio:  {:.1}%", stats.numeric_ratio * 100.0);
-    println!("raw bytes:      {}", stats.bytes);
-    let d3l = D3l::index_lake(&lake, D3lConfig::default());
+    let (mut dir, mut index_dir) = (None, None);
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--index" => {
+                index_dir = Some(it.next().ok_or("missing value for --index")?.to_string());
+            }
+            other if dir.is_none() && index_dir.is_none() => dir = Some(other.to_string()),
+            other => return Err(format!("unexpected argument {other}").into()),
+        }
+    }
+
+    // On-disk accounting: the real store files when serving from an
+    // index directory, otherwise the snapshot the lake would produce.
+    let (d3l, disk) = match (&dir, &index_dir) {
+        (None, Some(index)) => {
+            let (store, d3l) = IndexStore::open(index)?;
+            let (base, deltas) = store.disk_bytes()?;
+            let pending = store.delta_count()?;
+            (d3l, (base, deltas, pending))
+        }
+        (Some(dir), None) => {
+            let lake = DataLake::load_dir(dir)?;
+            let stats = benchgen::RepoStats::compute(&lake);
+            println!("tables:         {}", stats.tables);
+            println!("attributes:     {}", stats.attributes);
+            println!("mean arity:     {:.1}", stats.mean_arity());
+            println!("mean rows:      {:.1}", stats.mean_cardinality());
+            println!("numeric ratio:  {:.1}%", stats.numeric_ratio * 100.0);
+            println!("raw bytes:      {}", stats.bytes);
+            let d3l = D3l::index_lake(&lake, D3lConfig::default());
+            println!(
+                "index bytes:    {} ({:.0}% overhead, in-memory)",
+                d3l.index_byte_size(),
+                100.0 * d3l.index_byte_size() as f64 / stats.bytes.max(1) as f64
+            );
+            let snapshot = d3l.to_snapshot_bytes().len() as u64;
+            (d3l, (snapshot, 0, 0))
+        }
+        _ => return Err("give either a lake directory or --index <index-dir>".into()),
+    };
+
+    if index_dir.is_some() {
+        println!("tables:         {}", d3l.table_count());
+        if d3l.live_table_count() != d3l.table_count() {
+            println!(
+                "serving:        {} (rest tombstoned)",
+                d3l.live_table_count()
+            );
+        }
+    }
     let fp = d3l.byte_size();
-    println!(
-        "index bytes:    {} ({:.0}% overhead)",
-        d3l.index_byte_size(),
-        100.0 * d3l.index_byte_size() as f64 / stats.bytes.max(1) as f64
-    );
-    println!("memory footprint:");
+    println!("in-memory footprint (resident bytes):");
     println!(
         "  {:<10} {:>12} {:>12} {:>12}",
         "index", "trees", "signatures", "total"
@@ -175,6 +341,22 @@ fn cmd_stats(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         "profiles", "-", "-", fp.profile_bytes
     );
     println!("  {:<10} {:>12} {:>12} {:>12}", "total", "", "", fp.total());
+    let (base, deltas, pending) = disk;
+    println!("on-disk snapshot (serialized bytes):");
+    match index_dir {
+        Some(_) => {
+            println!("  {:<16} {:>12}", "base snapshot", base);
+            println!(
+                "  {:<16} {:>12} ({pending} segments)",
+                "delta segments", deltas
+            );
+            println!("  {:<16} {:>12}", "total", base + deltas);
+        }
+        None => println!(
+            "  {:<16} {:>12} (if persisted with `d3l index`)",
+            "base snapshot", base
+        ),
+    }
     Ok(())
 }
 
@@ -283,5 +465,41 @@ mod tests {
     fn stats_requires_a_directory() {
         assert!(cmd_stats(&[]).is_err());
         assert!(cmd_stats(&["/nonexistent/lake/dir".to_string()]).is_err());
+    }
+
+    #[test]
+    fn store_commands_reject_bad_arguments() {
+        let args = |list: &[&str]| list.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        assert!(cmd_index(&args(&[])).is_err(), "index needs a lake dir");
+        assert!(
+            cmd_index(&args(&["lake-dir"])).is_err(),
+            "index needs --out"
+        );
+        assert!(
+            cmd_index(&args(&["lake-dir", "--out"])).is_err(),
+            "--out needs a value"
+        );
+        assert!(
+            cmd_index(&args(&["a", "--out", "b", "c"])).is_err(),
+            "extra positional must fail"
+        );
+        assert!(cmd_add(&args(&["only-one"])).is_err());
+        assert!(cmd_add(&args(&["/nonexistent/index", "t.csv"])).is_err());
+        assert!(cmd_remove(&args(&["only-one"])).is_err());
+        assert!(cmd_remove(&args(&["/nonexistent/index", "t"])).is_err());
+        assert!(cmd_compact(&args(&[])).is_err());
+        assert!(cmd_compact(&args(&["/nonexistent/index"])).is_err());
+        assert!(
+            cmd_query(&args(&["--index"])).is_err(),
+            "--index needs a value"
+        );
+        assert!(
+            cmd_query(&args(&["lake", "--index", "idx", "t.csv"])).is_err(),
+            "lake dir and --index are mutually exclusive"
+        );
+        assert!(
+            cmd_stats(&args(&["lake", "--index", "idx"])).is_err(),
+            "stats takes one source"
+        );
     }
 }

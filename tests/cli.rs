@@ -166,6 +166,134 @@ fn stats_reports_lake_shape() {
 }
 
 #[test]
+fn index_persists_and_query_cold_starts_from_it() {
+    let lake = TempLake::create("store_flow");
+    let index_dir = format!("{}_index", lake.dir());
+
+    // Build + persist.
+    let out = d3l_cmd(&["index", lake.dir(), "--out", &index_dir]);
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr_of(&out));
+    assert!(
+        stdout_of(&out).contains("snapshot"),
+        "index must report the snapshot: {}",
+        stdout_of(&out)
+    );
+
+    // Cold-start query from the persisted index: same answer as the
+    // rebuild path, no re-profiling.
+    let out = d3l_cmd(&["query", "--index", &index_dir, lake.target(), "-k", "1"]);
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr_of(&out));
+    assert!(
+        stdout_of(&out).contains("gp_funding"),
+        "cold-start top-1 must be gp_funding: {}",
+        stdout_of(&out)
+    );
+    assert!(
+        stderr_of(&out).contains("cold start"),
+        "must announce the cold start: {}",
+        stderr_of(&out)
+    );
+
+    // Stats over the index directory labels both footprints.
+    let out = d3l_cmd(&["stats", "--index", &index_dir]);
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr_of(&out));
+    let stdout = stdout_of(&out);
+    assert!(stdout.contains("in-memory footprint"), "got: {stdout}");
+    assert!(stdout.contains("on-disk snapshot"), "got: {stdout}");
+    assert!(stdout.contains("base snapshot"), "got: {stdout}");
+
+    std::fs::remove_dir_all(&index_dir).ok();
+}
+
+#[test]
+fn add_remove_compact_maintain_the_index() {
+    let lake = TempLake::create("store_maint");
+    let index_dir = format!("{}_index", lake.dir());
+    let out = d3l_cmd(&["index", lake.dir(), "--out", &index_dir]);
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr_of(&out));
+
+    // Add a new table (the target csv doubles as a table file).
+    let out = d3l_cmd(&["add", &index_dir, lake.target()]);
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr_of(&out));
+    assert!(
+        stdout_of(&out).contains("added"),
+        "got: {}",
+        stdout_of(&out)
+    );
+
+    // Re-adding the same name is rejected.
+    let out = d3l_cmd(&["add", &index_dir, lake.target()]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(stderr_of(&out).contains("already indexed"));
+
+    // The added table is found on a fresh cold start (delta replay).
+    let out = d3l_cmd(&["query", "--index", &index_dir, lake.target(), "-k", "2"]);
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr_of(&out));
+    assert!(
+        stdout_of(&out).contains("target"),
+        "delta-added table must be served: {}",
+        stdout_of(&out)
+    );
+
+    // Remove it again, compact, and confirm it stays gone.
+    let out = d3l_cmd(&["remove", &index_dir, "target"]);
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr_of(&out));
+    let out = d3l_cmd(&["compact", &index_dir]);
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr_of(&out));
+    assert!(
+        stdout_of(&out).contains("folded"),
+        "got: {}",
+        stdout_of(&out)
+    );
+    let out = d3l_cmd(&["query", "--index", &index_dir, lake.target(), "-k", "3"]);
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr_of(&out));
+    let stdout = stdout_of(&out);
+    assert!(
+        !stdout.lines().any(|l| l.starts_with("target ")),
+        "removed table must not be served: {stdout}"
+    );
+
+    // Removing a name that was never indexed fails cleanly.
+    let out = d3l_cmd(&["remove", &index_dir, "never_there"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(stderr_of(&out).contains("no indexed table"));
+
+    std::fs::remove_dir_all(&index_dir).ok();
+}
+
+#[test]
+fn corrupt_index_fails_with_store_error_not_panic() {
+    let lake = TempLake::create("store_corrupt");
+    let index_dir = format!("{}_index", lake.dir());
+    let out = d3l_cmd(&["index", lake.dir(), "--out", &index_dir]);
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr_of(&out));
+
+    // Truncate the base snapshot to half.
+    let base = std::path::Path::new(&index_dir).join("base.d3ls");
+    let bytes = std::fs::read(&base).unwrap();
+    std::fs::write(&base, &bytes[..bytes.len() / 2]).unwrap();
+    let out = d3l_cmd(&["query", "--index", &index_dir, lake.target()]);
+    assert_eq!(out.status.code(), Some(1), "corruption must be an error");
+    assert!(
+        stderr_of(&out).contains("error:"),
+        "got: {}",
+        stderr_of(&out)
+    );
+
+    // Garbage magic.
+    std::fs::write(&base, b"not a snapshot at all").unwrap();
+    let out = d3l_cmd(&["stats", "--index", &index_dir]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(
+        stderr_of(&out).contains("not a D3L store file"),
+        "got: {}",
+        stderr_of(&out)
+    );
+
+    std::fs::remove_dir_all(&index_dir).ok();
+}
+
+#[test]
 fn demo_runs_end_to_end() {
     let out = d3l_cmd(&["demo"]);
     assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr_of(&out));

@@ -182,6 +182,57 @@ fn separately_built_indexes_agree() {
 }
 
 #[test]
+fn snapshot_round_trip_is_query_identical() {
+    // A cold-started engine (snapshot save → load) must answer
+    // `query`, `rank_all` and `query_batch` byte-identically to the
+    // in-memory engine that wrote the snapshot, at query threads 1
+    // and 8.
+    let (bench, mut d3l) = indexed(48, 29);
+    let mut loaded = D3l::from_snapshot_bytes(&d3l.to_snapshot_bytes())
+        .expect("snapshot round trip must succeed");
+
+    let names = bench.pick_targets(5, 7);
+    let targets: Vec<Table> = names
+        .iter()
+        .map(|t| bench.lake.table_by_name(t).unwrap().clone())
+        .collect();
+    let opts: Vec<QueryOptions> = names
+        .iter()
+        .map(|t| QueryOptions {
+            exclude: bench.lake.id_of(t),
+            ..Default::default()
+        })
+        .collect();
+
+    for &n in &[1usize, 8] {
+        for ((tname, target), opt) in names.iter().zip(&targets).zip(&opts) {
+            let threaded = QueryOptions {
+                threads: Some(n),
+                ..opt.clone()
+            };
+            assert_identical(
+                &d3l.query_with(target, 7, &threaded),
+                &loaded.query_with(target, 7, &threaded),
+                &format!("{tname} snapshot query @{n} threads"),
+            );
+            assert_identical(
+                &d3l.rank_all(target, 40, &threaded),
+                &loaded.rank_all(target, 40, &threaded),
+                &format!("{tname} snapshot rank_all @{n} threads"),
+            );
+        }
+        d3l.set_query_threads(n);
+        loaded.set_query_threads(n);
+        let a = d3l.query_batch_with(&targets, 7, &opts);
+        let b = loaded.query_batch_with(&targets, 7, &opts);
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(&b).enumerate() {
+            assert_identical(x, y, &format!("snapshot batch[{i}] @{n} threads"));
+        }
+    }
+}
+
+#[test]
 fn index_build_is_thread_count_invariant() {
     // Indexes built at index threads {1, 2, 8} must be bitwise
     // interchangeable: identical memory footprint (the forests hold

@@ -1,7 +1,9 @@
 //! Failure injection: malformed inputs, degenerate lakes, and edge
 //! shapes must degrade gracefully, never panic.
 
+use d3l::core::IndexStore;
 use d3l::prelude::*;
+use d3l::store::StoreError;
 use d3l::table::{csv, TableError};
 
 #[test]
@@ -141,4 +143,127 @@ fn duplicate_column_names_do_not_crash() {
     lake.add(t).unwrap();
     let d3l = D3l::index_lake(&lake, D3lConfig::fast());
     assert_eq!(d3l.table_arity(TableId(0)), 2);
+}
+
+// ---- persistent store failure modes --------------------------------
+
+fn snapshot_engine() -> D3l {
+    let mut lake = DataLake::new();
+    lake.add(
+        Table::from_rows(
+            "gp",
+            &["Practice", "City", "Payment"],
+            &[
+                vec!["Blackfriars".into(), "Salford".into(), "15530".into()],
+                vec!["Radclife".into(), "Manchester".into(), "24190".into()],
+            ],
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    D3l::index_lake(&lake, D3lConfig::fast())
+}
+
+#[test]
+fn corrupt_snapshot_header_is_a_typed_error() {
+    let bytes = snapshot_engine().to_snapshot_bytes();
+    let mut bad = bytes.clone();
+    bad[..8].copy_from_slice(b"GARBAGE!");
+    assert!(matches!(
+        D3l::from_snapshot_bytes(&bad),
+        Err(StoreError::BadMagic { .. })
+    ));
+    // An empty and a tiny file are BadMagic too, not index panics.
+    assert!(matches!(
+        D3l::from_snapshot_bytes(&[]),
+        Err(StoreError::BadMagic { .. })
+    ));
+    assert!(matches!(
+        D3l::from_snapshot_bytes(&bytes[..5]),
+        Err(StoreError::BadMagic { .. })
+    ));
+}
+
+#[test]
+fn wrong_snapshot_version_is_a_typed_error() {
+    let mut bytes = snapshot_engine().to_snapshot_bytes();
+    bytes[8..12].copy_from_slice(&7u32.to_le_bytes());
+    match D3l::from_snapshot_bytes(&bytes) {
+        Err(StoreError::UnsupportedVersion { found, supported }) => {
+            assert_eq!(found, 7);
+            assert!(supported < 7);
+        }
+        Err(other) => panic!("expected UnsupportedVersion, got {other}"),
+        Ok(_) => panic!("future-version snapshot decoded"),
+    }
+}
+
+#[test]
+fn truncated_snapshot_never_panics() {
+    let bytes = snapshot_engine().to_snapshot_bytes();
+    // Every possible truncation point must produce a typed error.
+    for cut in 0..bytes.len() {
+        match D3l::from_snapshot_bytes(&bytes[..cut]) {
+            Err(
+                StoreError::BadMagic { .. }
+                | StoreError::Truncated { .. }
+                | StoreError::ChecksumMismatch { .. }
+                | StoreError::MissingSection { .. }
+                | StoreError::Corrupt(_),
+            ) => {}
+            Err(other) => panic!("cut {cut}: unexpected error kind {other}"),
+            Ok(_) => panic!("cut {cut}: truncated snapshot decoded successfully"),
+        }
+    }
+}
+
+#[test]
+fn flipped_snapshot_bits_are_checksum_mismatches() {
+    let bytes = snapshot_engine().to_snapshot_bytes();
+    // Flip one bit in a spread of payload positions; parsing must
+    // fail typed (almost always ChecksumMismatch naming the section).
+    let header_end = 100.min(bytes.len());
+    for pos in (header_end..bytes.len()).step_by(bytes.len() / 16 + 1) {
+        let mut bad = bytes.clone();
+        bad[pos] ^= 0x01;
+        assert!(
+            D3l::from_snapshot_bytes(&bad).is_err(),
+            "bit flip at {pos} must not decode"
+        );
+    }
+}
+
+#[test]
+fn opening_a_store_on_garbage_files_errors_cleanly() {
+    let dir = std::env::temp_dir().join(format!("d3l_fi_store_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+
+    // Missing base file.
+    assert!(matches!(IndexStore::open(&dir), Err(StoreError::Io(_))));
+
+    // Garbage base file.
+    std::fs::write(dir.join("base.d3ls"), b"junk").unwrap();
+    assert!(matches!(
+        IndexStore::open(&dir),
+        Err(StoreError::BadMagic { .. })
+    ));
+
+    // Valid base, garbage delta segment.
+    let d3l = snapshot_engine();
+    let _ = IndexStore::create(&dir, &d3l).unwrap();
+    std::fs::write(dir.join("delta-000001.d3ld"), b"junk").unwrap();
+    assert!(matches!(
+        IndexStore::open(&dir),
+        Err(StoreError::BadMagic { .. })
+    ));
+
+    // A snapshot container where a delta is expected is WrongKind.
+    std::fs::write(dir.join("delta-000001.d3ld"), d3l.to_snapshot_bytes()).unwrap();
+    assert!(matches!(
+        IndexStore::open(&dir),
+        Err(StoreError::WrongKind { .. })
+    ));
+
+    std::fs::remove_dir_all(&dir).ok();
 }
