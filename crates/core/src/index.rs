@@ -76,6 +76,12 @@ pub(crate) struct AttrSignatures {
 }
 
 /// The indexed data lake: D3L's discovery state.
+///
+/// `Clone` is deliberate and cheap relative to a rebuild: the serving
+/// layer's copy-on-write hot-swap ([`crate::hotswap::EngineHandle`])
+/// clones the engine, applies a mutation to the clone, and atomically
+/// swaps it in so concurrent readers keep their consistent snapshot.
+#[derive(Clone)]
 pub struct D3l {
     pub(crate) cfg: D3lConfig,
     pub(crate) embedder: SemanticEmbedder,
@@ -100,6 +106,15 @@ pub struct D3l {
     /// Tombstones: ids stay stable across removals, so a removed
     /// table keeps its slot (emptied) and is skipped everywhere.
     pub(crate) removed: Vec<bool>,
+}
+
+impl std::fmt::Debug for D3l {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("D3l")
+            .field("tables", &self.table_count())
+            .field("live_tables", &self.live_table_count())
+            .finish_non_exhaustive()
+    }
 }
 
 impl D3l {

@@ -49,6 +49,7 @@
 pub mod config;
 pub mod distance;
 pub mod evidence;
+pub mod hotswap;
 pub mod index;
 pub mod join;
 pub mod metrics;
@@ -61,6 +62,7 @@ pub mod weights;
 pub use config::D3lConfig;
 pub use distance::DistanceVector;
 pub use evidence::Evidence;
+pub use hotswap::{EngineHandle, EngineSnapshot, MaintenanceError};
 pub use index::{AttrRef, D3l, IndexFootprint, MemoryFootprint};
 pub use join::{JoinPath, SaJoinGraph};
 pub use populate::Population;

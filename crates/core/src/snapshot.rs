@@ -39,7 +39,7 @@ use d3l_lsh::minhash::{MinHashSignature, MinHasher};
 use d3l_lsh::randproj::{BitSignature, RandomProjector};
 use d3l_lsh::TokenSet;
 use d3l_store::{
-    ContainerReader, ContainerWriter, Decoder, Encoder, SectionTag, StoreError, KIND_DELTA,
+    layout, ContainerReader, ContainerWriter, Decoder, Encoder, SectionTag, StoreError, KIND_DELTA,
     KIND_SNAPSHOT,
 };
 use d3l_table::{Table, TableId};
@@ -48,8 +48,10 @@ use crate::config::D3lConfig;
 use crate::index::D3l;
 use crate::profile::AttributeProfile;
 
-/// Filename of the base snapshot inside an index directory.
-pub const BASE_FILE: &str = "base.d3ls";
+/// Filename of the base snapshot inside an index directory
+/// (re-exported from the store layout, which owns the directory
+/// vocabulary).
+pub use d3l_store::layout::BASE_FILE;
 
 const SEC_CONFIG: SectionTag = *b"CONF";
 const SEC_EMBEDDER: SectionTag = *b"EMBD";
@@ -542,6 +544,12 @@ impl IndexStore {
     /// by a compact whose cleanup did not finish — replaying them
     /// would apply the operation twice). Returns the store handle and
     /// the query-ready engine.
+    ///
+    /// A segment that fails to read, decode or apply — a zero-length
+    /// or truncated file, a bit flip, a record naming an unknown
+    /// table — surfaces as [`StoreError::BadSegment`] carrying the
+    /// segment's sequence number, so the diagnostic names the file to
+    /// inspect instead of a raw decode error.
     pub fn open(dir: impl AsRef<Path>) -> Result<(IndexStore, D3l), StoreError> {
         let dir = dir.as_ref().to_path_buf();
         Self::sweep_tmp(&dir)?;
@@ -550,11 +558,16 @@ impl IndexStore {
         let mut d3l = D3l::from_snapshot_bytes(&base)?;
         let mut next_delta_seq = applied_through + 1;
         for (seq, path) in Self::pending_deltas(&dir, applied_through)? {
-            let bytes = std::fs::read(&path)?;
-            let reader = ContainerReader::parse(&bytes, KIND_DELTA)?;
-            let record =
-                DeltaRecord::from_bytes(reader.section(SEC_DELTA_RECORD)?, d3l.config().embed_dim)?;
-            d3l.apply_delta(record)?;
+            let replay = |d3l: &mut D3l| -> Result<(), StoreError> {
+                let bytes = std::fs::read(&path)?;
+                let reader = ContainerReader::parse(&bytes, KIND_DELTA)?;
+                let record = DeltaRecord::from_bytes(
+                    reader.section(SEC_DELTA_RECORD)?,
+                    d3l.config().embed_dim,
+                )?;
+                d3l.apply_delta(record)
+            };
+            replay(&mut d3l).map_err(|e| StoreError::bad_segment(seq, e))?;
             next_delta_seq = seq + 1;
         }
         Ok((
@@ -607,26 +620,62 @@ impl IndexStore {
         Ok(true)
     }
 
-    /// Fold every delta segment into a fresh base snapshot of the
-    /// current engine state, then delete the segments. Cold starts
-    /// after a compact load one file and replay nothing. The new base
-    /// records the folded watermark *before* the segments are
-    /// deleted, so a crash (or a failed delete) between the two steps
-    /// leaves stale segments that the next open skips rather than
-    /// re-applies; sequence numbers are never reused.
-    pub fn compact(&mut self, d3l: &D3l) -> Result<(), StoreError> {
+    /// Fold the delta segments *this handle has observed* into a
+    /// fresh base snapshot of the current engine state, then delete
+    /// them. Cold starts after a compact load one file and replay
+    /// nothing (of the folded range). The new base records the folded
+    /// watermark *before* the segments are deleted, so a crash (or a
+    /// failed delete) between the two steps leaves stale segments
+    /// that the next open skips rather than re-applies; sequence
+    /// numbers are never reused.
+    ///
+    /// Segments **above** the watermark — appended by another writer
+    /// (a CLI `d3l add` beside a serving process) and not yet
+    /// replayed into this engine — are *not* part of this engine's
+    /// state, so they are left on disk for a later replay or
+    /// reload-latest rather than deleted: compacting must never
+    /// discard an acknowledged write this handle has not folded in.
+    /// Returns the number of segments actually folded.
+    pub fn compact(&mut self, d3l: &D3l) -> Result<usize, StoreError> {
         let through = self.next_delta_seq - 1;
+        let mut folded = 0usize;
+        let mut remove: Vec<PathBuf> = Vec::new();
+        for (seq, path, _) in layout::scan(&self.dir)?.deltas {
+            if seq <= through {
+                // Stale segments at or below the previous watermark
+                // were folded by an earlier (interrupted) compact;
+                // they are cleaned up but not counted again.
+                folded += usize::from(seq > self.applied_through);
+                remove.push(path);
+            }
+        }
         self.write_base(d3l, through)?;
         self.applied_through = through;
-        for path in Self::delta_paths(&self.dir)? {
+        for path in remove {
             std::fs::remove_file(path)?;
         }
-        Ok(())
+        Ok(folded)
     }
 
     /// The store directory.
     pub fn dir(&self) -> &Path {
         &self.dir
+    }
+
+    /// Highest delta sequence this handle has observed: segments it
+    /// replayed on open plus segments it appended since.
+    pub fn replayed_through(&self) -> u64 {
+        self.next_delta_seq - 1
+    }
+
+    /// Whether the directory holds delta segments this handle has not
+    /// replayed — i.e. another writer (a CLI `d3l add` next to a
+    /// serving process) appended to the store since it was opened. A
+    /// cheap directory scan; no file is opened. The serving layer
+    /// polls this to decide whether a reload-latest would observe
+    /// anything new.
+    pub fn has_newer_segments(&self) -> Result<bool, StoreError> {
+        Ok(layout::scan(&self.dir)?.latest_seq() > self.replayed_through())
     }
 
     /// Number of delta segments awaiting compaction (stale segments
@@ -658,7 +707,7 @@ impl IndexStore {
     fn write_delta(&mut self, record: &DeltaRecord, embed_dim: usize) -> Result<(), StoreError> {
         let mut w = ContainerWriter::new(KIND_DELTA);
         w.add_section(SEC_DELTA_RECORD, record.to_bytes(embed_dim));
-        let name = format!("delta-{:06}.d3ld", self.next_delta_seq);
+        let name = layout::delta_file_name(self.next_delta_seq);
         self.persist(&name, &w.finish(), false)?;
         self.next_delta_seq += 1;
         Ok(())
@@ -693,30 +742,23 @@ impl IndexStore {
     /// number — a lexicographic path sort would misorder segments
     /// once sequences outgrow the 6-digit zero padding).
     fn delta_paths(dir: &Path) -> Result<Vec<PathBuf>, StoreError> {
-        let mut out: Vec<PathBuf> = std::fs::read_dir(dir)?
-            .collect::<Result<Vec<_>, _>>()?
+        Ok(layout::scan(dir)?
+            .deltas
             .into_iter()
-            .map(|e| e.path())
-            .filter(|p| {
-                p.extension().is_some_and(|e| e == "d3ld")
-                    && p.file_name()
-                        .and_then(|n| n.to_str())
-                        .is_some_and(|n| n.starts_with("delta-"))
-            })
-            .collect();
-        out.sort_by_key(|p| (Self::seq_of(p).unwrap_or(0), p.clone()));
-        Ok(out)
+            .map(|(_, path, _)| path)
+            .collect())
     }
 
     /// Delta segments still awaiting replay/compaction: those above
-    /// the folded watermark, `(seq, path)` in replay order. Segments
-    /// with unparseable sequence numbers read as 0 and are excluded —
-    /// only segments this store wrote get replayed.
+    /// the folded watermark, `(seq, path)` in replay order. Only
+    /// well-formed segment names this store's layout wrote get
+    /// replayed.
     fn pending_deltas(dir: &Path, applied_through: u64) -> Result<Vec<(u64, PathBuf)>, StoreError> {
-        Ok(Self::delta_paths(dir)?
+        Ok(layout::scan(dir)?
+            .deltas
             .into_iter()
-            .filter_map(|p| Self::seq_of(&p).map(|seq| (seq, p)))
-            .filter(|(seq, _)| *seq > applied_through)
+            .filter(|(seq, ..)| *seq > applied_through)
+            .map(|(seq, path, _)| (seq, path))
             .collect())
     }
 
@@ -725,22 +767,15 @@ impl IndexStore {
     fn sweep_tmp(dir: &Path) -> Result<(), StoreError> {
         for entry in std::fs::read_dir(dir)?.collect::<Result<Vec<_>, _>>()? {
             let path = entry.path();
-            let is_tmp = path.file_name().and_then(|n| n.to_str()).is_some_and(|n| {
-                n.contains(".tmp.") && (n.starts_with("delta-") || n.starts_with(BASE_FILE))
-            });
+            let is_tmp = path
+                .file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(layout::is_store_tmp);
             if is_tmp {
                 std::fs::remove_file(path)?;
             }
         }
         Ok(())
-    }
-
-    fn seq_of(path: &Path) -> Option<u64> {
-        path.file_stem()?
-            .to_str()?
-            .strip_prefix("delta-")?
-            .parse()
-            .ok()
     }
 }
 
@@ -991,6 +1026,44 @@ mod tests {
         let extra2 = Table::from_rows("even_later", &["X"], &[vec!["y".into()]]).unwrap();
         reopened_store.append_add(&mut after, &extra2).unwrap();
         assert!(dir.join("delta-000002.d3ld").exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn compact_preserves_segments_from_an_external_writer() {
+        // A serving handle compacts while a second writer (CLI `d3l
+        // add` beside the server) has appended a segment the handle
+        // never replayed. Compaction must fold only its own range —
+        // deleting the external segment would silently destroy an
+        // acknowledged durable write.
+        let dir = std::env::temp_dir().join(format!("d3l_store_ext_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut d3l = engine();
+        let mut store = IndexStore::create(&dir, &d3l).unwrap();
+        let own = Table::from_rows("own_add", &["X"], &[vec!["a".into()]]).unwrap();
+        store.append_add(&mut d3l, &own).unwrap();
+
+        // The external writer opens its own handle and appends.
+        let (mut other_store, mut other_engine) = IndexStore::open(&dir).unwrap();
+        let external = Table::from_rows("external_add", &["Y"], &[vec!["b".into()]]).unwrap();
+        other_store
+            .append_add(&mut other_engine, &external)
+            .unwrap();
+        assert!(store.has_newer_segments().unwrap());
+
+        // Compact folds only the handle's own segment (seq 1).
+        assert_eq!(store.compact(&d3l).unwrap(), 1);
+        assert!(
+            dir.join(d3l_store::layout::delta_file_name(2)).exists(),
+            "the external segment must survive compaction"
+        );
+
+        // A fresh open replays the surviving external segment on top
+        // of the compacted base: nothing was lost.
+        let (_, reopened) = IndexStore::open(&dir).unwrap();
+        assert!(reopened.name_to_id().contains_key("own_add"));
+        assert!(reopened.name_to_id().contains_key("external_add"));
+        assert_engines_identical(&other_engine, &reopened);
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -1,0 +1,741 @@
+//! The concurrent query server: a fixed worker pool over
+//! `std::net::TcpListener`, serving a hot-swappable engine.
+//!
+//! ## Concurrency model
+//!
+//! * The accept loop hands connections to a bounded-behavior worker
+//!   pool (`threads` workers, one connection per worker at a time,
+//!   keep-alive supported). Queries clone the current
+//!   [`EngineSnapshot`] `Arc` and run **lock-free** on it — a
+//!   mutation landing mid-query can never tear the state a query
+//!   observes.
+//! * Mutations (`POST /tables`, `DELETE /tables/{name}`) go through
+//!   [`EngineHandle`]: persist to the [`IndexStore`] first, then
+//!   atomically swap the extended engine in, then answer — so a 2xx
+//!   implies read-your-writes for every subsequent request.
+//! * Graceful shutdown ([`ShutdownHandle::shutdown`], SIGINT in the
+//!   CLI, or `POST /admin/shutdown`): the accept loop stops taking
+//!   connections, queued and in-flight requests are drained to
+//!   completion, then [`Server::run`] returns.
+//!
+//! [`IndexStore`]: d3l_core::IndexStore
+
+use std::collections::VecDeque;
+use std::io::{BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use d3l_core::hotswap::{EngineHandle, EngineSnapshot, MaintenanceError};
+use d3l_core::query::QueryOptions;
+use d3l_core::Evidence;
+use d3l_table::Table;
+
+use crate::api;
+use crate::http::{read_request, Method, Request, Response, DEFAULT_MAX_BODY};
+use crate::json::Json;
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker thread count (0 = number of available CPUs).
+    pub threads: usize,
+    /// Cap on request bodies.
+    pub max_body_bytes: usize,
+    /// Socket read/write timeout — a stalled client gets a 408 (or a
+    /// silent close when idle between keep-alive requests) instead of
+    /// parking a worker forever.
+    pub io_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            threads: 0,
+            max_body_bytes: DEFAULT_MAX_BODY,
+            io_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+/// Request counters, exposed by `GET /stats`.
+#[derive(Debug, Default)]
+pub struct Counters {
+    /// Requests that parsed far enough to be routed.
+    pub requests: AtomicU64,
+    /// 2xx responses.
+    pub ok_2xx: AtomicU64,
+    /// 4xx responses (routing refusals and protocol violations).
+    pub client_4xx: AtomicU64,
+    /// 5xx responses.
+    pub server_5xx: AtomicU64,
+}
+
+impl Counters {
+    fn record(&self, status: u16) {
+        match status {
+            200..=299 => &self.ok_2xx,
+            400..=499 => &self.client_4xx,
+            _ => &self.server_5xx,
+        }
+        .fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+struct Shared {
+    shutdown: AtomicBool,
+    counters: Counters,
+    started: Instant,
+}
+
+/// Stops a running [`Server`] from another thread (signal handlers,
+/// tests, the shutdown endpoint). Cloneable and cheap.
+#[derive(Clone)]
+pub struct ShutdownHandle(Arc<Shared>);
+
+impl ShutdownHandle {
+    /// Ask the server to stop accepting and drain in-flight work.
+    pub fn shutdown(&self) {
+        self.0.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether shutdown was requested.
+    pub fn is_shutdown(&self) -> bool {
+        self.0.shutdown.load(Ordering::SeqCst)
+    }
+}
+
+/// Connection hand-off between the accept loop and the workers.
+struct ConnQueue {
+    state: Mutex<(VecDeque<TcpStream>, bool)>,
+    ready: Condvar,
+}
+
+impl ConnQueue {
+    fn new() -> Self {
+        ConnQueue {
+            state: Mutex::new((VecDeque::new(), false)),
+            ready: Condvar::new(),
+        }
+    }
+
+    fn push(&self, stream: TcpStream) {
+        let mut state = self.state.lock().unwrap_or_else(|p| p.into_inner());
+        state.0.push_back(stream);
+        drop(state);
+        self.ready.notify_one();
+    }
+
+    /// `None` once the queue is closed *and* drained.
+    fn pop(&self) -> Option<TcpStream> {
+        let mut state = self.state.lock().unwrap_or_else(|p| p.into_inner());
+        loop {
+            if let Some(stream) = state.0.pop_front() {
+                return Some(stream);
+            }
+            if state.1 {
+                return None;
+            }
+            state = self.ready.wait(state).unwrap_or_else(|p| p.into_inner());
+        }
+    }
+
+    fn close(&self) {
+        self.state.lock().unwrap_or_else(|p| p.into_inner()).1 = true;
+        self.ready.notify_all();
+    }
+}
+
+/// The HTTP server. Bind, then [`Server::run`] (blocking until
+/// shutdown).
+pub struct Server {
+    listener: TcpListener,
+    engine: Arc<EngineHandle>,
+    cfg: ServerConfig,
+    shared: Arc<Shared>,
+}
+
+impl Server {
+    /// Bind a listener (use port 0 for an ephemeral port and read it
+    /// back with [`Server::local_addr`]).
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        engine: Arc<EngineHandle>,
+        cfg: ServerConfig,
+    ) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        Ok(Server {
+            listener,
+            engine,
+            cfg,
+            shared: Arc::new(Shared {
+                shutdown: AtomicBool::new(false),
+                counters: Counters::default(),
+                started: Instant::now(),
+            }),
+        })
+    }
+
+    /// The bound address.
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A handle that stops this server from anywhere.
+    pub fn shutdown_handle(&self) -> ShutdownHandle {
+        ShutdownHandle(self.shared.clone())
+    }
+
+    /// Worker count this server will run with.
+    pub fn effective_threads(&self) -> usize {
+        if self.cfg.threads > 0 {
+            self.cfg.threads
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        }
+    }
+
+    /// Accept and serve until shutdown is requested, then drain:
+    /// queued connections and in-flight requests complete before this
+    /// returns.
+    pub fn run(self) -> std::io::Result<()> {
+        self.listener.set_nonblocking(true)?;
+        let queue = ConnQueue::new();
+        let threads = self.effective_threads();
+        std::thread::scope(|scope| {
+            let mut workers = Vec::with_capacity(threads);
+            for _ in 0..threads {
+                let queue = &queue;
+                let server = &self;
+                workers.push(scope.spawn(move || {
+                    while let Some(stream) = queue.pop() {
+                        server.serve_connection(stream);
+                    }
+                }));
+            }
+            while !self.shared.shutdown.load(Ordering::SeqCst) {
+                match self.listener.accept() {
+                    Ok((stream, _)) => queue.push(stream),
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(2));
+                    }
+                    // Transient accept failures (EMFILE, aborted
+                    // handshakes) must not kill the serving loop.
+                    Err(_) => std::thread::sleep(Duration::from_millis(2)),
+                }
+            }
+            queue.close();
+            for worker in workers {
+                worker.join().expect("server worker panicked");
+            }
+        });
+        Ok(())
+    }
+
+    /// Serve one connection: requests in sequence (keep-alive) until
+    /// the peer closes, an unanswerable error occurs, or shutdown.
+    /// Wait for the next request's first byte without parking the
+    /// worker past the shutdown signal: poll `peek` on a short
+    /// timeout, re-checking the drain flag between polls, until data
+    /// arrives, the peer hangs up, or the keep-alive idle window
+    /// (`io_timeout`) expires. Returns whether a request is ready.
+    /// `set_read_timeout` applies to the shared socket, so the
+    /// full-length timeout is restored before the request is parsed —
+    /// mid-request stalls keep their 408 semantics.
+    fn await_next_request(&self, stream: &TcpStream) -> bool {
+        const POLL: Duration = Duration::from_millis(100);
+        let _ = stream.set_read_timeout(Some(POLL));
+        let idle_deadline = Instant::now() + self.cfg.io_timeout;
+        let mut probe = [0u8; 1];
+        let ready = loop {
+            if self.shared.shutdown.load(Ordering::SeqCst) {
+                break false;
+            }
+            match stream.peek(&mut probe) {
+                Ok(0) => break false, // peer closed
+                Ok(_) => break true,
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    if Instant::now() >= idle_deadline {
+                        break false; // idle keep-alive expiry
+                    }
+                }
+                Err(_) => break false,
+            }
+        };
+        let _ = stream.set_read_timeout(Some(self.cfg.io_timeout));
+        ready
+    }
+
+    fn serve_connection(&self, stream: TcpStream) {
+        let _ = stream.set_read_timeout(Some(self.cfg.io_timeout));
+        let _ = stream.set_write_timeout(Some(self.cfg.io_timeout));
+        // Interactive request/response traffic: never wait for a
+        // Nagle coalescing window.
+        let _ = stream.set_nodelay(true);
+        let Ok(read_half) = stream.try_clone() else {
+            return;
+        };
+        let mut reader = BufReader::new(read_half);
+        let mut write_half = stream;
+        loop {
+            // Idle wait happens outside read_request so a worker
+            // blocked between keep-alive requests still observes
+            // shutdown within ~100 ms (pipelined bytes already
+            // buffered skip the wait).
+            if reader.buffer().is_empty() && !self.await_next_request(&write_half) {
+                return;
+            }
+            match read_request(&mut reader, self.cfg.max_body_bytes) {
+                Ok(req) => {
+                    self.shared
+                        .counters
+                        .requests
+                        .fetch_add(1, Ordering::Relaxed);
+                    let response = self.route(&req);
+                    self.shared.counters.record(response.status);
+                    let draining = self.shared.shutdown.load(Ordering::SeqCst);
+                    let keep = req.keep_alive && !draining;
+                    if response.write_to(&mut write_half, keep).is_err() || !keep {
+                        return;
+                    }
+                }
+                Err(err) => {
+                    // Status-less errors (peer gone, idle keep-alive
+                    // expiry) close silently; everything else answers
+                    // with its typed 4xx/5xx before closing.
+                    if let Some(status) = err.status() {
+                        self.shared.counters.record(status);
+                        let _ = Response::error(status, &err.to_string())
+                            .write_to(&mut write_half, false);
+                    }
+                    return;
+                }
+            }
+        }
+    }
+
+    // ---- routing ----------------------------------------------------
+
+    fn route(&self, req: &Request) -> Response {
+        match (req.method, req.path.as_str()) {
+            (Method::Post, "/query") => self.handle_query(req),
+            (Method::Post, "/query_batch") => self.handle_query_batch(req),
+            (Method::Get, "/rank_all") => self.handle_rank_all(req),
+            (Method::Get, "/stats") => self.handle_stats(),
+            (Method::Post, "/tables") => self.handle_add_table(req),
+            (Method::Delete, path) if path.starts_with("/tables/") => {
+                self.handle_remove_table(&path["/tables/".len()..])
+            }
+            (Method::Post, "/admin/compact") => self.handle_compact(),
+            (Method::Post, "/admin/reload") => self.handle_reload(),
+            (Method::Post, "/admin/shutdown") => {
+                self.shared.shutdown.store(true, Ordering::SeqCst);
+                Response::json(200, "{\"shutting_down\":true}")
+            }
+            (_, path) if Self::known_path(path) => Response::error(
+                405,
+                &format!("{} not allowed on {path}", req.method.as_str()),
+            ),
+            (_, path) => Response::error(404, &format!("no endpoint at {path}")),
+        }
+    }
+
+    fn known_path(path: &str) -> bool {
+        matches!(
+            path,
+            "/query"
+                | "/query_batch"
+                | "/rank_all"
+                | "/stats"
+                | "/tables"
+                | "/admin/compact"
+                | "/admin/reload"
+                | "/admin/shutdown"
+        ) || path.starts_with("/tables/")
+    }
+
+    fn body_json(req: &Request) -> Result<Json, Response> {
+        let text = std::str::from_utf8(&req.body)
+            .map_err(|_| Response::error(400, "body is not UTF-8"))?;
+        Json::parse(text).map_err(|e| Response::error(400, &e.to_string()))
+    }
+
+    /// The `"table"` member (or, leniently, the whole body) as a
+    /// table.
+    fn body_table(body: &Json) -> Result<Table, Response> {
+        let spec = body.get("table").unwrap_or(body);
+        api::table_from_json(spec).map_err(|e| Response::error(400, &e.to_string()))
+    }
+
+    fn parse_evidence(letter: &str) -> Option<Evidence> {
+        match letter {
+            "N" | "n" => Some(Evidence::Name),
+            "V" | "v" => Some(Evidence::Value),
+            "F" | "f" => Some(Evidence::Format),
+            "E" | "e" => Some(Evidence::Embedding),
+            "D" | "d" => Some(Evidence::Distribution),
+            _ => None,
+        }
+    }
+
+    /// Shared option decoding for the query endpoints: `evidence`
+    /// (single-evidence ranking) and `exclude` (a lake table name to
+    /// drop from the answer).
+    fn query_options(body: &Json, snap: &EngineSnapshot) -> Result<QueryOptions, Response> {
+        let mut opts = QueryOptions::default();
+        if let Some(e) = body.get("evidence") {
+            let letter = e
+                .as_str()
+                .ok_or_else(|| Response::error(400, "\"evidence\" must be a string"))?;
+            opts.evidence =
+                Some(Self::parse_evidence(letter).ok_or_else(|| {
+                    Response::error(400, &format!("unknown evidence {letter:?}"))
+                })?);
+        }
+        if let Some(x) = body.get("exclude") {
+            let name = x
+                .as_str()
+                .ok_or_else(|| Response::error(400, "\"exclude\" must be a table name"))?;
+            let id =
+                snap.engine.name_to_id().get(name).copied().ok_or_else(|| {
+                    Response::error(404, &format!("no indexed table named {name:?}"))
+                })?;
+            opts.exclude = Some(id);
+        }
+        Ok(opts)
+    }
+
+    fn handle_query(&self, req: &Request) -> Response {
+        let body = match Self::body_json(req) {
+            Ok(v) => v,
+            Err(resp) => return resp,
+        };
+        let target = match Self::body_table(&body) {
+            Ok(t) => t,
+            Err(resp) => return resp,
+        };
+        let k = match body.get("k") {
+            None => 10,
+            Some(v) => match v.as_usize() {
+                Some(k) => k,
+                None => return Response::error(400, "\"k\" must be a non-negative integer"),
+            },
+        };
+        let snap = self.engine.snapshot();
+        let opts = match Self::query_options(&body, &snap) {
+            Ok(o) => o,
+            Err(resp) => return resp,
+        };
+        let matches = snap.engine.query_with(&target, k, &opts);
+        Response::json(200, api::query_response(&snap, &matches))
+    }
+
+    fn handle_query_batch(&self, req: &Request) -> Response {
+        let body = match Self::body_json(req) {
+            Ok(v) => v,
+            Err(resp) => return resp,
+        };
+        let Some(specs) = body.get("targets").and_then(Json::as_arr) else {
+            return Response::error(400, "\"targets\" must be an array of tables");
+        };
+        let mut targets = Vec::with_capacity(specs.len());
+        for (i, spec) in specs.iter().enumerate() {
+            match api::table_from_json(spec) {
+                Ok(t) => targets.push(t),
+                Err(e) => return Response::error(400, &format!("target {i}: {e}")),
+            }
+        }
+        let k = match body.get("k") {
+            None => 10,
+            Some(v) => match v.as_usize() {
+                Some(k) => k,
+                None => return Response::error(400, "\"k\" must be a non-negative integer"),
+            },
+        };
+        let snap = self.engine.snapshot();
+        let results = snap.engine.query_batch(&targets, k);
+        Response::json(200, api::batch_response(&snap, &results))
+    }
+
+    fn handle_rank_all(&self, req: &Request) -> Response {
+        let Some(name) = req.query_param("target") else {
+            return Response::error(400, "missing ?target=<indexed table name>");
+        };
+        let snap = self.engine.snapshot();
+        let Some(id) = snap.engine.name_to_id().get(name).copied() else {
+            return Response::error(404, &format!("no indexed table named {name:?}"));
+        };
+        let width = match req.query_param("width") {
+            None => snap.engine.config().lookup_width(10),
+            Some(raw) => match raw.parse::<usize>() {
+                Ok(w) if w > 0 => w,
+                _ => return Response::error(400, "\"width\" must be a positive integer"),
+            },
+        };
+        let prepared = snap
+            .engine
+            .prepare_indexed(id)
+            .expect("name_to_id only returns live tables");
+        let opts = QueryOptions {
+            // Ranking a lake member against the lake: the member
+            // itself would trivially win, so it is excluded unless
+            // asked for.
+            exclude: (req.query_param("include_self") != Some("true")).then_some(id),
+            ..Default::default()
+        };
+        let matches = snap.engine.rank_all_prepared(&prepared, width, &opts);
+        Response::json(200, api::query_response(&snap, &matches))
+    }
+
+    fn handle_stats(&self) -> Response {
+        let snap = self.engine.snapshot();
+        let fp = snap.engine.byte_size();
+        let index_json = |idx: d3l_core::IndexFootprint| {
+            Json::Obj(vec![
+                ("tree_bytes".to_string(), Json::Num(idx.tree_bytes as f64)),
+                (
+                    "signature_bytes".to_string(),
+                    Json::Num(idx.signature_bytes as f64),
+                ),
+            ])
+        };
+        let mut memory: Vec<(String, Json)> = fp
+            .indexes()
+            .iter()
+            .map(|(name, idx)| (name.to_lowercase(), index_json(*idx)))
+            .collect();
+        memory.push((
+            "profile_bytes".to_string(),
+            Json::Num(fp.profile_bytes as f64),
+        ));
+        memory.push(("total_bytes".to_string(), Json::Num(fp.total() as f64)));
+        let disk = match self.engine.disk_stats() {
+            Ok((base, deltas, segments)) => Json::Obj(vec![
+                ("base_bytes".to_string(), Json::Num(base as f64)),
+                ("delta_bytes".to_string(), Json::Num(deltas as f64)),
+                ("delta_segments".to_string(), Json::Num(segments as f64)),
+            ]),
+            Err(_) => Json::Null,
+        };
+        let c = &self.shared.counters;
+        let body = Json::Obj(vec![
+            ("engine_version".to_string(), Json::Num(snap.version as f64)),
+            (
+                "tables".to_string(),
+                Json::Num(snap.engine.table_count() as f64),
+            ),
+            (
+                "live_tables".to_string(),
+                Json::Num(snap.engine.live_table_count() as f64),
+            ),
+            ("memory".to_string(), Json::Obj(memory)),
+            ("disk".to_string(), disk),
+            (
+                "server".to_string(),
+                Json::Obj(vec![
+                    (
+                        "threads".to_string(),
+                        Json::Num(self.effective_threads() as f64),
+                    ),
+                    (
+                        "uptime_ms".to_string(),
+                        Json::Num(self.shared.started.elapsed().as_millis() as f64),
+                    ),
+                    (
+                        "requests".to_string(),
+                        Json::Num(c.requests.load(Ordering::Relaxed) as f64),
+                    ),
+                    (
+                        "responses_2xx".to_string(),
+                        Json::Num(c.ok_2xx.load(Ordering::Relaxed) as f64),
+                    ),
+                    (
+                        "responses_4xx".to_string(),
+                        Json::Num(c.client_4xx.load(Ordering::Relaxed) as f64),
+                    ),
+                    (
+                        "responses_5xx".to_string(),
+                        Json::Num(c.server_5xx.load(Ordering::Relaxed) as f64),
+                    ),
+                ]),
+            ),
+        ]);
+        Response::json(200, body.to_string())
+    }
+
+    fn maintenance_error(e: MaintenanceError) -> Response {
+        match e {
+            MaintenanceError::DuplicateName(_) => Response::error(409, &e.to_string()),
+            MaintenanceError::UnknownTable(_) => Response::error(404, &e.to_string()),
+            MaintenanceError::Store(_) => Response::error(500, &e.to_string()),
+        }
+    }
+
+    fn handle_add_table(&self, req: &Request) -> Response {
+        let body = match Self::body_json(req) {
+            Ok(v) => v,
+            Err(resp) => return resp,
+        };
+        let table = match Self::body_table(&body) {
+            Ok(t) => t,
+            Err(resp) => return resp,
+        };
+        match self.engine.add_table(&table) {
+            Ok((id, snap)) => Response::json(
+                201,
+                api::mutation_response(
+                    &snap,
+                    vec![
+                        ("added".to_string(), Json::str(table.name())),
+                        ("id".to_string(), Json::Num(id.0 as f64)),
+                    ],
+                ),
+            ),
+            Err(e) => Self::maintenance_error(e),
+        }
+    }
+
+    fn handle_remove_table(&self, name: &str) -> Response {
+        if name.is_empty() {
+            return Response::error(400, "missing table name");
+        }
+        match self.engine.remove_table(name) {
+            Ok((id, snap)) => Response::json(
+                200,
+                api::mutation_response(
+                    &snap,
+                    vec![
+                        ("removed".to_string(), Json::str(name)),
+                        ("id".to_string(), Json::Num(id.0 as f64)),
+                    ],
+                ),
+            ),
+            Err(e) => Self::maintenance_error(e),
+        }
+    }
+
+    fn handle_compact(&self) -> Response {
+        match self.engine.compact() {
+            Ok(folded) => Response::json(
+                200,
+                api::mutation_response(
+                    &self.engine.snapshot(),
+                    vec![("folded_segments".to_string(), Json::Num(folded as f64))],
+                ),
+            ),
+            Err(e) => Self::maintenance_error(e),
+        }
+    }
+
+    fn handle_reload(&self) -> Response {
+        match self.engine.reload_latest() {
+            Ok(Some(snap)) => Response::json(
+                200,
+                api::mutation_response(&snap, vec![("reloaded".to_string(), Json::Bool(true))]),
+            ),
+            Ok(None) => Response::json(
+                200,
+                api::mutation_response(
+                    &self.engine.snapshot(),
+                    vec![("reloaded".to_string(), Json::Bool(false))],
+                ),
+            ),
+            Err(e) => Self::maintenance_error(e),
+        }
+    }
+}
+
+/// A minimal blocking HTTP/1.1 client over `std::net` — exactly what
+/// the README documents for talking to `d3l serve` without any
+/// dependency. Keep-alive: one connection, many requests.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connect to a server.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+        stream.set_write_timeout(Some(Duration::from_secs(30)))?;
+        stream.set_nodelay(true)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Client {
+            reader,
+            writer: stream,
+        })
+    }
+
+    /// Issue one request; returns `(status, body)`. The request goes
+    /// out in a single write (see [`Response::write_to`] on why).
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> std::io::Result<(u16, String)> {
+        let body = body.unwrap_or("");
+        let wire = format!(
+            "{method} {path} HTTP/1.1\r\nHost: d3l\r\nContent-Length: {}\r\nConnection: keep-alive\r\n\r\n{body}",
+            body.len()
+        );
+        self.writer.write_all(wire.as_bytes())?;
+        self.writer.flush()?;
+        self.read_response()
+    }
+
+    fn read_response(&mut self) -> std::io::Result<(u16, String)> {
+        use std::io::BufRead;
+        let bad = |msg: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_string());
+        let mut line = String::new();
+        self.reader.read_line(&mut line)?;
+        let status: u16 = line
+            .split(' ')
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| bad("malformed status line"))?;
+        let mut content_length = 0usize;
+        loop {
+            let mut header = String::new();
+            if self.reader.read_line(&mut header)? == 0 {
+                return Err(bad("connection closed in headers"));
+            }
+            let header = header.trim_end();
+            if header.is_empty() {
+                break;
+            }
+            if let Some((name, value)) = header.split_once(':') {
+                if name.eq_ignore_ascii_case("content-length") {
+                    content_length = value
+                        .trim()
+                        .parse()
+                        .map_err(|_| bad("bad content-length"))?;
+                }
+            }
+        }
+        let mut body = vec![0u8; content_length];
+        std::io::Read::read_exact(&mut self.reader, &mut body)?;
+        String::from_utf8(body)
+            .map(|text| (status, text))
+            .map_err(|_| bad("non-UTF-8 body"))
+    }
+}
+
+/// One-shot convenience: connect, request, close.
+pub fn request_once(
+    addr: impl ToSocketAddrs,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> std::io::Result<(u16, String)> {
+    Client::connect(addr)?.request(method, path, body)
+}

@@ -52,12 +52,30 @@ pub enum StoreError {
     /// Structurally invalid data (bad lengths, out-of-range values,
     /// varints that overflow, ...).
     Corrupt(String),
+    /// A delta segment failed to read, decode or apply. Wraps the
+    /// underlying failure with the segment's sequence number so a
+    /// store-level diagnostic names the file to inspect or delete
+    /// instead of surfacing a raw decode error.
+    BadSegment {
+        /// Sequence number of the offending segment.
+        seq: u64,
+        /// The underlying failure.
+        source: Box<StoreError>,
+    },
 }
 
 impl StoreError {
     /// Shorthand for [`StoreError::Corrupt`].
     pub fn corrupt(msg: impl Into<String>) -> Self {
         StoreError::Corrupt(msg.into())
+    }
+
+    /// Wrap a failure with the delta segment it occurred in.
+    pub fn bad_segment(seq: u64, source: StoreError) -> Self {
+        StoreError::BadSegment {
+            seq,
+            source: Box::new(source),
+        }
     }
 }
 
@@ -90,6 +108,9 @@ impl std::fmt::Display for StoreError {
                 write!(f, "required section {section:?} missing")
             }
             StoreError::Corrupt(msg) => write!(f, "corrupt store data: {msg}"),
+            StoreError::BadSegment { seq, source } => {
+                write!(f, "corrupt segment {seq:06}: {source}")
+            }
         }
     }
 }
@@ -98,6 +119,7 @@ impl std::error::Error for StoreError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             StoreError::Io(e) => Some(e),
+            StoreError::BadSegment { source, .. } => Some(source),
             _ => None,
         }
     }
@@ -150,6 +172,10 @@ mod tests {
                 "missing",
             ),
             (StoreError::corrupt("bad length"), "bad length"),
+            (
+                StoreError::bad_segment(3, StoreError::BadMagic { found: vec![] }),
+                "corrupt segment 000003",
+            ),
             (
                 StoreError::WrongKind {
                     found: 2,

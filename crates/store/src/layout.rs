@@ -1,0 +1,188 @@
+//! On-disk layout of an index-store directory.
+//!
+//! The store directory vocabulary — base-snapshot filename, delta
+//! segment naming, tmp-file markers — lives here with the rest of the
+//! wire format, so every layer that looks at a store directory (the
+//! `IndexStore` writer in `d3l-core`, the serving layer's
+//! reload-latest check, diagnostics) agrees on what the files mean
+//! without re-deriving the naming scheme:
+//!
+//! ```text
+//! <dir>/base.d3ls           full snapshot (atomic tmp + rename)
+//! <dir>/delta-000001.d3ld   appended add/remove segment
+//! <dir>/delta-000002.d3ld   ...
+//! <dir>/*.tmp.<pid>         in-flight atomic writes (swept on open)
+//! ```
+//!
+//! [`scan`] is the read-only inventory: it never opens a file, so a
+//! long-lived server can poll it cheaply to learn whether another
+//! writer appended segments since the engine was loaded
+//! ([`StoreScan::latest_seq`] vs the sequence the server replayed
+//! through).
+
+use std::path::{Path, PathBuf};
+
+use crate::error::StoreError;
+
+/// Filename of the base snapshot inside an index directory.
+pub const BASE_FILE: &str = "base.d3ls";
+
+/// Extension of delta segment files.
+pub const DELTA_EXT: &str = "d3ld";
+
+/// Prefix of delta segment filenames.
+pub const DELTA_PREFIX: &str = "delta-";
+
+/// The filename of the delta segment with sequence number `seq`.
+/// Sequence numbers are zero-padded to six digits for directory
+/// readability only — replay order is always by parsed number, so
+/// sequences outgrowing the padding stay correctly ordered.
+pub fn delta_file_name(seq: u64) -> String {
+    format!("{DELTA_PREFIX}{seq:06}.{DELTA_EXT}")
+}
+
+/// Parse the sequence number out of a delta segment path. `None` for
+/// anything that is not a well-formed delta segment name.
+pub fn delta_seq_of(path: &Path) -> Option<u64> {
+    if path.extension().is_none_or(|e| e != DELTA_EXT) {
+        return None;
+    }
+    path.file_stem()?
+        .to_str()?
+        .strip_prefix(DELTA_PREFIX)?
+        .parse()
+        .ok()
+}
+
+/// Whether a directory entry is an orphaned atomic-write tmp file
+/// (left by a writer that crashed between create and rename).
+pub fn is_store_tmp(name: &str) -> bool {
+    name.contains(".tmp.") && (name.starts_with(DELTA_PREFIX) || name.starts_with(BASE_FILE))
+}
+
+/// Read-only inventory of a store directory: the base snapshot (if
+/// present) and every delta segment, sorted by sequence number.
+#[derive(Debug, Clone)]
+pub struct StoreScan {
+    /// Base snapshot size in bytes, when `base.d3ls` exists.
+    pub base_bytes: Option<u64>,
+    /// Delta segments as `(seq, path, bytes)`, ascending by `seq`.
+    pub deltas: Vec<(u64, PathBuf, u64)>,
+}
+
+impl StoreScan {
+    /// Highest delta sequence number on disk (0 when there are no
+    /// segments). A serving process compares this against the
+    /// sequence it replayed through to decide whether a reload would
+    /// observe anything new.
+    pub fn latest_seq(&self) -> u64 {
+        self.deltas.last().map(|(seq, ..)| *seq).unwrap_or(0)
+    }
+
+    /// Total bytes across the delta segments.
+    pub fn delta_bytes(&self) -> u64 {
+        self.deltas.iter().map(|(_, _, b)| *b).sum()
+    }
+}
+
+/// Inventory a store directory without opening any file. Entries that
+/// are not well-formed delta segment names are ignored — only files
+/// this layout wrote are reported.
+pub fn scan(dir: &Path) -> Result<StoreScan, StoreError> {
+    let base_bytes = match std::fs::metadata(dir.join(BASE_FILE)) {
+        Ok(meta) => Some(meta.len()),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => None,
+        Err(e) => return Err(e.into()),
+    };
+    let mut deltas = Vec::new();
+    for entry in std::fs::read_dir(dir)?.collect::<Result<Vec<_>, _>>()? {
+        let path = entry.path();
+        if let Some(seq) = delta_seq_of(&path) {
+            deltas.push((seq, path, entry.metadata()?.len()));
+        }
+    }
+    deltas.sort_by(|a, b| (a.0, &a.1).cmp(&(b.0, &b.1)));
+    Ok(StoreScan { base_bytes, deltas })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delta_names_round_trip() {
+        for seq in [1, 42, 999_999, 1_000_000, u64::MAX / 2] {
+            let name = delta_file_name(seq);
+            assert_eq!(delta_seq_of(Path::new(&name)), Some(seq), "{name}");
+        }
+    }
+
+    #[test]
+    fn non_delta_names_are_rejected() {
+        for name in [
+            "base.d3ls",
+            "delta-.d3ld",
+            "delta-abc.d3ld",
+            "delta-000001.d3ls",
+            "delta-000001",
+            "other-000001.d3ld",
+            "delta-000001.d3ld.tmp.123",
+        ] {
+            assert_eq!(delta_seq_of(Path::new(name)), None, "{name}");
+        }
+    }
+
+    #[test]
+    fn tmp_marker_matches_both_file_kinds() {
+        assert!(is_store_tmp("base.d3ls.tmp.991"));
+        assert!(is_store_tmp("delta-000003.d3ld.tmp.991"));
+        assert!(!is_store_tmp("base.d3ls"));
+        assert!(!is_store_tmp("delta-000003.d3ld"));
+        assert!(!is_store_tmp("unrelated.tmp.991"));
+    }
+
+    #[test]
+    fn scan_inventories_and_orders_by_seq() {
+        let dir = std::env::temp_dir().join(format!("d3l_layout_scan_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join(BASE_FILE), b"base").unwrap();
+        // Written out of order and past the zero padding.
+        for seq in [3u64, 1, 2, 1_000_007] {
+            std::fs::write(
+                dir.join(delta_file_name(seq)),
+                vec![0u8; seq as usize % 7 + 1],
+            )
+            .unwrap();
+        }
+        std::fs::write(dir.join("notes.txt"), b"ignored").unwrap();
+        let scan = scan(&dir).unwrap();
+        assert_eq!(scan.base_bytes, Some(4));
+        let seqs: Vec<u64> = scan.deltas.iter().map(|(s, ..)| *s).collect();
+        assert_eq!(seqs, vec![1, 2, 3, 1_000_007]);
+        assert_eq!(scan.latest_seq(), 1_000_007);
+        let expected: u64 = [1u64, 2, 3, 1_000_007].iter().map(|s| s % 7 + 1).sum();
+        assert_eq!(scan.delta_bytes(), expected);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn scan_without_base_reports_none() {
+        let dir = std::env::temp_dir().join(format!("d3l_layout_nobase_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let scan = scan(&dir).unwrap();
+        assert_eq!(scan.base_bytes, None);
+        assert!(scan.deltas.is_empty());
+        assert_eq!(scan.latest_seq(), 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn scan_missing_directory_is_io_error() {
+        assert!(matches!(
+            scan(Path::new("/definitely/not/a/store")),
+            Err(StoreError::Io(_))
+        ));
+    }
+}

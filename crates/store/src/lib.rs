@@ -15,7 +15,12 @@
 //!   format version, container kind (base snapshot vs delta segment)
 //!   and a checksummed section table over opaque payloads.
 //! * [`error`] — [`StoreError`], the typed failure surface (bad magic,
-//!   unsupported version, truncation, checksum mismatch, corruption).
+//!   unsupported version, truncation, checksum mismatch, corruption,
+//!   per-segment wrapping).
+//! * [`layout`] — the store-directory vocabulary (base-snapshot and
+//!   delta-segment filenames, tmp markers) plus the read-only
+//!   [`layout::scan`] inventory a serving process polls to notice
+//!   segments appended by another writer.
 //!
 //! Domain serialization lives with the domain types: `d3l-lsh` encodes
 //! LSH forests (`LshForest::{to,from}_bytes`), `d3l-embedding` encodes
@@ -28,9 +33,11 @@
 pub mod codec;
 pub mod container;
 pub mod error;
+pub mod layout;
 
 pub use codec::{checksum, Decoder, Encoder};
 pub use container::{
     ContainerReader, ContainerWriter, SectionTag, FORMAT_VERSION, KIND_DELTA, KIND_SNAPSHOT, MAGIC,
 };
 pub use error::StoreError;
+pub use layout::{StoreScan, BASE_FILE};

@@ -3,6 +3,7 @@
 //! ```text
 //! d3l index   <lake-dir> --out <index-dir>
 //! d3l query   <lake-dir>|--index <index-dir> <target.csv> [-k N] [--joins] [--evidence N|V|F|E|D] [--threads N]
+//! d3l serve   --index <index-dir> [--port P] [--host H] [--threads N]
 //! d3l stats   <lake-dir>|--index <index-dir>
 //! d3l add     <index-dir> <table.csv>
 //! d3l remove  <index-dir> <table-name>
@@ -18,7 +19,10 @@
 //! `query --index` / `stats --index` then cold-start from the
 //! snapshot in milliseconds with no re-profiling. `add`/`remove`
 //! profile only the delta and append it as a segment; `compact` folds
-//! segments back into the base snapshot.
+//! segments back into the base snapshot. `serve` turns the persisted
+//! index into a long-lived concurrent HTTP service (see the README's
+//! "Serving" section for the endpoints); SIGINT drains in-flight
+//! requests before exiting.
 
 use std::collections::HashSet;
 use std::process::ExitCode;
@@ -29,13 +33,14 @@ use d3l::core::IndexStore;
 use d3l::prelude::*;
 use d3l::table::csv;
 
-const USAGE: &str = "usage:\n  d3l index <lake-dir> --out <index-dir>\n  d3l query <lake-dir>|--index <index-dir> <target.csv> [-k N] [--joins] [--evidence N|V|F|E|D] [--threads N]\n  d3l stats <lake-dir>|--index <index-dir>\n  d3l add <index-dir> <table.csv>\n  d3l remove <index-dir> <table-name>\n  d3l compact <index-dir>\n  d3l demo";
+const USAGE: &str = "usage:\n  d3l index <lake-dir> --out <index-dir>\n  d3l query <lake-dir>|--index <index-dir> <target.csv> [-k N] [--joins] [--evidence N|V|F|E|D] [--threads N]\n  d3l serve --index <index-dir> [--port P] [--host H] [--threads N]\n  d3l stats <lake-dir>|--index <index-dir>\n  d3l add <index-dir> <table.csv>\n  d3l remove <index-dir> <table-name>\n  d3l compact <index-dir>\n  d3l demo";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
         Some("index") => cmd_index(&args[1..]),
         Some("query") => cmd_query(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
         Some("stats") => cmd_stats(&args[1..]),
         Some("add") => cmd_add(&args[1..]),
         Some("remove") => cmd_remove(&args[1..]),
@@ -175,8 +180,7 @@ fn cmd_compact(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         return Err("usage: d3l compact <index-dir>".into());
     };
     let (mut store, d3l) = IndexStore::open(index_dir)?;
-    let folded = store.delta_count()?;
-    store.compact(&d3l)?;
+    let folded = store.compact(&d3l)?;
     let (base_bytes, _) = store.disk_bytes()?;
     println!("folded {folded} delta segments; base snapshot now {base_bytes} bytes");
     Ok(())
@@ -266,6 +270,96 @@ fn cmd_query(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
             println!("  (none)");
         }
     }
+    Ok(())
+}
+
+/// Graceful-shutdown signals for `d3l serve`: SIGINT/SIGTERM set a
+/// flag that a watcher thread turns into a server drain. Raw
+/// `signal(2)` registration — std has no signal API and the workspace
+/// takes no dependencies; the handler only stores into an atomic,
+/// which is async-signal-safe.
+#[cfg(unix)]
+mod sig {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    pub static REQUESTED: AtomicBool = AtomicBool::new(false);
+
+    extern "C" fn on_signal(_signum: i32) {
+        REQUESTED.store(true, Ordering::SeqCst);
+    }
+
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    pub fn install() {
+        const SIGINT: i32 = 2;
+        const SIGTERM: i32 = 15;
+        unsafe {
+            signal(SIGINT, on_signal);
+            signal(SIGTERM, on_signal);
+        }
+    }
+
+    pub fn requested() -> bool {
+        REQUESTED.load(Ordering::SeqCst)
+    }
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let mut index_dir = None;
+    let mut port: u16 = 4333;
+    let mut host = "127.0.0.1".to_string();
+    let mut threads: usize = 0;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--index" => {
+                index_dir = Some(it.next().ok_or("missing value for --index")?.to_string());
+            }
+            "--port" => port = it.next().ok_or("missing value for --port")?.parse()?,
+            "--host" => host = it.next().ok_or("missing value for --host")?.to_string(),
+            "--threads" => threads = it.next().ok_or("missing value for --threads")?.parse()?,
+            other => return Err(format!("unexpected argument {other}").into()),
+        }
+    }
+    let index_dir = index_dir.ok_or("missing --index <index-dir>")?;
+
+    let start = Instant::now();
+    let engine = std::sync::Arc::new(d3l::core::EngineHandle::open(&index_dir)?);
+    let snap = engine.snapshot();
+    eprintln!(
+        "cold start: loaded {} tables from {index_dir} in {:.1} ms",
+        snap.engine.live_table_count(),
+        start.elapsed().as_secs_f64() * 1e3
+    );
+
+    let cfg = d3l::server::ServerConfig {
+        threads,
+        ..Default::default()
+    };
+    let server = d3l::server::Server::bind((host.as_str(), port), engine, cfg)?;
+    let addr = server.local_addr()?;
+    let workers = server.effective_threads();
+    // The CLI tests parse this line to learn the ephemeral port, so
+    // keep the "listening on" prefix stable.
+    println!("listening on http://{addr} ({workers} workers); Ctrl-C drains and exits");
+
+    #[cfg(unix)]
+    {
+        sig::install();
+        let handle = server.shutdown_handle();
+        std::thread::spawn(move || {
+            while !sig::requested() {
+                std::thread::sleep(std::time::Duration::from_millis(50));
+            }
+            eprintln!("shutdown requested; draining in-flight requests ...");
+            handle.shutdown();
+        });
+    }
+
+    server.run()?;
+    println!("drained; bye");
     Ok(())
 }
 
@@ -458,6 +552,36 @@ mod tests {
         assert!(
             cmd_query(&args(&["--evidence", "Z", "a", "b"])).is_err(),
             "unknown evidence letter must fail"
+        );
+    }
+
+    #[test]
+    fn serve_rejects_bad_arguments() {
+        let args = |list: &[&str]| list.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        assert!(cmd_serve(&args(&[])).is_err(), "serve needs --index");
+        assert!(
+            cmd_serve(&args(&["--index"])).is_err(),
+            "--index needs a value"
+        );
+        assert!(
+            cmd_serve(&args(&["--index", "idx", "--port"])).is_err(),
+            "--port needs a value"
+        );
+        assert!(
+            cmd_serve(&args(&["--index", "idx", "--port", "not-a-port"])).is_err(),
+            "--port must parse"
+        );
+        assert!(
+            cmd_serve(&args(&["--index", "idx", "--threads", "x"])).is_err(),
+            "--threads must parse"
+        );
+        assert!(
+            cmd_serve(&args(&["--index", "idx", "stray"])).is_err(),
+            "positional arguments are rejected"
+        );
+        assert!(
+            cmd_serve(&args(&["--index", "/definitely/not/a/store"])).is_err(),
+            "missing store must fail before binding"
         );
     }
 

@@ -54,6 +54,7 @@
 //! | [`features`] | `d3l-features` | q-grams, tokens, format patterns, KS |
 //! | [`embedding`] | `d3l-embedding` | the fastText stand-in word embedder |
 //! | [`store`] | `d3l-store` | binary snapshot codec + container for the persistent index store |
+//! | [`server`] | `d3l-server` | concurrent HTTP serving layer over the store (`d3l serve`) |
 //! | [`ml`] | `d3l-ml` | logistic regression, CV, the subject-attribute classifier |
 //! | [`baselines`] | `d3l-baselines` | TUS and Aurum reimplementations |
 //! | [`benchgen`] | `d3l-benchgen` | benchmark repositories with ground truth |
@@ -65,14 +66,15 @@ pub use d3l_embedding as embedding;
 pub use d3l_features as features;
 pub use d3l_lsh as lsh;
 pub use d3l_ml as ml;
+pub use d3l_server as server;
 pub use d3l_store as store;
 pub use d3l_table as table;
 
 /// The most common imports in one place.
 pub mod prelude {
     pub use d3l_core::{
-        AttrRef, D3l, D3lConfig, DistanceVector, Evidence, EvidenceWeights, IndexStore, JoinPath,
-        SaJoinGraph, TableMatch,
+        AttrRef, D3l, D3lConfig, DistanceVector, EngineHandle, Evidence, EvidenceWeights,
+        IndexStore, JoinPath, SaJoinGraph, TableMatch,
     };
     pub use d3l_embedding::{Lexicon, SemanticEmbedder, WordEmbedder};
     pub use d3l_table::{Column, ColumnType, DataLake, Table, TableId};

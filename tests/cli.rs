@@ -294,6 +294,98 @@ fn corrupt_index_fails_with_store_error_not_panic() {
 }
 
 #[test]
+fn stats_on_zero_length_delta_segment_names_the_corrupt_segment() {
+    // Regression: a zero-length latest delta used to surface a raw
+    // decode error; it must read as a clean "corrupt segment NNNNNN"
+    // diagnostic with a nonzero exit.
+    let lake = TempLake::create("zero_delta");
+    let index_dir = format!("{}_index", lake.dir());
+    let out = d3l_cmd(&["index", lake.dir(), "--out", &index_dir]);
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr_of(&out));
+    let out = d3l_cmd(&["add", &index_dir, lake.target()]);
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr_of(&out));
+
+    std::fs::write(
+        std::path::Path::new(&index_dir).join("delta-000001.d3ld"),
+        b"",
+    )
+    .unwrap();
+    let out = d3l_cmd(&["stats", "--index", &index_dir]);
+    assert_eq!(out.status.code(), Some(1), "corruption must be an error");
+    let err = stderr_of(&out);
+    assert!(
+        err.contains("corrupt segment 000001"),
+        "diagnostic must name the segment: {err}"
+    );
+
+    std::fs::remove_dir_all(&index_dir).ok();
+}
+
+/// Boot `d3l serve` on an ephemeral port, query it over a socket,
+/// then send SIGINT and expect a graceful drain with exit code 0.
+#[cfg(unix)]
+#[test]
+fn serve_boots_answers_and_drains_on_sigint() {
+    use std::io::{BufRead, BufReader, Read, Write};
+    use std::net::TcpStream;
+
+    let lake = TempLake::create("serve");
+    let index_dir = format!("{}_index", lake.dir());
+    let out = d3l_cmd(&["index", lake.dir(), "--out", &index_dir]);
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr_of(&out));
+
+    let mut child = Command::new(env!("CARGO_BIN_EXE_d3l"))
+        .args([
+            "serve",
+            "--index",
+            &index_dir,
+            "--port",
+            "0",
+            "--threads",
+            "2",
+        ])
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn d3l serve");
+
+    // The CLI announces the bound address on stdout.
+    let mut stdout = BufReader::new(child.stdout.take().unwrap());
+    let mut line = String::new();
+    stdout.read_line(&mut line).unwrap();
+    let addr = line
+        .split("http://")
+        .nth(1)
+        .and_then(|rest| rest.split(' ').next())
+        .unwrap_or_else(|| panic!("no address in {line:?}"))
+        .to_string();
+
+    // A socket round trip against the live server.
+    let mut stream = TcpStream::connect(&addr).expect("connect to served port");
+    stream
+        .write_all(b"GET /stats HTTP/1.1\r\nConnection: close\r\n\r\n")
+        .unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).unwrap();
+    assert!(response.starts_with("HTTP/1.1 200 OK"), "{response}");
+    assert!(response.contains("\"live_tables\":2"), "{response}");
+
+    // SIGINT: drain and exit 0.
+    let kill = Command::new("kill")
+        .args(["-INT", &child.id().to_string()])
+        .output()
+        .expect("send SIGINT");
+    assert!(kill.status.success());
+    let status = child.wait().expect("wait for d3l serve");
+    assert!(status.success(), "serve must drain and exit cleanly");
+    let mut rest = String::new();
+    stdout.read_to_string(&mut rest).unwrap();
+    assert!(rest.contains("drained"), "stdout tail: {rest:?}");
+
+    std::fs::remove_dir_all(&index_dir).ok();
+}
+
+#[test]
 fn demo_runs_end_to_end() {
     let out = d3l_cmd(&["demo"]);
     assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr_of(&out));

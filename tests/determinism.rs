@@ -3,6 +3,9 @@
 //! have to produce byte-identical `TableMatch` lists (table ids,
 //! distance bits, alignment ordering) for `query_threads` in
 //! {1, 2, 8}, and the batched API has to equal per-target queries.
+//! The serving layer extends the guarantee across the wire: server
+//! response bodies are byte-identical to rendering the in-process
+//! results, at server worker counts {1, 8}.
 
 use d3l::benchgen;
 use d3l::core::query::QueryOptions;
@@ -230,6 +233,99 @@ fn snapshot_round_trip_is_query_identical() {
             assert_identical(x, y, &format!("snapshot batch[{i}] @{n} threads"));
         }
     }
+}
+
+#[test]
+fn server_responses_are_byte_identical_to_in_process_results() {
+    // The HTTP layer must add transport, never perturbation: the
+    // bytes `POST /query` / `POST /query_batch` answer with are the
+    // deterministic rendering of the in-process `query_with` /
+    // `query_batch` results, whatever the server's worker count.
+    use d3l::core::hotswap::{EngineHandle, EngineSnapshot};
+    use d3l::core::IndexStore;
+    use d3l::server::{self, Client, Json, Server, ServerConfig};
+    use std::sync::Arc;
+
+    let (bench, d3l) = indexed(48, 31);
+    let dir = std::env::temp_dir().join(format!("d3l_det_srv_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    IndexStore::create(&dir, &d3l).unwrap();
+
+    let names = bench.pick_targets(4, 8);
+    let targets: Vec<Table> = names
+        .iter()
+        .map(|t| bench.lake.table_by_name(t).unwrap().clone())
+        .collect();
+    let k = 7usize;
+
+    // Expected bodies, rendered from an in-process cold start of the
+    // same store (PR 4 guarantees the load is byte-identical to the
+    // engine that wrote it).
+    let (_, loaded) = IndexStore::open(&dir).unwrap();
+    let snap = EngineSnapshot {
+        version: 0,
+        engine: loaded,
+    };
+    let expected_batch = server::batch_response(&snap, &snap.engine.query_batch(&targets, k));
+    let expected_single: Vec<String> = targets
+        .iter()
+        .map(|t| {
+            server::query_response(
+                &snap,
+                &snap.engine.query_with(t, k, &QueryOptions::default()),
+            )
+        })
+        .collect();
+    let batch_request = Json::Obj(vec![
+        (
+            "targets".to_string(),
+            Json::Arr(targets.iter().map(server::table_to_json).collect()),
+        ),
+        ("k".to_string(), Json::Num(k as f64)),
+    ])
+    .to_string();
+
+    for threads in [1usize, 8] {
+        let engine = Arc::new(EngineHandle::open(&dir).unwrap());
+        let srv = Server::bind(
+            ("127.0.0.1", 0),
+            engine,
+            ServerConfig {
+                threads,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let addr = srv.local_addr().unwrap();
+        let join = std::thread::spawn(move || srv.run());
+
+        let mut client = Client::connect(addr).unwrap();
+        let (status, body) = client
+            .request("POST", "/query_batch", Some(&batch_request))
+            .unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(
+            body, expected_batch,
+            "query_batch body diverged at {threads} server threads"
+        );
+        for (name, (t, want)) in names.iter().zip(targets.iter().zip(&expected_single)) {
+            let req = Json::Obj(vec![
+                ("table".to_string(), server::table_to_json(t)),
+                ("k".to_string(), Json::Num(k as f64)),
+            ])
+            .to_string();
+            let (status, body) = client.request("POST", "/query", Some(&req)).unwrap();
+            assert_eq!(status, 200);
+            assert_eq!(
+                &body, want,
+                "{name}: query body diverged at {threads} server threads"
+            );
+        }
+        let (status, _) = client.request("POST", "/admin/shutdown", Some("")).unwrap();
+        assert_eq!(status, 200);
+        join.join().unwrap().unwrap();
+    }
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]

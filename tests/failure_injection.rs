@@ -249,21 +249,72 @@ fn opening_a_store_on_garbage_files_errors_cleanly() {
         Err(StoreError::BadMagic { .. })
     ));
 
-    // Valid base, garbage delta segment.
+    // Valid base, garbage delta segment: the error names the segment
+    // and wraps the underlying decode failure.
     let d3l = snapshot_engine();
     let _ = IndexStore::create(&dir, &d3l).unwrap();
     std::fs::write(dir.join("delta-000001.d3ld"), b"junk").unwrap();
-    assert!(matches!(
-        IndexStore::open(&dir),
-        Err(StoreError::BadMagic { .. })
-    ));
+    match IndexStore::open(&dir) {
+        Err(StoreError::BadSegment { seq: 1, source }) => {
+            assert!(matches!(*source, StoreError::BadMagic { .. }), "{source}")
+        }
+        other => panic!("expected BadSegment(BadMagic), got {other:?}"),
+    }
 
-    // A snapshot container where a delta is expected is WrongKind.
+    // A snapshot container where a delta is expected is WrongKind,
+    // wrapped the same way.
     std::fs::write(dir.join("delta-000001.d3ld"), d3l.to_snapshot_bytes()).unwrap();
-    assert!(matches!(
-        IndexStore::open(&dir),
-        Err(StoreError::WrongKind { .. })
-    ));
+    match IndexStore::open(&dir) {
+        Err(StoreError::BadSegment { seq: 1, source }) => {
+            assert!(matches!(*source, StoreError::WrongKind { .. }), "{source}")
+        }
+        other => panic!("expected BadSegment(WrongKind), got {other:?}"),
+    }
 
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn zero_length_delta_segment_is_a_named_corrupt_segment() {
+    // A writer can die between creating a segment file and writing
+    // it; opening the store must then name the offending segment
+    // ("corrupt segment NNNNNN") rather than surface a raw decode
+    // error — the CLI regression test asserts the same through
+    // `d3l stats --index`.
+    let dir = std::env::temp_dir().join(format!("d3l_fi_zerolen_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut d3l = snapshot_engine();
+    let mut store = IndexStore::create(&dir, &d3l).unwrap();
+    let extra = Table::from_rows("late", &["GP"], &[vec!["Blackfriars".into()]]).unwrap();
+    store.append_add(&mut d3l, &extra).unwrap();
+    store
+        .append_add(
+            &mut d3l,
+            &Table::from_rows("later", &["GP"], &[vec!["Radclife".into()]]).unwrap(),
+        )
+        .unwrap();
+
+    // The *latest* delta segment ends up zero-length.
+    std::fs::write(dir.join("delta-000002.d3ld"), b"").unwrap();
+    let err = IndexStore::open(&dir).unwrap_err();
+    match &err {
+        StoreError::BadSegment { seq: 2, source } => {
+            assert!(matches!(**source, StoreError::BadMagic { .. }), "{source}")
+        }
+        other => panic!("expected BadSegment for seq 2, got {other:?}"),
+    }
+    assert!(
+        err.to_string().contains("corrupt segment 000002"),
+        "diagnostic must name the file: {err}"
+    );
+    // The error wraps its cause for `Error::source` walkers.
+    assert!(std::error::Error::source(&err).is_some());
+
+    // Earlier, intact segments are not the problem: deleting the
+    // corrupt one restores the store (minus the lost operation).
+    std::fs::remove_file(dir.join("delta-000002.d3ld")).unwrap();
+    let (_, recovered) = IndexStore::open(&dir).unwrap();
+    assert!(recovered.name_to_id().contains_key("late"));
+    assert!(!recovered.name_to_id().contains_key("later"));
     std::fs::remove_dir_all(&dir).ok();
 }

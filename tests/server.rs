@@ -1,0 +1,848 @@
+//! Adversarial battery for the concurrent serving layer.
+//!
+//! Three fronts, mirroring the failure-injection style of the store
+//! suite:
+//!
+//! * **protocol hardening** — malformed request lines, oversized
+//!   headers, truncated and over-declared bodies, pipelined garbage,
+//!   stalled clients and seeded random fuzz: every case must produce
+//!   a *typed* 4xx/5xx (or a silent close for a peer that is gone)
+//!   and must never panic a worker or park it forever — the server
+//!   has to keep answering cleanly afterwards;
+//! * **API contract** — every endpoint's success and refusal paths,
+//!   including read-your-writes after mutations;
+//! * **concurrency** — the stress test races 8 query clients against
+//!   a writer looping add → remove → compact and proves (a) zero
+//!   failed requests, (b) no torn reads, via the version/live-count
+//!   pair stamped into every response from one immutable snapshot,
+//!   and (c) the final store equals an in-process replay
+//!   byte-for-byte and answers byte-identically to a from-scratch
+//!   rebuild.
+
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use d3l::core::hotswap::EngineHandle;
+use d3l::core::IndexStore;
+use d3l::prelude::*;
+use d3l::server::{
+    request_once, table_to_json, Client, Json, Server, ServerConfig, ShutdownHandle,
+};
+
+// ---------------------------------------------------------------- fixtures
+
+fn lake(tables: usize) -> DataLake {
+    let cities = ["Salford", "Manchester", "Bolton", "Leeds", "York", "Derby"];
+    let mut lake = DataLake::new();
+    for i in 0..tables {
+        let rows: Vec<Vec<String>> = (0..4)
+            .map(|r| {
+                vec![
+                    format!("Practice {i}-{r}"),
+                    cities[(i + r) % cities.len()].to_string(),
+                    format!("{}", 500 + 97 * i + r),
+                ]
+            })
+            .collect();
+        lake.add(
+            Table::from_rows(
+                format!("gp_{i:02}"),
+                &["Practice", "City", "Patients"],
+                &rows,
+            )
+            .unwrap(),
+        )
+        .unwrap();
+    }
+    lake
+}
+
+fn target() -> Table {
+    Table::from_rows(
+        "wanted",
+        &["Practice", "City"],
+        &[
+            vec!["Practice 3-1".into(), "Salford".into()],
+            vec!["Practice 5-2".into(), "Manchester".into()],
+        ],
+    )
+    .unwrap()
+}
+
+fn query_body(t: &Table, k: usize) -> String {
+    Json::Obj(vec![
+        ("table".to_string(), table_to_json(t)),
+        ("k".to_string(), Json::Num(k as f64)),
+    ])
+    .to_string()
+}
+
+// ------------------------------------------------------------- test server
+
+struct TestServer {
+    addr: SocketAddr,
+    engine: Arc<EngineHandle>,
+    dir: PathBuf,
+    handle: ShutdownHandle,
+    join: Option<std::thread::JoinHandle<std::io::Result<()>>>,
+}
+
+fn boot(tag: &str, lake: &DataLake, threads: usize, io_timeout: Duration) -> TestServer {
+    let dir = std::env::temp_dir().join(format!("d3l_srv_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let d3l = D3l::index_lake(lake, D3lConfig::fast());
+    let store = IndexStore::create(&dir, &d3l).unwrap();
+    let engine = Arc::new(EngineHandle::new(store, d3l));
+    let server = Server::bind(
+        ("127.0.0.1", 0),
+        engine.clone(),
+        ServerConfig {
+            threads,
+            io_timeout,
+            max_body_bytes: 256 * 1024,
+        },
+    )
+    .unwrap();
+    let addr = server.local_addr().unwrap();
+    let handle = server.shutdown_handle();
+    let join = Some(std::thread::spawn(move || server.run()));
+    TestServer {
+        addr,
+        engine,
+        dir,
+        handle,
+        join,
+    }
+}
+
+impl Drop for TestServer {
+    fn drop(&mut self) {
+        self.handle.shutdown();
+        if let Some(join) = self.join.take() {
+            join.join()
+                .expect("server thread panicked")
+                .expect("run failed");
+        }
+        std::fs::remove_dir_all(&self.dir).ok();
+    }
+}
+
+/// Throw raw bytes at the server and collect everything it answers
+/// until it closes the connection. With `half_close`, our sending
+/// side is shut down first (simulating a client that stops mid-body).
+fn raw_exchange(addr: SocketAddr, input: &[u8], half_close: bool) -> String {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(20)))
+        .unwrap();
+    stream.set_nodelay(true).unwrap();
+    stream.write_all(input).unwrap();
+    if half_close {
+        stream.shutdown(Shutdown::Write).unwrap();
+    }
+    let mut out = String::new();
+    let mut buf = [0u8; 4096];
+    loop {
+        match stream.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => out.push_str(&String::from_utf8_lossy(&buf[..n])),
+            Err(_) => break,
+        }
+    }
+    out
+}
+
+fn status_of(response: &str) -> Option<u16> {
+    response
+        .strip_prefix("HTTP/1.1 ")?
+        .split(' ')
+        .next()?
+        .parse()
+        .ok()
+}
+
+fn assert_alive(addr: SocketAddr) {
+    let (status, body) = request_once(addr, "GET", "/stats", None).unwrap();
+    assert_eq!(status, 200, "server must stay answerable: {body}");
+}
+
+// ------------------------------------------------------ protocol hardening
+
+#[test]
+fn malformed_requests_get_typed_4xx_and_server_survives() {
+    let lake = lake(4);
+    let srv = boot("malformed", &lake, 2, Duration::from_secs(10));
+    let cases: Vec<(Vec<u8>, u16)> = vec![
+        // Garbage request lines.
+        (b"GARBAGE\r\n\r\n".to_vec(), 400),
+        (b"GET\r\n\r\n".to_vec(), 400),
+        (b"GET /stats\r\n\r\n".to_vec(), 400),
+        (b"GET /stats HTTP/1.1 junk\r\n\r\n".to_vec(), 400),
+        (b"get /stats HTTP/1.1\r\n\r\n".to_vec(), 400),
+        (b"GET stats HTTP/1.1\r\n\r\n".to_vec(), 400),
+        (b"GET /%zz HTTP/1.1\r\n\r\n".to_vec(), 400),
+        (b"\x00\x01\x02\x03\r\n\r\n".to_vec(), 400),
+        // Unsupported method / version.
+        (b"PATCH /stats HTTP/1.1\r\n\r\n".to_vec(), 405),
+        (b"GET /stats HTTP/2.0\r\n\r\n".to_vec(), 505),
+        // Oversized request line.
+        (
+            format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(10_000)).into_bytes(),
+            414,
+        ),
+        // Oversized single header / too many headers.
+        (
+            format!(
+                "GET /stats HTTP/1.1\r\nX-Big: {}\r\n\r\n",
+                "v".repeat(10_000)
+            )
+            .into_bytes(),
+            431,
+        ),
+        (
+            format!("GET /stats HTTP/1.1\r\n{}\r\n", "X-H: v\r\n".repeat(150)).into_bytes(),
+            431,
+        ),
+        // Header without a colon.
+        (
+            b"GET /stats HTTP/1.1\r\nbroken header line\r\n\r\n".to_vec(),
+            400,
+        ),
+        // Body-length violations.
+        (b"POST /query HTTP/1.1\r\n\r\n".to_vec(), 411),
+        (
+            b"POST /query HTTP/1.1\r\nContent-Length: many\r\n\r\n".to_vec(),
+            400,
+        ),
+        (
+            b"POST /query HTTP/1.1\r\nContent-Length: -5\r\n\r\n".to_vec(),
+            400,
+        ),
+        (
+            b"POST /query HTTP/1.1\r\nContent-Length: 999999999\r\n\r\n".to_vec(),
+            413,
+        ),
+        // Valid HTTP, invalid JSON / invalid table.
+        (
+            b"POST /query HTTP/1.1\r\nContent-Length: 9\r\n\r\nnot json!".to_vec(),
+            400,
+        ),
+        (
+            b"POST /query HTTP/1.1\r\nContent-Length: 2\r\n\r\n{}".to_vec(),
+            400,
+        ),
+        (
+            b"POST /query HTTP/1.1\r\nContent-Length: 4\r\n\r\n\xff\xfe\xfd\xfc".to_vec(),
+            400,
+        ),
+    ];
+    for (input, expected) in cases {
+        let response = raw_exchange(srv.addr, &input, false);
+        assert_eq!(
+            status_of(&response),
+            Some(expected),
+            "input {:?} answered {response:?}",
+            String::from_utf8_lossy(&input)
+        );
+        // A protocol violation poisons only its own connection.
+        assert_alive(srv.addr);
+    }
+}
+
+#[test]
+fn routing_refusals_are_typed() {
+    let lake = lake(4);
+    let srv = boot("routing", &lake, 2, Duration::from_secs(10));
+    let t = target();
+
+    // Unknown paths and wrong methods.
+    let (status, _) = request_once(srv.addr, "GET", "/definitely/not", None).unwrap();
+    assert_eq!(status, 404);
+    let (status, _) = request_once(srv.addr, "GET", "/query", None).unwrap();
+    assert_eq!(status, 405, "GET on a POST endpoint");
+    let (status, _) = request_once(srv.addr, "DELETE", "/stats", None).unwrap();
+    assert_eq!(status, 405);
+
+    // Query-shape refusals.
+    let bad_k = format!("{{\"table\":{},\"k\":\"ten\"}}", table_to_json(&t));
+    let (status, body) = request_once(srv.addr, "POST", "/query", Some(&bad_k)).unwrap();
+    assert_eq!(status, 400, "{body}");
+    let bad_evidence = format!("{{\"table\":{},\"evidence\":\"Z\"}}", table_to_json(&t));
+    let (status, body) = request_once(srv.addr, "POST", "/query", Some(&bad_evidence)).unwrap();
+    assert_eq!(status, 400);
+    assert!(body.contains("unknown evidence"), "{body}");
+    let bad_exclude = format!(
+        "{{\"table\":{},\"exclude\":\"never_there\"}}",
+        table_to_json(&t)
+    );
+    let (status, body) = request_once(srv.addr, "POST", "/query", Some(&bad_exclude)).unwrap();
+    assert_eq!(status, 404, "{body}");
+    let (status, _) =
+        request_once(srv.addr, "POST", "/query_batch", Some("{\"targets\": 7}")).unwrap();
+    assert_eq!(status, 400);
+    let ragged = "{\"targets\":[{\"name\":\"x\",\"columns\":[\"a\"],\"rows\":[[\"1\",\"2\"]]}]}";
+    let (status, body) = request_once(srv.addr, "POST", "/query_batch", Some(ragged)).unwrap();
+    assert_eq!(status, 400);
+    assert!(body.contains("target 0"), "{body}");
+
+    // rank_all parameter contract.
+    let (status, _) = request_once(srv.addr, "GET", "/rank_all", None).unwrap();
+    assert_eq!(status, 400);
+    let (status, _) = request_once(srv.addr, "GET", "/rank_all?target=missing", None).unwrap();
+    assert_eq!(status, 404);
+    let (status, _) =
+        request_once(srv.addr, "GET", "/rank_all?target=gp_00&width=0", None).unwrap();
+    assert_eq!(status, 400);
+
+    // Mutation refusals.
+    let (status, _) = request_once(srv.addr, "DELETE", "/tables/never_there", None).unwrap();
+    assert_eq!(status, 404);
+    let dup = format!("{{\"table\":{}}}", table_to_json(lake.table(TableId(0))));
+    let (status, body) = request_once(srv.addr, "POST", "/tables", Some(&dup)).unwrap();
+    assert_eq!(status, 409, "{body}");
+}
+
+#[test]
+fn stalled_and_truncated_clients_cannot_park_a_worker() {
+    let lake = lake(3);
+    // One worker on purpose: if any stalling connection parked it,
+    // every later assertion would hang instead of answering.
+    let srv = boot("stall", &lake, 1, Duration::from_millis(300));
+
+    // Truncated body, sender closes: typed 400 naming the truncation.
+    let response = raw_exchange(
+        srv.addr,
+        b"POST /query HTTP/1.1\r\nContent-Length: 50\r\n\r\n{\"tab",
+        true,
+    );
+    assert_eq!(status_of(&response), Some(400), "{response}");
+    assert!(response.contains("truncated"), "{response}");
+
+    // Truncated body, sender stalls silently: 408 after the timeout,
+    // never a hang.
+    let start = Instant::now();
+    let response = raw_exchange(
+        srv.addr,
+        b"POST /query HTTP/1.1\r\nContent-Length: 50\r\n\r\n{\"tab",
+        false,
+    );
+    assert_eq!(status_of(&response), Some(408), "{response}");
+    assert!(
+        start.elapsed() < Duration::from_secs(10),
+        "timeout must fire promptly"
+    );
+
+    // Stall mid-headers: same contract.
+    let response = raw_exchange(srv.addr, b"GET /stats HTTP/1.1\r\nX-Half", false);
+    assert_eq!(status_of(&response), Some(408), "{response}");
+
+    // A connection that never sends anything is reaped silently.
+    let response = raw_exchange(srv.addr, b"", false);
+    assert_eq!(response, "", "idle connection closes without a scolding");
+
+    // The single worker is free again.
+    assert_alive(srv.addr);
+}
+
+#[test]
+fn pipelined_requests_and_pipelined_garbage() {
+    let lake = lake(3);
+    let srv = boot("pipeline", &lake, 2, Duration::from_secs(5));
+
+    // Two pipelined valid requests: both answered, in order.
+    let response = raw_exchange(
+        srv.addr,
+        b"GET /stats HTTP/1.1\r\n\r\nGET /stats HTTP/1.1\r\nConnection: close\r\n\r\n",
+        false,
+    );
+    assert_eq!(response.matches("HTTP/1.1 200 OK").count(), 2, "{response}");
+
+    // A valid request pipelined with garbage: the garbage gets a
+    // typed 400 on the same connection, then the connection closes.
+    let response = raw_exchange(
+        srv.addr,
+        b"GET /stats HTTP/1.1\r\n\r\n\x13\x37 utter nonsense\r\n\r\n",
+        false,
+    );
+    assert_eq!(response.matches("HTTP/1.1 200 OK").count(), 1, "{response}");
+    assert!(response.contains("HTTP/1.1 400 Bad Request"), "{response}");
+
+    // Over-declared body: the bytes beyond Content-Length are parsed
+    // as the next pipelined request and fail typed (the half-close
+    // delivers EOF mid-garbage-line, a 400-class truncation).
+    let body = b"{\"k\":1}tail-overflow";
+    let mut wire = b"POST /query HTTP/1.1\r\nContent-Length: 7\r\n\r\n".to_vec();
+    wire.extend_from_slice(body);
+    let response = raw_exchange(srv.addr, &wire, true);
+    // First answer: the 7-byte body is valid JSON but not a table;
+    // second: the overflow bytes are not a request.
+    assert_eq!(response.matches("HTTP/1.1 400").count(), 2, "{response}");
+    assert_alive(srv.addr);
+}
+
+/// Deterministic fuzz: seeded random byte soup, random header soup
+/// and random mutations of a valid request. The server must answer
+/// every connection with either a well-formed HTTP response or a
+/// clean close — and must still be serving afterwards.
+#[test]
+fn fuzzed_wire_input_never_kills_the_server() {
+    use rand::{Rng, SeedableRng};
+    let lake = lake(3);
+    let srv = boot("fuzz", &lake, 2, Duration::from_millis(400));
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xd31f);
+    let valid = format!(
+        "POST /query HTTP/1.1\r\nContent-Length: {}\r\n\r\n{}",
+        query_body(&target(), 3).len(),
+        query_body(&target(), 3)
+    );
+
+    for case in 0..120 {
+        let input: Vec<u8> = match case % 3 {
+            // Random bytes, newline-sprinkled.
+            0 => {
+                let len = rng.gen_range(1..200usize);
+                (0..len)
+                    .map(|i| {
+                        if i % 17 == 16 {
+                            b'\n'
+                        } else {
+                            (rng.gen_range(0..256u32) & 0xff) as u8
+                        }
+                    })
+                    .chain(*b"\r\n\r\n")
+                    .collect()
+            }
+            // ASCII header soup after a plausible request line.
+            1 => {
+                let mut s = String::from("GET /stats HTTP/1.1\r\n");
+                for _ in 0..rng.gen_range(0..6u32) {
+                    for _ in 0..rng.gen_range(0..30u32) {
+                        s.push((b'!' + (rng.gen_range(0..90u32) as u8 % 90)) as char);
+                    }
+                    s.push_str("\r\n");
+                }
+                s.push_str("\r\n");
+                s.into_bytes()
+            }
+            // Bit-flipped / truncated valid request.
+            _ => {
+                let mut bytes = valid.clone().into_bytes();
+                let cut = rng.gen_range(1..bytes.len());
+                bytes.truncate(cut);
+                if !bytes.is_empty() {
+                    let pos = rng.gen_range(0..bytes.len());
+                    bytes[pos] ^= 1 << rng.gen_range(0..8u32);
+                }
+                bytes
+            }
+        };
+        let response = raw_exchange(srv.addr, &input, true);
+        assert!(
+            response.is_empty() || response.starts_with("HTTP/1.1 "),
+            "case {case}: non-HTTP answer {response:?} to {:?}",
+            String::from_utf8_lossy(&input)
+        );
+    }
+    assert_alive(srv.addr);
+}
+
+// ------------------------------------------------------------ API contract
+
+#[test]
+fn endpoints_answer_and_mutations_are_read_your_writes() {
+    let lake = lake(6);
+    let srv = boot("api", &lake, 4, Duration::from_secs(10));
+    let mut client = Client::connect(srv.addr).unwrap();
+
+    // stats: fresh server at version 0.
+    let (status, body) = client.request("GET", "/stats", None).unwrap();
+    assert_eq!(status, 200);
+    let stats = Json::parse(&body).unwrap();
+    assert_eq!(stats.get("engine_version").unwrap().as_usize(), Some(0));
+    assert_eq!(stats.get("tables").unwrap().as_usize(), Some(6));
+    assert_eq!(stats.get("live_tables").unwrap().as_usize(), Some(6));
+    assert!(
+        stats
+            .get("memory")
+            .unwrap()
+            .get("total_bytes")
+            .unwrap()
+            .as_f64()
+            .unwrap()
+            > 0.0
+    );
+    assert_eq!(
+        stats
+            .get("disk")
+            .unwrap()
+            .get("delta_segments")
+            .unwrap()
+            .as_usize(),
+        Some(0)
+    );
+
+    // query.
+    let (status, body) = client
+        .request("POST", "/query", Some(&query_body(&target(), 3)))
+        .unwrap();
+    assert_eq!(status, 200);
+    let parsed = Json::parse(&body).unwrap();
+    let matches = parsed.get("matches").unwrap().as_arr().unwrap();
+    assert!(!matches.is_empty(), "related tables must be found");
+    assert!(matches.len() <= 3, "k respected");
+
+    // query_batch answers per target, in order.
+    let batch = Json::Obj(vec![
+        (
+            "targets".to_string(),
+            Json::Arr(vec![
+                table_to_json(&target()),
+                table_to_json(lake.table(TableId(2))),
+            ]),
+        ),
+        ("k".to_string(), Json::Num(2.0)),
+    ])
+    .to_string();
+    let (status, body) = client
+        .request("POST", "/query_batch", Some(&batch))
+        .unwrap();
+    assert_eq!(status, 200);
+    let results = Json::parse(&body).unwrap();
+    assert_eq!(results.get("results").unwrap().as_arr().unwrap().len(), 2);
+
+    // rank_all over an indexed member excludes it by default.
+    let (status, body) = client
+        .request("GET", "/rank_all?target=gp_02", None)
+        .unwrap();
+    assert_eq!(status, 200);
+    let ranked = Json::parse(&body).unwrap();
+    for m in ranked.get("matches").unwrap().as_arr().unwrap() {
+        assert_ne!(m.get("table").unwrap().as_str(), Some("gp_02"));
+    }
+    let (status, body) = client
+        .request("GET", "/rank_all?target=gp_02&include_self=true", None)
+        .unwrap();
+    assert_eq!(status, 200);
+    let ranked = Json::parse(&body).unwrap();
+    let first = &ranked.get("matches").unwrap().as_arr().unwrap()[0];
+    assert_eq!(
+        first.get("table").unwrap().as_str(),
+        Some("gp_02"),
+        "a table is trivially closest to itself"
+    );
+
+    // Mutation: add a table, then read it back immediately.
+    let new_table = Table::from_rows(
+        "fresh_arrivals",
+        &["Practice", "City"],
+        &[vec!["Practice 3-1".into(), "Salford".into()]],
+    )
+    .unwrap();
+    let add = format!("{{\"table\":{}}}", table_to_json(&new_table));
+    let (status, body) = client.request("POST", "/tables", Some(&add)).unwrap();
+    assert_eq!(status, 201, "{body}");
+    let ack = Json::parse(&body).unwrap();
+    assert_eq!(ack.get("engine_version").unwrap().as_usize(), Some(1));
+    assert_eq!(ack.get("live_tables").unwrap().as_usize(), Some(7));
+    // Read-your-writes: the very next query sees it.
+    let (status, body) = client
+        .request("POST", "/query", Some(&query_body(&target(), 7)))
+        .unwrap();
+    assert_eq!(status, 200);
+    assert!(body.contains("fresh_arrivals"), "{body}");
+    // And so does a brand-new connection.
+    let (_, body) =
+        request_once(srv.addr, "POST", "/query", Some(&query_body(&target(), 7))).unwrap();
+    assert!(body.contains("fresh_arrivals"));
+
+    // Remove: gone for every subsequent read.
+    let (status, body) = client
+        .request("DELETE", "/tables/fresh_arrivals", None)
+        .unwrap();
+    assert_eq!(status, 200, "{body}");
+    let ack = Json::parse(&body).unwrap();
+    assert_eq!(ack.get("engine_version").unwrap().as_usize(), Some(2));
+    assert_eq!(ack.get("live_tables").unwrap().as_usize(), Some(6));
+    let (_, body) = client
+        .request("POST", "/query", Some(&query_body(&target(), 7)))
+        .unwrap();
+    assert!(!body.contains("fresh_arrivals"), "{body}");
+
+    // The two mutations sit in delta segments until compaction.
+    let (_, body) = client.request("GET", "/stats", None).unwrap();
+    let stats = Json::parse(&body).unwrap();
+    assert_eq!(
+        stats
+            .get("disk")
+            .unwrap()
+            .get("delta_segments")
+            .unwrap()
+            .as_usize(),
+        Some(2)
+    );
+    let (status, body) = client.request("POST", "/admin/compact", Some("")).unwrap();
+    assert_eq!(status, 200);
+    let ack = Json::parse(&body).unwrap();
+    assert_eq!(ack.get("folded_segments").unwrap().as_usize(), Some(2));
+    let (_, body) = client.request("GET", "/stats", None).unwrap();
+    let stats = Json::parse(&body).unwrap();
+    assert_eq!(
+        stats
+            .get("disk")
+            .unwrap()
+            .get("delta_segments")
+            .unwrap()
+            .as_usize(),
+        Some(0)
+    );
+
+    // Request counters moved.
+    let served = stats
+        .get("server")
+        .unwrap()
+        .get("responses_2xx")
+        .unwrap()
+        .as_f64()
+        .unwrap();
+    assert!(served >= 10.0, "counters must track responses: {served}");
+}
+
+#[test]
+fn reload_endpoint_picks_up_an_external_writer() {
+    let lake = lake(4);
+    let srv = boot("reload", &lake, 2, Duration::from_secs(10));
+
+    // Nothing new: reload is a cheap no-op.
+    let (status, body) = request_once(srv.addr, "POST", "/admin/reload", Some("")).unwrap();
+    assert_eq!(status, 200);
+    assert!(body.contains("\"reloaded\":false"), "{body}");
+
+    // A second writer (CLI `d3l add` next to the server) appends a
+    // segment directly to the store directory.
+    let (mut store, mut engine) = IndexStore::open(&srv.dir).unwrap();
+    let late = Table::from_rows(
+        "late_breaking",
+        &["Practice", "City"],
+        &[vec!["Practice 3-1".into(), "Salford".into()]],
+    )
+    .unwrap();
+    store.append_add(&mut engine, &late).unwrap();
+
+    let (status, body) = request_once(srv.addr, "POST", "/admin/reload", Some("")).unwrap();
+    assert_eq!(status, 200);
+    let ack = Json::parse(&body).unwrap();
+    assert_eq!(ack.get("reloaded").unwrap().as_bool(), Some(true));
+    assert_eq!(ack.get("engine_version").unwrap().as_usize(), Some(1));
+    assert_eq!(ack.get("live_tables").unwrap().as_usize(), Some(5));
+    let (_, body) =
+        request_once(srv.addr, "POST", "/query", Some(&query_body(&target(), 6))).unwrap();
+    assert!(body.contains("late_breaking"), "{body}");
+}
+
+#[test]
+fn shutdown_is_prompt_despite_idle_keep_alive_connections() {
+    // Regression: a worker parked on an idle keep-alive connection
+    // must still observe the drain signal within the poll interval,
+    // not after the full io_timeout.
+    let lake = lake(3);
+    let io_timeout = Duration::from_secs(30);
+    let mut srv = boot("idle_drain", &lake, 2, io_timeout);
+
+    // An idle monitoring client: does one request, then just holds
+    // the connection open.
+    let mut idle = Client::connect(srv.addr).unwrap();
+    let (status, _) = idle.request("GET", "/stats", None).unwrap();
+    assert_eq!(status, 200);
+
+    let start = Instant::now();
+    let (status, _) = request_once(srv.addr, "POST", "/admin/shutdown", Some("")).unwrap();
+    assert_eq!(status, 200);
+    srv.join
+        .take()
+        .unwrap()
+        .join()
+        .expect("server thread panicked")
+        .expect("run failed");
+    assert!(
+        start.elapsed() < Duration::from_secs(5),
+        "drain took {:?} with a {io_timeout:?} io_timeout — the idle \
+         connection parked a worker",
+        start.elapsed()
+    );
+    drop(idle);
+}
+
+#[test]
+fn graceful_shutdown_drains_and_run_returns() {
+    let lake = lake(3);
+    let mut srv = boot("shutdown", &lake, 2, Duration::from_secs(5));
+    let (status, body) = request_once(srv.addr, "POST", "/admin/shutdown", Some("")).unwrap();
+    assert_eq!(status, 200);
+    assert!(body.contains("shutting_down"), "{body}");
+    // run() returns on its own — join without triggering the Drop
+    // handle first.
+    srv.join
+        .take()
+        .unwrap()
+        .join()
+        .expect("server thread panicked")
+        .expect("run failed");
+    // New connections are refused or die unanswered.
+    assert!(request_once(srv.addr, "GET", "/stats", None).is_err());
+}
+
+// ------------------------------------------------------------- concurrency
+
+/// The acceptance-gate stress test: 8 concurrent query clients race a
+/// writer looping add → remove → compact on the same store.
+#[test]
+fn stress_concurrent_queries_race_mutating_writer() {
+    let clients = 8usize;
+    let queries_per_client = if cfg!(debug_assertions) { 40 } else { 200 };
+    let lake = lake(10);
+    let srv = boot("stress", &lake, clients + 2, Duration::from_secs(30));
+    let baseline = srv.engine.snapshot().engine.clone();
+    let initial_live = baseline.live_table_count();
+
+    // The churn table is an exact copy of the query target, so
+    // whenever it is live it must rank (and rank first); whenever it
+    // is tombstoned it must be absent. Either way, every response
+    // proves which engine state answered it.
+    let churn = {
+        let t = target();
+        let rows: Vec<Vec<String>> = t
+            .rows()
+            .map(|r| r.into_iter().map(str::to_string).collect())
+            .collect();
+        let cols: Vec<&str> = t.columns().iter().map(|c| c.name()).collect();
+        Table::from_rows("churn", &cols, &rows).unwrap()
+    };
+    let add_body = format!("{{\"table\":{}}}", table_to_json(&churn));
+    let q_body = query_body(&target(), 10);
+
+    let stop = AtomicBool::new(false);
+    let completed_cycles = std::sync::atomic::AtomicU64::new(0);
+    let addr = srv.addr;
+    let iterations = std::thread::scope(|scope| {
+        // Writer: add → remove → compact until the readers are done.
+        // Every cycle ends with the churn table tombstoned, so the
+        // final state has the initial live set.
+        let writer = scope.spawn(|| {
+            let mut client = Client::connect(addr).expect("writer connect");
+            let mut iterations = 0u64;
+            while !stop.load(Ordering::SeqCst) {
+                let (status, body) = client
+                    .request("POST", "/tables", Some(&add_body))
+                    .expect("add failed");
+                assert_eq!(status, 201, "writer add: {body}");
+                let (status, body) = client
+                    .request("DELETE", "/tables/churn", None)
+                    .expect("remove failed");
+                assert_eq!(status, 200, "writer remove: {body}");
+                let (status, body) = client
+                    .request("POST", "/admin/compact", Some(""))
+                    .expect("compact failed");
+                assert_eq!(status, 200, "writer compact: {body}");
+                iterations += 1;
+                completed_cycles.store(iterations, Ordering::SeqCst);
+            }
+            iterations
+        });
+
+        // Readers: hammer /query; every response must be internally
+        // consistent. `engine_version` and `live_tables` come from
+        // one immutable snapshot, so the pair must always satisfy
+        // live == initial + (version % 2) — the writer strictly
+        // alternates add (odd versions) and remove (even versions).
+        // A torn read (version from one state, count or matches from
+        // another) would break the invariant. Each reader issues its
+        // quota and then keeps going (bounded) until the writer has
+        // landed a few full cycles, so the race provably happened.
+        let mut readers = Vec::new();
+        for _ in 0..clients {
+            readers.push(scope.spawn(|| {
+                let mut client = Client::connect(addr).expect("reader connect");
+                let mut issued = 0usize;
+                loop {
+                    let done_quota = issued >= queries_per_client;
+                    let raced = completed_cycles.load(Ordering::SeqCst) >= 3;
+                    if done_quota && (raced || issued >= queries_per_client * 50) {
+                        break;
+                    }
+                    issued += 1;
+                    let (status, body) = client
+                        .request("POST", "/query", Some(&q_body))
+                        .expect("query failed");
+                    assert_eq!(status, 200, "no failed requests allowed: {body}");
+                    let parsed = Json::parse(&body).expect("response must be JSON");
+                    let version = parsed
+                        .get("engine_version")
+                        .and_then(Json::as_f64)
+                        .expect("version") as u64;
+                    let live = parsed
+                        .get("live_tables")
+                        .and_then(Json::as_f64)
+                        .expect("live") as u64;
+                    assert_eq!(
+                        live,
+                        initial_live as u64 + version % 2,
+                        "torn read: version {version} with live count {live}"
+                    );
+                    let has_churn = body.contains("\"churn\"");
+                    assert_eq!(
+                        has_churn,
+                        version % 2 == 1,
+                        "matches tore off the version: churn={has_churn} at version {version}"
+                    );
+                }
+            }));
+        }
+        for r in readers {
+            r.join().expect("reader panicked");
+        }
+        stop.store(true, Ordering::SeqCst);
+        writer.join().expect("writer panicked")
+    });
+    assert!(
+        iterations >= 3,
+        "the writer must have raced the readers ({iterations} cycles)"
+    );
+
+    // Drain and release the store directory.
+    let (status, _) = request_once(srv.addr, "POST", "/admin/shutdown", Some("")).unwrap();
+    assert_eq!(status, 200);
+
+    // ---- final-state oracles ---------------------------------------
+    // (1) PR 4 byte-identity oracle: replaying the exact mutation
+    // sequence in-process yields a snapshot byte-identical to what
+    // the server persisted.
+    let mut shadow = baseline;
+    for _ in 0..iterations {
+        let id = shadow.add_table(&churn);
+        assert!(shadow.remove_table(id));
+    }
+    let (_, persisted) = IndexStore::open(&srv.dir).unwrap();
+    assert_eq!(
+        persisted.to_snapshot_bytes(),
+        shadow.to_snapshot_bytes(),
+        "server-persisted state must equal the in-process replay byte-for-byte"
+    );
+
+    // (2) Rebuild oracle: the surviving live set answers
+    // byte-identically to a from-scratch rebuild over the same lake
+    // (tombstones must leave no residue in the rankings).
+    let rebuilt = D3l::index_lake(&lake, D3lConfig::fast());
+    let opts = d3l::core::query::QueryOptions::default();
+    let a = persisted.rank_all(&target(), 40, &opts);
+    let b = rebuilt.rank_all(&target(), 40, &opts);
+    assert_eq!(a.len(), b.len(), "ranking lengths diverged");
+    assert!(!a.is_empty());
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.table, y.table);
+        assert_eq!(x.distance.to_bits(), y.distance.to_bits());
+    }
+}
