@@ -1,0 +1,598 @@
+//! Versioned query-result cache — the serving fast path.
+//!
+//! The discovery workload is read-dominated and highly repetitive in
+//! a multi-user setting: the same handful of popular targets are
+//! ranked over and over while the lake mutates rarely. [`QueryCache`]
+//! converts that repetition into sub-millisecond answers by storing
+//! the **fully rendered** response body under a key that pins every
+//! input the rendering depends on:
+//!
+//! * the 128-bit fingerprint of the target table
+//!   ([`table_fingerprint`]),
+//! * the requested `k`,
+//! * the fingerprint of the effective [`QueryOptions`]
+//!   ([`options_fingerprint`]),
+//! * and the hot-swap **engine version** of the snapshot that would
+//!   answer.
+//!
+//! The version stamp makes invalidation *exact and free*: every
+//! accepted mutation (add, remove, reload) bumps the version, so a
+//! stale entry simply can never be keyed again — there is no TTL, no
+//! heuristic invalidation, and a hit is byte-identical to what the
+//! engine would render, by construction. Compaction reorganizes disk
+//! without moving the version, and correctly leaves the cache warm.
+//! The worker-thread count is deliberately **excluded** from the
+//! options fingerprint: the query pipeline is byte-identical at every
+//! thread count (the determinism suite proves it), so thread settings
+//! changing between requests must share entries.
+//!
+//! Concurrency: the cache is split into [`SHARDS`] independently
+//! locked shards, so readers on different keys do not contend.
+//! Eviction is LRU-ish under a configurable byte budget: each shard
+//! tracks a last-use tick per entry and evicts the least recently
+//! used entries of its own shard when over its slice of the budget
+//! (an `O(entries-in-shard)` scan, only paid on insert while over
+//! budget — never on a hit).
+//!
+//! [`QueryOptions`]: crate::query::QueryOptions
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use d3l_lsh::hash::Fnv1a;
+use d3l_table::Table;
+
+use crate::query::QueryOptions;
+
+/// Number of independently locked cache shards.
+pub const SHARDS: usize = 16;
+
+/// Default byte budget a serving process starts with (the CLI's
+/// `--cache-bytes` and `ServerConfig::cache_bytes` override it).
+pub const DEFAULT_CACHE_BYTES: u64 = 64 * 1024 * 1024;
+
+/// Fixed accounting overhead charged per entry on top of the body
+/// bytes (key, map slot, `Arc` bookkeeping).
+const ENTRY_OVERHEAD: u64 = 96;
+
+/// Everything a cached rendering depends on. Two requests with equal
+/// keys are guaranteed the same response body; the `version` member
+/// is the hot-swap stamp, so mutations invalidate implicitly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// 128-bit target fingerprint (two independent FNV-1a streams —
+    /// accidental collisions are a ~2^-128 event).
+    pub target: [u64; 2],
+    /// Requested result count (or ranking width).
+    pub k: u64,
+    /// [`options_fingerprint`] of the effective query options.
+    pub opts: u64,
+    /// Engine version of the snapshot that answers.
+    pub version: u64,
+}
+
+impl CacheKey {
+    fn shard(&self) -> usize {
+        // Mix every member so keys differing only in `k`/`opts` still
+        // spread; FNV over the raw words is cheap and good enough.
+        let mut h = Fnv1a::new();
+        for w in [
+            self.target[0],
+            self.target[1],
+            self.k,
+            self.opts,
+            self.version,
+        ] {
+            h.write(&w.to_le_bytes());
+        }
+        (h.finish() % SHARDS as u64) as usize
+    }
+}
+
+struct Entry {
+    body: std::sync::Arc<str>,
+    bytes: u64,
+    last_used: u64,
+}
+
+#[derive(Default)]
+struct Shard {
+    map: HashMap<CacheKey, Entry>,
+    bytes: u64,
+    tick: u64,
+}
+
+impl Shard {
+    /// Evict least-recently-used entries until at most `budget` bytes
+    /// remain. Returns the number of entries evicted.
+    fn evict_to(&mut self, budget: u64) -> u64 {
+        let mut evicted = 0;
+        while self.bytes > budget {
+            let Some((&key, _)) = self.map.iter().min_by_key(|(_, e)| e.last_used) else {
+                break;
+            };
+            if let Some(old) = self.map.remove(&key) {
+                self.bytes -= old.bytes;
+                evicted += 1;
+            }
+        }
+        evicted
+    }
+}
+
+/// Point-in-time cache counters, exposed by `GET /stats`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that fell through to the engine.
+    pub misses: u64,
+    /// Entries removed to stay under the byte budget.
+    pub evictions: u64,
+    /// Entries stored.
+    pub insertions: u64,
+    /// Live entries right now.
+    pub entries: u64,
+    /// Bytes held right now (bodies plus per-entry overhead).
+    pub bytes: u64,
+    /// Configured byte budget (0 = disabled).
+    pub budget_bytes: u64,
+}
+
+/// Bounded, sharded, version-keyed result cache. See the module docs
+/// for the invalidation contract.
+pub struct QueryCache {
+    shards: Vec<Mutex<Shard>>,
+    budget: AtomicU64,
+    /// The engine version mutations have advanced to; entries keyed
+    /// at any other version are garbage and inserts at a stale
+    /// version are refused (closes the race where a slow query
+    /// renders against a snapshot that was swapped out mid-flight).
+    live_version: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    insertions: AtomicU64,
+}
+
+impl QueryCache {
+    /// A cache with the given byte budget (0 disables caching: gets
+    /// miss silently, puts are dropped, counters stay at zero).
+    pub fn new(budget_bytes: u64) -> Self {
+        QueryCache {
+            shards: (0..SHARDS).map(|_| Mutex::new(Shard::default())).collect(),
+            budget: AtomicU64::new(budget_bytes),
+            live_version: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            insertions: AtomicU64::new(0),
+        }
+    }
+
+    /// Whether caching is enabled at all.
+    pub fn enabled(&self) -> bool {
+        self.budget.load(Ordering::Relaxed) > 0
+    }
+
+    fn shard_budget(&self) -> u64 {
+        self.budget.load(Ordering::Relaxed) / SHARDS as u64
+    }
+
+    fn lock(&self, idx: usize) -> std::sync::MutexGuard<'_, Shard> {
+        // Shard state is always internally consistent between
+        // operations; a poisoning panic cannot leave a torn map.
+        self.shards[idx].lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Look a rendered body up. Counts a hit or a miss unless the
+    /// cache is disabled (disabled lookups are silent, so hit-rate
+    /// arithmetic stays meaningful).
+    pub fn get(&self, key: &CacheKey) -> Option<std::sync::Arc<str>> {
+        if !self.enabled() {
+            return None;
+        }
+        let mut shard = self.lock(key.shard());
+        shard.tick += 1;
+        let tick = shard.tick;
+        match shard.map.get_mut(key) {
+            Some(entry) => {
+                entry.last_used = tick;
+                let body = entry.body.clone();
+                drop(shard);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(body)
+            }
+            None => {
+                drop(shard);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Store a rendered body. Dropped when the cache is disabled,
+    /// when the key's version is no longer live, or when the body
+    /// alone exceeds a whole shard's budget slice (an entry that
+    /// would immediately evict everything else is not worth keeping).
+    pub fn put(&self, key: CacheKey, body: std::sync::Arc<str>) {
+        let shard_budget = self.shard_budget();
+        if shard_budget == 0 || key.version != self.live_version.load(Ordering::Acquire) {
+            return;
+        }
+        let bytes = body.len() as u64 + ENTRY_OVERHEAD;
+        if bytes > shard_budget {
+            return;
+        }
+        let mut shard = self.lock(key.shard());
+        shard.tick += 1;
+        let tick = shard.tick;
+        if let Some(old) = shard.map.insert(
+            key,
+            Entry {
+                body,
+                bytes,
+                last_used: tick,
+            },
+        ) {
+            shard.bytes -= old.bytes;
+        }
+        shard.bytes += bytes;
+        let evicted = shard.evict_to(shard_budget);
+        drop(shard);
+        self.insertions.fetch_add(1, Ordering::Relaxed);
+        if evicted > 0 {
+            self.evictions.fetch_add(evicted, Ordering::Relaxed);
+        }
+    }
+
+    /// Advance the live version and drop every entry keyed at any
+    /// other version. Called by the hot-swap on every mutation; the
+    /// scan is over whatever the byte budget holds, which a mutation
+    /// (an engine clone plus a durable write) dwarfs.
+    pub fn purge_stale(&self, live_version: u64) {
+        self.live_version.store(live_version, Ordering::Release);
+        for idx in 0..SHARDS {
+            let mut shard = self.lock(idx);
+            let mut freed = 0u64;
+            shard.map.retain(|key, entry| {
+                let keep = key.version == live_version;
+                if !keep {
+                    freed += entry.bytes;
+                }
+                keep
+            });
+            shard.bytes -= freed;
+        }
+    }
+
+    /// Change the byte budget at runtime; shrinking evicts down to
+    /// the new budget immediately, 0 disables and clears.
+    pub fn set_budget(&self, budget_bytes: u64) {
+        self.budget.store(budget_bytes, Ordering::Relaxed);
+        let per_shard = budget_bytes / SHARDS as u64;
+        let mut evicted = 0;
+        for idx in 0..SHARDS {
+            evicted += self.lock(idx).evict_to(per_shard);
+        }
+        if evicted > 0 {
+            self.evictions.fetch_add(evicted, Ordering::Relaxed);
+        }
+    }
+
+    /// Drop every entry (counters are kept; an explicit clear is an
+    /// operator action, not an eviction).
+    pub fn clear(&self) {
+        for idx in 0..SHARDS {
+            let mut shard = self.lock(idx);
+            shard.map.clear();
+            shard.bytes = 0;
+        }
+    }
+
+    /// Current counters and occupancy.
+    pub fn stats(&self) -> CacheStats {
+        let mut entries = 0u64;
+        let mut bytes = 0u64;
+        for idx in 0..SHARDS {
+            let shard = self.lock(idx);
+            entries += shard.map.len() as u64;
+            bytes += shard.bytes;
+        }
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            insertions: self.insertions.load(Ordering::Relaxed),
+            entries,
+            bytes,
+            budget_bytes: self.budget.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Two independent FNV-1a streams over the same feed — a cheap
+/// 128-bit fingerprint. The second stream is salted so the pair never
+/// degenerates into one hash written twice.
+struct Fingerprint {
+    a: Fnv1a,
+    b: Fnv1a,
+}
+
+impl Fingerprint {
+    fn new() -> Self {
+        let mut b = Fnv1a::new();
+        // Any fixed salt decorrelates the streams; golden-ratio bytes
+        // are as good as any.
+        b.write(&0x9e3779b97f4a7c15u64.to_le_bytes());
+        Fingerprint { a: Fnv1a::new(), b }
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        self.a.write(bytes);
+        self.b.write(bytes);
+    }
+
+    /// Length-prefix a variable-length field so adjacent fields can
+    /// never alias (`"ab","c"` vs `"a","bc"`).
+    fn write_str(&mut self, s: &str) {
+        self.write(&(s.len() as u64).to_le_bytes());
+        self.write(s.as_bytes());
+    }
+
+    fn finish(self) -> [u64; 2] {
+        [self.a.finish(), self.b.finish()]
+    }
+}
+
+/// 128-bit content fingerprint of a target table: name, column names
+/// and every cell, all length-prefixed. Linear in the table size —
+/// orders of magnitude cheaper than profiling the table, which is
+/// what a hit skips.
+pub fn table_fingerprint(table: &Table) -> [u64; 2] {
+    let mut fp = Fingerprint::new();
+    fp.write_str(table.name());
+    fp.write(&(table.arity() as u64).to_le_bytes());
+    for column in table.columns() {
+        fp.write_str(column.name());
+        fp.write(&(column.values().len() as u64).to_le_bytes());
+        for value in column.values() {
+            fp.write_str(value);
+        }
+    }
+    fp.finish()
+}
+
+/// Fingerprint of every [`QueryOptions`] member that can change the
+/// rendered result: `exclude`, `evidence`, `weights` and
+/// `lookup_width`. `threads` is excluded on purpose — results are
+/// byte-identical at every thread count, so latency knobs must not
+/// split cache entries.
+pub fn options_fingerprint(opts: &QueryOptions) -> u64 {
+    let mut h = Fnv1a::new();
+    match opts.exclude {
+        None => h.write_byte(0),
+        Some(id) => {
+            h.write_byte(1);
+            h.write(&(id.0 as u64).to_le_bytes());
+        }
+    }
+    match opts.evidence {
+        None => h.write_byte(0),
+        Some(e) => {
+            h.write_byte(1);
+            h.write_byte(e.index() as u8);
+        }
+    }
+    match &opts.weights {
+        None => h.write_byte(0),
+        Some(w) => {
+            h.write_byte(1);
+            for component in w.0 {
+                h.write(&component.to_bits().to_le_bytes());
+            }
+        }
+    }
+    match opts.lookup_width {
+        None => h.write_byte(0),
+        Some(w) => {
+            h.write_byte(1);
+            h.write(&(w as u64).to_le_bytes());
+        }
+    }
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evidence::Evidence;
+    use d3l_table::TableId;
+
+    fn key(n: u64, version: u64) -> CacheKey {
+        CacheKey {
+            target: [n, n.wrapping_mul(31)],
+            k: 10,
+            opts: 0,
+            version,
+        }
+    }
+
+    fn body(len: usize) -> std::sync::Arc<str> {
+        "x".repeat(len).into()
+    }
+
+    #[test]
+    fn hit_after_put_and_counters() {
+        let cache = QueryCache::new(1 << 20);
+        assert_eq!(cache.get(&key(1, 0)), None);
+        cache.put(key(1, 0), body(100));
+        assert_eq!(cache.get(&key(1, 0)).as_deref(), Some(&*body(100)));
+        // Different k / opts / version are different entries.
+        assert_eq!(cache.get(&CacheKey { k: 5, ..key(1, 0) }), None);
+        assert_eq!(
+            cache.get(&CacheKey {
+                opts: 7,
+                ..key(1, 0)
+            }),
+            None
+        );
+        assert_eq!(cache.get(&key(1, 1)), None);
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 4);
+        assert_eq!(stats.insertions, 1);
+        assert_eq!(stats.entries, 1);
+        assert!(stats.bytes >= 100);
+    }
+
+    #[test]
+    fn disabled_cache_is_silent() {
+        let cache = QueryCache::new(0);
+        assert!(!cache.enabled());
+        cache.put(key(1, 0), body(10));
+        assert_eq!(cache.get(&key(1, 0)), None);
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.insertions), (0, 0, 0));
+        assert_eq!(stats.entries, 0);
+    }
+
+    #[test]
+    fn eviction_respects_budget_and_recency() {
+        // One shard's slice is budget/SHARDS; craft keys that land in
+        // the same shard by brute force so the LRU scan is observable.
+        let cache = QueryCache::new((ENTRY_OVERHEAD + 200) * SHARDS as u64 * 3);
+        let shard0: Vec<CacheKey> = (0..10_000u64)
+            .map(|n| key(n, 0))
+            .filter(|k| k.shard() == 0)
+            .take(4)
+            .collect();
+        assert_eq!(shard0.len(), 4);
+        for k in &shard0[..3] {
+            cache.put(*k, body(200));
+        }
+        assert_eq!(cache.stats().entries, 3);
+        // Touch the first so the second is now least recently used.
+        assert!(cache.get(&shard0[0]).is_some());
+        cache.put(shard0[3], body(200));
+        assert!(cache.stats().evictions >= 1);
+        assert!(cache.get(&shard0[1]).is_none(), "LRU entry evicted");
+        assert!(cache.get(&shard0[0]).is_some(), "recently used survives");
+        assert!(cache.get(&shard0[3]).is_some(), "new entry present");
+        // Bytes never exceed the shard budget after inserts.
+        let per_shard = (ENTRY_OVERHEAD + 200) * 3;
+        assert!(cache.stats().bytes <= per_shard * SHARDS as u64);
+    }
+
+    #[test]
+    fn oversized_bodies_are_not_cached() {
+        let cache = QueryCache::new(SHARDS as u64 * 64);
+        cache.put(key(1, 0), body(4096));
+        assert_eq!(cache.stats().entries, 0);
+    }
+
+    #[test]
+    fn purge_drops_stale_versions_and_guards_inserts() {
+        let cache = QueryCache::new(1 << 20);
+        cache.put(key(1, 0), body(10));
+        cache.put(key(2, 0), body(10));
+        cache.purge_stale(1);
+        assert_eq!(cache.stats().entries, 0, "old-version entries dropped");
+        // A slow reader trying to insert against the swapped-out
+        // version is refused.
+        cache.put(key(3, 0), body(10));
+        assert_eq!(cache.stats().entries, 0);
+        cache.put(key(3, 1), body(10));
+        assert_eq!(cache.stats().entries, 1);
+    }
+
+    #[test]
+    fn set_budget_shrinks_and_disables() {
+        let cache = QueryCache::new(1 << 20);
+        for n in 0..64 {
+            cache.put(key(n, 0), body(128));
+        }
+        assert!(cache.stats().entries > 0);
+        cache.set_budget(0);
+        assert_eq!(cache.stats().entries, 0);
+        assert!(!cache.enabled());
+        cache.put(key(1, 0), body(10));
+        assert_eq!(cache.get(&key(1, 0)), None);
+    }
+
+    #[test]
+    fn clear_empties_without_counting_evictions() {
+        let cache = QueryCache::new(1 << 20);
+        cache.put(key(1, 0), body(10));
+        let evictions_before = cache.stats().evictions;
+        cache.clear();
+        assert_eq!(cache.stats().entries, 0);
+        assert_eq!(cache.stats().bytes, 0);
+        assert_eq!(cache.stats().evictions, evictions_before);
+    }
+
+    #[test]
+    fn table_fingerprint_separates_contents() {
+        let t = |name: &str, cols: &[&str], rows: &[Vec<String>]| {
+            Table::from_rows(name, cols, rows).unwrap()
+        };
+        let base = t("a", &["x", "y"], &[vec!["1".into(), "2".into()]]);
+        let fp = table_fingerprint(&base);
+        assert_eq!(fp, table_fingerprint(&base.clone()), "deterministic");
+        // Field-boundary aliasing: same concatenation, different split.
+        let shifted = t("a", &["xy", ""], &[vec!["12".into(), "".into()]]);
+        assert_ne!(fp, table_fingerprint(&shifted));
+        assert_ne!(
+            fp,
+            table_fingerprint(&t("b", &["x", "y"], &[vec!["1".into(), "2".into()]]))
+        );
+        assert_ne!(
+            fp,
+            table_fingerprint(&t("a", &["x", "y"], &[vec!["1".into(), "3".into()]]))
+        );
+    }
+
+    #[test]
+    fn options_fingerprint_covers_result_affecting_members() {
+        let base = QueryOptions::default();
+        let fp = options_fingerprint(&base);
+        assert_eq!(fp, options_fingerprint(&QueryOptions::default()));
+        // Threads must NOT split entries.
+        assert_eq!(
+            fp,
+            options_fingerprint(&QueryOptions {
+                threads: Some(8),
+                ..Default::default()
+            })
+        );
+        assert_ne!(
+            fp,
+            options_fingerprint(&QueryOptions {
+                exclude: Some(TableId(3)),
+                ..Default::default()
+            })
+        );
+        assert_ne!(
+            fp,
+            options_fingerprint(&QueryOptions {
+                evidence: Some(Evidence::Value),
+                ..Default::default()
+            })
+        );
+        assert_ne!(
+            fp,
+            options_fingerprint(&QueryOptions {
+                lookup_width: Some(40),
+                ..Default::default()
+            })
+        );
+        assert_ne!(
+            fp,
+            options_fingerprint(&QueryOptions {
+                weights: Some(crate::weights::EvidenceWeights::uniform()),
+                ..Default::default()
+            })
+        );
+    }
+}

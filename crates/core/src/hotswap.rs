@@ -34,6 +34,7 @@ use std::sync::{Arc, Mutex, MutexGuard, RwLock};
 use d3l_store::StoreError;
 use d3l_table::{Table, TableId};
 
+use crate::cache::QueryCache;
 use crate::index::D3l;
 use crate::snapshot::IndexStore;
 
@@ -91,20 +92,33 @@ impl From<StoreError> for MaintenanceError {
 }
 
 /// Concurrent handle over a persistent engine: lock-free consistent
-/// reads, serialized copy-on-write mutations.
+/// reads, serialized copy-on-write mutations, and a versioned
+/// query-result cache whose entries the swap invalidates implicitly.
 pub struct EngineHandle {
     current: RwLock<Arc<EngineSnapshot>>,
     store: Mutex<IndexStore>,
+    cache: QueryCache,
 }
 
 impl EngineHandle {
     /// Wrap an engine and its open store (the post-`create` path:
-    /// `IndexStore::create` then serve).
+    /// `IndexStore::create` then serve). The result cache starts at
+    /// [`crate::cache::DEFAULT_CACHE_BYTES`]; it holds nothing until
+    /// a serving layer populates it, so non-serving users pay only
+    /// the empty shards.
     pub fn new(store: IndexStore, engine: D3l) -> Self {
         EngineHandle {
             current: RwLock::new(Arc::new(EngineSnapshot { version: 0, engine })),
             store: Mutex::new(store),
+            cache: QueryCache::new(crate::cache::DEFAULT_CACHE_BYTES),
         }
+    }
+
+    /// The result cache. Serving layers key entries on
+    /// `(target fingerprint, k, options fingerprint, snapshot
+    /// version)`; every mutation purges stale versions on swap.
+    pub fn cache(&self) -> &QueryCache {
+        &self.cache
     }
 
     /// Cold-start a handle from a store directory (base snapshot plus
@@ -203,6 +217,11 @@ impl EngineHandle {
             .current
             .write()
             .unwrap_or_else(|poison| poison.into_inner()) = swapped.clone();
+        // The version bump just invalidated every cached rendering;
+        // drop them eagerly so the byte budget is not held by
+        // unreachable entries. (Compaction does not swap: the engine
+        // state is unchanged and the cache correctly stays warm.)
+        self.cache.purge_stale(swapped.version);
         swapped
     }
 
@@ -305,6 +324,33 @@ mod tests {
         // Refusals leave no segments and do not bump the version.
         assert_eq!(handle.disk_stats().unwrap().2, 0);
         assert_eq!(handle.snapshot().version, 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn mutations_purge_cached_renderings_compaction_keeps_them() {
+        use crate::cache::CacheKey;
+        let (handle, dir) = handle("cache");
+        let key = CacheKey {
+            target: [1, 2],
+            k: 10,
+            opts: 0,
+            version: 0,
+        };
+        handle.cache().put(key, "rendered".into());
+        assert!(handle.cache().get(&key).is_some());
+
+        handle.add_table(&extra_table("t2")).unwrap();
+        assert!(
+            handle.cache().get(&key).is_none(),
+            "swap must purge stale-version entries"
+        );
+        // Entries keyed at the new version survive compaction: the
+        // engine state (and thus every rendering) is unchanged.
+        let live = CacheKey { version: 1, ..key };
+        handle.cache().put(live, "rendered".into());
+        handle.compact().unwrap();
+        assert!(handle.cache().get(&live).is_some());
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -46,6 +46,7 @@
 //! assert_eq!(matches.len(), 1);
 //! ```
 
+pub mod cache;
 pub mod config;
 pub mod distance;
 pub mod evidence;
@@ -59,6 +60,7 @@ pub mod query;
 pub mod snapshot;
 pub mod weights;
 
+pub use cache::{options_fingerprint, table_fingerprint, CacheKey, CacheStats, QueryCache};
 pub use config::D3lConfig;
 pub use distance::DistanceVector;
 pub use evidence::Evidence;

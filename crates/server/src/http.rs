@@ -409,6 +409,10 @@ pub struct Response {
     pub status: u16,
     /// Body bytes.
     pub body: Vec<u8>,
+    /// Optional `Retry-After` header value in seconds — the
+    /// load-shedding contract: a 503 tells the client exactly when
+    /// backing off long enough is.
+    pub retry_after_secs: Option<u32>,
 }
 
 impl Response {
@@ -417,6 +421,7 @@ impl Response {
         Response {
             status,
             body: body.into(),
+            retry_after_secs: None,
         }
     }
 
@@ -427,6 +432,12 @@ impl Response {
         Response::json(status, body.to_string())
     }
 
+    /// Attach a `Retry-After` header (load-shed 503s).
+    pub fn with_retry_after(mut self, secs: u32) -> Response {
+        self.retry_after_secs = Some(secs);
+        self
+    }
+
     /// Serialize onto the wire. `keep_alive` decides the
     /// `Connection` header (the caller closes the stream when false).
     /// Head and body go out in **one** write: interactive latency
@@ -434,12 +445,17 @@ impl Response {
     /// response crosses two segments.
     pub fn write_to<W: Write>(&self, w: &mut W, keep_alive: bool) -> std::io::Result<()> {
         let connection = if keep_alive { "keep-alive" } else { "close" };
+        let retry_after = match self.retry_after_secs {
+            Some(secs) => format!("Retry-After: {secs}\r\n"),
+            None => String::new(),
+        };
         let head = format!(
-            "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+            "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n{}\r\n",
             self.status,
             reason(self.status),
             self.body.len(),
-            connection
+            connection,
+            retry_after
         );
         let mut wire = Vec::with_capacity(head.len() + self.body.len());
         wire.extend_from_slice(head.as_bytes());
@@ -610,6 +626,22 @@ mod tests {
         let text = String::from_utf8(out).unwrap();
         assert!(text.contains("404 Not Found"));
         assert!(text.contains("Connection: close"));
+        assert!(!text.contains("Retry-After"));
         assert!(text.ends_with("{\"error\":\"nope\"}"));
+    }
+
+    #[test]
+    fn retry_after_header_is_emitted_on_shed_responses() {
+        let mut out = Vec::new();
+        Response::error(503, "overloaded")
+            .with_retry_after(2)
+            .write_to(&mut out, false)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"));
+        assert!(text.contains("Retry-After: 2\r\n"), "{text}");
+        let (head, body) = text.split_once("\r\n\r\n").unwrap();
+        assert!(!head.contains("\r\n\r\n"));
+        assert_eq!(body, "{\"error\":\"overloaded\"}");
     }
 }

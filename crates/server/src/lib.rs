@@ -14,14 +14,23 @@
 //!   read-your-writes and a crash never loses an acknowledged write;
 //! * results are **byte-identical** to in-process
 //!   [`D3l::query_batch`] at every worker-thread count — the
-//!   determinism suite compares response bodies bit-for-bit.
+//!   determinism suite compares response bodies bit-for-bit;
+//! * repeated queries hit a versioned result cache
+//!   (`d3l_core::cache`) whose keys carry the hot-swap engine
+//!   version, so mutations invalidate exactly and a hit is
+//!   byte-identical to the uncached rendering by construction;
+//! * load is **admission-controlled**: connections beyond the
+//!   bounded pending queue are shed with a typed 503 +
+//!   `Retry-After` instead of queueing unboundedly, and a fairness
+//!   quantum rotates pipelining keep-alive connections so one client
+//!   cannot starve the worker pool.
 //!
 //! | endpoint | effect |
 //! |---|---|
 //! | `POST /query` | top-k ranking for one target table |
 //! | `POST /query_batch` | rankings for many targets in one call |
 //! | `GET /rank_all?target=<name>` | rank the lake against an indexed table |
-//! | `GET /stats` | engine version, footprints, counters |
+//! | `GET /stats` | engine version, footprints, cache/shed counters, queue depth |
 //! | `POST /tables` | add a table (persisted, hot-swapped) |
 //! | `DELETE /tables/{name}` | remove a table (tombstoned) |
 //! | `POST /admin/compact` | fold delta segments into the base |

@@ -21,12 +21,13 @@
 //! [`IndexStore`]: d3l_core::IndexStore
 
 use std::collections::VecDeque;
-use std::io::{BufReader, Write};
+use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
+use d3l_core::cache::{options_fingerprint, table_fingerprint, CacheKey, DEFAULT_CACHE_BYTES};
 use d3l_core::hotswap::{EngineHandle, EngineSnapshot, MaintenanceError};
 use d3l_core::query::QueryOptions;
 use d3l_core::Evidence;
@@ -35,6 +36,16 @@ use d3l_table::Table;
 use crate::api;
 use crate::http::{read_request, Method, Request, Response, DEFAULT_MAX_BODY};
 use crate::json::Json;
+
+/// `Retry-After` seconds advertised on load-shed 503s: long enough to
+/// drain a burst, short enough that a well-behaved client retries
+/// while its user is still waiting.
+pub const RETRY_AFTER_SECS: u32 = 1;
+
+/// Namespace tag for `GET /rank_all` cache keys: indexed targets are
+/// keyed by `(tag, table id)`, which can never alias a `/query`
+/// target's 128-bit content fingerprint in practice.
+const RANK_ALL_TAG: u64 = 0x5241_4e4b_5f41_4c4c; // "RANK_ALL"
 
 /// Server tuning knobs.
 #[derive(Debug, Clone)]
@@ -47,6 +58,19 @@ pub struct ServerConfig {
     /// silent close when idle between keep-alive requests) instead of
     /// parking a worker forever.
     pub io_timeout: Duration,
+    /// Byte budget for the engine's query-result cache (0 disables
+    /// caching). Applied to the [`EngineHandle`]'s cache at bind.
+    pub cache_bytes: u64,
+    /// Admission bound: connections arriving while this many are
+    /// already waiting for a worker are shed with a typed 503 +
+    /// `Retry-After` instead of queueing without bound.
+    pub max_queue: usize,
+    /// Fairness quantum: after serving this many consecutive
+    /// requests on one keep-alive connection while other connections
+    /// wait, the connection is rotated to the back of the queue (its
+    /// buffered pipelined bytes travel with it), so one pipelining
+    /// client cannot starve the pool. 0 disables rotation.
+    pub fair_batch: usize,
 }
 
 impl Default for ServerConfig {
@@ -55,6 +79,9 @@ impl Default for ServerConfig {
             threads: 0,
             max_body_bytes: DEFAULT_MAX_BODY,
             io_timeout: Duration::from_secs(10),
+            cache_bytes: DEFAULT_CACHE_BYTES,
+            max_queue: 1024,
+            fair_batch: 32,
         }
     }
 }
@@ -70,6 +97,10 @@ pub struct Counters {
     pub client_4xx: AtomicU64,
     /// 5xx responses.
     pub server_5xx: AtomicU64,
+    /// Connections refused at the door with a 503 because the
+    /// pending-connection queue was at its bound. Kept separate from
+    /// `server_5xx`, which counts routed requests.
+    pub shed: AtomicU64,
 }
 
 impl Counters {
@@ -87,6 +118,7 @@ struct Shared {
     shutdown: AtomicBool,
     counters: Counters,
     started: Instant,
+    queue: ConnQueue,
 }
 
 /// Stops a running [`Server`] from another thread (signal handlers,
@@ -106,10 +138,30 @@ impl ShutdownHandle {
     }
 }
 
+/// One queued connection: the socket plus any bytes a fairness
+/// rotation pulled out of its reader before requeueing (pipelined
+/// requests the client already sent — they must not be lost).
+struct Conn {
+    stream: TcpStream,
+    carry: Vec<u8>,
+}
+
+impl Conn {
+    fn fresh(stream: TcpStream) -> Self {
+        Conn {
+            stream,
+            carry: Vec::new(),
+        }
+    }
+}
+
 /// Connection hand-off between the accept loop and the workers.
+/// `depth` mirrors the queue length so the accept loop's admission
+/// check and `GET /stats` read it without taking the mutex.
 struct ConnQueue {
-    state: Mutex<(VecDeque<TcpStream>, bool)>,
+    state: Mutex<(VecDeque<Conn>, bool)>,
     ready: Condvar,
+    depth: AtomicUsize,
 }
 
 impl ConnQueue {
@@ -117,22 +169,25 @@ impl ConnQueue {
         ConnQueue {
             state: Mutex::new((VecDeque::new(), false)),
             ready: Condvar::new(),
+            depth: AtomicUsize::new(0),
         }
     }
 
-    fn push(&self, stream: TcpStream) {
+    fn push(&self, conn: Conn) {
         let mut state = self.state.lock().unwrap_or_else(|p| p.into_inner());
-        state.0.push_back(stream);
+        state.0.push_back(conn);
+        self.depth.store(state.0.len(), Ordering::Relaxed);
         drop(state);
         self.ready.notify_one();
     }
 
     /// `None` once the queue is closed *and* drained.
-    fn pop(&self) -> Option<TcpStream> {
+    fn pop(&self) -> Option<Conn> {
         let mut state = self.state.lock().unwrap_or_else(|p| p.into_inner());
         loop {
-            if let Some(stream) = state.0.pop_front() {
-                return Some(stream);
+            if let Some(conn) = state.0.pop_front() {
+                self.depth.store(state.0.len(), Ordering::Relaxed);
+                return Some(conn);
             }
             if state.1 {
                 return None;
@@ -141,9 +196,51 @@ impl ConnQueue {
         }
     }
 
+    /// Connections currently waiting for a worker.
+    fn len(&self) -> usize {
+        self.depth.load(Ordering::Relaxed)
+    }
+
     fn close(&self) {
         self.state.lock().unwrap_or_else(|p| p.into_inner()).1 = true;
         self.ready.notify_all();
+    }
+}
+
+/// `BufRead` over a fairness rotation's carried-over bytes followed
+/// by the connection's buffered reader. `consume` applies to
+/// whichever source the last `fill_buf` came from, per the `BufRead`
+/// contract.
+struct CarryReader<'a> {
+    carry: &'a [u8],
+    pos: &'a mut usize,
+    sock: &'a mut BufReader<TcpStream>,
+}
+
+impl Read for CarryReader<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let available = self.fill_buf()?;
+        let n = available.len().min(buf.len());
+        buf[..n].copy_from_slice(&available[..n]);
+        self.consume(n);
+        Ok(n)
+    }
+}
+
+impl BufRead for CarryReader<'_> {
+    fn fill_buf(&mut self) -> std::io::Result<&[u8]> {
+        if *self.pos < self.carry.len() {
+            return Ok(&self.carry[*self.pos..]);
+        }
+        self.sock.fill_buf()
+    }
+
+    fn consume(&mut self, amt: usize) {
+        if *self.pos < self.carry.len() {
+            *self.pos = (*self.pos + amt).min(self.carry.len());
+        } else {
+            self.sock.consume(amt);
+        }
     }
 }
 
@@ -165,6 +262,10 @@ impl Server {
         cfg: ServerConfig,
     ) -> std::io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
+        // The cache lives in the engine handle (so CLI tools sharing
+        // the handle see the same entries); the serving config owns
+        // its budget.
+        engine.cache().set_budget(cfg.cache_bytes);
         Ok(Server {
             listener,
             engine,
@@ -173,6 +274,7 @@ impl Server {
                 shutdown: AtomicBool::new(false),
                 counters: Counters::default(),
                 started: Instant::now(),
+                queue: ConnQueue::new(),
             }),
         })
     }
@@ -200,25 +302,34 @@ impl Server {
 
     /// Accept and serve until shutdown is requested, then drain:
     /// queued connections and in-flight requests complete before this
-    /// returns.
+    /// returns. Admission control happens here: a connection arriving
+    /// while [`ServerConfig::max_queue`] connections already wait is
+    /// answered with a typed 503 + `Retry-After` and closed — bounded
+    /// queueing instead of an unbounded backlog with an exploding
+    /// tail.
     pub fn run(self) -> std::io::Result<()> {
         self.listener.set_nonblocking(true)?;
-        let queue = ConnQueue::new();
+        let queue = &self.shared.queue;
         let threads = self.effective_threads();
         std::thread::scope(|scope| {
             let mut workers = Vec::with_capacity(threads);
             for _ in 0..threads {
-                let queue = &queue;
                 let server = &self;
                 workers.push(scope.spawn(move || {
-                    while let Some(stream) = queue.pop() {
-                        server.serve_connection(stream);
+                    while let Some(conn) = queue.pop() {
+                        server.serve_connection(conn);
                     }
                 }));
             }
             while !self.shared.shutdown.load(Ordering::SeqCst) {
                 match self.listener.accept() {
-                    Ok((stream, _)) => queue.push(stream),
+                    Ok((stream, _)) => {
+                        if queue.len() >= self.cfg.max_queue {
+                            self.shed(stream);
+                        } else {
+                            queue.push(Conn::fresh(stream));
+                        }
+                    }
                     Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                         std::thread::sleep(Duration::from_millis(2));
                     }
@@ -233,6 +344,19 @@ impl Server {
             }
         });
         Ok(())
+    }
+
+    /// Refuse a connection at the door: typed 503 with `Retry-After`,
+    /// then close. Runs on the accept thread, so the write gets a
+    /// short timeout — a peer that will not even read a 200-byte
+    /// response is not worth stalling admission for.
+    fn shed(&self, mut stream: TcpStream) {
+        self.shared.counters.shed.fetch_add(1, Ordering::Relaxed);
+        let _ = stream.set_write_timeout(Some(Duration::from_millis(250)));
+        let _ = stream.set_nodelay(true);
+        let _ = Response::error(503, "server at capacity; back off and retry")
+            .with_retry_after(RETRY_AFTER_SECS)
+            .write_to(&mut stream, false);
     }
 
     /// Serve one connection: requests in sequence (keep-alive) until
@@ -274,7 +398,9 @@ impl Server {
         ready
     }
 
-    fn serve_connection(&self, stream: TcpStream) {
+    fn serve_connection(&self, conn: Conn) {
+        let Conn { stream, mut carry } = conn;
+        let mut carry_pos = 0usize;
         let _ = stream.set_read_timeout(Some(self.cfg.io_timeout));
         let _ = stream.set_write_timeout(Some(self.cfg.io_timeout));
         // Interactive request/response traffic: never wait for a
@@ -285,15 +411,24 @@ impl Server {
         };
         let mut reader = BufReader::new(read_half);
         let mut write_half = stream;
+        let mut served_this_turn = 0usize;
         loop {
             // Idle wait happens outside read_request so a worker
             // blocked between keep-alive requests still observes
             // shutdown within ~100 ms (pipelined bytes already
-            // buffered skip the wait).
-            if reader.buffer().is_empty() && !self.await_next_request(&write_half) {
+            // buffered — carried or in the reader — skip the wait).
+            if carry_pos >= carry.len()
+                && reader.buffer().is_empty()
+                && !self.await_next_request(&write_half)
+            {
                 return;
             }
-            match read_request(&mut reader, self.cfg.max_body_bytes) {
+            let mut carry_reader = CarryReader {
+                carry: &carry,
+                pos: &mut carry_pos,
+                sock: &mut reader,
+            };
+            match read_request(&mut carry_reader, self.cfg.max_body_bytes) {
                 Ok(req) => {
                     self.shared
                         .counters
@@ -304,6 +439,23 @@ impl Server {
                     let draining = self.shared.shutdown.load(Ordering::SeqCst);
                     let keep = req.keep_alive && !draining;
                     if response.write_to(&mut write_half, keep).is_err() || !keep {
+                        return;
+                    }
+                    served_this_turn += 1;
+                    // Fairness rotation: this connection had its
+                    // quantum while others are waiting — requeue it
+                    // (with any pipelined bytes it already sent) and
+                    // free the worker for the next connection.
+                    if self.cfg.fair_batch > 0
+                        && served_this_turn >= self.cfg.fair_batch
+                        && self.shared.queue.len() > 0
+                    {
+                        let mut residue = carry.split_off(carry_pos.min(carry.len()));
+                        residue.extend_from_slice(reader.buffer());
+                        self.shared.queue.push(Conn {
+                            stream: write_half,
+                            carry: residue,
+                        });
                         return;
                     }
                 }
@@ -434,8 +586,24 @@ impl Server {
             Ok(o) => o,
             Err(resp) => return resp,
         };
+        // The serving fast path: everything the rendering depends on
+        // is pinned in the key (the snapshot version makes mutations
+        // invalidate exactly), so a hit skips profiling, the four
+        // forest lookups and scoring entirely and returns the
+        // previously rendered bytes.
+        let key = CacheKey {
+            target: table_fingerprint(&target),
+            k: k as u64,
+            opts: options_fingerprint(&opts),
+            version: snap.version,
+        };
+        if let Some(hit) = self.engine.cache().get(&key) {
+            return Response::json(200, hit.as_bytes().to_vec());
+        }
         let matches = snap.engine.query_with(&target, k, &opts);
-        Response::json(200, api::query_response(&snap, &matches))
+        let rendered = api::query_response(&snap, &matches);
+        self.engine.cache().put(key, rendered.clone().into());
+        Response::json(200, rendered)
     }
 
     fn handle_query_batch(&self, req: &Request) -> Response {
@@ -480,10 +648,6 @@ impl Server {
                 _ => return Response::error(400, "\"width\" must be a positive integer"),
             },
         };
-        let prepared = snap
-            .engine
-            .prepare_indexed(id)
-            .expect("name_to_id only returns live tables");
         let opts = QueryOptions {
             // Ranking a lake member against the lake: the member
             // itself would trivially win, so it is excluded unless
@@ -491,8 +655,26 @@ impl Server {
             exclude: (req.query_param("include_self") != Some("true")).then_some(id),
             ..Default::default()
         };
+        // rank_all targets are indexed members, so their identity is
+        // `(tag, id)` — no content hashing needed; the version in the
+        // key covers both id reuse and profile changes.
+        let key = CacheKey {
+            target: [RANK_ALL_TAG, id.0 as u64],
+            k: width as u64,
+            opts: options_fingerprint(&opts),
+            version: snap.version,
+        };
+        if let Some(hit) = self.engine.cache().get(&key) {
+            return Response::json(200, hit.as_bytes().to_vec());
+        }
+        let prepared = snap
+            .engine
+            .prepare_indexed(id)
+            .expect("name_to_id only returns live tables");
         let matches = snap.engine.rank_all_prepared(&prepared, width, &opts);
-        Response::json(200, api::query_response(&snap, &matches))
+        let rendered = api::query_response(&snap, &matches);
+        self.engine.cache().put(key, rendered.clone().into());
+        Response::json(200, rendered)
     }
 
     fn handle_stats(&self) -> Response {
@@ -526,6 +708,7 @@ impl Server {
             Err(_) => Json::Null,
         };
         let c = &self.shared.counters;
+        let cache = self.engine.cache().stats();
         let body = Json::Obj(vec![
             ("engine_version".to_string(), Json::Num(snap.version as f64)),
             (
@@ -538,6 +721,21 @@ impl Server {
             ),
             ("memory".to_string(), Json::Obj(memory)),
             ("disk".to_string(), disk),
+            (
+                "cache".to_string(),
+                Json::Obj(vec![
+                    ("hits".to_string(), Json::Num(cache.hits as f64)),
+                    ("misses".to_string(), Json::Num(cache.misses as f64)),
+                    ("evictions".to_string(), Json::Num(cache.evictions as f64)),
+                    ("insertions".to_string(), Json::Num(cache.insertions as f64)),
+                    ("entries".to_string(), Json::Num(cache.entries as f64)),
+                    ("bytes".to_string(), Json::Num(cache.bytes as f64)),
+                    (
+                        "budget_bytes".to_string(),
+                        Json::Num(cache.budget_bytes as f64),
+                    ),
+                ]),
+            ),
             (
                 "server".to_string(),
                 Json::Obj(vec![
@@ -564,6 +762,18 @@ impl Server {
                     (
                         "responses_5xx".to_string(),
                         Json::Num(c.server_5xx.load(Ordering::Relaxed) as f64),
+                    ),
+                    (
+                        "shed_requests".to_string(),
+                        Json::Num(c.shed.load(Ordering::Relaxed) as f64),
+                    ),
+                    (
+                        "queue_depth".to_string(),
+                        Json::Num(self.shared.queue.len() as f64),
+                    ),
+                    (
+                        "max_queue".to_string(),
+                        Json::Num(self.cfg.max_queue as f64),
                     ),
                 ]),
             ),

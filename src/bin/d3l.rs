@@ -3,7 +3,7 @@
 //! ```text
 //! d3l index   <lake-dir> --out <index-dir>
 //! d3l query   <lake-dir>|--index <index-dir> <target.csv> [-k N] [--joins] [--evidence N|V|F|E|D] [--threads N]
-//! d3l serve   --index <index-dir> [--port P] [--host H] [--threads N]
+//! d3l serve   --index <index-dir> [--port P] [--host H] [--threads N] [--cache-bytes N[k|m|g]] [--max-queue N]
 //! d3l stats   <lake-dir>|--index <index-dir>
 //! d3l add     <index-dir> <table.csv>
 //! d3l remove  <index-dir> <table-name>
@@ -33,7 +33,7 @@ use d3l::core::IndexStore;
 use d3l::prelude::*;
 use d3l::table::csv;
 
-const USAGE: &str = "usage:\n  d3l index <lake-dir> --out <index-dir>\n  d3l query <lake-dir>|--index <index-dir> <target.csv> [-k N] [--joins] [--evidence N|V|F|E|D] [--threads N]\n  d3l serve --index <index-dir> [--port P] [--host H] [--threads N]\n  d3l stats <lake-dir>|--index <index-dir>\n  d3l add <index-dir> <table.csv>\n  d3l remove <index-dir> <table-name>\n  d3l compact <index-dir>\n  d3l demo";
+const USAGE: &str = "usage:\n  d3l index <lake-dir> --out <index-dir>\n  d3l query <lake-dir>|--index <index-dir> <target.csv> [-k N] [--joins] [--evidence N|V|F|E|D] [--threads N]\n  d3l serve --index <index-dir> [--port P] [--host H] [--threads N] [--cache-bytes N[k|m|g]] [--max-queue N]\n  d3l stats <lake-dir>|--index <index-dir>\n  d3l add <index-dir> <table.csv>\n  d3l remove <index-dir> <table-name>\n  d3l compact <index-dir>\n  d3l demo";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -306,11 +306,31 @@ mod sig {
     }
 }
 
+/// Parse a byte count with an optional `k`/`m`/`g` suffix
+/// (case-insensitive, powers of 1024). `0` disables the result cache.
+fn parse_byte_size(s: &str) -> Result<u64, Box<dyn std::error::Error>> {
+    let s = s.trim();
+    let (digits, shift) = match s.as_bytes().last() {
+        Some(b'k') | Some(b'K') => (&s[..s.len() - 1], 10),
+        Some(b'm') | Some(b'M') => (&s[..s.len() - 1], 20),
+        Some(b'g') | Some(b'G') => (&s[..s.len() - 1], 30),
+        _ => (s, 0),
+    };
+    let n: u64 = digits
+        .parse()
+        .map_err(|_| format!("invalid byte size {s:?} (expected N, Nk, Nm or Ng)"))?;
+    n.checked_shl(shift)
+        .filter(|v| v >> shift == n)
+        .ok_or_else(|| format!("byte size {s:?} overflows u64").into())
+}
+
 fn cmd_serve(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let mut index_dir = None;
     let mut port: u16 = 4333;
     let mut host = "127.0.0.1".to_string();
     let mut threads: usize = 0;
+    let mut cache_bytes: u64 = d3l::core::cache::DEFAULT_CACHE_BYTES;
+    let mut max_queue: usize = d3l::server::ServerConfig::default().max_queue;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -320,6 +340,12 @@ fn cmd_serve(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
             "--port" => port = it.next().ok_or("missing value for --port")?.parse()?,
             "--host" => host = it.next().ok_or("missing value for --host")?.to_string(),
             "--threads" => threads = it.next().ok_or("missing value for --threads")?.parse()?,
+            "--cache-bytes" => {
+                cache_bytes = parse_byte_size(it.next().ok_or("missing value for --cache-bytes")?)?;
+            }
+            "--max-queue" => {
+                max_queue = it.next().ok_or("missing value for --max-queue")?.parse()?;
+            }
             other => return Err(format!("unexpected argument {other}").into()),
         }
     }
@@ -336,6 +362,8 @@ fn cmd_serve(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
 
     let cfg = d3l::server::ServerConfig {
         threads,
+        cache_bytes,
+        max_queue,
         ..Default::default()
     };
     let server = d3l::server::Server::bind((host.as_str(), port), engine, cfg)?;
@@ -344,6 +372,11 @@ fn cmd_serve(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     // The CLI tests parse this line to learn the ephemeral port, so
     // keep the "listening on" prefix stable.
     println!("listening on http://{addr} ({workers} workers); Ctrl-C drains and exits");
+    if cache_bytes == 0 {
+        println!("result cache: disabled");
+    } else {
+        println!("result cache: {cache_bytes} bytes; pending-connection queue: {max_queue}");
+    }
 
     #[cfg(unix)]
     {
@@ -580,8 +613,39 @@ mod tests {
             "positional arguments are rejected"
         );
         assert!(
+            cmd_serve(&args(&["--index", "idx", "--cache-bytes"])).is_err(),
+            "--cache-bytes needs a value"
+        );
+        assert!(
+            cmd_serve(&args(&["--index", "idx", "--cache-bytes", "64q"])).is_err(),
+            "unknown byte suffix must fail"
+        );
+        assert!(
+            cmd_serve(&args(&["--index", "idx", "--max-queue", "-1"])).is_err(),
+            "--max-queue must parse as usize"
+        );
+        assert!(
             cmd_serve(&args(&["--index", "/definitely/not/a/store"])).is_err(),
             "missing store must fail before binding"
+        );
+    }
+
+    #[test]
+    fn byte_sizes_accept_binary_suffixes() {
+        assert_eq!(parse_byte_size("0").unwrap(), 0);
+        assert_eq!(parse_byte_size("4096").unwrap(), 4096);
+        assert_eq!(parse_byte_size("8k").unwrap(), 8 * 1024);
+        assert_eq!(parse_byte_size("8K").unwrap(), 8 * 1024);
+        assert_eq!(parse_byte_size("64m").unwrap(), 64 * 1024 * 1024);
+        assert_eq!(parse_byte_size("2G").unwrap(), 2 * 1024 * 1024 * 1024);
+        assert!(parse_byte_size("").is_err());
+        assert!(parse_byte_size("k").is_err());
+        assert!(parse_byte_size("12.5m").is_err());
+        assert!(parse_byte_size("-3k").is_err());
+        assert!(parse_byte_size("99999999999999999999g").is_err());
+        assert!(
+            parse_byte_size("18446744073709551615k").is_err(),
+            "suffix shift past u64::MAX must fail, not wrap"
         );
     }
 

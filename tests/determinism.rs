@@ -329,6 +329,138 @@ fn server_responses_are_byte_identical_to_in_process_results() {
 }
 
 #[test]
+fn cached_server_is_byte_identical_to_uncached_across_mutations() {
+    // The versioned result cache must be invisible on the wire: a
+    // server with the cache enabled and one with it disabled, booted
+    // from identical stores, answer every query byte-identically
+    // while tables are added and removed and segments compacted
+    // between repeated queries. The repeats force the cached server
+    // to actually serve hits (proved via /stats at the end), and the
+    // mutations force the version-keyed invalidation to be *exact*:
+    // one stale entry surviving a swap would break byte equality.
+    use d3l::core::hotswap::EngineHandle;
+    use d3l::core::IndexStore;
+    use d3l::server::{Client, Json, Server, ServerConfig};
+    use std::sync::Arc;
+
+    let (bench, d3l) = indexed(32, 37);
+    let names = bench.pick_targets(3, 11);
+    let targets: Vec<Table> = names
+        .iter()
+        .map(|t| bench.lake.table_by_name(t).unwrap().clone())
+        .collect();
+    let bodies: Vec<String> = targets
+        .iter()
+        .map(|t| {
+            Json::Obj(vec![
+                ("table".to_string(), d3l::server::table_to_json(t)),
+                ("k".to_string(), Json::Num(7.0)),
+            ])
+            .to_string()
+        })
+        .collect();
+    let mut extra = targets[0].clone();
+    extra.set_name("cache_mutation_probe");
+    let add_body = Json::Obj(vec![(
+        "table".to_string(),
+        d3l::server::table_to_json(&extra),
+    )])
+    .to_string();
+
+    for threads in [1usize, 8] {
+        // Two fresh stores with identical content per worker count.
+        let boot = |tag: &str, cache_bytes: u64| {
+            let dir = std::env::temp_dir().join(format!(
+                "d3l_cache_det_{tag}_{threads}_{}",
+                std::process::id()
+            ));
+            let _ = std::fs::remove_dir_all(&dir);
+            IndexStore::create(&dir, &d3l).unwrap();
+            let engine = Arc::new(EngineHandle::open(&dir).unwrap());
+            let srv = Server::bind(
+                ("127.0.0.1", 0),
+                Arc::clone(&engine),
+                ServerConfig {
+                    threads,
+                    cache_bytes,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            let addr = srv.local_addr().unwrap();
+            let join = std::thread::spawn(move || srv.run());
+            (dir, engine, addr, join)
+        };
+        let (dir_c, engine_c, addr_c, join_c) = boot("on", 8 * 1024 * 1024);
+        let (dir_u, _engine_u, addr_u, join_u) = boot("off", 0);
+
+        let mut cached = Client::connect(addr_c).unwrap();
+        let mut plain = Client::connect(addr_u).unwrap();
+        let compare = |cached: &mut Client, plain: &mut Client, ctx: &str| {
+            // Ask twice: the second round is served from the cache on
+            // the cached server (same engine version, same key).
+            for round in 0..2 {
+                for (name, body) in names.iter().zip(&bodies) {
+                    let (sc, bc) = cached.request("POST", "/query", Some(body)).unwrap();
+                    let (sp, bp) = plain.request("POST", "/query", Some(body)).unwrap();
+                    assert_eq!(sc, 200, "{ctx}: cached status for {name}");
+                    assert_eq!(sp, 200, "{ctx}: plain status for {name}");
+                    assert_eq!(
+                        bc, bp,
+                        "{ctx} round {round}: {name} diverged at {threads} threads"
+                    );
+                }
+            }
+        };
+
+        compare(&mut cached, &mut plain, "fresh store");
+
+        // Mutate both sides identically and re-compare after each step.
+        for (step, (method, path, body)) in [
+            ("POST", "/tables", Some(add_body.as_str())),
+            ("DELETE", "/tables/cache_mutation_probe", None),
+            ("POST", "/admin/compact", Some("")),
+            ("POST", "/admin/reload", Some("")),
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            let (sc, _) = cached.request(method, path, body).unwrap();
+            let (sp, _) = plain.request(method, path, body).unwrap();
+            assert_eq!(sc, sp, "step {step}: mutation status diverged");
+            assert!(sc < 300, "step {step}: mutation failed ({sc})");
+            compare(&mut cached, &mut plain, &format!("after step {step}"));
+        }
+
+        // The cached server really cached: hits from the repeat
+        // rounds, and every entry left belongs to the live version.
+        let stats = engine_c.cache().stats();
+        assert!(
+            stats.hits > 0,
+            "cache never hit at {threads} threads (misses: {})",
+            stats.misses
+        );
+        let (status, stats_body) = cached.request("GET", "/stats", None).unwrap();
+        assert_eq!(status, 200);
+        let parsed = Json::parse(&stats_body).unwrap();
+        let wire_hits = parsed
+            .get("cache")
+            .and_then(|c| c.get("hits"))
+            .and_then(Json::as_f64)
+            .expect("/stats exposes cache.hits");
+        assert!(wire_hits > 0.0, "/stats must report the cache hits");
+
+        for (client, join) in [(&mut cached, join_c), (&mut plain, join_u)] {
+            let (status, _) = client.request("POST", "/admin/shutdown", Some("")).unwrap();
+            assert_eq!(status, 200);
+            join.join().unwrap().unwrap();
+        }
+        std::fs::remove_dir_all(&dir_c).ok();
+        std::fs::remove_dir_all(&dir_u).ok();
+    }
+}
+
+#[test]
 fn index_build_is_thread_count_invariant() {
     // Indexes built at index threads {1, 2, 8} must be bitwise
     // interchangeable: identical memory footprint (the forests hold

@@ -92,21 +92,25 @@ struct TestServer {
 }
 
 fn boot(tag: &str, lake: &DataLake, threads: usize, io_timeout: Duration) -> TestServer {
+    boot_cfg(
+        tag,
+        lake,
+        ServerConfig {
+            threads,
+            io_timeout,
+            max_body_bytes: 256 * 1024,
+            ..Default::default()
+        },
+    )
+}
+
+fn boot_cfg(tag: &str, lake: &DataLake, cfg: ServerConfig) -> TestServer {
     let dir = std::env::temp_dir().join(format!("d3l_srv_{tag}_{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
     let d3l = D3l::index_lake(lake, D3lConfig::fast());
     let store = IndexStore::create(&dir, &d3l).unwrap();
     let engine = Arc::new(EngineHandle::new(store, d3l));
-    let server = Server::bind(
-        ("127.0.0.1", 0),
-        engine.clone(),
-        ServerConfig {
-            threads,
-            io_timeout,
-            max_body_bytes: 256 * 1024,
-        },
-    )
-    .unwrap();
+    let server = Server::bind(("127.0.0.1", 0), engine.clone(), cfg).unwrap();
     let addr = server.local_addr().unwrap();
     let handle = server.shutdown_handle();
     let join = Some(std::thread::spawn(move || server.run()));
@@ -484,6 +488,27 @@ fn endpoints_answer_and_mutations_are_read_your_writes() {
             .as_usize(),
         Some(0)
     );
+    // Cache and admission-control observability: the documented
+    // schema, present from the first response.
+    let cache = stats.get("cache").expect("stats exposes a cache object");
+    for key in [
+        "hits",
+        "misses",
+        "evictions",
+        "insertions",
+        "entries",
+        "bytes",
+        "budget_bytes",
+    ] {
+        assert!(
+            cache.get(key).and_then(Json::as_f64).is_some(),
+            "cache.{key} missing from /stats"
+        );
+    }
+    let server = stats.get("server").expect("stats exposes a server object");
+    assert_eq!(server.get("shed_requests").unwrap().as_usize(), Some(0));
+    assert_eq!(server.get("queue_depth").unwrap().as_usize(), Some(0));
+    assert!(server.get("max_queue").unwrap().as_usize().unwrap() >= 1);
 
     // query.
     let (status, body) = client
@@ -609,6 +634,16 @@ fn endpoints_answer_and_mutations_are_read_your_writes() {
         .as_f64()
         .unwrap();
     assert!(served >= 10.0, "counters must track responses: {served}");
+
+    // The identical query was asked twice at the same engine version
+    // (read-your-writes check above), so the result cache served at
+    // least one hit — and the counters prove it moved.
+    let cache = stats.get("cache").unwrap();
+    assert!(
+        cache.get("hits").unwrap().as_f64().unwrap() >= 1.0,
+        "repeated identical query must hit the result cache"
+    );
+    assert!(cache.get("insertions").unwrap().as_f64().unwrap() >= 1.0);
 }
 
 #[test]
@@ -693,6 +728,173 @@ fn graceful_shutdown_drains_and_run_returns() {
         .expect("run failed");
     // New connections are refused or die unanswered.
     assert!(request_once(srv.addr, "GET", "/stats", None).is_err());
+}
+
+// ------------------------------------------------------- admission control
+
+#[test]
+fn overload_sheds_with_typed_503_and_recovers() {
+    // One worker, a pending queue bounded at one connection. Client A
+    // owns the worker, B fills the queue, and a burst of six more
+    // connections must every one be refused at the door with a typed
+    // 503 + Retry-After — immediately, never hanging, never killing
+    // the server. Releasing A must drain B normally (200), and the
+    // shed/queue counters must account for all of it.
+    let lake = lake(4);
+    let srv = boot_cfg(
+        "overload",
+        &lake,
+        ServerConfig {
+            threads: 1,
+            max_queue: 1,
+            io_timeout: Duration::from_secs(10),
+            max_body_bytes: 256 * 1024,
+            ..Default::default()
+        },
+    );
+
+    // A: one served request parks the worker on A's keep-alive socket.
+    let mut a = Client::connect(srv.addr).unwrap();
+    let (status, _) = a
+        .request("POST", "/query", Some(&query_body(&target(), 3)))
+        .unwrap();
+    assert_eq!(status, 200);
+
+    // B: a full valid request, parked in the pending queue (depth 1).
+    let body = query_body(&target(), 3);
+    let close_req = format!(
+        "POST /query HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    let mut b = TcpStream::connect(srv.addr).unwrap();
+    b.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    b.write_all(close_req.as_bytes()).unwrap();
+    // Give the accept loop time to enqueue B before the burst.
+    std::thread::sleep(Duration::from_millis(200));
+
+    // The burst: queue full, so each connection is shed on arrival.
+    for i in 0..6 {
+        let response = raw_exchange(srv.addr, close_req.as_bytes(), false);
+        assert_eq!(status_of(&response), Some(503), "burst {i}: {response}");
+        assert!(
+            response.contains("Retry-After: 1"),
+            "burst {i}: shed response must carry Retry-After: {response}"
+        );
+        assert!(
+            response.contains("server at capacity"),
+            "burst {i}: typed body: {response}"
+        );
+    }
+
+    // Release the worker: A hangs up, B gets served and closed.
+    drop(a);
+    let mut out = String::new();
+    let mut buf = [0u8; 4096];
+    loop {
+        match b.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => out.push_str(&String::from_utf8_lossy(&buf[..n])),
+            Err(_) => break,
+        }
+    }
+    assert_eq!(
+        status_of(&out),
+        Some(200),
+        "queued client must recover: {out}"
+    );
+
+    // Recovered: fresh requests answer, counters account for the shed
+    // burst, and nothing is left queued.
+    assert_alive(srv.addr);
+    let (_, body) = request_once(srv.addr, "GET", "/stats", None).unwrap();
+    let stats = Json::parse(&body).unwrap();
+    let server = stats.get("server").unwrap();
+    assert_eq!(
+        server.get("shed_requests").unwrap().as_usize(),
+        Some(6),
+        "every burst connection was shed"
+    );
+    assert_eq!(server.get("queue_depth").unwrap().as_usize(), Some(0));
+}
+
+#[test]
+fn pipelining_client_cannot_starve_the_pool() {
+    // One worker. A pipelines a long burst of requests in a single
+    // write; B arrives mid-burst with one request. With the fairness
+    // quantum (2 responses per turn here), the worker must rotate A
+    // back into the queue and answer B long before A's burst is done
+    // — and A must still receive every one of its responses.
+    const BURST: usize = 100;
+    let lake = lake(6);
+    let srv = boot_cfg(
+        "fairness",
+        &lake,
+        ServerConfig {
+            threads: 1,
+            fair_batch: 2,
+            cache_bytes: 0, // keep every query on the engine path (slow)
+            max_queue: 64,
+            io_timeout: Duration::from_secs(10),
+            max_body_bytes: 256 * 1024,
+        },
+    );
+
+    let body = query_body(&target(), 5);
+    let keep_req = format!(
+        "POST /query HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    let pipelined = keep_req.repeat(BURST);
+
+    let addr = srv.addr;
+    let (t_b, t_a) = std::thread::scope(|scope| {
+        let reader = scope.spawn(move || {
+            let mut a = TcpStream::connect(addr).unwrap();
+            a.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+            a.write_all(pipelined.as_bytes()).unwrap();
+            // Drain until all BURST responses arrived; counting status
+            // lines is enough — bodies carry no "HTTP/1.1" text.
+            let mut out = String::new();
+            let mut buf = [0u8; 16 * 1024];
+            while out.matches("HTTP/1.1 200").count() < BURST {
+                match a.read(&mut buf) {
+                    Ok(0) => break,
+                    Ok(n) => out.push_str(&String::from_utf8_lossy(&buf[..n])),
+                    Err(e) => panic!("pipelining client starved mid-burst: {e}"),
+                }
+            }
+            assert_eq!(
+                out.matches("HTTP/1.1 200").count(),
+                BURST,
+                "every pipelined request must still be answered"
+            );
+            Instant::now()
+        });
+
+        // Let the worker sink its teeth into A's burst, then show up
+        // as the disadvantaged second client.
+        std::thread::sleep(Duration::from_millis(30));
+        let body = query_body(&target(), 5);
+        let close_req = format!(
+            "POST /query HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+            body.len()
+        );
+        let response = raw_exchange(addr, close_req.as_bytes(), false);
+        assert_eq!(
+            status_of(&response),
+            Some(200),
+            "B must be served: {response}"
+        );
+        let t_b = Instant::now();
+        let t_a = reader.join().expect("pipelining client panicked");
+        (t_b, t_a)
+    });
+
+    assert!(
+        t_b < t_a,
+        "fairness rotation must serve the waiting client before the \
+         pipelined burst completes (B at {t_b:?}, A at {t_a:?})"
+    );
 }
 
 // ------------------------------------------------------------- concurrency
