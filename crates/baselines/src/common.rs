@@ -41,8 +41,7 @@ impl BaselineMatch {
 pub fn rank_and_truncate(mut matches: Vec<BaselineMatch>, k: usize) -> Vec<BaselineMatch> {
     matches.sort_by(|a, b| {
         b.score
-            .partial_cmp(&a.score)
-            .unwrap_or(std::cmp::Ordering::Equal)
+            .total_cmp(&a.score)
             .then_with(|| a.table.cmp(&b.table))
     });
     matches.truncate(k);
@@ -96,6 +95,26 @@ mod tests {
         };
         let ranked = rank_and_truncate(vec![m(9), m(1)], 2);
         assert_eq!(ranked[0].table, TableId(1));
+    }
+
+    /// Regression: NaN scores must not feed the sort a comparator
+    /// that violates strict weak ordering (the old
+    /// `partial_cmp(..).unwrap_or(Equal)` did exactly that).
+    #[test]
+    fn nan_scores_rank_deterministically() {
+        let m = |t: u32, s: f64| BaselineMatch {
+            table: TableId(t),
+            score: s,
+            alignments: vec![],
+        };
+        let ranked = rank_and_truncate(
+            vec![m(1, f64::NAN), m(2, 0.9), m(3, f64::NAN), m(4, 0.1)],
+            4,
+        );
+        let order: Vec<TableId> = ranked.iter().map(|r| r.table).collect();
+        // total_cmp orders NaN above every finite score in a
+        // descending sort; ties break by table id.
+        assert_eq!(order, vec![TableId(1), TableId(3), TableId(2), TableId(4)]);
     }
 
     #[test]

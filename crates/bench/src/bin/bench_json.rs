@@ -28,7 +28,7 @@ fn env_usize(key: &str, default: usize) -> usize {
 
 /// Median of a sample vector, in milliseconds.
 fn median_ms(samples: &mut [f64]) -> f64 {
-    samples.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    samples.sort_by(f64::total_cmp);
     samples[samples.len() / 2]
 }
 

@@ -25,6 +25,14 @@
 //!   numbers are steady-state, and the per-level `cache_hit_rate`
 //!   is scraped from `/stats`.
 //!
+//! A fourth, socket-free section benches *mutations*: the same lake
+//! is partitioned at shard counts {1, 8} and a sequence of
+//! adds/removes is timed through `EngineHandle`. A monolith mutation
+//! deep-clones the whole engine before the hot swap; a sharded one
+//! clones only the owning partition, so the
+//! `sharded_add_p50_over_monolith` ratio isolates the clone cost the
+//! sharding refactor removes from the write path.
+//!
 //! Every phase excludes warmup: clients connect, replay their warmup
 //! requests, rendezvous on a barrier, and only then does the wall
 //! clock start. The scaling summary records `hw_threads` alongside
@@ -46,7 +54,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use d3l_benchgen::vocab;
-use d3l_core::{D3l, D3lConfig, EngineHandle, IndexStore};
+use d3l_core::{D3l, D3lConfig, EngineHandle, IndexStore, ShardedD3l};
 use d3l_embedding::SemanticEmbedder;
 use d3l_server::{table_to_json, Client, Json, Server, ServerConfig};
 
@@ -225,7 +233,7 @@ fn run_level(
             .collect();
         (wall_start.elapsed().as_secs_f64(), lats)
     });
-    latencies.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    latencies.sort_by(f64::total_cmp);
     let requests = latencies.len();
     LevelResult {
         clients,
@@ -293,7 +301,7 @@ fn main() {
             in_process_ms.push(start.elapsed().as_secs_f64() * 1e3);
         }
     }
-    in_process_ms.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    in_process_ms.sort_by(f64::total_cmp);
     let in_process_median = percentile(&in_process_ms, 0.5);
     eprintln!("  in-process median: {in_process_median:.3} ms/query");
 
@@ -301,6 +309,9 @@ fn main() {
     let store_dir = std::env::temp_dir().join(format!("d3l_load_gen_{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&store_dir);
     let store = IndexStore::create(&store_dir, &d3l).expect("persist index");
+    // The mutation bench below repartitions this same engine into
+    // shard counts {1, 8} without re-profiling the lake.
+    let mutation_seed = d3l.clone();
     let engine = Arc::new(EngineHandle::new(store, d3l));
     // The plain sections measure the engine path, so the server boots
     // with the result cache disabled; the skewed section re-enables it
@@ -418,6 +429,67 @@ fn main() {
         .expect("server run failed");
     std::fs::remove_dir_all(&store_dir).ok();
 
+    // ---- mutation throughput: monolith vs sharded writes ------------
+    // A mutation deep-clones the engine that owns the mutated table
+    // before the hot swap. The monolith's "owning shard" is the whole
+    // lake; a shard's is O(lake/N). The delta append and its fsync
+    // are identical on both sides, so the clone is the entire
+    // difference the ratio below measures.
+    const MUTATION_SHARDS: usize = 8;
+    let n_mutations = if quick { 8 } else { 24 };
+    let probes: Vec<d3l_table::Table> = (0..n_mutations)
+        .map(|i| {
+            let mut t = targets[i % targets.len()].clone();
+            t.set_name(format!("mutation_probe_{i:03}"));
+            t
+        })
+        .collect();
+    struct MutationLevel {
+        shards: usize,
+        add_p50: f64,
+        add_mean: f64,
+        remove_p50: f64,
+        remove_mean: f64,
+    }
+    let mutation_level = |shards: usize| -> MutationLevel {
+        let dir =
+            std::env::temp_dir().join(format!("d3l_load_gen_mut_{shards}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        eprintln!("mutation workload: {n_mutations} adds + removes at {shards} shard(s) ...");
+        let handle = EngineHandle::create(&dir, ShardedD3l::split(mutation_seed.clone(), shards))
+            .expect("create mutation store");
+        let mut add_ms = Vec::with_capacity(probes.len());
+        for t in &probes {
+            let start = Instant::now();
+            handle.add_table(t).expect("add under bench");
+            add_ms.push(start.elapsed().as_secs_f64() * 1e3);
+        }
+        let mut remove_ms = Vec::with_capacity(probes.len());
+        for t in &probes {
+            let start = Instant::now();
+            handle.remove_table(t.name()).expect("remove under bench");
+            remove_ms.push(start.elapsed().as_secs_f64() * 1e3);
+        }
+        std::fs::remove_dir_all(&dir).ok();
+        add_ms.sort_by(f64::total_cmp);
+        remove_ms.sort_by(f64::total_cmp);
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+        let level = MutationLevel {
+            shards,
+            add_p50: percentile(&add_ms, 0.5),
+            add_mean: mean(&add_ms),
+            remove_p50: percentile(&remove_ms, 0.5),
+            remove_mean: mean(&remove_ms),
+        };
+        eprintln!(
+            "  add p50 {:.3} ms, remove p50 {:.3} ms",
+            level.add_p50, level.remove_p50
+        );
+        level
+    };
+    let mutation_levels = [mutation_level(1), mutation_level(MUTATION_SHARDS)];
+    let add_ratio = mutation_levels[1].add_p50 / mutation_levels[0].add_p50.max(1e-9);
+
     // ---- emit BENCH_serve.json --------------------------------------
     let at_8 = levels
         .iter()
@@ -460,6 +532,16 @@ fn main() {
                 l.p50,
                 l.p99,
                 hit_rate
+            )
+        })
+        .collect();
+    let mutation_json: Vec<String> = mutation_levels
+        .iter()
+        .map(|l| {
+            format!(
+                "      {{ \"shards\": {}, \"add_p50_ms\": {:.3}, \"add_mean_ms\": {:.3}, \
+                 \"remove_p50_ms\": {:.3}, \"remove_mean_ms\": {:.3} }}",
+                l.shards, l.add_p50, l.add_mean, l.remove_p50, l.remove_mean
             )
         })
         .collect();
@@ -508,7 +590,10 @@ fn main() {
          \"cache_hit_rate_32\": {:.3},\n    \
          \"throughput_32_over_plain_1\": {:.2},\n    \
          \"throughput_32_over_skewed_1\": {:.2},\n    \
-         \"p99_skewed_32_over_plain_p99_32\": {:.2}\n  }}\n}}\n",
+         \"p99_skewed_32_over_plain_p99_32\": {:.2}\n  }},\n  \
+         \"mutation_throughput\": {{\n    \"mutations\": {n_mutations},\n    \
+         \"levels\": [\n{}\n    ],\n    \
+         \"sharded_add_p50_over_monolith\": {add_ratio:.3}\n  }}\n}}\n",
         at_8.p50,
         at_8.mean,
         latency_json.join(",\n"),
@@ -517,14 +602,15 @@ fn main() {
         hit_rate_32,
         t32_over_plain1,
         t32_over_skewed1,
-        p99_ratio
+        p99_ratio,
+        mutation_json.join(",\n")
     );
     std::fs::create_dir_all(&out_dir).expect("create out dir");
     let path = std::path::Path::new(&out_dir).join("BENCH_serve.json");
     std::fs::write(&path, &json).expect("write BENCH_serve.json");
     eprintln!(
         "wrote {} (p50@8 = {:.3} ms, {ratio:.2}x in-process; cached skewed@32 = {:.2}x \
-         uncached plain@1 throughput)",
+         uncached plain@1 throughput; sharded add p50 = {add_ratio:.2}x monolith)",
         path.display(),
         at_8.p50,
         t32_over_plain1

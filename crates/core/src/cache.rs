@@ -28,11 +28,15 @@
 //!
 //! Concurrency: the cache is split into [`SHARDS`] independently
 //! locked shards, so readers on different keys do not contend.
-//! Eviction is LRU-ish under a configurable byte budget: each shard
-//! tracks a last-use tick per entry and evicts the least recently
-//! used entries of its own shard when over its slice of the budget
-//! (an `O(entries-in-shard)` scan, only paid on insert while over
-//! budget — never on a hit).
+//! Eviction is CLOCK (second-chance) under a configurable byte
+//! budget: each shard keeps its keys on a ring, a hit sets the
+//! entry's referenced bit (O(1), no reordering), and an insert that
+//! pushes the shard over its slice of the budget sweeps the ring —
+//! giving referenced entries a second chance (bit cleared, entry
+//! rotated to the back) and evicting the first unreferenced one.
+//! Every sweep step either evicts an entry or retires a referenced
+//! bit some hit set, so eviction work is amortized O(1) per cache
+//! operation — never a scan of the shard per evicted entry.
 //!
 //! [`QueryOptions`]: crate::query::QueryOptions
 
@@ -93,28 +97,50 @@ impl CacheKey {
 struct Entry {
     body: std::sync::Arc<str>,
     bytes: u64,
-    last_used: u64,
+    /// Second-chance bit: set by every hit, cleared (once) by the
+    /// clock sweep before the entry becomes evictable.
+    referenced: bool,
 }
 
 #[derive(Default)]
 struct Shard {
     map: HashMap<CacheKey, Entry>,
+    /// Clock ring: every live key occurs exactly once, in insertion
+    /// order, rotated by the sweep. Keys whose entries were purged
+    /// out-of-band may linger briefly; the sweep skips them for free.
+    ring: std::collections::VecDeque<CacheKey>,
     bytes: u64,
-    tick: u64,
+    /// Total sweep steps taken by `evict_to` — the cost meter the
+    /// amortized-work unit test bounds.
+    scanned: u64,
 }
 
 impl Shard {
-    /// Evict least-recently-used entries until at most `budget` bytes
-    /// remain. Returns the number of entries evicted.
+    /// Clock sweep: evict until at most `budget` bytes remain.
+    /// Returns the number of entries evicted. Each step pops the ring
+    /// head and either (a) drops a stale slot, (b) clears a
+    /// referenced bit and rotates the entry to the back, or
+    /// (c) evicts — so total work is bounded by evictions plus the
+    /// referenced bits hits have set, not by `entries × evictions`.
     fn evict_to(&mut self, budget: u64) -> u64 {
         let mut evicted = 0;
         while self.bytes > budget {
-            let Some((&key, _)) = self.map.iter().min_by_key(|(_, e)| e.last_used) else {
+            let Some(key) = self.ring.pop_front() else {
                 break;
             };
-            if let Some(old) = self.map.remove(&key) {
-                self.bytes -= old.bytes;
-                evicted += 1;
+            self.scanned += 1;
+            match self.map.get_mut(&key) {
+                // Stale ring slot (entry purged out-of-band).
+                None => {}
+                Some(entry) if entry.referenced => {
+                    entry.referenced = false;
+                    self.ring.push_back(key);
+                }
+                Some(_) => {
+                    let old = self.map.remove(&key).expect("entry checked above");
+                    self.bytes -= old.bytes;
+                    evicted += 1;
+                }
             }
         }
         evicted
@@ -194,11 +220,9 @@ impl QueryCache {
             return None;
         }
         let mut shard = self.lock(key.shard());
-        shard.tick += 1;
-        let tick = shard.tick;
         match shard.map.get_mut(key) {
             Some(entry) => {
-                entry.last_used = tick;
+                entry.referenced = true;
                 let body = entry.body.clone();
                 drop(shard);
                 self.hits.fetch_add(1, Ordering::Relaxed);
@@ -226,17 +250,19 @@ impl QueryCache {
             return;
         }
         let mut shard = self.lock(key.shard());
-        shard.tick += 1;
-        let tick = shard.tick;
+        // A fresh key earns a ring slot; an overwrite reuses the slot
+        // the key already holds (the ring never carries duplicates).
         if let Some(old) = shard.map.insert(
             key,
             Entry {
                 body,
                 bytes,
-                last_used: tick,
+                referenced: false,
             },
         ) {
             shard.bytes -= old.bytes;
+        } else {
+            shard.ring.push_back(key);
         }
         shard.bytes += bytes;
         let evicted = shard.evict_to(shard_budget);
@@ -264,6 +290,10 @@ impl QueryCache {
                 keep
             });
             shard.bytes -= freed;
+            // Keep the ring tight: stale slots would otherwise be
+            // skipped lazily by the next sweep, which is correct but
+            // lets the ring hold dead keys between mutations.
+            shard.ring.retain(|key| key.version == live_version);
         }
     }
 
@@ -287,6 +317,7 @@ impl QueryCache {
         for idx in 0..SHARDS {
             let mut shard = self.lock(idx);
             shard.map.clear();
+            shard.ring.clear();
             shard.bytes = 0;
         }
     }
@@ -461,7 +492,9 @@ mod tests {
     #[test]
     fn eviction_respects_budget_and_recency() {
         // One shard's slice is budget/SHARDS; craft keys that land in
-        // the same shard by brute force so the LRU scan is observable.
+        // the same shard by brute force so the clock sweep is
+        // observable: the touched entry's referenced bit buys it a
+        // second chance, so the untouched one goes first.
         let cache = QueryCache::new((ENTRY_OVERHEAD + 200) * SHARDS as u64 * 3);
         let shard0: Vec<CacheKey> = (0..10_000u64)
             .map(|n| key(n, 0))
@@ -483,6 +516,44 @@ mod tests {
         // Bytes never exceed the shard budget after inserts.
         let per_shard = (ENTRY_OVERHEAD + 200) * 3;
         assert!(cache.stats().bytes <= per_shard * SHARDS as u64);
+    }
+
+    #[test]
+    fn eviction_work_is_amortized_constant() {
+        // The old eviction rescanned the whole shard per evicted
+        // entry (O(entries × evictions)); the clock sweep's total
+        // steps are bounded by insertions plus the referenced bits
+        // hits set, plus the entries each sweep actually evicts —
+        // amortized O(1) per operation. Hammer one shard far past its
+        // budget with interleaved hits and bound the meter.
+        let cache = QueryCache::new((ENTRY_OVERHEAD + 200) * SHARDS as u64 * 4);
+        let keys: Vec<CacheKey> = (0..100_000u64)
+            .map(|n| key(n, 0))
+            .filter(|k| k.shard() == 0)
+            .take(256)
+            .collect();
+        assert_eq!(keys.len(), 256, "need 256 same-shard keys");
+        let mut hits = 0u64;
+        for (i, k) in keys.iter().enumerate() {
+            cache.put(*k, body(200));
+            // Touch an older key now and then so second chances occur.
+            if i % 2 == 0 && cache.get(&keys[i / 2]).is_some() {
+                hits += 1;
+            }
+        }
+        let stats = cache.stats();
+        assert!(
+            stats.evictions >= 200,
+            "workload must actually churn: {} evictions",
+            stats.evictions
+        );
+        let scanned = cache.lock(0).scanned;
+        let bound = keys.len() as u64 + hits + stats.evictions;
+        assert!(
+            scanned <= bound,
+            "sweep steps ({scanned}) must stay within insertions + hits + evictions ({bound}), \
+             not degrade to entries × evictions"
+        );
     }
 
     #[test]

@@ -44,6 +44,14 @@ pub struct D3lConfig {
     /// to exercise the single- and multi-threaded paths on the same
     /// test suite).
     pub query_threads: usize,
+    /// Number of index shards (1 = the classic monolith). Tables are
+    /// assigned to shards by a stable fingerprint of the table name;
+    /// each shard owns its four forests and its own snapshot/delta
+    /// chain, so a mutation rewrites O(lake/shards) state. Rankings
+    /// are byte-identical at every shard count. Stored in the
+    /// snapshot config so a reopened index agrees with the writer;
+    /// pre-sharding snapshots decode as 1 (a monolith).
+    pub shards: usize,
 }
 
 impl Default for D3lConfig {
@@ -62,6 +70,7 @@ impl Default for D3lConfig {
             seed: 0xd31,
             index_threads: 0,
             query_threads: 0,
+            shards: 1,
         }
     }
 }

@@ -1,9 +1,9 @@
-//! Copy-on-write hot-swap around a persistent engine — the substrate
-//! of the concurrent serving layer.
+//! Copy-on-write hot-swap around a persistent sharded engine — the
+//! substrate of the concurrent serving layer.
 //!
 //! A long-lived server must answer queries *while* the lake is
 //! maintained (tables added, removed, segments compacted). Guarding
-//! one `D3l` with a plain lock would make every mutation a stall for
+//! one engine with a plain lock would make every mutation a stall for
 //! every in-flight query; instead, [`EngineHandle`] keeps the current
 //! engine behind `RwLock<Arc<EngineSnapshot>>`:
 //!
@@ -12,8 +12,10 @@
 //!   with no lock held at all. A query that started before a mutation
 //!   finishes on the exact engine state it started with — there is no
 //!   torn state to observe, by construction.
-//! * **Writers** serialize on the store mutex, clone the current
-//!   engine, apply the mutation to the clone, persist it through
+//! * **Writers** serialize on the store mutex, deep-clone *only the
+//!   shard that owns the mutated table* — O(lake/shards) copy and
+//!   snapshot work; the other shards are shared by `Arc` — apply the
+//!   mutation to the clone, persist it through that shard's
 //!   [`IndexStore`] (delta append / compact) and only then swap the
 //!   new snapshot in under a brief write lock. A 2xx on a mutation
 //!   therefore implies read-your-writes: the swap happened before the
@@ -26,16 +28,26 @@
 //! Each swap bumps a monotonic version stamped into the snapshot
 //! itself, so `(version, engine state)` pairs are atomically
 //! consistent — the concurrency stress tests use this to prove the
-//! absence of torn reads.
+//! absence of torn reads. The snapshot additionally carries one
+//! version stamp *per shard*, advanced only when that shard is
+//! rewritten: a mutation's blast radius is visible — and testable —
+//! as "every other shard's stamp (and snapshot bytes) unchanged".
+//!
+//! On disk, a one-shard engine keeps the classic monolith layout
+//! (`<dir>/base.d3ls` + deltas); an N-shard engine nests one complete
+//! store per shard under `<dir>/shard-NN/`. [`EngineHandle::open`]
+//! auto-detects which of the two it was given.
 
 use std::path::Path;
 use std::sync::{Arc, Mutex, MutexGuard, RwLock};
 
-use d3l_store::StoreError;
+use d3l_store::layout::{shard_dir_name, shard_dirs};
+use d3l_store::{StoreError, BASE_FILE};
 use d3l_table::{Table, TableId};
 
 use crate::cache::QueryCache;
 use crate::index::D3l;
+use crate::shard::ShardedD3l;
 use crate::snapshot::IndexStore;
 
 /// One immutable engine state plus the version it was swapped in at.
@@ -44,9 +56,26 @@ pub struct EngineSnapshot {
     /// Monotonic swap counter: the base load is version 0 and every
     /// accepted mutation (add, remove, reload) increments it.
     pub version: u64,
+    /// Per-shard version stamps: entry `s` is the global version of
+    /// the last swap that rewrote shard `s`. A mutation bumps exactly
+    /// one entry; the others carry over untouched.
+    pub shard_versions: Vec<u64>,
     /// The query-ready engine. Immutable — mutations build a new
     /// snapshot.
-    pub engine: D3l,
+    pub engine: ShardedD3l,
+}
+
+impl EngineSnapshot {
+    /// A snapshot at `version` with every shard stamped at that same
+    /// version (the cold-load shape; mutations diverge the stamps).
+    pub fn at_version(version: u64, engine: ShardedD3l) -> Self {
+        let shard_versions = vec![version; engine.shard_count()];
+        EngineSnapshot {
+            version,
+            shard_versions,
+            engine,
+        }
+    }
 }
 
 /// A maintenance request the serving layer can refuse without
@@ -92,26 +121,67 @@ impl From<StoreError> for MaintenanceError {
 }
 
 /// Concurrent handle over a persistent engine: lock-free consistent
-/// reads, serialized copy-on-write mutations, and a versioned
-/// query-result cache whose entries the swap invalidates implicitly.
+/// reads, serialized copy-on-write mutations scoped to the owning
+/// shard, and a versioned query-result cache whose entries the swap
+/// invalidates implicitly.
 pub struct EngineHandle {
     current: RwLock<Arc<EngineSnapshot>>,
-    store: Mutex<IndexStore>,
+    /// One store per shard, parallel to `engine.shards()`. A one-shard
+    /// engine's single store lives directly in the index root.
+    stores: Mutex<Vec<IndexStore>>,
     cache: QueryCache,
 }
 
 impl EngineHandle {
-    /// Wrap an engine and its open store (the post-`create` path:
-    /// `IndexStore::create` then serve). The result cache starts at
+    /// Wrap a monolithic engine and its open store (the classic
+    /// post-`create` path). The result cache starts at
     /// [`crate::cache::DEFAULT_CACHE_BYTES`]; it holds nothing until
     /// a serving layer populates it, so non-serving users pay only
     /// the empty shards.
     pub fn new(store: IndexStore, engine: D3l) -> Self {
+        Self::new_sharded(vec![store], ShardedD3l::from_monolith(engine))
+    }
+
+    /// Wrap a sharded engine and its per-shard stores (parallel
+    /// vectors: `stores[s]` persists `engine.shards()[s]`).
+    pub fn new_sharded(stores: Vec<IndexStore>, engine: ShardedD3l) -> Self {
+        assert_eq!(
+            stores.len(),
+            engine.shard_count(),
+            "one store per shard required"
+        );
         EngineHandle {
-            current: RwLock::new(Arc::new(EngineSnapshot { version: 0, engine })),
-            store: Mutex::new(store),
+            current: RwLock::new(Arc::new(EngineSnapshot::at_version(0, engine))),
+            stores: Mutex::new(stores),
             cache: QueryCache::new(crate::cache::DEFAULT_CACHE_BYTES),
         }
+    }
+
+    /// Persist a freshly built engine under `dir` and wrap it. A
+    /// one-shard engine writes the monolith layout (`base.d3ls` in
+    /// the root); N shards write one store per `shard-NN/`
+    /// subdirectory. Leftovers of the *other* layout in `dir` are
+    /// removed first, so re-indexing with a different shard count
+    /// never leaves an ambiguous root.
+    pub fn create(dir: impl AsRef<Path>, engine: ShardedD3l) -> Result<Self, StoreError> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)?;
+        let mut stores = Vec::with_capacity(engine.shard_count());
+        if engine.shard_count() == 1 {
+            for (_, stale) in shard_dirs(dir)? {
+                std::fs::remove_dir_all(stale)?;
+            }
+            stores.push(IndexStore::create(dir, &engine.shards()[0])?);
+        } else {
+            let stale_base = dir.join(BASE_FILE);
+            if stale_base.exists() {
+                std::fs::remove_file(&stale_base)?;
+            }
+            for (s, shard) in engine.shards().iter().enumerate() {
+                stores.push(IndexStore::create(dir.join(shard_dir_name(s)), shard)?);
+            }
+        }
+        Ok(Self::new_sharded(stores, engine))
     }
 
     /// The result cache. Serving layers key entries on
@@ -121,11 +191,50 @@ impl EngineHandle {
         &self.cache
     }
 
-    /// Cold-start a handle from a store directory (base snapshot plus
-    /// delta replay — the millisecond load path).
+    /// Cold-start a handle from an index directory (base snapshots
+    /// plus delta replay — the millisecond load path). Auto-detects
+    /// the layout: a `base.d3ls` in the root is a monolith; otherwise
+    /// the `shard-NN/` subdirectories are opened as one store each
+    /// (ordinals must be contiguous from 0, and each shard's stored
+    /// config must agree on the shard count).
     pub fn open(dir: impl AsRef<Path>) -> Result<Self, StoreError> {
-        let (store, engine) = IndexStore::open(dir)?;
-        Ok(Self::new(store, engine))
+        let dir = dir.as_ref();
+        if dir.join(BASE_FILE).exists() {
+            let (store, engine) = IndexStore::open(dir)?;
+            return Ok(Self::new(store, engine));
+        }
+        let found = shard_dirs(dir)?;
+        if found.is_empty() {
+            // Neither layout: surface the monolith open error (missing
+            // base snapshot), which names the path the caller gave.
+            let (store, engine) = IndexStore::open(dir)?;
+            return Ok(Self::new(store, engine));
+        }
+        for (expect, (ordinal, path)) in found.iter().enumerate() {
+            if *ordinal != expect {
+                return Err(StoreError::corrupt(format!(
+                    "sharded index is missing {}; found {}",
+                    shard_dir_name(expect),
+                    path.display()
+                )));
+            }
+        }
+        let mut stores = Vec::with_capacity(found.len());
+        let mut engines = Vec::with_capacity(found.len());
+        for (_, path) in &found {
+            let (store, engine) = IndexStore::open(path)?;
+            if engine.config().shards != found.len() {
+                return Err(StoreError::corrupt(format!(
+                    "{} believes in {} shards, directory holds {}",
+                    path.display(),
+                    engine.config().shards,
+                    found.len()
+                )));
+            }
+            stores.push(store);
+            engines.push(engine);
+        }
+        Ok(Self::new_sharded(stores, ShardedD3l::from_shards(engines)))
     }
 
     /// The current consistent snapshot. The read lock is held only
@@ -136,81 +245,141 @@ impl EngineHandle {
     }
 
     /// Profile, index and persist one new table, then swap the
-    /// extended engine in. Returns the new table's id and the
+    /// extended engine in. Only the shard owning the table's name is
+    /// cloned and rewritten. Returns the new table's id and the
     /// snapshot that serves it.
     pub fn add_table(
         &self,
         table: &Table,
     ) -> Result<(TableId, Arc<EngineSnapshot>), MaintenanceError> {
-        let mut store = self.lock_store();
+        let mut stores = self.lock_stores();
         let cur = self.snapshot();
         if cur.engine.name_to_id().contains_key(table.name()) {
             return Err(MaintenanceError::DuplicateName(table.name().to_string()));
         }
-        let mut next = cur.engine.clone();
-        let id = store.append_add(&mut next, table)?;
-        Ok((id, self.swap(&cur, next)))
+        let s = cur.engine.shard_of(table.name());
+        let mut shard = (*cur.engine.shards()[s]).clone();
+        let id = if cur.engine.shard_count() == 1 {
+            // The monolith layout keeps the classic local-id `Add`
+            // record, byte-compatible with pre-sharding stores.
+            stores[0].append_add(&mut shard, table)?
+        } else {
+            let id = cur.engine.next_table_id();
+            stores[s].append_add_at(&mut shard, table, id)?
+        };
+        let next = cur.engine.with_shard(s, shard);
+        Ok((id, self.swap(&cur, next, s)))
     }
 
-    /// Tombstone a table by name, persist the removal, and swap the
-    /// shrunk engine in.
+    /// Tombstone a table by name, persist the removal in the owning
+    /// shard's store, and swap the shrunk engine in.
     pub fn remove_table(
         &self,
         name: &str,
     ) -> Result<(TableId, Arc<EngineSnapshot>), MaintenanceError> {
-        let mut store = self.lock_store();
+        let mut stores = self.lock_stores();
         let cur = self.snapshot();
         let Some(id) = cur.engine.name_to_id().get(name).copied() else {
             return Err(MaintenanceError::UnknownTable(name.to_string()));
         };
-        let mut next = cur.engine.clone();
-        store.append_remove(&mut next, id)?;
-        Ok((id, self.swap(&cur, next)))
+        let s = cur
+            .engine
+            .owner_of(id)
+            .expect("a name-resolved table has an owner");
+        let mut shard = (*cur.engine.shards()[s]).clone();
+        stores[s].append_remove(&mut shard, id)?;
+        let next = cur.engine.with_shard(s, shard);
+        Ok((id, self.swap(&cur, next, s)))
     }
 
-    /// Fold the delta segments this handle has observed into a fresh
-    /// base snapshot. The engine state is unchanged (compaction
-    /// reorganizes disk, not the index), so the version does not
-    /// move; segments appended by an external writer and not yet
-    /// reloaded survive untouched (see [`IndexStore::compact`]).
-    /// Returns the number of folded segments.
+    /// Fold every shard's observed delta segments into fresh base
+    /// snapshots. The engine state is unchanged (compaction
+    /// reorganizes disk, not the index), so no version moves;
+    /// segments appended by an external writer and not yet reloaded
+    /// survive untouched (see [`IndexStore::compact`]). Returns the
+    /// total number of folded segments.
     pub fn compact(&self) -> Result<usize, MaintenanceError> {
-        let mut store = self.lock_store();
+        let mut stores = self.lock_stores();
         let cur = self.snapshot();
-        Ok(store.compact(&cur.engine)?)
+        let mut folded = 0;
+        for (store, shard) in stores.iter_mut().zip(cur.engine.shards()) {
+            folded += store.compact(shard)?;
+        }
+        Ok(folded)
     }
 
     /// Pick up delta segments appended by another writer (a CLI
-    /// `d3l add` next to a serving process): if the directory holds
-    /// segments this handle has not replayed, re-open the store and
-    /// swap the refreshed engine in. `None` when the handle is
-    /// already at the latest state.
+    /// `d3l add` next to a serving process): every shard directory
+    /// holding segments this handle has not replayed is re-opened and
+    /// only those shards are swapped. `None` when the handle is
+    /// already at the latest state everywhere.
     pub fn reload_latest(&self) -> Result<Option<Arc<EngineSnapshot>>, MaintenanceError> {
-        let mut store = self.lock_store();
-        if !store.has_newer_segments()? {
+        let mut stores = self.lock_stores();
+        let stale: Vec<usize> = {
+            let mut stale = Vec::new();
+            for (s, store) in stores.iter_mut().enumerate() {
+                if store.has_newer_segments()? {
+                    stale.push(s);
+                }
+            }
+            stale
+        };
+        if stale.is_empty() {
             return Ok(None);
         }
-        let (new_store, engine) = IndexStore::open(store.dir())?;
         let cur = self.snapshot();
-        *store = new_store;
-        Ok(Some(self.swap(&cur, engine)))
+        let mut next = cur.engine.clone();
+        for &s in &stale {
+            let (new_store, engine) = IndexStore::open(stores[s].dir())?;
+            stores[s] = new_store;
+            next = next.with_shard(s, engine);
+        }
+        Ok(Some(self.swap_many(&cur, next, &stale)))
     }
 
     /// On-disk footprint: `(base bytes, delta bytes, pending delta
-    /// segments)`.
+    /// segments)` summed across shards.
     pub fn disk_stats(&self) -> Result<(u64, u64, usize), MaintenanceError> {
-        let store = self.lock_store();
-        let (base, deltas) = store.disk_bytes()?;
-        let pending = store.delta_count()?;
-        Ok((base, deltas, pending))
+        Ok(self
+            .shard_disk_stats()?
+            .into_iter()
+            .fold((0, 0, 0), |acc, s| (acc.0 + s.0, acc.1 + s.1, acc.2 + s.2)))
+    }
+
+    /// Per-shard on-disk footprints, parallel to `engine.shards()`.
+    pub fn shard_disk_stats(&self) -> Result<Vec<(u64, u64, usize)>, MaintenanceError> {
+        let stores = self.lock_stores();
+        let mut out = Vec::with_capacity(stores.len());
+        for store in stores.iter() {
+            let (base, deltas) = store.disk_bytes()?;
+            out.push((base, deltas, store.delta_count()?));
+        }
+        Ok(out)
+    }
+
+    /// Publish `next` as the successor of `prev`, stamping shard
+    /// `touched` with the new version.
+    fn swap(&self, prev: &EngineSnapshot, next: ShardedD3l, touched: usize) -> Arc<EngineSnapshot> {
+        self.swap_many(prev, next, &[touched])
     }
 
     /// Publish `next` as the successor of `prev` and return the new
     /// snapshot. Callers hold the store lock, so versions move one
     /// writer at a time.
-    fn swap(&self, prev: &EngineSnapshot, next: D3l) -> Arc<EngineSnapshot> {
+    fn swap_many(
+        &self,
+        prev: &EngineSnapshot,
+        next: ShardedD3l,
+        touched: &[usize],
+    ) -> Arc<EngineSnapshot> {
+        let version = prev.version + 1;
+        let mut shard_versions = prev.shard_versions.clone();
+        for &s in touched {
+            shard_versions[s] = version;
+        }
         let swapped = Arc::new(EngineSnapshot {
-            version: prev.version + 1,
+            version,
+            shard_versions,
             engine: next,
         });
         *self
@@ -234,10 +403,10 @@ impl EngineHandle {
             .unwrap_or_else(|poison| poison.into_inner())
     }
 
-    fn lock_store(&self) -> MutexGuard<'_, IndexStore> {
-        // Same reasoning: the store handle's bookkeeping is only
+    fn lock_stores(&self) -> MutexGuard<'_, Vec<IndexStore>> {
+        // Same reasoning: the store handles' bookkeeping is only
         // advanced after a successful durable write.
-        self.store
+        self.stores
             .lock()
             .unwrap_or_else(|poison| poison.into_inner())
     }
@@ -304,8 +473,8 @@ mod tests {
         // A cold start over the directory sees the same final state.
         let reopened = EngineHandle::open(&dir).unwrap();
         assert_eq!(
-            reopened.snapshot().engine.to_snapshot_bytes(),
-            handle.snapshot().engine.to_snapshot_bytes()
+            reopened.snapshot().engine.shards()[0].to_snapshot_bytes(),
+            handle.snapshot().engine.shards()[0].to_snapshot_bytes()
         );
         std::fs::remove_dir_all(&dir).ok();
     }
@@ -372,6 +541,167 @@ mod tests {
         assert_eq!(snap.version, 1);
         assert!(snap.engine.name_to_id().contains_key("late"));
         assert!(handle.reload_latest().unwrap().is_none(), "caught up");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    // ------------------------------------------------ sharded layout
+
+    fn sharded_lake(tables: usize) -> DataLake {
+        let mut lake = DataLake::new();
+        for t in 0..tables {
+            let rows: Vec<Vec<String>> = (0..5)
+                .map(|r| {
+                    vec![
+                        format!("practice_{}_{}", t % 3, r),
+                        format!("{}", (t * 13 + r) % 90),
+                    ]
+                })
+                .collect();
+            lake.add(
+                Table::from_rows(format!("lake_table_{t:02}"), &["name", "count"], &rows).unwrap(),
+            )
+            .unwrap();
+        }
+        lake
+    }
+
+    fn sharded_handle(tag: &str, shards: usize) -> (EngineHandle, std::path::PathBuf) {
+        let dir = std::env::temp_dir().join(format!("d3l_hotswap_sh_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = D3lConfig {
+            shards,
+            ..D3lConfig::fast()
+        };
+        let engine = ShardedD3l::index_lake(&sharded_lake(8), cfg);
+        let handle = EngineHandle::create(&dir, engine).unwrap();
+        (handle, dir)
+    }
+
+    /// Every shard's base-snapshot bytes as currently on disk.
+    fn disk_shard_bytes(dir: &Path, n: usize) -> Vec<Vec<u8>> {
+        (0..n)
+            .map(|s| std::fs::read(dir.join(shard_dir_name(s)).join(BASE_FILE)).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn sharded_mutations_touch_only_the_owning_shard() {
+        let (handle, dir) = sharded_handle("blast", 3);
+        let before = handle.snapshot();
+        assert_eq!(before.shard_versions, vec![0, 0, 0]);
+        let disk_before = disk_shard_bytes(&dir, 3);
+
+        let table = extra_table("newcomer");
+        let owner = before.engine.shard_of("newcomer");
+        let (id, after) = handle.add_table(&table).unwrap();
+        assert_eq!(id, before.engine.next_table_id());
+        assert_eq!(after.engine.table_name(id), "newcomer");
+        assert_eq!(after.engine.owner_of(id), Some(owner));
+
+        // Non-owning shards: same Arc (no copy), same version stamp,
+        // same bytes on disk.
+        let disk_after = disk_shard_bytes(&dir, 3);
+        for s in 0..3 {
+            if s == owner {
+                assert_eq!(after.shard_versions[s], 1, "owner stamped");
+                continue;
+            }
+            assert!(
+                Arc::ptr_eq(&before.engine.shards()[s], &after.engine.shards()[s]),
+                "shard {s} must be shared, not copied"
+            );
+            assert_eq!(after.shard_versions[s], 0, "shard {s} stamp must hold");
+            assert_eq!(disk_before[s], disk_after[s], "shard {s} bytes must hold");
+        }
+
+        // Remove follows the same discipline.
+        let victim = "lake_table_03";
+        let victim_owner = after.engine.shard_of(victim);
+        let (_, removed) = handle.remove_table(victim).unwrap();
+        for s in 0..3 {
+            if s == victim_owner {
+                assert_eq!(removed.shard_versions[s], 2);
+            } else {
+                assert!(Arc::ptr_eq(
+                    &after.engine.shards()[s],
+                    &removed.engine.shards()[s]
+                ));
+                assert_eq!(removed.shard_versions[s], after.shard_versions[s]);
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sharded_lifecycle_survives_compact_and_reopen() {
+        let (handle, dir) = sharded_handle("cycle", 3);
+        handle.add_table(&extra_table("added_one")).unwrap();
+        handle.remove_table("lake_table_05").unwrap();
+
+        let reopened = EngineHandle::open(&dir).unwrap();
+        let live = handle.snapshot();
+        let cold = reopened.snapshot();
+        assert_eq!(cold.engine.shard_count(), 3);
+        for s in 0..3 {
+            assert_eq!(
+                live.engine.shards()[s].to_snapshot_bytes(),
+                cold.engine.shards()[s].to_snapshot_bytes(),
+                "shard {s} replay must reproduce the live engine"
+            );
+        }
+
+        assert!(handle.compact().unwrap() >= 2);
+        assert_eq!(handle.disk_stats().unwrap().2, 0);
+        let recompacted = EngineHandle::open(&dir).unwrap();
+        for s in 0..3 {
+            assert_eq!(
+                live.engine.shards()[s].to_snapshot_bytes(),
+                recompacted.snapshot().engine.shards()[s].to_snapshot_bytes(),
+                "shard {s} compacted base must reproduce the live engine"
+            );
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sharded_reload_picks_up_external_shard_segments() {
+        let (handle, dir) = sharded_handle("ext", 2);
+        assert!(handle.reload_latest().unwrap().is_none());
+
+        // A second writer appends straight into one shard's store.
+        let cur = handle.snapshot();
+        let name = "externally_added";
+        let owner = cur.engine.shard_of(name);
+        let id = cur.engine.next_table_id();
+        let (mut store, mut engine) = IndexStore::open(dir.join(shard_dir_name(owner))).unwrap();
+        store
+            .append_add_at(&mut engine, &extra_table(name), id)
+            .unwrap();
+
+        let snap = handle.reload_latest().unwrap().expect("must observe");
+        assert!(snap.engine.name_to_id().contains_key(name));
+        assert_eq!(snap.engine.owner_of(id), Some(owner));
+        for s in 0..2 {
+            if s != owner {
+                assert!(Arc::ptr_eq(
+                    &cur.engine.shards()[s],
+                    &snap.engine.shards()[s]
+                ));
+                assert_eq!(snap.shard_versions[s], 0);
+            }
+        }
+        assert!(handle.reload_latest().unwrap().is_none(), "caught up");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn open_rejects_a_gapped_shard_set() {
+        let (_, dir) = sharded_handle("gap", 3);
+        std::fs::remove_dir_all(dir.join(shard_dir_name(1))).unwrap();
+        assert!(matches!(
+            EngineHandle::open(&dir),
+            Err(StoreError::Corrupt(_))
+        ));
         std::fs::remove_dir_all(&dir).ok();
     }
 }

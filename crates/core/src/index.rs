@@ -347,6 +347,49 @@ impl D3l {
         id
     }
 
+    /// Append an empty, permanently-tombstoned slot.
+    ///
+    /// The sharded engine keys every shard by *global* table id: a
+    /// shard's slot vector is dense over `0..=max_owned_id` with
+    /// holes at the ids other shards own. A hole is encoded with the
+    /// means the snapshot format already has — `removed = true` with
+    /// an empty name and arity 0 — so per-shard snapshots, deltas and
+    /// compaction all work unchanged. Holes are distinguishable from
+    /// real removal tombstones because tombstones keep their table
+    /// name for display.
+    pub(crate) fn push_hole(&mut self) {
+        self.names.push(String::new());
+        self.arities.push(0);
+        self.subjects.push(None);
+        self.profiles.push(Vec::new());
+        self.removed.push(true);
+    }
+
+    /// Whether a slot is a non-owned hole (see [`D3l::push_hole`]) as
+    /// opposed to a live table or a real removal tombstone.
+    pub(crate) fn is_hole(&self, id: TableId) -> bool {
+        let idx = id.index();
+        idx < self.removed.len() && self.removed[idx] && self.names[idx].is_empty()
+    }
+
+    /// [`D3l::add_table`] at an explicit table id: pad holes up to
+    /// `id`, then insert. Used by shards, whose local slot vectors
+    /// are sparse views of the global id space — the id is chosen
+    /// globally and must land on a slot this engine has never used.
+    /// Panics if `id` is below the current slot count.
+    pub(crate) fn add_table_at(&mut self, table: &Table, id: TableId) -> TableId {
+        assert!(
+            id.index() >= self.table_count(),
+            "add_table_at id {id} collides with an existing slot"
+        );
+        while self.table_count() < id.index() {
+            self.push_hole();
+        }
+        let got = self.add_table(table);
+        debug_assert_eq!(got, id);
+        got
+    }
+
     /// Drop a table from the index (the maintenance counterpart of
     /// [`D3l::add_table`]). Its attributes leave all four forests —
     /// dropping entries preserves each tree's sort, so no re-commit is

@@ -57,6 +57,7 @@ pub mod metrics;
 pub mod populate;
 pub mod profile;
 pub mod query;
+pub mod shard;
 pub mod snapshot;
 pub mod weights;
 
@@ -70,5 +71,6 @@ pub use join::{JoinPath, SaJoinGraph};
 pub use populate::Population;
 pub use profile::AttributeProfile;
 pub use query::{Alignment, PreparedTarget, QueryOptions, TableMatch};
+pub use shard::{shard_of_name, ShardedD3l};
 pub use snapshot::{DeltaRecord, IndexStore};
 pub use weights::EvidenceWeights;

@@ -105,8 +105,11 @@ impl AttributeProfile {
         // Sorted ascending so KS at query time is a linear merge
         // rather than a per-pair sort.
         let numeric_extent = if is_numeric {
+            // total_cmp, not partial_cmp: a column whose cells parse
+            // to NaN ("nan", "-nan") would otherwise hand the sort a
+            // comparator that violates strict weak ordering.
             let mut e = column.numeric_extent();
-            e.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+            e.sort_by(f64::total_cmp);
             e
         } else {
             Vec::new()

@@ -118,7 +118,7 @@ impl PreparedTarget {
 /// results are reassembled in spawn order, so the output — and every
 /// float reduction downstream of it — is independent of the thread
 /// count.
-fn par_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+pub(crate) fn par_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
 where
     T: Sync,
     R: Send,
@@ -141,6 +141,171 @@ where
         }
     });
     out
+}
+
+/// Stage 3 — CCDF-weighted aggregation (Eq. 1–3): build the distance
+/// populations `R_t`, keep the best pair per (source table, target
+/// attribute), aggregate column-wise and collapse to the ranking.
+/// Sequential; all grouping uses ordered maps over stage 2's sorted
+/// candidate lists.
+///
+/// A free function reading no index state: it sees only the scored
+/// pair lists, so the sharded engine feeds it the gathered pairs from
+/// every shard and gets the monolith's ranking by construction.
+pub(crate) fn stage_aggregate(
+    scored: &[Vec<(AttrRef, DistanceVector)>],
+    opts: &QueryOptions,
+) -> Vec<TableMatch> {
+    // ---- Distance populations R_t per target attribute --------
+    let populations: Vec<[Vec<f64>; 5]> = scored
+        .iter()
+        .map(|cands| {
+            let mut pops: [Vec<f64>; 5] = Default::default();
+            for (_, dv) in cands {
+                for (t, pop) in pops.iter_mut().enumerate() {
+                    if dv.0[t] < 1.0 {
+                        pop.push(dv.0[t]);
+                    }
+                }
+            }
+            pops
+        })
+        .collect();
+
+    // ---- Group by table: best pair per target attribute -------
+    let pick = |dv: &DistanceVector| match opts.evidence {
+        Some(e) => dv.get(e),
+        None => dv.mean(),
+    };
+    let mut by_table: BTreeMap<TableId, Vec<Alignment>> = BTreeMap::new();
+    for (i, cands) in scored.iter().enumerate() {
+        let mut best: BTreeMap<TableId, (AttrRef, DistanceVector)> = BTreeMap::new();
+        // Candidates arrive sorted by key, so ties keep the
+        // lowest-key attribute deterministically.
+        for &(attr, dv) in cands {
+            match best.get(&attr.table) {
+                Some((_, cur)) if pick(cur) <= pick(&dv) => {}
+                _ => {
+                    best.insert(attr.table, (attr, dv));
+                }
+            }
+        }
+        for (table, (attr, dv)) in best {
+            by_table.entry(table).or_default().push(Alignment {
+                target_column: i,
+                source: attr,
+                distances: dv,
+            });
+        }
+    }
+
+    // ---- Eq. 1 + Eq. 3 per table -------------------------------
+    let weights = opts.weights.unwrap_or_default();
+    let mut matches: Vec<TableMatch> = by_table
+        .into_iter()
+        .map(|(table, mut alignments)| {
+            alignments.sort_by_key(|a| (a.target_column, a.source));
+            let mut vector = DistanceVector::max_distant();
+            for e in Evidence::ALL {
+                let t = e.index();
+                let pairs: Vec<(f64, f64)> = alignments
+                    .iter()
+                    .filter(|a| a.distances.0[t] < 1.0)
+                    .map(|a| {
+                        let d = a.distances.0[t];
+                        (d, ccdf_weight(d, &populations[a.target_column][t]))
+                    })
+                    .collect();
+                vector.0[t] = aggregate_evidence(&pairs);
+            }
+            let distance = match opts.evidence {
+                Some(e) => vector.get(e),
+                None => weights.combined_distance(&vector),
+            };
+            TableMatch {
+                table,
+                distance,
+                vector,
+                alignments,
+            }
+        })
+        .collect();
+
+    matches.sort_by(|a, b| {
+        a.distance
+            .total_cmp(&b.distance)
+            .then_with(|| a.table.cmp(&b.table))
+    });
+    matches
+}
+
+/// The five estimated distances of a (target attr, lake attr) pair
+/// with the lake side already resolved — Algorithm 2 decides whether
+/// KS is computed. The resolution step (profile + stored-signature
+/// lookup by [`AttrRef`]) is the only part of pairwise scoring that
+/// touches index state, so both the monolith and the sharded engine
+/// route lookups their own way and share this scoring core.
+pub(crate) fn pair_distances_resolved(
+    tp: &AttributeProfile,
+    ts: &AttrSignatures,
+    sp: &AttributeProfile,
+    ss: &AttrSignatures,
+    guard_subject: bool,
+    threshold: f64,
+) -> DistanceVector {
+    let d_n =
+        estimated_jaccard_distance(&ts.name, &ss.name, tp.qset.is_empty(), sp.qset.is_empty());
+    let d_v = estimated_jaccard_distance(&ts.value, &ss.value, !tp.has_text(), !sp.has_text());
+    let d_f = estimated_jaccard_distance(
+        &ts.format,
+        &ss.format,
+        tp.rset.is_empty(),
+        sp.rset.is_empty(),
+    );
+    let d_e = estimated_cosine_distance(
+        &ts.embedding,
+        &ss.embedding,
+        !tp.has_embedding(),
+        !sp.has_embedding(),
+    );
+
+    // Algorithm 2: only both-numeric pairs get a KS measurement,
+    // and only when blocked-in by existing evidence.
+    let d_d = if tp.is_numeric && sp.is_numeric {
+        let guard_name = 1.0 - d_n >= threshold;
+        let guard_format = 1.0 - d_f >= threshold;
+        if guard_subject || guard_name || guard_format {
+            ks::ks_statistic_presorted(&tp.numeric_extent, &sp.numeric_extent)
+        } else {
+            1.0
+        }
+    } else {
+        1.0
+    };
+
+    DistanceVector([d_n, d_v, d_f, d_e, d_d])
+}
+
+/// Algorithm 2 line 4 with the lake subject's signatures already
+/// resolved: are the subject attributes of the target and of a lake
+/// table related in any index (`i' ∈ I*.lookup(i)`)? `ss` is `None`
+/// when the lake table has no subject attribute.
+pub(crate) fn subjects_related_resolved(
+    prepared: &PreparedTarget,
+    ss: Option<&AttrSignatures>,
+    threshold: f64,
+) -> bool {
+    let (Some(ti), Some(ss)) = (prepared.subject, ss) else {
+        return false;
+    };
+    if ti >= prepared.sigs.len() {
+        return false;
+    }
+    let ts = &prepared.sigs[ti];
+    ts.name.jaccard(&ss.name) >= threshold
+        || ts.value.jaccard(&ss.value) >= threshold
+        || ts.format.jaccard(&ss.format) >= threshold
+        || ts.embedding.cosine(&ss.embedding) >= threshold
 }
 
 impl D3l {
@@ -304,7 +469,7 @@ impl D3l {
     ) -> Vec<TableMatch> {
         let candidates = self.stage_candidates(prepared, width, opts, threads);
         let scored = self.stage_score(prepared, &candidates, threads);
-        self.stage_aggregate(&scored, opts)
+        stage_aggregate(&scored, opts)
     }
 
     /// Stage 1 — candidate generation: per target attribute, the
@@ -361,100 +526,6 @@ impl D3l {
             }
         }
         out
-    }
-
-    /// Stage 3 — CCDF-weighted aggregation (Eq. 1–3): build the
-    /// distance populations `R_t`, keep the best pair per (source
-    /// table, target attribute), aggregate column-wise and collapse
-    /// to the ranking. Sequential; all grouping uses ordered maps
-    /// over stage 2's sorted candidate lists.
-    fn stage_aggregate(
-        &self,
-        scored: &[Vec<(AttrRef, DistanceVector)>],
-        opts: &QueryOptions,
-    ) -> Vec<TableMatch> {
-        // ---- Distance populations R_t per target attribute --------
-        let populations: Vec<[Vec<f64>; 5]> = scored
-            .iter()
-            .map(|cands| {
-                let mut pops: [Vec<f64>; 5] = Default::default();
-                for (_, dv) in cands {
-                    for (t, pop) in pops.iter_mut().enumerate() {
-                        if dv.0[t] < 1.0 {
-                            pop.push(dv.0[t]);
-                        }
-                    }
-                }
-                pops
-            })
-            .collect();
-
-        // ---- Group by table: best pair per target attribute -------
-        let pick = |dv: &DistanceVector| match opts.evidence {
-            Some(e) => dv.get(e),
-            None => dv.mean(),
-        };
-        let mut by_table: BTreeMap<TableId, Vec<Alignment>> = BTreeMap::new();
-        for (i, cands) in scored.iter().enumerate() {
-            let mut best: BTreeMap<TableId, (AttrRef, DistanceVector)> = BTreeMap::new();
-            // Candidates arrive sorted by key, so ties keep the
-            // lowest-key attribute deterministically.
-            for &(attr, dv) in cands {
-                match best.get(&attr.table) {
-                    Some((_, cur)) if pick(cur) <= pick(&dv) => {}
-                    _ => {
-                        best.insert(attr.table, (attr, dv));
-                    }
-                }
-            }
-            for (table, (attr, dv)) in best {
-                by_table.entry(table).or_default().push(Alignment {
-                    target_column: i,
-                    source: attr,
-                    distances: dv,
-                });
-            }
-        }
-
-        // ---- Eq. 1 + Eq. 3 per table -------------------------------
-        let weights = opts.weights.unwrap_or_default();
-        let mut matches: Vec<TableMatch> = by_table
-            .into_iter()
-            .map(|(table, mut alignments)| {
-                alignments.sort_by_key(|a| (a.target_column, a.source));
-                let mut vector = DistanceVector::max_distant();
-                for e in Evidence::ALL {
-                    let t = e.index();
-                    let pairs: Vec<(f64, f64)> = alignments
-                        .iter()
-                        .filter(|a| a.distances.0[t] < 1.0)
-                        .map(|a| {
-                            let d = a.distances.0[t];
-                            (d, ccdf_weight(d, &populations[a.target_column][t]))
-                        })
-                        .collect();
-                    vector.0[t] = aggregate_evidence(&pairs);
-                }
-                let distance = match opts.evidence {
-                    Some(e) => vector.get(e),
-                    None => weights.combined_distance(&vector),
-                };
-                TableMatch {
-                    table,
-                    distance,
-                    vector,
-                    alignments,
-                }
-            })
-            .collect();
-
-        matches.sort_by(|a, b| {
-            a.distance
-                .partial_cmp(&b.distance)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then_with(|| a.table.cmp(&b.table))
-        });
-        matches
     }
 
     /// The set of lake tables related to `target` by at least one
@@ -559,58 +630,18 @@ impl D3l {
     ) -> DistanceVector {
         let sp = self.profile(attr);
         let ss = self.stored_signatures(attr);
-
-        let d_n =
-            estimated_jaccard_distance(&ts.name, &ss.name, tp.qset.is_empty(), sp.qset.is_empty());
-        let d_v = estimated_jaccard_distance(&ts.value, &ss.value, !tp.has_text(), !sp.has_text());
-        let d_f = estimated_jaccard_distance(
-            &ts.format,
-            &ss.format,
-            tp.rset.is_empty(),
-            sp.rset.is_empty(),
-        );
-        let d_e = estimated_cosine_distance(
-            &ts.embedding,
-            &ss.embedding,
-            !tp.has_embedding(),
-            !sp.has_embedding(),
-        );
-
-        // Algorithm 2: only both-numeric pairs get a KS measurement,
-        // and only when blocked-in by existing evidence.
-        let d_d = if tp.is_numeric && sp.is_numeric {
-            let guard_subject = subject_guards.get(&attr.table).copied().unwrap_or(false);
-            let guard_name = 1.0 - d_n >= self.cfg.threshold;
-            let guard_format = 1.0 - d_f >= self.cfg.threshold;
-            if guard_subject || guard_name || guard_format {
-                ks::ks_statistic_presorted(&tp.numeric_extent, &sp.numeric_extent)
-            } else {
-                1.0
-            }
-        } else {
-            1.0
-        };
-
-        DistanceVector([d_n, d_v, d_f, d_e, d_d])
+        let guard_subject = subject_guards.get(&attr.table).copied().unwrap_or(false);
+        pair_distances_resolved(tp, ts, sp, &ss, guard_subject, self.cfg.threshold)
     }
 
     /// Algorithm 2 line 4: are the subject attributes of the target
     /// and of lake table `s_table` related in any index
     /// (`i' ∈ I*.lookup(i)`)?
     fn subjects_related(&self, prepared: &PreparedTarget, s_table: TableId) -> bool {
-        let (Some(ti), Some(s_attr)) = (prepared.subject, self.subject_of(s_table)) else {
-            return false;
-        };
-        if ti >= prepared.sigs.len() {
-            return false;
-        }
-        let ts = &prepared.sigs[ti];
-        let ss = self.stored_signatures(s_attr);
-        let thr = self.cfg.threshold;
-        ts.name.jaccard(&ss.name) >= thr
-            || ts.value.jaccard(&ss.value) >= thr
-            || ts.format.jaccard(&ss.format) >= thr
-            || ts.embedding.cosine(&ss.embedding) >= thr
+        let ss = self
+            .subject_of(s_table)
+            .map(|s_attr| self.stored_signatures(s_attr));
+        subjects_related_resolved(prepared, ss.as_ref(), self.cfg.threshold)
     }
 }
 

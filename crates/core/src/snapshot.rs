@@ -85,6 +85,11 @@ fn encode_config(cfg: &D3lConfig, enc: &mut Encoder) {
     enc.put_u64(cfg.seed);
     enc.put_varint(cfg.index_threads as u64);
     enc.put_varint(cfg.query_threads as u64);
+    // Appended after the original 13 fields so pre-sharding readers
+    // of this writer's snapshots fail loudly (trailing bytes) rather
+    // than silently, and this reader accepts pre-sharding snapshots
+    // (absent field = 1 shard).
+    enc.put_varint(cfg.shards as u64);
 }
 
 fn decode_config(dec: &mut Decoder<'_>) -> Result<D3lConfig, StoreError> {
@@ -102,9 +107,19 @@ fn decode_config(dec: &mut Decoder<'_>) -> Result<D3lConfig, StoreError> {
         seed: dec.get_u64()?,
         index_threads: dec.get_varint()? as usize,
         query_threads: dec.get_varint()? as usize,
+        // Optional trailing field: snapshots written before sharding
+        // end here and mean one monolithic shard.
+        shards: if dec.is_exhausted() {
+            1
+        } else {
+            dec.get_varint()? as usize
+        },
     };
     if cfg.num_perm == 0 || cfg.embed_bits == 0 || cfg.embed_dim == 0 || cfg.trees == 0 {
         return Err(StoreError::corrupt("config with zero-sized index shape"));
+    }
+    if cfg.shards == 0 {
+        return Err(StoreError::corrupt("config with zero shards"));
     }
     if cfg.num_perm < cfg.trees || cfg.embed_bits < cfg.trees {
         return Err(StoreError::corrupt(
@@ -389,6 +404,22 @@ pub enum DeltaRecord {
         /// The removed table.
         table: TableId,
     },
+    /// A table added at an explicit id. Shard delta chains use this
+    /// instead of [`DeltaRecord::Add`]: ids are allocated globally
+    /// across the shard set, so a shard's next local slot index says
+    /// nothing about the id the table must land on. Replay pads the
+    /// gap with holes (see `D3l::push_hole`) and inserts at exactly
+    /// `table`.
+    AddAt {
+        /// The globally-allocated table id.
+        table: TableId,
+        /// Table name.
+        name: String,
+        /// Subject-attribute column, if classified.
+        subject: Option<u32>,
+        /// Per-column profiles.
+        profiles: Vec<AttributeProfile>,
+    },
 }
 
 impl DeltaRecord {
@@ -419,6 +450,28 @@ impl DeltaRecord {
                 enc.put_u8(2);
                 enc.put_varint(table.0 as u64);
             }
+            DeltaRecord::AddAt {
+                table,
+                name,
+                subject,
+                profiles,
+            } => {
+                debug_assert!(
+                    profiles.iter().all(|p| p.embedding.len() == embed_dim),
+                    "profiles must match the engine dimensionality"
+                );
+                enc.put_u8(3);
+                enc.put_varint(table.0 as u64);
+                enc.put_str(name);
+                match subject {
+                    Some(c) => {
+                        enc.put_u8(1);
+                        enc.put_varint(*c as u64);
+                    }
+                    None => enc.put_u8(0),
+                }
+                enc.put_bytes(&encode_profiles(profiles));
+            }
         }
         enc.into_bytes()
     }
@@ -427,25 +480,7 @@ impl DeltaRecord {
         let mut dec = Decoder::new(bytes);
         let record = match dec.get_u8()? {
             1 => {
-                let name = dec.get_str()?;
-                let subject = match dec.get_u8()? {
-                    0 => None,
-                    1 => Some(dec.get_varint()? as u32),
-                    other => {
-                        return Err(StoreError::corrupt(format!(
-                            "delta subject flag must be 0/1, found {other}"
-                        )))
-                    }
-                };
-                let profiles = decode_profiles(dec.get_bytes()?, embed_dim)?;
-                if let Some(c) = subject {
-                    if c as usize >= profiles.len() {
-                        return Err(StoreError::corrupt(format!(
-                            "delta subject column {c} outside arity {}",
-                            profiles.len()
-                        )));
-                    }
-                }
+                let (name, subject, profiles) = Self::decode_add_fields(&mut dec, embed_dim)?;
                 DeltaRecord::Add {
                     name,
                     subject,
@@ -453,11 +488,18 @@ impl DeltaRecord {
                 }
             }
             2 => DeltaRecord::Remove {
-                table: TableId(
-                    u32::try_from(dec.get_varint()?)
-                        .map_err(|_| StoreError::corrupt("delta table id exceeds u32"))?,
-                ),
+                table: Self::decode_table_id(&mut dec)?,
             },
+            3 => {
+                let table = Self::decode_table_id(&mut dec)?;
+                let (name, subject, profiles) = Self::decode_add_fields(&mut dec, embed_dim)?;
+                DeltaRecord::AddAt {
+                    table,
+                    name,
+                    subject,
+                    profiles,
+                }
+            }
             other => {
                 return Err(StoreError::corrupt(format!(
                     "unknown delta record type {other}"
@@ -466,6 +508,41 @@ impl DeltaRecord {
         };
         dec.expect_exhausted("delta record")?;
         Ok(record)
+    }
+
+    fn decode_table_id(dec: &mut Decoder<'_>) -> Result<TableId, StoreError> {
+        Ok(TableId(u32::try_from(dec.get_varint()?).map_err(|_| {
+            StoreError::corrupt("delta table id exceeds u32")
+        })?))
+    }
+
+    /// The shared payload of `Add` and `AddAt`: name, subject flag,
+    /// profile block.
+    #[allow(clippy::type_complexity)]
+    fn decode_add_fields(
+        dec: &mut Decoder<'_>,
+        embed_dim: usize,
+    ) -> Result<(String, Option<u32>, Vec<AttributeProfile>), StoreError> {
+        let name = dec.get_str()?;
+        let subject = match dec.get_u8()? {
+            0 => None,
+            1 => Some(dec.get_varint()? as u32),
+            other => {
+                return Err(StoreError::corrupt(format!(
+                    "delta subject flag must be 0/1, found {other}"
+                )))
+            }
+        };
+        let profiles = decode_profiles(dec.get_bytes()?, embed_dim)?;
+        if let Some(c) = subject {
+            if c as usize >= profiles.len() {
+                return Err(StoreError::corrupt(format!(
+                    "delta subject column {c} outside arity {}",
+                    profiles.len()
+                )));
+            }
+        }
+        Ok((name, subject, profiles))
     }
 }
 
@@ -489,6 +566,24 @@ impl D3l {
                     )));
                 }
                 self.remove_table(table);
+                Ok(())
+            }
+            DeltaRecord::AddAt {
+                table,
+                name,
+                subject,
+                profiles,
+            } => {
+                if table.index() < self.table_count() {
+                    return Err(StoreError::corrupt(format!(
+                        "delta adds table {table} at an already-occupied slot"
+                    )));
+                }
+                while self.table_count() < table.index() {
+                    self.push_hole();
+                }
+                let got = self.insert_profiled_table(name, subject, profiles);
+                debug_assert_eq!(got, table);
                 Ok(())
             }
         }
@@ -601,6 +696,27 @@ impl IndexStore {
     pub fn append_add(&mut self, d3l: &mut D3l, table: &Table) -> Result<TableId, StoreError> {
         let id = d3l.add_table(table);
         let record = DeltaRecord::Add {
+            name: d3l.table_name(id).to_string(),
+            subject: d3l.subject_of(id).map(|a| a.column),
+            profiles: d3l.profiles[id.index()].clone(),
+        };
+        self.write_delta(&record, d3l.config().embed_dim)?;
+        Ok(id)
+    }
+
+    /// [`IndexStore::append_add`] at an explicit, globally-allocated
+    /// table id (shard stores — see `DeltaRecord::AddAt`). Pads the
+    /// engine's slot vector with holes up to `id`, so `id` must be at
+    /// or above the engine's current slot count.
+    pub fn append_add_at(
+        &mut self,
+        d3l: &mut D3l,
+        table: &Table,
+        id: TableId,
+    ) -> Result<TableId, StoreError> {
+        let id = d3l.add_table_at(table, id);
+        let record = DeltaRecord::AddAt {
+            table: id,
             name: d3l.table_name(id).to_string(),
             subject: d3l.subject_of(id).map(|a| a.column),
             profiles: d3l.profiles[id.index()].clone(),

@@ -10,8 +10,8 @@
 pub fn ks_statistic(a: &[f64], b: &[f64]) -> f64 {
     let mut xs: Vec<f64> = a.to_vec();
     let mut ys: Vec<f64> = b.to_vec();
-    xs.sort_by(|p, q| p.partial_cmp(q).unwrap_or(std::cmp::Ordering::Equal));
-    ys.sort_by(|p, q| p.partial_cmp(q).unwrap_or(std::cmp::Ordering::Equal));
+    xs.sort_by(f64::total_cmp);
+    ys.sort_by(f64::total_cmp);
     ks_statistic_presorted(&xs, &ys)
 }
 

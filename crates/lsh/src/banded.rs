@@ -173,8 +173,7 @@ impl<S: Signature> BandedIndex<S> {
             .collect();
         hits.sort_by(|a, b| {
             b.similarity
-                .partial_cmp(&a.similarity)
-                .unwrap_or(std::cmp::Ordering::Equal)
+                .total_cmp(&a.similarity)
                 .then_with(|| a.id.cmp(&b.id))
         });
         hits

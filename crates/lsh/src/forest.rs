@@ -307,6 +307,87 @@ impl<S: Signature> LshForest<S> {
     }
 }
 
+/// Top-`k` query over the disjoint union of several forests — the
+/// scatter-gather primitive of a sharded index.
+///
+/// All forests must share one shape (same `l`, same `k`) and index
+/// disjoint item sets; each shard's trees then hold exactly the
+/// monolith's entries for its items, in the same sorted order. This
+/// runs the *same* algorithm as [`LshForest::query`] with one extra
+/// inner loop over forests:
+///
+/// * per `(depth, tree)`, the union of the shards' prefix ranges has
+///   exactly the contents of the monolith's prefix range (a sorted
+///   tree partitions into sorted shard trees; a prefix range selects
+///   by label only);
+/// * the widening stop condition sees the *global* candidate count,
+///   not a per-shard one;
+/// * the small-lake fallback selects over the union of all stored
+///   ids, exactly the monolith's id set.
+///
+/// So the returned hits are byte-identical to querying one forest
+/// holding every item — by construction, not by post-hoc merging.
+/// Querying each shard separately and merging would *not* be: the
+/// descent could stop at a different depth per shard, and the
+/// fallback would select ids against per-shard counts.
+pub fn query_union<S: Signature>(forests: &[&LshForest<S>], sig: &S, k: usize) -> Vec<Hit> {
+    assert!(!forests.is_empty(), "need at least one forest");
+    let (l, depth_k) = forests[0].shape();
+    for f in forests {
+        assert!(f.sorted, "forest not committed; call commit() first");
+        debug_assert_eq!(f.shape(), (l, depth_k), "shards must share one shape");
+    }
+    let total: usize = forests.iter().map(|f| f.sigs.len()).sum();
+    if k == 0 || total == 0 {
+        return Vec::new();
+    }
+    // Labels depend only on the shape and the query signature — any
+    // forest computes the same ones.
+    let labels: Vec<Box<[u8]>> = (0..l).map(|t| forests[0].label(sig, t)).collect();
+    let mut candidates: std::collections::HashSet<ItemId> = std::collections::HashSet::new();
+    for depth in (1..=depth_k).rev() {
+        for (t, label) in labels.iter().enumerate() {
+            for f in forests {
+                let (lo, hi) = LshForest::<S>::prefix_range(&f.trees[t], label, depth);
+                for (_, id) in &f.trees[t][lo..hi] {
+                    candidates.insert(*id);
+                }
+            }
+        }
+        if candidates.len() >= k {
+            break;
+        }
+    }
+    if candidates.len() < k && candidates.len() < total {
+        let need = k.max(32) - candidates.len();
+        let mut rest: Vec<ItemId> = forests
+            .iter()
+            .flat_map(|f| f.sigs.keys())
+            .filter(|id| !candidates.contains(id))
+            .copied()
+            .collect();
+        if rest.len() > need {
+            rest.select_nth_unstable(need - 1);
+            rest.truncate(need);
+        }
+        candidates.extend(rest);
+    }
+    let hits: Vec<Hit> = candidates
+        .into_iter()
+        .map(|id| {
+            let stored = forests
+                .iter()
+                .find_map(|f| f.sigs.get(&id))
+                .expect("candidate came from one of the forests");
+            Hit {
+                id,
+                similarity: sig.similarity(stored),
+            }
+        })
+        .collect();
+    top_k(hits, k)
+}
+
 impl<S: Signature + Send + Sync> LshForest<S> {
     /// Bulk-build a committed forest from `(item, signature)` pairs.
     ///
@@ -498,6 +579,68 @@ mod tests {
         assert_eq!(with.trees, without.trees);
         let q = sign(&mh, &tokens("r", 3..15));
         assert_eq!(with.query(&q, 5), without.query(&q, 5));
+    }
+
+    /// The partition identity behind sharded serving: querying the
+    /// union of disjoint sub-forests is byte-identical to querying
+    /// one forest holding every item — at every shard count, for k
+    /// values that exercise both the tree descent and the small-lake
+    /// fallback scan.
+    #[test]
+    fn query_union_matches_monolith_at_every_shard_count() {
+        let mh = MinHasher::new(128, 21);
+        let items: Vec<(u64, MinHashSignature)> = (0..30)
+            .map(|i| {
+                (
+                    i * 7 + 1,
+                    sign(&mh, &tokens("u", i as usize..i as usize + 25)),
+                )
+            })
+            .collect();
+        let mut monolith = LshForest::new(128, 8);
+        for (id, sig) in &items {
+            monolith.insert(*id, sig.clone());
+        }
+        monolith.commit();
+        let queries = [
+            sign(&mh, &tokens("u", 4..29)),
+            sign(&mh, &tokens("v", 0..25)), // dissimilar: fallback path
+        ];
+        for shards in [1usize, 2, 3, 8] {
+            let mut parts: Vec<LshForest<MinHashSignature>> =
+                (0..shards).map(|_| LshForest::new(128, 8)).collect();
+            for (id, sig) in &items {
+                parts[(*id % shards as u64) as usize].insert(*id, sig.clone());
+            }
+            for p in &mut parts {
+                p.commit();
+            }
+            let refs: Vec<&LshForest<MinHashSignature>> = parts.iter().collect();
+            for q in &queries {
+                for k in [0usize, 1, 5, 29, 60] {
+                    assert_eq!(
+                        query_union(&refs, q, k),
+                        monolith.query(q, k),
+                        "shards={shards} k={k}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Empty shards (a table distribution can leave a shard with no
+    /// attributes of one evidence type) must not perturb the union.
+    #[test]
+    fn query_union_tolerates_empty_shards() {
+        let mh = MinHasher::new(128, 22);
+        let mut a = LshForest::new(128, 8);
+        a.insert(3, sign(&mh, &tokens("e", 0..20)));
+        a.commit();
+        let mut empty = LshForest::new(128, 8);
+        empty.commit();
+        let q = sign(&mh, &tokens("e", 5..25));
+        assert_eq!(query_union(&[&empty, &a, &empty], &q, 5), a.query(&q, 5));
+        assert!(query_union(&[&empty, &empty], &q, 5).is_empty());
     }
 
     #[test]

@@ -53,12 +53,13 @@ impl Hit {
 }
 
 /// Sort hits by descending similarity, tie-broken by id for
-/// determinism, and truncate to `k`.
+/// determinism, and truncate to `k`. Uses `f64::total_cmp`: a NaN
+/// similarity (conceivable with adversarial float inputs) must not
+/// break the strict weak ordering the sort contract requires.
 pub fn top_k(mut hits: Vec<Hit>, k: usize) -> Vec<Hit> {
     hits.sort_by(|a, b| {
         b.similarity
-            .partial_cmp(&a.similarity)
-            .unwrap_or(std::cmp::Ordering::Equal)
+            .total_cmp(&a.similarity)
             .then_with(|| a.id.cmp(&b.id))
     });
     hits.truncate(k);
@@ -114,5 +115,34 @@ mod tests {
         ];
         let top = top_k(hits, 2);
         assert_eq!(top[0].id, 1);
+    }
+
+    /// Regression: with the old `partial_cmp(..).unwrap_or(Equal)`
+    /// comparator a NaN similarity violated strict weak ordering —
+    /// debug builds of the stdlib sort can panic with "comparison
+    /// function does not correctly implement a total order". NaN now
+    /// has a fixed place in the total order (after every finite
+    /// similarity in descending sorts) and the result is still
+    /// deterministic.
+    #[test]
+    fn top_k_tolerates_nan_similarity() {
+        let hits: Vec<Hit> = [0.5, f64::NAN, 0.9, f64::NAN, f64::NEG_INFINITY, 0.1]
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| Hit {
+                id: i as ItemId,
+                similarity: s,
+            })
+            .collect();
+        let top = top_k(hits.clone(), 6);
+        let order: Vec<ItemId> = top.iter().map(|h| h.id).collect();
+        // total_cmp: NaN > +inf > finite > -inf, so descending puts
+        // the NaNs first, ties broken by id.
+        assert_eq!(order, vec![1, 3, 2, 0, 5, 4]);
+        // Deterministic regardless of input permutation.
+        let mut rev = hits;
+        rev.reverse();
+        let order2: Vec<ItemId> = top_k(rev, 6).iter().map(|h| h.id).collect();
+        assert_eq!(order, order2);
     }
 }

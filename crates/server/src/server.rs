@@ -22,7 +22,7 @@
 
 use std::collections::VecDeque;
 use std::io::{BufRead, BufReader, Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
@@ -354,9 +354,31 @@ impl Server {
         self.shared.counters.shed.fetch_add(1, Ordering::Relaxed);
         let _ = stream.set_write_timeout(Some(Duration::from_millis(250)));
         let _ = stream.set_nodelay(true);
-        let _ = Response::error(503, "server at capacity; back off and retry")
+        if Response::error(503, "server at capacity; back off and retry")
             .with_retry_after(RETRY_AFTER_SECS)
-            .write_to(&mut stream, false);
+            .write_to(&mut stream, false)
+            .is_err()
+        {
+            return;
+        }
+        // Closing a socket whose receive buffer still holds unread
+        // request bytes makes the kernel answer with RST, which can
+        // destroy the 503 sitting in the peer's receive queue before
+        // the peer reads it. Half-close the write side first (the FIN
+        // carries the response out), then briefly drain whatever the
+        // peer already sent so the final close is orderly. The drain
+        // is bounded — a peer that keeps streaming loses its claim on
+        // the accept thread after 250 ms.
+        let _ = stream.shutdown(Shutdown::Write);
+        let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
+        let deadline = Instant::now() + Duration::from_millis(250);
+        let mut sink = [0u8; 4096];
+        while Instant::now() < deadline {
+            match stream.read(&mut sink) {
+                Ok(0) | Err(_) => break,
+                Ok(_) => {}
+            }
+        }
     }
 
     /// Serve one connection: requests in sequence (keep-alive) until
@@ -707,6 +729,45 @@ impl Server {
             ]),
             Err(_) => Json::Null,
         };
+        // Per-shard breakdown: which partitions hold the bytes, and
+        // which version last touched each (a mutation stamps only its
+        // owning shard, so these diverge under partitioned load).
+        let shard_disks = self.engine.shard_disk_stats().ok();
+        let shards_json: Vec<Json> = snap
+            .engine
+            .shard_byte_sizes()
+            .iter()
+            .enumerate()
+            .map(|(s, shard_fp)| {
+                let mut obj = vec![
+                    ("shard".to_string(), Json::Num(s as f64)),
+                    (
+                        "version".to_string(),
+                        Json::Num(snap.shard_versions[s] as f64),
+                    ),
+                    (
+                        "live_tables".to_string(),
+                        Json::Num(snap.engine.shards()[s].live_table_count() as f64),
+                    ),
+                    (
+                        "memory_bytes".to_string(),
+                        Json::Num(shard_fp.total() as f64),
+                    ),
+                ];
+                if let Some(disks) = &shard_disks {
+                    let (base, deltas, segments) = disks[s];
+                    obj.push((
+                        "disk".to_string(),
+                        Json::Obj(vec![
+                            ("base_bytes".to_string(), Json::Num(base as f64)),
+                            ("delta_bytes".to_string(), Json::Num(deltas as f64)),
+                            ("delta_segments".to_string(), Json::Num(segments as f64)),
+                        ]),
+                    ));
+                }
+                Json::Obj(obj)
+            })
+            .collect();
         let c = &self.shared.counters;
         let cache = self.engine.cache().stats();
         let body = Json::Obj(vec![
@@ -721,6 +782,7 @@ impl Server {
             ),
             ("memory".to_string(), Json::Obj(memory)),
             ("disk".to_string(), disk),
+            ("shards".to_string(), Json::Arr(shards_json)),
             (
                 "cache".to_string(),
                 Json::Obj(vec![

@@ -1,9 +1,9 @@
 //! `d3l` — command-line dataset discovery over a directory of CSVs.
 //!
 //! ```text
-//! d3l index   <lake-dir> --out <index-dir>
+//! d3l index   <lake-dir> --out <index-dir> [--shards N]
 //! d3l query   <lake-dir>|--index <index-dir> <target.csv> [-k N] [--joins] [--evidence N|V|F|E|D] [--threads N]
-//! d3l serve   --index <index-dir> [--port P] [--host H] [--threads N] [--cache-bytes N[k|m|g]] [--max-queue N]
+//! d3l serve   --index <index-dir> [--shards N] [--port P] [--host H] [--threads N] [--cache-bytes N[k|m|g]] [--max-queue N]
 //! d3l stats   <lake-dir>|--index <index-dir>
 //! d3l add     <index-dir> <table.csv>
 //! d3l remove  <index-dir> <table-name>
@@ -29,11 +29,10 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use d3l::benchgen;
-use d3l::core::IndexStore;
 use d3l::prelude::*;
 use d3l::table::csv;
 
-const USAGE: &str = "usage:\n  d3l index <lake-dir> --out <index-dir>\n  d3l query <lake-dir>|--index <index-dir> <target.csv> [-k N] [--joins] [--evidence N|V|F|E|D] [--threads N]\n  d3l serve --index <index-dir> [--port P] [--host H] [--threads N] [--cache-bytes N[k|m|g]] [--max-queue N]\n  d3l stats <lake-dir>|--index <index-dir>\n  d3l add <index-dir> <table.csv>\n  d3l remove <index-dir> <table-name>\n  d3l compact <index-dir>\n  d3l demo";
+const USAGE: &str = "usage:\n  d3l index <lake-dir> --out <index-dir> [--shards N]\n  d3l query <lake-dir>|--index <index-dir> <target.csv> [-k N] [--joins] [--evidence N|V|F|E|D] [--threads N]\n  d3l serve --index <index-dir> [--shards N] [--port P] [--host H] [--threads N] [--cache-bytes N[k|m|g]] [--max-queue N]\n  d3l stats <lake-dir>|--index <index-dir>\n  d3l add <index-dir> <table.csv>\n  d3l remove <index-dir> <table-name>\n  d3l compact <index-dir>\n  d3l demo";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -72,28 +71,32 @@ fn parse_evidence(s: &str) -> Option<Evidence> {
 }
 
 /// Build an engine for serving: either a millisecond cold start from
-/// a persisted index directory, or an index-on-the-fly over a raw
-/// CSV lake directory.
+/// a persisted index directory (monolithic or sharded — the layout is
+/// auto-detected), or an index-on-the-fly over a raw CSV lake
+/// directory.
 fn load_engine(
     lake_dir: Option<&str>,
     index_dir: Option<&str>,
-) -> Result<D3l, Box<dyn std::error::Error>> {
+) -> Result<ShardedD3l, Box<dyn std::error::Error>> {
     match (lake_dir, index_dir) {
         (None, Some(index)) => {
             let start = Instant::now();
-            let (_, d3l) = IndexStore::open(index)?;
+            let handle = EngineHandle::open(index)?;
+            let snap = handle.snapshot();
             eprintln!(
-                "cold start: loaded {} tables from {index} in {:.1} ms (no re-profiling)",
-                d3l.live_table_count(),
+                "cold start: loaded {} tables ({} shard{}) from {index} in {:.1} ms (no re-profiling)",
+                snap.engine.live_table_count(),
+                snap.engine.shard_count(),
+                if snap.engine.shard_count() == 1 { "" } else { "s" },
                 start.elapsed().as_secs_f64() * 1e3
             );
-            Ok(d3l)
+            Ok(snap.engine.clone())
         }
         (Some(dir), None) => {
             eprintln!("loading lake from {dir} ...");
             let lake = DataLake::load_dir(dir)?;
             eprintln!("indexing {} tables ...", lake.len());
-            Ok(D3l::index_lake(&lake, D3lConfig::default()))
+            Ok(ShardedD3l::index_lake(&lake, D3lConfig::default()))
         }
         (Some(_), Some(_)) => Err("give either a lake directory or --index, not both".into()),
         (None, None) => Err("missing lake directory (or --index <index-dir>)".into()),
@@ -103,10 +106,17 @@ fn load_engine(
 fn cmd_index(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let mut dir = None;
     let mut out = None;
+    let mut shards: usize = 1;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--out" => out = Some(it.next().ok_or("missing value for --out")?.to_string()),
+            "--shards" => {
+                shards = it.next().ok_or("missing value for --shards")?.parse()?;
+                if shards == 0 {
+                    return Err("--shards must be at least 1".into());
+                }
+            }
             other if dir.is_none() => dir = Some(other.to_string()),
             other => return Err(format!("unexpected argument {other}").into()),
         }
@@ -118,14 +128,22 @@ fn cmd_index(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let lake = DataLake::load_dir(&dir)?;
     eprintln!("indexing {} tables ...", lake.len());
     let build_start = Instant::now();
-    let d3l = D3l::index_lake(&lake, D3lConfig::default());
+    let cfg = D3lConfig {
+        shards,
+        ..Default::default()
+    };
+    let engine = ShardedD3l::index_lake(&lake, cfg);
     let build_ms = build_start.elapsed().as_secs_f64() * 1e3;
     let save_start = Instant::now();
-    let store = IndexStore::create(&out, &d3l)?;
-    let (base_bytes, _) = store.disk_bytes()?;
+    let tables = engine.table_count();
+    // The shard count rides in every shard's config, so `d3l serve`
+    // and the maintenance commands reopen with the same partitioning
+    // without being told.
+    let handle = EngineHandle::create(&out, engine)?;
+    let (base_bytes, _, _) = handle.disk_stats()?;
     println!(
-        "indexed {} tables in {build_ms:.1} ms; snapshot {base_bytes} bytes written to {out} in {:.1} ms",
-        d3l.table_count(),
+        "indexed {tables} tables into {shards} shard{} in {build_ms:.1} ms; snapshot {base_bytes} bytes written to {out} in {:.1} ms",
+        if shards == 1 { "" } else { "s" },
         save_start.elapsed().as_secs_f64() * 1e3
     );
     Ok(())
@@ -135,23 +153,21 @@ fn cmd_add(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let [index_dir, table_path] = args else {
         return Err("usage: d3l add <index-dir> <table.csv>".into());
     };
-    let (mut store, mut d3l) = IndexStore::open(index_dir)?;
+    let engine = EngineHandle::open(index_dir)?;
     let text = std::fs::read_to_string(table_path)?;
     let name = std::path::Path::new(table_path)
         .file_stem()
         .map(|s| s.to_string_lossy().into_owned())
         .unwrap_or_else(|| "unnamed".to_string());
-    if d3l.name_to_id().contains_key(name.as_str()) {
-        return Err(format!("table {name:?} already indexed").into());
-    }
     let table = csv::parse_csv(name, &text)?;
     let start = Instant::now();
-    let id = store.append_add(&mut d3l, &table)?;
+    let (id, snap) = engine.add_table(&table)?;
+    let shard = snap.engine.shard_of(table.name());
+    let (_, _, segments) = engine.disk_stats()?;
     println!(
-        "added {} as {id} in {:.1} ms ({} delta segments pending; run `d3l compact` to fold)",
+        "added {} as {id} (shard {shard}) in {:.1} ms ({segments} delta segments pending; run `d3l compact` to fold)",
         table.name(),
         start.elapsed().as_secs_f64() * 1e3,
-        store.delta_count()?
     );
     Ok(())
 }
@@ -160,17 +176,12 @@ fn cmd_remove(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let [index_dir, table_name] = args else {
         return Err("usage: d3l remove <index-dir> <table-name>".into());
     };
-    let (mut store, mut d3l) = IndexStore::open(index_dir)?;
-    let id = d3l
-        .name_to_id()
-        .get(table_name.as_str())
-        .copied()
-        .ok_or_else(|| format!("no indexed table named {table_name:?}"))?;
-    store.append_remove(&mut d3l, id)?;
+    let engine = EngineHandle::open(index_dir)?;
+    let (id, snap) = engine.remove_table(table_name)?;
     println!(
         "removed {table_name} ({id}); {} of {} tables still serving",
-        d3l.live_table_count(),
-        d3l.table_count()
+        snap.engine.live_table_count(),
+        snap.engine.table_count()
     );
     Ok(())
 }
@@ -179,9 +190,9 @@ fn cmd_compact(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let [index_dir] = args else {
         return Err("usage: d3l compact <index-dir>".into());
     };
-    let (mut store, d3l) = IndexStore::open(index_dir)?;
-    let folded = store.compact(&d3l)?;
-    let (base_bytes, _) = store.disk_bytes()?;
+    let engine = EngineHandle::open(index_dir)?;
+    let folded = engine.compact()?;
+    let (base_bytes, _, _) = engine.disk_stats()?;
     println!("folded {folded} delta segments; base snapshot now {base_bytes} bytes");
     Ok(())
 }
@@ -254,13 +265,24 @@ fn cmd_query(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     }
 
     if joins {
-        let graph = d3l.build_join_graph();
+        // Algorithm 3 walks the SA-join graph, which is built over
+        // one complete engine; a shard only holds its own partition,
+        // so the graph is only available on a monolithic index.
+        if d3l.shard_count() > 1 {
+            return Err(format!(
+                "--joins needs a monolithic index; this one has {} shards (rebuild with `d3l index --shards 1`)",
+                d3l.shard_count()
+            )
+            .into());
+        }
+        let mono = &*d3l.shards()[0];
+        let graph = mono.build_join_graph();
         let top: HashSet<TableId> = matches.iter().map(|m| m.table).collect();
         let related = d3l.related_table_set_prepared(&prepared, d3l.config().lookup_width(k));
         println!("\njoin paths from the top-{k}:");
         let mut any = false;
         for m in &matches {
-            for path in d3l.find_join_paths(&graph, m.table, &top, &related) {
+            for path in mono.find_join_paths(&graph, m.table, &top, &related) {
                 let names: Vec<&str> = path.nodes.iter().map(|&t| d3l.table_name(t)).collect();
                 println!("  {}", names.join(" ⋈ "));
                 any = true;
@@ -331,11 +353,19 @@ fn cmd_serve(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let mut threads: usize = 0;
     let mut cache_bytes: u64 = d3l::core::cache::DEFAULT_CACHE_BYTES;
     let mut max_queue: usize = d3l::server::ServerConfig::default().max_queue;
+    let mut shards: Option<usize> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--index" => {
                 index_dir = Some(it.next().ok_or("missing value for --index")?.to_string());
+            }
+            "--shards" => {
+                let n: usize = it.next().ok_or("missing value for --shards")?.parse()?;
+                if n == 0 {
+                    return Err("--shards must be at least 1".into());
+                }
+                shards = Some(n);
             }
             "--port" => port = it.next().ok_or("missing value for --port")?.parse()?,
             "--host" => host = it.next().ok_or("missing value for --host")?.to_string(),
@@ -354,9 +384,28 @@ fn cmd_serve(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let start = Instant::now();
     let engine = std::sync::Arc::new(d3l::core::EngineHandle::open(&index_dir)?);
     let snap = engine.snapshot();
+    // The layout on disk decides the shard count (it rides in every
+    // shard's config); an explicit --shards is a cross-check against
+    // serving the wrong index, not a way to repartition.
+    if let Some(n) = shards {
+        if n != snap.engine.shard_count() {
+            return Err(format!(
+                "--shards {n} does not match the index at {index_dir}, which has {} shard{} (repartition with `d3l index --shards {n}`)",
+                snap.engine.shard_count(),
+                if snap.engine.shard_count() == 1 { "" } else { "s" },
+            )
+            .into());
+        }
+    }
     eprintln!(
-        "cold start: loaded {} tables from {index_dir} in {:.1} ms",
+        "cold start: loaded {} tables ({} shard{}) from {index_dir} in {:.1} ms",
         snap.engine.live_table_count(),
+        snap.engine.shard_count(),
+        if snap.engine.shard_count() == 1 {
+            ""
+        } else {
+            "s"
+        },
         start.elapsed().as_secs_f64() * 1e3
     );
 
@@ -410,13 +459,15 @@ fn cmd_stats(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // On-disk accounting: the real store files when serving from an
-    // index directory, otherwise the snapshot the lake would produce.
-    let (d3l, disk) = match (&dir, &index_dir) {
+    // index directory (monolithic or sharded), otherwise the snapshot
+    // the lake would produce.
+    let (d3l, disk, shard_disk) = match (&dir, &index_dir) {
         (None, Some(index)) => {
-            let (store, d3l) = IndexStore::open(index)?;
-            let (base, deltas) = store.disk_bytes()?;
-            let pending = store.delta_count()?;
-            (d3l, (base, deltas, pending))
+            let handle = EngineHandle::open(index)?;
+            let snap = handle.snapshot();
+            let per_shard = handle.shard_disk_stats()?;
+            let (base, deltas, pending) = handle.disk_stats()?;
+            (snap.engine.clone(), (base, deltas, pending), per_shard)
         }
         (Some(dir), None) => {
             let lake = DataLake::load_dir(dir)?;
@@ -427,14 +478,18 @@ fn cmd_stats(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
             println!("mean rows:      {:.1}", stats.mean_cardinality());
             println!("numeric ratio:  {:.1}%", stats.numeric_ratio * 100.0);
             println!("raw bytes:      {}", stats.bytes);
-            let d3l = D3l::index_lake(&lake, D3lConfig::default());
+            let mono = D3l::index_lake(&lake, D3lConfig::default());
             println!(
                 "index bytes:    {} ({:.0}% overhead, in-memory)",
-                d3l.index_byte_size(),
-                100.0 * d3l.index_byte_size() as f64 / stats.bytes.max(1) as f64
+                mono.index_byte_size(),
+                100.0 * mono.index_byte_size() as f64 / stats.bytes.max(1) as f64
             );
-            let snapshot = d3l.to_snapshot_bytes().len() as u64;
-            (d3l, (snapshot, 0, 0))
+            let snapshot = mono.to_snapshot_bytes().len() as u64;
+            (
+                ShardedD3l::from_monolith(mono),
+                (snapshot, 0, 0),
+                Vec::new(),
+            )
         }
         _ => return Err("give either a lake directory or --index <index-dir>".into()),
     };
@@ -446,6 +501,15 @@ fn cmd_stats(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
                 "serving:        {} (rest tombstoned)",
                 d3l.live_table_count()
             );
+        }
+        if d3l.shard_count() > 1 {
+            println!("shards:         {}", d3l.shard_count());
+            for (s, (base, deltas, segments)) in shard_disk.iter().enumerate() {
+                println!(
+                    "  shard-{s:02}: {} live tables, {base} base + {deltas} delta bytes ({segments} segments)",
+                    d3l.shards()[s].live_table_count(),
+                );
+            }
         }
     }
     let fp = d3l.byte_size();
@@ -670,6 +734,26 @@ mod tests {
         assert!(
             cmd_index(&args(&["a", "--out", "b", "c"])).is_err(),
             "extra positional must fail"
+        );
+        assert!(
+            cmd_index(&args(&["a", "--out", "b", "--shards"])).is_err(),
+            "--shards needs a value"
+        );
+        assert!(
+            cmd_index(&args(&["a", "--out", "b", "--shards", "0"])).is_err(),
+            "zero shards must fail"
+        );
+        assert!(
+            cmd_index(&args(&["a", "--out", "b", "--shards", "x"])).is_err(),
+            "non-numeric --shards must fail"
+        );
+        assert!(
+            cmd_serve(&args(&["--index", "idx", "--shards"])).is_err(),
+            "serve --shards needs a value"
+        );
+        assert!(
+            cmd_serve(&args(&["--index", "idx", "--shards", "0"])).is_err(),
+            "serve --shards 0 must fail"
         );
         assert!(cmd_add(&args(&["only-one"])).is_err());
         assert!(cmd_add(&args(&["/nonexistent/index", "t.csv"])).is_err());

@@ -3,9 +3,13 @@
 //! have to produce byte-identical `TableMatch` lists (table ids,
 //! distance bits, alignment ordering) for `query_threads` in
 //! {1, 2, 8}, and the batched API has to equal per-target queries.
-//! The serving layer extends the guarantee across the wire: server
-//! response bodies are byte-identical to rendering the in-process
-//! results, at server worker counts {1, 8}.
+//! The same guarantee holds across *partitioning*: a sharded engine
+//! at shard counts {1, 2, 8} answers byte-identically to the
+//! monolith, through adds, removes, compaction and reopen, and on
+//! adversarial value domains (overflow, subnormals, non-finite
+//! text). The serving layer extends the guarantee across the wire:
+//! server response bodies are byte-identical to rendering the
+//! in-process results, at server worker counts {1, 8}.
 
 use d3l::benchgen;
 use d3l::core::query::QueryOptions;
@@ -262,10 +266,7 @@ fn server_responses_are_byte_identical_to_in_process_results() {
     // same store (PR 4 guarantees the load is byte-identical to the
     // engine that wrote it).
     let (_, loaded) = IndexStore::open(&dir).unwrap();
-    let snap = EngineSnapshot {
-        version: 0,
-        engine: loaded,
-    };
+    let snap = EngineSnapshot::at_version(0, d3l::core::ShardedD3l::from_monolith(loaded));
     let expected_batch = server::batch_response(&snap, &snap.engine.query_batch(&targets, k));
     let expected_single: Vec<String> = targets
         .iter()
@@ -457,6 +458,209 @@ fn cached_server_is_byte_identical_to_uncached_across_mutations() {
         }
         std::fs::remove_dir_all(&dir_c).ok();
         std::fs::remove_dir_all(&dir_u).ok();
+    }
+}
+
+#[test]
+fn sharded_engine_is_byte_identical_to_the_monolith_through_its_lifecycle() {
+    // The partitioned engine must be an implementation detail: at
+    // shard counts {1, 2, 8} and query threads {1, 8}, `query`,
+    // `query_batch` and `rank_all` answer byte-identically to a
+    // monolithic store built from the same lake — not just on the
+    // freshly built index, but after adds, a remove, a compaction and
+    // a cold reopen, with both sides walked through the same
+    // mutations.
+    use d3l::core::hotswap::EngineHandle;
+
+    let bench = benchgen::smaller_real(24, 41);
+    let build = |shards: usize| {
+        let embedder = SemanticEmbedder::new(benchgen::vocab::domain_lexicon(32));
+        let cfg = D3lConfig {
+            embed_dim: 32,
+            shards,
+            ..D3lConfig::fast()
+        };
+        ShardedD3l::index_lake_with(&bench.lake, cfg, embedder)
+    };
+
+    let names = bench.pick_targets(3, 13);
+    let targets: Vec<Table> = names
+        .iter()
+        .map(|t| bench.lake.table_by_name(t).unwrap().clone())
+        .collect();
+    let mut probe_a = targets[0].clone();
+    probe_a.set_name("lifecycle_probe_a");
+    let mut probe_b = targets[1].clone();
+    probe_b.set_name("lifecycle_probe_b");
+    let removed_name = names[2].clone();
+
+    let compare = |stage: &str, shards: usize, mono: &EngineHandle, sharded: &EngineHandle| {
+        let ms = mono.snapshot();
+        let ss = sharded.snapshot();
+        assert_eq!(ss.engine.shard_count(), shards, "{stage}: shard count");
+        for &threads in &[1usize, 8] {
+            let opts: Vec<QueryOptions> = names
+                .iter()
+                .map(|t| QueryOptions {
+                    exclude: ms.engine.name_to_id().get(t.as_str()).copied(),
+                    threads: Some(threads),
+                    ..Default::default()
+                })
+                .collect();
+            for ((name, target), opt) in names.iter().zip(&targets).zip(&opts) {
+                let ctx = format!("{stage}: {name} @{shards} shards / {threads} threads");
+                assert_identical(
+                    &ms.engine.query_with(target, 7, opt),
+                    &ss.engine.query_with(target, 7, opt),
+                    &format!("{ctx} (query)"),
+                );
+                assert_identical(
+                    &ms.engine.rank_all(target, 40, opt),
+                    &ss.engine.rank_all(target, 40, opt),
+                    &format!("{ctx} (rank_all)"),
+                );
+            }
+            let a = ms.engine.query_batch_with(&targets, 7, &opts);
+            let b = ss.engine.query_batch_with(&targets, 7, &opts);
+            assert_eq!(a.len(), b.len());
+            for (i, (x, y)) in a.iter().zip(&b).enumerate() {
+                assert_identical(
+                    x,
+                    y,
+                    &format!("{stage}: batch[{i}] @{shards} shards / {threads} threads"),
+                );
+            }
+        }
+    };
+
+    for shards in [1usize, 2, 8] {
+        let dir_for = |tag: &str| {
+            std::env::temp_dir().join(format!(
+                "d3l_shard_det_{tag}_{shards}_{}",
+                std::process::id()
+            ))
+        };
+        let mono_dir = dir_for("mono");
+        let shard_dir = dir_for("sharded");
+        let _ = std::fs::remove_dir_all(&mono_dir);
+        let _ = std::fs::remove_dir_all(&shard_dir);
+        let mono = EngineHandle::create(&mono_dir, build(1)).unwrap();
+        let sharded = EngineHandle::create(&shard_dir, build(shards)).unwrap();
+
+        compare("fresh", shards, &mono, &sharded);
+        for handle in [&mono, &sharded] {
+            handle.add_table(&probe_a).unwrap();
+            handle.add_table(&probe_b).unwrap();
+        }
+        compare("after add", shards, &mono, &sharded);
+        for handle in [&mono, &sharded] {
+            handle.remove_table(&removed_name).unwrap();
+        }
+        compare("after remove", shards, &mono, &sharded);
+        for handle in [&mono, &sharded] {
+            assert!(handle.compact().unwrap() > 0, "mutations left segments");
+        }
+        compare("after compact", shards, &mono, &sharded);
+        drop(mono);
+        drop(sharded);
+        let mono = EngineHandle::open(&mono_dir).unwrap();
+        let sharded = EngineHandle::open(&shard_dir).unwrap();
+        compare("after reopen", shards, &mono, &sharded);
+
+        std::fs::remove_dir_all(&mono_dir).ok();
+        std::fs::remove_dir_all(&shard_dir).ok();
+    }
+}
+
+#[test]
+fn adversarial_value_domains_are_shard_and_thread_invariant() {
+    // Columns engineered to sit on floating-point cliffs — overflow
+    // to ±inf while parsing ("1e309"), subnormals ("1e-320"),
+    // signed zero, and non-finite *text* ("nan", "inf", which the
+    // profiler must treat as words, not numbers) — must not open any
+    // ordering or aggregation seam: every ranking is byte-identical
+    // across query threads {1, 2, 8} AND shard counts {1, 2, 8}.
+    let mut bench = benchgen::smaller_real(24, 43);
+    let table = |name: &str, metric: &[&str]| {
+        let rows: Vec<Vec<String>> = metric
+            .iter()
+            .enumerate()
+            .map(|(i, v)| vec![v.to_string(), format!("row_{i}")])
+            .collect();
+        Table::from_rows(name, &["metric", "label"], &rows).unwrap()
+    };
+    let adversarial = [
+        "overflow_extremes",
+        "subnormal_and_zeroes",
+        "non_finite_text",
+        "mixed_domain",
+    ];
+    for t in [
+        table(
+            "overflow_extremes",
+            &["1e308", "-1e308", "1e309", "-1e309", "42", "-42"],
+        ),
+        table(
+            "subnormal_and_zeroes",
+            &["1e-320", "-1e-320", "-0", "0", "0.0", "1"],
+        ),
+        table(
+            "non_finite_text",
+            &["nan", "inf", "-inf", "NaN", "Infinity", "seven"],
+        ),
+        table(
+            "mixed_domain",
+            &["1e309", "nan", "3", "1e-320", "-0", "inf"],
+        ),
+    ] {
+        bench.lake.add(t).unwrap();
+    }
+    let build = |shards: usize| {
+        let embedder = SemanticEmbedder::new(benchgen::vocab::domain_lexicon(32));
+        let cfg = D3lConfig {
+            embed_dim: 32,
+            shards,
+            ..D3lConfig::fast()
+        };
+        ShardedD3l::index_lake_with(&bench.lake, cfg, embedder)
+    };
+    let opts_for = |name: &str, threads: usize| QueryOptions {
+        exclude: bench.lake.id_of(name),
+        threads: Some(threads),
+        ..Default::default()
+    };
+
+    let baseline_engine = build(1);
+    let baselines: Vec<(Vec<TableMatch>, Vec<TableMatch>)> = adversarial
+        .iter()
+        .map(|name| {
+            let target = bench.lake.table_by_name(name).unwrap();
+            let opts = opts_for(name, 1);
+            let rank = baseline_engine.rank_all(target, 40, &opts);
+            assert!(!rank.is_empty(), "{name}: adversarial target must rank");
+            (baseline_engine.query_with(target, 7, &opts), rank)
+        })
+        .collect();
+
+    for shards in [1usize, 2, 8] {
+        let engine = build(shards);
+        for &threads in &[1usize, 2, 8] {
+            for (name, (base_query, base_rank)) in adversarial.iter().zip(&baselines) {
+                let target = bench.lake.table_by_name(name).unwrap();
+                let opts = opts_for(name, threads);
+                let ctx = format!("{name} @{shards} shards / {threads} threads");
+                assert_identical(
+                    base_query,
+                    &engine.query_with(target, 7, &opts),
+                    &format!("{ctx} (query)"),
+                );
+                assert_identical(
+                    base_rank,
+                    &engine.rank_all(target, 40, &opts),
+                    &format!("{ctx} (rank_all)"),
+                );
+            }
+        }
     }
 }
 

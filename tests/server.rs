@@ -784,6 +784,23 @@ fn overload_sheds_with_typed_503_and_recovers() {
             response.contains("server at capacity"),
             "burst {i}: typed body: {response}"
         );
+        // The shed path half-closes and drains before dropping the
+        // socket; a premature RST would truncate the body (or wipe it
+        // entirely) even though the server wrote every byte. Prove
+        // the client received exactly Content-Length bytes.
+        let (headers, body) = response
+            .split_once("\r\n\r\n")
+            .unwrap_or_else(|| panic!("burst {i}: incomplete header block: {response}"));
+        let declared: usize = headers
+            .lines()
+            .find_map(|l| l.strip_prefix("Content-Length: "))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| panic!("burst {i}: no Content-Length: {response}"));
+        assert_eq!(
+            body.len(),
+            declared,
+            "burst {i}: 503 body must arrive intact despite the close"
+        );
     }
 
     // Release the worker: A hangs up, B gets served and closed.
@@ -1022,7 +1039,7 @@ fn stress_concurrent_queries_race_mutating_writer() {
     // (1) PR 4 byte-identity oracle: replaying the exact mutation
     // sequence in-process yields a snapshot byte-identical to what
     // the server persisted.
-    let mut shadow = baseline;
+    let mut shadow = (*baseline.shards()[0]).clone();
     for _ in 0..iterations {
         let id = shadow.add_table(&churn);
         assert!(shadow.remove_table(id));
