@@ -1,11 +1,12 @@
 //! `bench_json` — machine-readable perf tracking.
 //!
-//! Times index construction, top-k search, and the persistent store
-//! (snapshot save / cold-start load) on the synthetic-160 lake at one
-//! worker thread and writes three JSON files (`BENCH_index.json`,
-//! `BENCH_search.json`, `BENCH_store.json`) so the perf trajectory is
-//! tracked in-repo from PR to PR. See README "Performance & memory
-//! model" for how to read them.
+//! Times index construction, top-k search, the persistent store
+//! (snapshot save / cold-start load), and the four evidence kernels
+//! on the synthetic-160 lake at one worker thread, and writes four
+//! JSON files (`BENCH_index.json`, `BENCH_search.json`,
+//! `BENCH_store.json`, `BENCH_kernels.json`) so the perf trajectory
+//! is tracked in-repo from PR to PR. See README "Performance &
+//! memory model" for how to read them.
 //!
 //! ```text
 //! bench_json [out-dir]          # default: current directory
@@ -39,6 +40,109 @@ fn mean_ms(samples: &[f64]) -> f64 {
 fn fmt_samples(samples: &[f64]) -> String {
     let strs: Vec<String> = samples.iter().map(|s| format!("{s:.3}")).collect();
     format!("[{}]", strs.join(", "))
+}
+
+/// Median ns/op over `samples` timed samples of `iters` calls each.
+fn time_ns_per_op<R>(samples: usize, iters: usize, mut f: impl FnMut() -> R) -> f64 {
+    let mut per_op = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let start = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(f());
+        }
+        per_op.push(start.elapsed().as_nanos() as f64 / iters as f64);
+    }
+    median_ms(&mut per_op) // median of any sample vector, units agnostic
+}
+
+fn splitmix64(x: &mut u64) -> u64 {
+    *x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Micro-benchmark the evidence kernels: sorted-set intersection,
+/// MinHash agreement, the fused dot/norm kernel, and a committed-tree
+/// prefix walk. Each entry reports the vectorized kernel next to its
+/// scalar reference so the speedup is visible in the committed JSON.
+fn kernels_json(samples: usize) -> String {
+    use d3l_embedding::vecmath;
+    use d3l_lsh::kernels;
+
+    let mut state = 0xd31_u64;
+    // Two sorted 1024-element hashed-token sets with ~50% overlap —
+    // the shape `intersection_len` sees when scoring value evidence.
+    let shared: Vec<u64> = (0..1024).map(|_| splitmix64(&mut state)).collect();
+    let mut set_a: Vec<u64> = shared[..512].to_vec();
+    let mut set_b: Vec<u64> = shared[512..].to_vec();
+    set_a.extend((0..512).map(|_| splitmix64(&mut state)));
+    set_b.extend(set_a[..512].iter().copied());
+    set_a.sort_unstable();
+    set_a.dedup();
+    set_b.sort_unstable();
+    set_b.dedup();
+
+    // 256-permutation MinHash signatures with ~30% agreement.
+    let sig_a: Vec<u64> = (0..256).map(|_| splitmix64(&mut state)).collect();
+    let sig_b: Vec<u64> = sig_a
+        .iter()
+        .map(|&v| {
+            if splitmix64(&mut state) % 10 < 3 {
+                v
+            } else {
+                splitmix64(&mut state)
+            }
+        })
+        .collect();
+
+    // 300-dim embedding vectors (the fastText dimensionality the
+    // paper uses).
+    let vec_a: Vec<f64> = (0..300)
+        .map(|_| splitmix64(&mut state) as f64 / u64::MAX as f64 - 0.5)
+        .collect();
+    let vec_b: Vec<f64> = (0..300)
+        .map(|_| splitmix64(&mut state) as f64 / u64::MAX as f64 - 0.5)
+        .collect();
+
+    // A committed 512-item MinHash forest for the flat-arena tree
+    // walk (prefix binary search + candidate collection).
+    let hasher = d3l_lsh::minhash::MinHasher::new(128, 7);
+    let mut forest: d3l_lsh::forest::LshForest<d3l_lsh::minhash::MinHashSignature> =
+        d3l_lsh::forest::LshForest::new(32, 4);
+    for id in 0..512u64 {
+        let toks: Vec<String> = (0..40).map(|t| format!("tok{}", id * 17 + t)).collect();
+        forest.insert(id, hasher.sign_strs(toks.iter().map(String::as_str)));
+    }
+    forest.commit();
+    let probe = forest.signature(77).expect("indexed id").clone();
+
+    let iters = 20_000;
+    let inter = time_ns_per_op(samples, iters, || kernels::intersection_len(&set_a, &set_b));
+    let inter_scalar = time_ns_per_op(samples, iters, || {
+        kernels::intersection_len_scalar(&set_a, &set_b)
+    });
+    let agree = time_ns_per_op(samples, iters, || kernels::agreement_count(&sig_a, &sig_b));
+    let agree_scalar = time_ns_per_op(samples, iters, || {
+        kernels::agreement_count_scalar(&sig_a, &sig_b)
+    });
+    let dot = time_ns_per_op(samples, iters, || vecmath::dot_norms(&vec_a, &vec_b));
+    let dot_scalar = time_ns_per_op(samples, iters, || vecmath::dot_norms_seq(&vec_a, &vec_b));
+    let walk = time_ns_per_op(samples, 2_000, || forest.query(&probe, 10));
+
+    let entry = |name: &str, ns: f64, scalar_ns: f64| {
+        format!(
+            "    \"{name}\": {{ \"ns_per_op\": {ns:.1}, \"scalar_ns_per_op\": {scalar_ns:.1} }}"
+        )
+    };
+    format!(
+        "{{\n  \"bench\": \"kernels\",\n  \"samples\": {samples},\n  \"kernels\": {{\n{},\n{},\n{},\n    \
+         \"tree_walk\": {{ \"ns_per_op\": {walk:.1} }}\n  }}\n}}\n",
+        entry("intersection", inter, inter_scalar),
+        entry("minhash_agree", agree, agree_scalar),
+        entry("dot_norms", dot, dot_scalar),
+    )
 }
 
 fn main() {
@@ -155,14 +259,21 @@ fn main() {
         fmt_samples(&save_ms),
     );
 
+    // ---- evidence kernels -------------------------------------------
+    eprintln!("timing evidence kernels ({samples} samples) ...");
+    let kernels_json = kernels_json(samples);
+
     std::fs::create_dir_all(&out_dir).expect("create output directory");
     let index_path = format!("{out_dir}/BENCH_index.json");
     let search_path = format!("{out_dir}/BENCH_search.json");
     let store_path = format!("{out_dir}/BENCH_store.json");
+    let kernels_path = format!("{out_dir}/BENCH_kernels.json");
     std::fs::write(&index_path, &index_json).expect("write BENCH_index.json");
     std::fs::write(&search_path, &search_json).expect("write BENCH_search.json");
     std::fs::write(&store_path, &store_json).expect("write BENCH_store.json");
+    std::fs::write(&kernels_path, &kernels_json).expect("write BENCH_kernels.json");
     println!("wrote {index_path}:\n{index_json}");
     println!("wrote {search_path}:\n{search_json}");
     println!("wrote {store_path}:\n{store_json}");
+    println!("wrote {kernels_path}:\n{kernels_json}");
 }

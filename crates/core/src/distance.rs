@@ -125,6 +125,34 @@ pub fn estimated_jaccard_distance(
     1.0 - a.jaccard(b)
 }
 
+/// [`estimated_jaccard_distance`] with the lake-side signature given
+/// as its raw forest-arena words (zero-copy scoring hot path).
+pub fn estimated_jaccard_distance_words(
+    a: &MinHashSignature,
+    b_words: &[u64],
+    a_empty: bool,
+    b_empty: bool,
+) -> f64 {
+    if a_empty || b_empty {
+        return 1.0;
+    }
+    1.0 - a.jaccard_words(b_words)
+}
+
+/// [`estimated_cosine_distance`] with the lake-side signature given
+/// as its raw forest-arena words (zero-copy scoring hot path).
+pub fn estimated_cosine_distance_words(
+    a: &BitSignature,
+    b_words: &[u64],
+    a_zero: bool,
+    b_zero: bool,
+) -> f64 {
+    if a_zero || b_zero {
+        return 1.0;
+    }
+    1.0 - a.cosine_words(b_words)
+}
+
 /// LSH-estimated cosine distance between two bit signatures.
 pub fn estimated_cosine_distance(
     a: &BitSignature,

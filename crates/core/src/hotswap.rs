@@ -46,7 +46,7 @@ use d3l_store::{StoreError, BASE_FILE};
 use d3l_table::{Table, TableId};
 
 use crate::cache::QueryCache;
-use crate::index::D3l;
+use crate::index::{D3l, MemoryFootprint};
 use crate::shard::ShardedD3l;
 use crate::snapshot::IndexStore;
 
@@ -63,6 +63,12 @@ pub struct EngineSnapshot {
     /// The query-ready engine. Immutable — mutations build a new
     /// snapshot.
     pub engine: ShardedD3l,
+    /// Aggregate memory accounting, computed once when the snapshot
+    /// is built: the engine is immutable afterwards, so `/stats` can
+    /// read this instead of re-walking every forest per request.
+    pub footprint: MemoryFootprint,
+    /// Per-shard memory accounting, parallel to `shard_versions`.
+    pub shard_footprints: Vec<MemoryFootprint>,
 }
 
 impl EngineSnapshot {
@@ -70,10 +76,20 @@ impl EngineSnapshot {
     /// version (the cold-load shape; mutations diverge the stamps).
     pub fn at_version(version: u64, engine: ShardedD3l) -> Self {
         let shard_versions = vec![version; engine.shard_count()];
+        EngineSnapshot::with_versions(version, shard_versions, engine)
+    }
+
+    /// Build a snapshot with explicit per-shard stamps, sizing the
+    /// engine once up front.
+    pub fn with_versions(version: u64, shard_versions: Vec<u64>, engine: ShardedD3l) -> Self {
+        let shard_footprints = engine.shard_byte_sizes();
+        let footprint = MemoryFootprint::sum(&shard_footprints);
         EngineSnapshot {
             version,
             shard_versions,
             engine,
+            footprint,
+            shard_footprints,
         }
     }
 }
@@ -374,13 +390,21 @@ impl EngineHandle {
     ) -> Arc<EngineSnapshot> {
         let version = prev.version + 1;
         let mut shard_versions = prev.shard_versions.clone();
+        // Untouched shards are byte-identical to the previous
+        // snapshot, so their cached footprints carry over; only the
+        // rewritten shards are re-walked.
+        let mut shard_footprints = prev.shard_footprints.clone();
         for &s in touched {
             shard_versions[s] = version;
+            shard_footprints[s] = next.shards()[s].byte_size();
         }
+        let footprint = MemoryFootprint::sum(&shard_footprints);
         let swapped = Arc::new(EngineSnapshot {
             version,
             shard_versions,
             engine: next,
+            footprint,
+            shard_footprints,
         });
         *self
             .current
@@ -476,6 +500,29 @@ mod tests {
             reopened.snapshot().engine.shards()[0].to_snapshot_bytes(),
             handle.snapshot().engine.shards()[0].to_snapshot_bytes()
         );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn cached_footprints_track_every_swap() {
+        let (handle, dir) = handle("footprint");
+        let check = |snap: &EngineSnapshot| {
+            assert_eq!(snap.footprint, snap.engine.byte_size());
+            assert_eq!(snap.shard_footprints, snap.engine.shard_byte_sizes());
+            assert_eq!(snap.footprint, MemoryFootprint::sum(&snap.shard_footprints));
+        };
+        check(&handle.snapshot());
+
+        let (_, after_add) = handle.add_table(&extra_table("local_gps")).unwrap();
+        check(&after_add);
+        assert!(after_add.footprint.total() > 0);
+
+        let (_, after_remove) = handle.remove_table("local_gps").unwrap();
+        check(&after_remove);
+
+        // A cold reopen computes the same accounting from scratch.
+        let reopened = EngineHandle::open(&dir).unwrap();
+        check(&reopened.snapshot());
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -75,6 +75,34 @@ pub(crate) struct AttrSignatures {
     pub embedding: BitSignature,
 }
 
+/// Borrowed view of one attribute's stored signatures as raw arena
+/// word slices — the stage-2 scoring hot path resolves every
+/// candidate through this instead of cloning ~6 KB of signature data
+/// per scored pair ([`D3l::stored_signatures`] stays for the cold
+/// paths that need ownership). The target side of a scored pair is
+/// always an owned signature, so similarity runs through its
+/// `*_words` kernels directly against the forest arenas.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct AttrSigsRef<'a> {
+    pub name: &'a [u64],
+    pub value: &'a [u64],
+    pub format: &'a [u64],
+    pub embedding: &'a [u64],
+}
+
+/// Stand-in signatures for attributes absent from `IV`/`IE` (numeric
+/// attributes store no value or embedding signature): the empty-set
+/// MinHash and the zero-vector projection. Deterministic functions of
+/// the hashers, computed **once per query** by the scoring stages —
+/// the historical per-pair fallback re-signed the zero vector (256
+/// hyperplanes × `embed_dim` multiplies) for every numeric candidate
+/// scored.
+#[derive(Debug, Clone)]
+pub(crate) struct SigFallbacks {
+    pub empty_value: MinHashSignature,
+    pub zero_embedding: BitSignature,
+}
+
 /// The indexed data lake: D3L's discovery state.
 ///
 /// `Clone` is deliberate and cheap relative to a rebuild: the serving
@@ -491,29 +519,61 @@ impl D3l {
         (profiles, sigs)
     }
 
-    /// Stored signatures of an indexed attribute (every attribute is
-    /// in `IN`/`IF`; numeric ones are absent from `IV`/`IE`).
+    /// The per-query fallback signatures ([`SigFallbacks`]); identical
+    /// across shards of one engine (the hashers are seed-derived from
+    /// the shared config).
+    pub(crate) fn sig_fallbacks(&self) -> SigFallbacks {
+        SigFallbacks {
+            empty_value: self.minhasher.sign_hashed(&[]),
+            zero_embedding: self.projector.sign(&vec![0.0; self.cfg.embed_dim]),
+        }
+    }
+
+    /// Borrowed stored signatures of an indexed attribute — the
+    /// zero-copy resolution the pairwise scoring stage uses (every
+    /// attribute is in `IN`/`IF`; numeric ones are absent from
+    /// `IV`/`IE` and resolve to the caller's precomputed fallbacks).
+    pub(crate) fn stored_signatures_ref<'a>(
+        &'a self,
+        attr: AttrRef,
+        fallbacks: &'a SigFallbacks,
+    ) -> AttrSigsRef<'a> {
+        let key = attr.key();
+        AttrSigsRef {
+            name: self
+                .i_n
+                .signature_words(key)
+                .expect("attribute not indexed"),
+            format: self
+                .i_f
+                .signature_words(key)
+                .expect("attribute not indexed"),
+            value: self
+                .i_v
+                .signature_words(key)
+                .unwrap_or_else(|| fallbacks.empty_value.words()),
+            embedding: self
+                .i_e
+                .signature_words(key)
+                .unwrap_or_else(|| fallbacks.zero_embedding.words()),
+        }
+    }
+
+    /// Stored signatures of an indexed attribute, cloned into an owned
+    /// struct (every attribute is in `IN`/`IF`; numeric ones are
+    /// absent from `IV`/`IE`). Cold paths only — the scoring stages
+    /// use [`D3l::stored_signatures_ref`].
     pub(crate) fn stored_signatures(&self, attr: AttrRef) -> AttrSignatures {
         let key = attr.key();
-        let name = self
-            .i_n
-            .signature(key)
-            .expect("attribute not indexed")
-            .clone();
-        let format = self
-            .i_f
-            .signature(key)
-            .expect("attribute not indexed")
-            .clone();
+        let name = self.i_n.signature(key).expect("attribute not indexed");
+        let format = self.i_f.signature(key).expect("attribute not indexed");
         let value = self
             .i_v
             .signature(key)
-            .cloned()
             .unwrap_or_else(|| self.minhasher.sign_hashed(&[]));
         let embedding = self
             .i_e
             .signature(key)
-            .cloned()
             .unwrap_or_else(|| self.projector.sign(&vec![0.0; self.cfg.embed_dim]));
         AttrSignatures {
             name,
@@ -575,7 +635,7 @@ impl D3l {
 }
 
 /// Byte footprint of one LSH forest, split by component.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct IndexFootprint {
     /// Sorted per-tree `(label, item)` arrays.
     pub tree_bytes: usize,
@@ -591,7 +651,7 @@ impl IndexFootprint {
 }
 
 /// Memory accounting of a [`D3l`] instance ([`D3l::byte_size`]).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct MemoryFootprint {
     /// `IN` — attribute-name q-gram index.
     pub i_n: IndexFootprint,
@@ -614,6 +674,25 @@ impl MemoryFootprint {
             + self.i_f.total()
             + self.i_e.total()
             + self.profile_bytes
+    }
+
+    /// Element-wise sum of per-shard footprints. An empty slice is an
+    /// all-zero footprint.
+    pub fn sum(parts: &[MemoryFootprint]) -> MemoryFootprint {
+        let mut total = MemoryFootprint::default();
+        for fp in parts {
+            for (acc, add) in [
+                (&mut total.i_n, fp.i_n),
+                (&mut total.i_v, fp.i_v),
+                (&mut total.i_f, fp.i_f),
+                (&mut total.i_e, fp.i_e),
+            ] {
+                acc.tree_bytes += add.tree_bytes;
+                acc.signature_bytes += add.signature_bytes;
+            }
+            total.profile_bytes += fp.profile_bytes;
+        }
+        total
     }
 
     /// The four `(name, footprint)` index entries, for display.

@@ -29,9 +29,11 @@ use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 use d3l_features::ks;
 use d3l_table::{Table, TableId};
 
-use crate::distance::{estimated_cosine_distance, estimated_jaccard_distance, DistanceVector};
+use crate::distance::{
+    estimated_cosine_distance_words, estimated_jaccard_distance_words, DistanceVector,
+};
 use crate::evidence::Evidence;
-use crate::index::{AttrRef, AttrSignatures, D3l};
+use crate::index::{AttrRef, AttrSignatures, AttrSigsRef, D3l, SigFallbacks};
 use crate::profile::AttributeProfile;
 use crate::weights::{aggregate_evidence, ccdf_weight, EvidenceWeights};
 
@@ -249,22 +251,22 @@ pub(crate) fn pair_distances_resolved(
     tp: &AttributeProfile,
     ts: &AttrSignatures,
     sp: &AttributeProfile,
-    ss: &AttrSignatures,
+    ss: AttrSigsRef<'_>,
     guard_subject: bool,
     threshold: f64,
 ) -> DistanceVector {
     let d_n =
-        estimated_jaccard_distance(&ts.name, &ss.name, tp.qset.is_empty(), sp.qset.is_empty());
-    let d_v = estimated_jaccard_distance(&ts.value, &ss.value, !tp.has_text(), !sp.has_text());
-    let d_f = estimated_jaccard_distance(
+        estimated_jaccard_distance_words(&ts.name, ss.name, tp.qset.is_empty(), sp.qset.is_empty());
+    let d_v = estimated_jaccard_distance_words(&ts.value, ss.value, !tp.has_text(), !sp.has_text());
+    let d_f = estimated_jaccard_distance_words(
         &ts.format,
-        &ss.format,
+        ss.format,
         tp.rset.is_empty(),
         sp.rset.is_empty(),
     );
-    let d_e = estimated_cosine_distance(
+    let d_e = estimated_cosine_distance_words(
         &ts.embedding,
-        &ss.embedding,
+        ss.embedding,
         !tp.has_embedding(),
         !sp.has_embedding(),
     );
@@ -292,7 +294,7 @@ pub(crate) fn pair_distances_resolved(
 /// when the lake table has no subject attribute.
 pub(crate) fn subjects_related_resolved(
     prepared: &PreparedTarget,
-    ss: Option<&AttrSignatures>,
+    ss: Option<AttrSigsRef<'_>>,
     threshold: f64,
 ) -> bool {
     let (Some(ti), Some(ss)) = (prepared.subject, ss) else {
@@ -302,10 +304,10 @@ pub(crate) fn subjects_related_resolved(
         return false;
     }
     let ts = &prepared.sigs[ti];
-    ts.name.jaccard(&ss.name) >= threshold
-        || ts.value.jaccard(&ss.value) >= threshold
-        || ts.format.jaccard(&ss.format) >= threshold
-        || ts.embedding.cosine(&ss.embedding) >= threshold
+    ts.name.jaccard_words(ss.name) >= threshold
+        || ts.value.jaccard_words(ss.value) >= threshold
+        || ts.format.jaccard_words(ss.format) >= threshold
+        || ts.embedding.cosine_words(ss.embedding) >= threshold
 }
 
 impl D3l {
@@ -509,15 +511,23 @@ impl D3l {
     ) -> Vec<Vec<(AttrRef, DistanceVector)>> {
         // Algorithm 2 line 4 is a per-candidate-table predicate;
         // precompute it for every table that could face a KS
-        // measurement so the per-pair workers stay pure.
-        let guards = self.subject_guards(prepared, candidates, threads);
+        // measurement so the per-pair workers stay pure. Fallback
+        // signatures are likewise signed once, not once per pair.
+        let fallbacks = self.sig_fallbacks();
+        let guards = self.subject_guards(prepared, candidates, threads, &fallbacks);
         let work: Vec<(usize, AttrRef)> = candidates
             .iter()
             .enumerate()
             .flat_map(|(i, cands)| cands.iter().map(move |&attr| (i, attr)))
             .collect();
         let scored = par_map(&work, threads, |&(i, attr)| {
-            self.pair_distances(&prepared.profiles[i], &prepared.sigs[i], attr, &guards)
+            self.pair_distances(
+                &prepared.profiles[i],
+                &prepared.sigs[i],
+                attr,
+                &guards,
+                &fallbacks,
+            )
         });
         let mut out: Vec<Vec<(AttrRef, DistanceVector)>> = vec![Vec::new(); candidates.len()];
         for (&(i, attr), dv) in work.iter().zip(scored) {
@@ -602,6 +612,7 @@ impl D3l {
         prepared: &PreparedTarget,
         candidates: &[Vec<AttrRef>],
         threads: usize,
+        fallbacks: &SigFallbacks,
     ) -> HashMap<TableId, bool> {
         let mut tables: BTreeSet<TableId> = BTreeSet::new();
         for (i, cands) in candidates.iter().enumerate() {
@@ -615,7 +626,9 @@ impl D3l {
             }
         }
         let tables: Vec<TableId> = tables.into_iter().collect();
-        let guards = par_map(&tables, threads, |&t| self.subjects_related(prepared, t));
+        let guards = par_map(&tables, threads, |&t| {
+            self.subjects_related(prepared, t, fallbacks)
+        });
         tables.into_iter().zip(guards).collect()
     }
 
@@ -627,21 +640,27 @@ impl D3l {
         ts: &AttrSignatures,
         attr: AttrRef,
         subject_guards: &HashMap<TableId, bool>,
+        fallbacks: &SigFallbacks,
     ) -> DistanceVector {
         let sp = self.profile(attr);
-        let ss = self.stored_signatures(attr);
+        let ss = self.stored_signatures_ref(attr, fallbacks);
         let guard_subject = subject_guards.get(&attr.table).copied().unwrap_or(false);
-        pair_distances_resolved(tp, ts, sp, &ss, guard_subject, self.cfg.threshold)
+        pair_distances_resolved(tp, ts, sp, ss, guard_subject, self.cfg.threshold)
     }
 
     /// Algorithm 2 line 4: are the subject attributes of the target
     /// and of lake table `s_table` related in any index
     /// (`i' ∈ I*.lookup(i)`)?
-    fn subjects_related(&self, prepared: &PreparedTarget, s_table: TableId) -> bool {
+    fn subjects_related(
+        &self,
+        prepared: &PreparedTarget,
+        s_table: TableId,
+        fallbacks: &SigFallbacks,
+    ) -> bool {
         let ss = self
             .subject_of(s_table)
-            .map(|s_attr| self.stored_signatures(s_attr));
-        subjects_related_resolved(prepared, ss.as_ref(), self.cfg.threshold)
+            .map(|s_attr| self.stored_signatures_ref(s_attr, fallbacks));
+        subjects_related_resolved(prepared, ss, self.cfg.threshold)
     }
 }
 

@@ -182,9 +182,7 @@ impl ShardedD3l {
             .map(|key| {
                 (
                     key,
-                    full.signature(key)
-                        .expect("forest id without signature")
-                        .clone(),
+                    full.signature(key).expect("forest id without signature"),
                 )
             })
             .collect();
@@ -343,21 +341,7 @@ impl ShardedD3l {
 
     /// Aggregate memory accounting across shards.
     pub fn byte_size(&self) -> MemoryFootprint {
-        let mut total = self.shards[0].byte_size();
-        for s in &self.shards[1..] {
-            let fp = s.byte_size();
-            for (acc, add) in [
-                (&mut total.i_n, fp.i_n),
-                (&mut total.i_v, fp.i_v),
-                (&mut total.i_f, fp.i_f),
-                (&mut total.i_e, fp.i_e),
-            ] {
-                acc.tree_bytes += add.tree_bytes;
-                acc.signature_bytes += add.signature_bytes;
-            }
-            total.profile_bytes += fp.profile_bytes;
-        }
-        total
+        MemoryFootprint::sum(&self.shard_byte_sizes())
     }
 
     /// Per-shard memory accounting, for diagnostics and `/stats`.
@@ -587,16 +571,19 @@ impl ShardedD3l {
             .flat_map(|(i, cands)| cands.iter().map(move |&attr| (i, attr)))
             .collect();
         let threshold = self.config().threshold;
+        // Fallback signatures are seed-derived from the shared config,
+        // so one shard's are every shard's.
+        let fallbacks = self.shards[0].sig_fallbacks();
         let scored = par_map(&work, threads, |&(i, attr)| {
             let shard = &self.shards[self.owner_of(attr.table).expect("candidate has an owner")];
             let sp = shard.profile(attr);
-            let ss = shard.stored_signatures(attr);
+            let ss = shard.stored_signatures_ref(attr, &fallbacks);
             let guard_subject = guards.get(&attr.table).copied().unwrap_or(false);
             pair_distances_resolved(
                 &prepared.profiles[i],
                 &prepared.sigs[i],
                 sp,
-                &ss,
+                ss,
                 guard_subject,
                 threshold,
             )
@@ -631,13 +618,14 @@ impl ShardedD3l {
             }
         }
         let threshold = self.config().threshold;
+        let fallbacks = self.shards[0].sig_fallbacks();
         let tables: Vec<TableId> = tables.into_iter().collect();
         let guards = par_map(&tables, threads, |&t| {
             let shard = &self.shards[self.owner_of(t).expect("candidate has an owner")];
             let ss = shard
                 .subject_of(t)
-                .map(|s_attr| shard.stored_signatures(s_attr));
-            subjects_related_resolved(prepared, ss.as_ref(), threshold)
+                .map(|s_attr| shard.stored_signatures_ref(s_attr, &fallbacks));
+            subjects_related_resolved(prepared, ss, threshold)
         });
         tables.into_iter().zip(guards).collect()
     }

@@ -24,6 +24,23 @@ pub trait Signature: Clone {
     fn similarity(&self, other: &Self) -> f64;
     /// Approximate stored footprint in bytes.
     fn byte_size(&self) -> usize;
+    /// The signature's backing `u64` words — the flat-storage contract
+    /// [`crate::forest::LshForest`]'s signature arena builds on: every
+    /// signature of one provenance has the same word count, and
+    /// `(words, meta)` reconstructs the signature exactly.
+    fn words(&self) -> &[u64];
+    /// Shape metadata the words alone cannot carry (bit count for bit
+    /// signatures; unused, `0`, for MinHash).
+    fn meta(&self) -> u64;
+    /// Rebuild a signature from arena words and shape metadata.
+    /// Panics when the word count does not match the metadata — arena
+    /// slots are written by [`Signature::words`], so a mismatch is a
+    /// caller bug, not data-dependent.
+    fn from_words(words: Vec<u64>, meta: u64) -> Self;
+    /// [`Signature::similarity`] against a stored signature given as
+    /// its raw arena words — bit-identical to materializing the stored
+    /// signature first, without the copy.
+    fn similarity_words(&self, words: &[u64], meta: u64) -> f64;
 }
 
 impl Signature for MinHashSignature {
@@ -39,6 +56,18 @@ impl Signature for MinHashSignature {
     fn byte_size(&self) -> usize {
         MinHashSignature::byte_size(self)
     }
+    fn words(&self) -> &[u64] {
+        &self.0
+    }
+    fn meta(&self) -> u64 {
+        0
+    }
+    fn from_words(words: Vec<u64>, _meta: u64) -> Self {
+        MinHashSignature(words)
+    }
+    fn similarity_words(&self, words: &[u64], _meta: u64) -> f64 {
+        self.jaccard_words(words)
+    }
 }
 
 impl Signature for BitSignature {
@@ -53,6 +82,20 @@ impl Signature for BitSignature {
     }
     fn byte_size(&self) -> usize {
         BitSignature::byte_size(self)
+    }
+    fn words(&self) -> &[u64] {
+        BitSignature::words(self)
+    }
+    fn meta(&self) -> u64 {
+        self.len() as u64
+    }
+    fn from_words(words: Vec<u64>, meta: u64) -> Self {
+        BitSignature::from_words(words, meta as usize)
+            .expect("arena word count matches the stored bit count")
+    }
+    fn similarity_words(&self, words: &[u64], meta: u64) -> f64 {
+        debug_assert_eq!(meta as usize, self.len(), "signature length mismatch");
+        self.cosine_words(words)
     }
 }
 

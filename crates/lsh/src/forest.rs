@@ -8,11 +8,16 @@
 //! the repository size — dominates search cost.
 //!
 //! This implementation follows the sorted-array formulation (as in
-//! `datasketch`): each tree keeps its labels sorted and prefix ranges
-//! are found by binary search.
+//! `datasketch`), with each tree stored as a [`FlatTree`]: a
+//! contiguous label arena (`Vec<u8>` with a fixed `k`-byte stride)
+//! plus a parallel `Vec<ItemId>`. Compared to the per-entry
+//! `Box<[u8]>` representation it replaces, the binary searches and
+//! prefix-range scans walk one cache-resident byte array instead of
+//! chasing a heap pointer per entry, and candidate ids come out of a
+//! contiguous `&[ItemId]` slice.
 //!
 //! Construction is a two-phase builder: [`LshForest::insert`] appends
-//! to the per-tree arrays, and an explicit [`LshForest::commit`] (or
+//! to the per-tree arenas, and an explicit [`LshForest::commit`] (or
 //! [`LshForest::commit_parallel`]) sorts them. All query methods take
 //! `&self` and require a committed forest, so a built forest can be
 //! shared lock-free across query workers. [`LshForest::build_from`]
@@ -23,29 +28,279 @@
 //! count.
 
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 
 use crate::banded::Signature;
+use crate::hash::{IdHashMap, IdHashSet};
 use crate::{top_k, Hit, ItemId};
 
 /// Default number of trees.
 pub const DEFAULT_TREES: usize = 16;
 
-/// One tree's sorted array of `(label, item)` entries.
-pub type TreeArray = Vec<(Box<[u8]>, ItemId)>;
+/// One tree's sorted `(label, item)` entries in cache-flat form:
+/// entry `i`'s label occupies `labels[i*k .. (i+1)*k]` and its item id
+/// is `ids[i]`. Sorted order is lexicographic on `(label, id)`,
+/// exactly the order the historical `Vec<(Box<[u8]>, ItemId)>`
+/// representation sorted into.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FlatTree {
+    /// Label stride in bytes (the tree depth).
+    k: usize,
+    /// Concatenated fixed-stride labels.
+    labels: Vec<u8>,
+    /// Item ids, parallel to the label arena.
+    ids: Vec<ItemId>,
+}
+
+impl FlatTree {
+    /// An empty tree with label stride `k`.
+    pub fn new(k: usize) -> Self {
+        FlatTree {
+            k,
+            labels: Vec::new(),
+            ids: Vec::new(),
+        }
+    }
+
+    /// Number of entries.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// True when no entry has been pushed.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Label stride in bytes.
+    #[inline]
+    pub fn stride(&self) -> usize {
+        self.k
+    }
+
+    /// Entry `i`'s label.
+    #[inline]
+    pub fn label_at(&self, i: usize) -> &[u8] {
+        &self.labels[i * self.k..(i + 1) * self.k]
+    }
+
+    /// Entry `i`'s item id.
+    #[inline]
+    pub fn id_at(&self, i: usize) -> ItemId {
+        self.ids[i]
+    }
+
+    /// All item ids in entry order — prefix ranges slice this
+    /// directly.
+    #[inline]
+    pub fn ids(&self) -> &[ItemId] {
+        &self.ids
+    }
+
+    /// Pre-allocate space for `n` entries.
+    pub fn reserve(&mut self, n: usize) {
+        self.labels.reserve(n * self.k);
+        self.ids.reserve(n);
+    }
+
+    /// Append an entry. Panics unless the label is exactly `k` bytes.
+    pub fn push(&mut self, label: &[u8], id: ItemId) {
+        assert_eq!(label.len(), self.k, "label width is the tree depth");
+        self.labels.extend_from_slice(label);
+        self.ids.push(id);
+    }
+
+    /// Append an entry whose label bytes `fill` writes straight into
+    /// the arena (it must append exactly `k` bytes) — the insert path
+    /// uses this to avoid materializing labels in a side buffer.
+    pub fn push_with(&mut self, id: ItemId, fill: impl FnOnce(&mut Vec<u8>)) {
+        let before = self.labels.len();
+        fill(&mut self.labels);
+        debug_assert_eq!(
+            self.labels.len(),
+            before + self.k,
+            "label fill must write exactly the stride"
+        );
+        self.ids.push(id);
+    }
+
+    /// Sort entries by `(label, id)` — a permutation sort: indices are
+    /// sorted comparing arena slices, then both arrays are gathered
+    /// through the permutation in one pass. Entries are unique per
+    /// tree (one per item), so this is a total order and the result is
+    /// independent of the starting arrangement.
+    pub fn sort(&mut self) {
+        let n = self.ids.len();
+        assert!(n <= u32::MAX as usize, "tree too large for u32 permutation");
+        let k = self.k;
+        let mut perm: Vec<u32> = (0..n as u32).collect();
+        perm.sort_unstable_by(|&a, &b| {
+            let (a, b) = (a as usize, b as usize);
+            self.labels[a * k..(a + 1) * k]
+                .cmp(&self.labels[b * k..(b + 1) * k])
+                .then_with(|| self.ids[a].cmp(&self.ids[b]))
+        });
+        let mut labels = Vec::with_capacity(self.labels.len());
+        let mut ids = Vec::with_capacity(n);
+        for &p in &perm {
+            let p = p as usize;
+            labels.extend_from_slice(&self.labels[p * k..(p + 1) * k]);
+            ids.push(self.ids[p]);
+        }
+        self.labels = labels;
+        self.ids = ids;
+    }
+
+    /// Whether entries are in `(label, id)` sorted order.
+    pub fn is_sorted(&self) -> bool {
+        (1..self.len())
+            .all(|i| (self.label_at(i - 1), self.ids[i - 1]) <= (self.label_at(i), self.ids[i]))
+    }
+
+    /// Drop every entry with the given id, in place (one forward
+    /// compaction pass over both arrays). Preserves order, so a sorted
+    /// tree stays sorted.
+    pub fn remove_id(&mut self, id: ItemId) {
+        let k = self.k;
+        let mut w = 0usize;
+        for r in 0..self.ids.len() {
+            if self.ids[r] != id {
+                if w != r {
+                    self.ids[w] = self.ids[r];
+                    self.labels.copy_within(r * k..(r + 1) * k, w * k);
+                }
+                w += 1;
+            }
+        }
+        self.ids.truncate(w);
+        self.labels.truncate(w * k);
+    }
+
+    /// Index range `[lo, hi)` of entries whose label starts with
+    /// `prefix` (requires sorted entries; prefix length must not
+    /// exceed the stride).
+    pub fn prefix_range(&self, prefix: &[u8]) -> (usize, usize) {
+        debug_assert!(prefix.len() <= self.k, "prefix deeper than the tree");
+        let d = prefix.len();
+        let lo = self.partition_point(|lbl| &lbl[..d] < prefix);
+        let hi = self.partition_point(|lbl| &lbl[..d] <= prefix);
+        (lo, hi)
+    }
+
+    /// First index whose label fails `pred` (entries satisfying `pred`
+    /// must precede those that do not — the `slice::partition_point`
+    /// contract, over arena slices).
+    fn partition_point(&self, pred: impl Fn(&[u8]) -> bool) -> usize {
+        let (mut lo, mut hi) = (0usize, self.len());
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            if pred(self.label_at(mid)) {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        lo
+    }
+
+    /// Widen `[lo, hi)` to the maximal run of entries whose labels
+    /// start with `prefix`, calling `on_new` once per newly covered
+    /// id. The incoming range must lie inside the target run (which
+    /// holds both for the run at any deeper prefix of `prefix` and
+    /// for an empty insertion-point range at one): sorted order makes
+    /// every same-prefix run contiguous, so two outward linear scans
+    /// reach its edges. This is what makes the query descent
+    /// `O(log n + candidates)` per tree instead of one binary search
+    /// per depth level.
+    pub fn widen_prefix_run(
+        &self,
+        prefix: &[u8],
+        lo: &mut usize,
+        hi: &mut usize,
+        mut on_new: impl FnMut(ItemId),
+    ) {
+        let d = prefix.len();
+        debug_assert!(d <= self.k, "prefix deeper than the tree");
+        while *lo > 0 && &self.label_at(*lo - 1)[..d] == prefix {
+            *lo -= 1;
+            on_new(self.ids[*lo]);
+        }
+        while *hi < self.len() && &self.label_at(*hi)[..d] == prefix {
+            on_new(self.ids[*hi]);
+            *hi += 1;
+        }
+    }
+
+    /// Iterate `(label, id)` entries in order.
+    pub fn entries(&self) -> impl Iterator<Item = (&[u8], ItemId)> + '_ {
+        (0..self.len()).map(|i| (self.label_at(i), self.ids[i]))
+    }
+
+    /// Exact arena footprint in bytes (labels plus ids).
+    #[inline]
+    pub fn byte_size(&self) -> usize {
+        self.labels.len() + self.ids.len() * std::mem::size_of::<ItemId>()
+    }
+
+    /// Swap two entries (labels and ids) — corruption-injection tests.
+    pub fn swap(&mut self, i: usize, j: usize) {
+        if i == j {
+            return;
+        }
+        self.ids.swap(i, j);
+        for b in 0..self.k {
+            self.labels.swap(i * self.k + b, j * self.k + b);
+        }
+    }
+
+    /// Overwrite entry `i`'s id — corruption-injection tests.
+    pub fn set_id(&mut self, i: usize, id: ItemId) {
+        self.ids[i] = id;
+    }
+
+    /// Drop the last entry — corruption-injection tests.
+    pub fn pop(&mut self) {
+        if self.ids.pop().is_some() {
+            self.labels.truncate(self.labels.len() - self.k);
+        }
+    }
+}
 
 /// An LSH Forest over signatures of type `S`.
+///
+/// Stored signatures live in a **flat arena**: one contiguous
+/// `Vec<u64>` of fixed-stride slots plus a parallel slot → id array,
+/// with an id → slot map only for point lookups. Candidate scoring
+/// maps candidate ids to slots, sorts the slots, and scans the arena
+/// in address order — one sequential, prefetch-friendly pass instead
+/// of a dependent hash-probe plus heap-pointer chase per candidate
+/// (the historical `HashMap<ItemId, S>` cost two cache misses per
+/// ~2 KB signature read).
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct LshForest<S> {
     /// Number of trees (`l`).
     l: usize,
     /// Label depth per tree (`k` hash positions, one byte each).
     k: usize,
-    /// Per-tree sorted arrays of (label, item).
-    trees: Vec<TreeArray>,
-    /// Full signatures for similarity refinement.
-    sigs: HashMap<ItemId, S>,
+    /// Per-tree sorted label arenas.
+    trees: Vec<FlatTree>,
     sorted: bool,
+    /// Words per stored signature — every signature in one forest
+    /// comes from one hasher, so the stride is uniform (set by the
+    /// first insert).
+    sig_stride: usize,
+    /// Shape metadata shared by all stored signatures
+    /// ([`Signature::meta`]; bit count for bit signatures).
+    sig_meta: u64,
+    /// Slot-major signature word arena: slot `s` occupies
+    /// `sig_words[s*stride .. (s+1)*stride]`.
+    sig_words: Vec<u64>,
+    /// Item id of each slot.
+    slot_ids: Vec<ItemId>,
+    /// Id → arena slot, for point lookups and removal.
+    slot_of: IdHashMap<ItemId, u32>,
+    _sig: std::marker::PhantomData<S>,
 }
 
 impl<S: Signature> LshForest<S> {
@@ -59,9 +314,14 @@ impl<S: Signature> LshForest<S> {
         LshForest {
             l,
             k,
-            trees: vec![Vec::new(); l],
-            sigs: HashMap::new(),
+            trees: (0..l).map(|_| FlatTree::new(k)).collect(),
             sorted: true,
+            sig_stride: 0,
+            sig_meta: 0,
+            sig_words: Vec::new(),
+            slot_ids: Vec::new(),
+            slot_of: IdHashMap::default(),
+            _sig: std::marker::PhantomData,
         }
     }
 
@@ -77,38 +337,92 @@ impl<S: Signature> LshForest<S> {
 
     /// Number of indexed items.
     pub fn len(&self) -> usize {
-        self.sigs.len()
+        self.slot_ids.len()
     }
 
     /// True when nothing has been inserted.
     pub fn is_empty(&self) -> bool {
-        self.sigs.is_empty()
+        self.slot_ids.is_empty()
     }
 
-    /// Label of `sig` in tree `t`: one byte per consumed position.
-    fn label(&self, sig: &S, t: usize) -> Box<[u8]> {
+    /// Append the label of `sig` in tree `t` (one byte per consumed
+    /// position, exactly `k` bytes) to `out`.
+    fn write_label(&self, sig: &S, t: usize, out: &mut Vec<u8>) {
         let start = t * self.k;
-        (0..self.k)
-            .map(|i| {
-                let pos = start + i;
-                if pos < sig.lsh_len() {
-                    (sig.lsh_hash(pos) & 0xff) as u8
-                } else {
-                    0
-                }
-            })
-            .collect()
+        for i in 0..self.k {
+            let pos = start + i;
+            out.push(if pos < sig.lsh_len() {
+                (sig.lsh_hash(pos) & 0xff) as u8
+            } else {
+                0
+            });
+        }
+    }
+
+    /// All `l` tree labels of `sig`, concatenated (tree `t` at
+    /// `t*k..(t+1)*k`) — one allocation per query.
+    fn query_labels(&self, sig: &S) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(self.l * self.k);
+        for t in 0..self.l {
+            self.write_label(sig, t, &mut buf);
+        }
+        buf
     }
 
     /// Insert an item. The forest must be (re-)committed before the
     /// next query.
     pub fn insert(&mut self, id: ItemId, sig: S) {
         for t in 0..self.l {
-            let lbl = self.label(&sig, t);
-            self.trees[t].push((lbl, id));
+            let (trees, k) = (&mut self.trees, self.k);
+            let start = t * k;
+            trees[t].push_with(id, |out| {
+                for i in 0..k {
+                    let pos = start + i;
+                    out.push(if pos < sig.lsh_len() {
+                        (sig.lsh_hash(pos) & 0xff) as u8
+                    } else {
+                        0
+                    });
+                }
+            });
         }
-        self.sigs.insert(id, sig);
+        self.store_signature(id, &sig);
         self.sorted = false;
+    }
+
+    /// Write a signature's words into the arena — new ids append a
+    /// slot; re-inserted ids overwrite theirs in place. Panics when
+    /// the signature's shape differs from what the forest stores (one
+    /// forest holds one hasher's output).
+    fn store_signature(&mut self, id: ItemId, sig: &S) {
+        let words = sig.words();
+        if self.slot_ids.is_empty() {
+            self.sig_stride = words.len();
+            self.sig_meta = sig.meta();
+        } else {
+            assert_eq!(words.len(), self.sig_stride, "signature shape mismatch");
+            debug_assert_eq!(sig.meta(), self.sig_meta, "signature shape mismatch");
+        }
+        match self.slot_of.get(&id) {
+            Some(&slot) => {
+                let s = slot as usize * self.sig_stride;
+                self.sig_words[s..s + self.sig_stride].copy_from_slice(words);
+            }
+            None => {
+                let slot = self.slot_ids.len();
+                assert!(slot <= u32::MAX as usize, "forest too large for u32 slots");
+                self.slot_of.insert(id, slot as u32);
+                self.slot_ids.push(id);
+                self.sig_words.extend_from_slice(words);
+            }
+        }
+    }
+
+    /// Arena words of slot `s`.
+    #[inline]
+    fn slot_words(&self, s: u32) -> &[u64] {
+        let s = s as usize * self.sig_stride;
+        &self.sig_words[s..s + self.sig_stride]
     }
 
     /// Commit pending inserts by sorting all trees. Queries require a
@@ -158,54 +472,70 @@ impl<S: Signature> LshForest<S> {
     /// a committed forest stays committed. Returns whether the item
     /// was present.
     pub fn remove(&mut self, id: ItemId) -> bool {
-        if self.sigs.remove(&id).is_none() {
+        let Some(slot) = self.slot_of.remove(&id) else {
             return false;
+        };
+        // Swap-remove the arena slot: move the last slot's words and
+        // id into the vacated position, then truncate.
+        let s = slot as usize;
+        let last = self.slot_ids.len() - 1;
+        if s != last {
+            let moved = self.slot_ids[last];
+            self.slot_ids[s] = moved;
+            let stride = self.sig_stride;
+            self.sig_words
+                .copy_within(last * stride..(last + 1) * stride, s * stride);
+            self.slot_of.insert(moved, slot);
         }
+        self.slot_ids.truncate(last);
+        self.sig_words.truncate(last * self.sig_stride);
         for tree in &mut self.trees {
-            tree.retain(|(_, item)| *item != id);
+            tree.remove_id(id);
         }
         true
     }
 
-    /// The per-tree sorted `(label, item)` arrays — the persistence
-    /// layer serializes them verbatim so a loaded forest needs no
-    /// re-sort.
-    pub fn tree_arrays(&self) -> &[TreeArray] {
+    /// The per-tree sorted label arenas — the persistence layer
+    /// serializes them verbatim so a loaded forest needs no re-sort.
+    pub fn tree_arrays(&self) -> &[FlatTree] {
         &self.trees
     }
 
     /// Mutable tree access for corruption-injection tests.
     #[cfg(test)]
-    pub(crate) fn tree_arrays_mut(&mut self) -> &mut [TreeArray] {
+    pub(crate) fn tree_arrays_mut(&mut self) -> &mut [FlatTree] {
         &mut self.trees
     }
 
     /// Reassemble a forest from deserialized parts. The caller (the
     /// snapshot decoder) is responsible for having validated the
-    /// invariants: `k` label bytes per entry, one tree entry per
-    /// signature per tree, and sorted trees whenever `sorted` is set.
+    /// invariants: `k`-stride trees, one tree entry per signature per
+    /// tree, unique ids with one shared signature shape, and sorted
+    /// trees whenever `sorted` is set.
     pub fn from_stored_parts(
         l: usize,
         k: usize,
-        trees: Vec<TreeArray>,
-        sigs: HashMap<ItemId, S>,
+        trees: Vec<FlatTree>,
+        sigs: Vec<(ItemId, S)>,
         sorted: bool,
     ) -> Self {
         debug_assert_eq!(trees.len(), l, "one tree array per tree");
-        LshForest {
+        let mut forest = LshForest {
             l,
             k,
             trees,
-            sigs,
             sorted,
+            sig_stride: 0,
+            sig_meta: 0,
+            sig_words: Vec::new(),
+            slot_ids: Vec::new(),
+            slot_of: IdHashMap::default(),
+            _sig: std::marker::PhantomData,
+        };
+        for (id, sig) in &sigs {
+            forest.store_signature(*id, sig);
         }
-    }
-
-    fn prefix_range(tree: &[(Box<[u8]>, ItemId)], label: &[u8], depth: usize) -> (usize, usize) {
-        let prefix = &label[..depth];
-        let lo = tree.partition_point(|(lbl, _)| lbl.as_ref()[..depth] < *prefix);
-        let hi = tree.partition_point(|(lbl, _)| lbl.as_ref()[..depth] <= *prefix);
-        (lo, hi)
+        forest
     }
 
     /// Top-`k` most similar items to `sig`. Panics unless the forest
@@ -218,50 +548,54 @@ impl<S: Signature> LshForest<S> {
     /// similarity from the stored signatures.
     pub fn query(&self, sig: &S, k: usize) -> Vec<Hit> {
         assert!(self.sorted, "forest not committed; call commit() first");
-        if k == 0 || self.sigs.is_empty() {
+        if k == 0 || self.slot_ids.is_empty() {
             return Vec::new();
         }
-        let labels: Vec<Box<[u8]>> = (0..self.l).map(|t| self.label(sig, t)).collect();
-        let mut candidates: std::collections::HashSet<ItemId> = std::collections::HashSet::new();
-        // Synchronous descent across trees, deepest first.
-        for depth in (1..=self.k).rev() {
-            for (t, tree) in self.trees.iter().enumerate() {
-                let (lo, hi) = Self::prefix_range(tree, &labels[t], depth);
-                for (_, id) in &tree[lo..hi] {
-                    candidates.insert(*id);
-                }
+        let labels = self.query_labels(sig);
+        let mut candidates: IdHashSet<ItemId> = IdHashSet::default();
+        // Synchronous descent across trees, deepest first: one
+        // full-depth binary search per tree seeds a cursor, then each
+        // shallower level widens the cursors outward over the arena —
+        // every level sees exactly the prefix runs a per-level binary
+        // search would, but each entry is visited once per tree.
+        let mut cursors: Vec<(usize, usize)> = Vec::with_capacity(self.trees.len());
+        for (t, tree) in self.trees.iter().enumerate() {
+            let (lo, hi) = tree.prefix_range(&labels[t * self.k..(t + 1) * self.k]);
+            for &id in &tree.ids()[lo..hi] {
+                candidates.insert(id);
             }
-            if candidates.len() >= k {
-                break;
+            cursors.push((lo, hi));
+        }
+        let mut depth = self.k;
+        while candidates.len() < k && depth > 1 {
+            depth -= 1;
+            for (t, tree) in self.trees.iter().enumerate() {
+                let (lo, hi) = &mut cursors[t];
+                tree.widen_prefix_run(&labels[t * self.k..t * self.k + depth], lo, hi, |id| {
+                    candidates.insert(id);
+                });
             }
         }
         // Fall back to scanning when the lake is tiny or prefixes are
         // unlucky — keeps recall sensible for small k. The scan must
-        // visit ids in a fixed order: HashMap iteration order varies
-        // per map instance, and the query pipeline guarantees results
-        // that are byte-identical across runs and thread counts.
-        if candidates.len() < k && candidates.len() < self.sigs.len() {
+        // pick a fixed id *set*: HashMap iteration order varies per
+        // map instance, and the query pipeline guarantees results that
+        // are byte-identical across runs and thread counts.
+        if candidates.len() < k && candidates.len() < self.slot_ids.len() {
             let need = k.max(32) - candidates.len();
-            let mut rest: Vec<ItemId> = self
-                .sigs
-                .keys()
-                .filter(|id| !candidates.contains(id))
-                .copied()
-                .collect();
-            // The smallest `need` ids, selected in O(n): ids are
-            // unique, so the resulting *set* is deterministic without
-            // a full sort.
-            if rest.len() > need {
-                rest.select_nth_unstable(need - 1);
-                rest.truncate(need);
-            }
-            candidates.extend(rest);
+            select_smallest_ids(self.slot_ids.iter().copied(), &mut candidates, need);
         }
-        let hits: Vec<Hit> = candidates
+        // Score in arena order: map candidate ids to slots, sort, and
+        // scan the word arena sequentially — candidates' signatures
+        // stream through the cache in address order instead of one
+        // random 2 KB read per hash probe.
+        let mut slots: Vec<u32> = candidates.iter().map(|id| self.slot_of[id]).collect();
+        slots.sort_unstable();
+        let hits: Vec<Hit> = slots
             .into_iter()
-            .map(|id| Hit {
-                id,
-                similarity: sig.similarity(&self.sigs[&id]),
+            .map(|s| Hit {
+                id: self.slot_ids[s as usize],
+                similarity: sig.similarity_words(self.slot_words(s), self.sig_meta),
             })
             .collect();
         top_k(hits, k)
@@ -276,28 +610,42 @@ impl<S: Signature> LshForest<S> {
             .collect()
     }
 
-    /// Stored signature of an item.
-    pub fn signature(&self, id: ItemId) -> Option<&S> {
-        self.sigs.get(&id)
+    /// Stored signature of an item, rebuilt from its arena words.
+    /// Cold paths only (persistence, shard splitting) — the scoring
+    /// paths read arena words in place via [`LshForest::signature_words`].
+    pub fn signature(&self, id: ItemId) -> Option<S> {
+        self.signature_words(id)
+            .map(|w| S::from_words(w.to_vec(), self.sig_meta))
     }
 
-    /// Iterate all indexed item ids.
+    /// Borrowed arena words of an item's stored signature — the
+    /// zero-copy lookup the pairwise scoring stages resolve candidates
+    /// through.
+    pub fn signature_words(&self, id: ItemId) -> Option<&[u64]> {
+        self.slot_of.get(&id).map(|&s| self.slot_words(s))
+    }
+
+    /// Shape metadata shared by every stored signature
+    /// ([`Signature::meta`]).
+    pub fn sig_meta(&self) -> u64 {
+        self.sig_meta
+    }
+
+    /// Iterate all indexed item ids (arena slot order — insertion
+    /// order until a removal swap-compacts a slot).
     pub fn ids(&self) -> impl Iterator<Item = ItemId> + '_ {
-        self.sigs.keys().copied()
+        self.slot_ids.iter().copied()
     }
 
-    /// Approximate footprint of the tree arrays in bytes (labels plus
-    /// item ids).
+    /// Footprint of the tree arenas in bytes (labels plus item ids) —
+    /// O(trees), not O(entries): the arenas know their exact sizes.
     pub fn tree_byte_size(&self) -> usize {
-        self.trees
-            .iter()
-            .map(|t| t.iter().map(|(lbl, _)| lbl.len() + 8).sum::<usize>())
-            .sum()
+        self.trees.iter().map(FlatTree::byte_size).sum()
     }
 
-    /// Approximate footprint of the stored signature map in bytes.
+    /// Footprint of the signature arena in bytes — exact and O(1).
     pub fn signature_byte_size(&self) -> usize {
-        self.sigs.values().map(Signature::byte_size).sum()
+        self.sig_words.len() * 8
     }
 
     /// Approximate footprint in bytes: tree labels plus stored
@@ -305,6 +653,37 @@ impl<S: Signature> LshForest<S> {
     pub fn byte_size(&self) -> usize {
         self.tree_byte_size() + self.signature_byte_size()
     }
+}
+
+/// Add the `need` smallest ids from `ids` that are not already in
+/// `candidates` — a bounded max-heap selection: O(n log need) time,
+/// O(need) extra space, instead of materializing every stored id just
+/// to pick a handful (the historical fallback allocated a `Vec` of
+/// the *entire* lake's ids per query). Ids are unique, so the
+/// resulting set is deterministic regardless of iteration order.
+fn select_smallest_ids(
+    ids: impl Iterator<Item = ItemId>,
+    candidates: &mut IdHashSet<ItemId>,
+    need: usize,
+) {
+    if need == 0 {
+        return;
+    }
+    let mut heap = std::collections::BinaryHeap::with_capacity(need + 1);
+    for id in ids {
+        if candidates.contains(&id) {
+            continue;
+        }
+        if heap.len() < need {
+            heap.push(id);
+        } else if let Some(&top) = heap.peek() {
+            if id < top {
+                heap.pop();
+                heap.push(id);
+            }
+        }
+    }
+    candidates.extend(heap);
 }
 
 /// Top-`k` query over the disjoint union of several forests — the
@@ -337,51 +716,68 @@ pub fn query_union<S: Signature>(forests: &[&LshForest<S>], sig: &S, k: usize) -
         assert!(f.sorted, "forest not committed; call commit() first");
         debug_assert_eq!(f.shape(), (l, depth_k), "shards must share one shape");
     }
-    let total: usize = forests.iter().map(|f| f.sigs.len()).sum();
+    let total: usize = forests.iter().map(|f| f.slot_ids.len()).sum();
     if k == 0 || total == 0 {
         return Vec::new();
     }
     // Labels depend only on the shape and the query signature — any
     // forest computes the same ones.
-    let labels: Vec<Box<[u8]>> = (0..l).map(|t| forests[0].label(sig, t)).collect();
-    let mut candidates: std::collections::HashSet<ItemId> = std::collections::HashSet::new();
-    for depth in (1..=depth_k).rev() {
-        for (t, label) in labels.iter().enumerate() {
-            for f in forests {
-                let (lo, hi) = LshForest::<S>::prefix_range(&f.trees[t], label, depth);
-                for (_, id) in &f.trees[t][lo..hi] {
-                    candidates.insert(*id);
-                }
+    let labels = forests[0].query_labels(sig);
+    let mut candidates: IdHashSet<ItemId> = IdHashSet::default();
+    // Same cursor-widening descent as [`LshForest::query`], with one
+    // cursor per (forest, tree): the union still deepens level by
+    // level across every shard in lockstep.
+    let mut cursors: Vec<(usize, usize)> = Vec::with_capacity(forests.len() * l);
+    for f in forests {
+        for (t, tree) in f.trees.iter().enumerate() {
+            let (lo, hi) = tree.prefix_range(&labels[t * depth_k..(t + 1) * depth_k]);
+            for &id in &tree.ids()[lo..hi] {
+                candidates.insert(id);
             }
+            cursors.push((lo, hi));
         }
-        if candidates.len() >= k {
-            break;
+    }
+    let mut depth = depth_k;
+    while candidates.len() < k && depth > 1 {
+        depth -= 1;
+        for (fi, f) in forests.iter().enumerate() {
+            for (t, tree) in f.trees.iter().enumerate() {
+                let (lo, hi) = &mut cursors[fi * l + t];
+                tree.widen_prefix_run(&labels[t * depth_k..t * depth_k + depth], lo, hi, |id| {
+                    candidates.insert(id);
+                });
+            }
         }
     }
     if candidates.len() < k && candidates.len() < total {
         let need = k.max(32) - candidates.len();
-        let mut rest: Vec<ItemId> = forests
-            .iter()
-            .flat_map(|f| f.sigs.keys())
-            .filter(|id| !candidates.contains(id))
-            .copied()
-            .collect();
-        if rest.len() > need {
-            rest.select_nth_unstable(need - 1);
-            rest.truncate(need);
-        }
-        candidates.extend(rest);
+        select_smallest_ids(
+            forests.iter().flat_map(|f| f.slot_ids.iter().copied()),
+            &mut candidates,
+            need,
+        );
     }
-    let hits: Vec<Hit> = candidates
-        .into_iter()
-        .map(|id| {
-            let stored = forests
+    // Same arena-order scoring as the monolith: locate each candidate
+    // in its owning shard, sort by (shard, slot), and scan each
+    // shard's word arena sequentially.
+    let mut located: Vec<(u32, u32)> = candidates
+        .iter()
+        .map(|&id| {
+            forests
                 .iter()
-                .find_map(|f| f.sigs.get(&id))
-                .expect("candidate came from one of the forests");
+                .enumerate()
+                .find_map(|(fi, f)| f.slot_of.get(&id).map(|&s| (fi as u32, s)))
+                .expect("candidate came from one of the forests")
+        })
+        .collect();
+    located.sort_unstable();
+    let hits: Vec<Hit> = located
+        .into_iter()
+        .map(|(fi, s)| {
+            let f = &forests[fi as usize];
             Hit {
-                id,
-                similarity: sig.similarity(stored),
+                id: f.slot_ids[s as usize],
+                similarity: sig.similarity_words(f.slot_words(s), f.sig_meta),
             }
         })
         .collect();
@@ -391,7 +787,7 @@ pub fn query_union<S: Signature>(forests: &[&LshForest<S>], sig: &S, k: usize) -
 impl<S: Signature + Send + Sync> LshForest<S> {
     /// Bulk-build a committed forest from `(item, signature)` pairs.
     ///
-    /// The indexing fast path: per-tree label arrays are generated and
+    /// The indexing fast path: per-tree label arenas are generated and
     /// sorted tree-major — fanned out over up to `threads` scoped
     /// workers — instead of item-major `insert` calls followed by a
     /// sequential sort. Each tree's sorted array is a total order over
@@ -419,10 +815,10 @@ impl<S: Signature + Send + Sync> LshForest<S> {
                 t0 += batch.len();
                 handles.push(scope.spawn(move || {
                     for (off, tree) in batch.iter_mut().enumerate() {
-                        *tree = items
-                            .iter()
-                            .map(|(id, sig)| (shape.label(sig, start + off), *id))
-                            .collect();
+                        tree.reserve(items.len());
+                        for (id, sig) in items {
+                            tree.push_with(*id, |out| shape.write_label(sig, start + off, out));
+                        }
                         tree.sort();
                     }
                 }));
@@ -431,7 +827,9 @@ impl<S: Signature + Send + Sync> LshForest<S> {
                 h.join().expect("forest build worker panicked");
             }
         });
-        forest.sigs = items.into_iter().collect();
+        for (id, sig) in &items {
+            forest.store_signature(*id, sig);
+        }
         forest.sorted = true;
         forest
     }
@@ -456,6 +854,40 @@ mod tests {
         assert_eq!(f.shape(), (16, 16));
         assert!(f.is_empty());
         assert_eq!(f.len(), 0);
+    }
+
+    #[test]
+    fn flat_tree_basics() {
+        let mut t = FlatTree::new(2);
+        assert!(t.is_empty());
+        t.push(&[3, 1], 10);
+        t.push(&[1, 2], 20);
+        t.push(&[1, 2], 5);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.stride(), 2);
+        t.sort();
+        assert!(t.is_sorted());
+        // (label, id) order: [1,2]/5, [1,2]/20, [3,1]/10.
+        assert_eq!(t.label_at(0), &[1, 2]);
+        assert_eq!(t.id_at(0), 5);
+        assert_eq!(t.id_at(1), 20);
+        assert_eq!(t.id_at(2), 10);
+        assert_eq!(t.prefix_range(&[1]), (0, 2));
+        assert_eq!(t.prefix_range(&[1, 2]), (0, 2));
+        assert_eq!(t.prefix_range(&[3]), (2, 3));
+        assert_eq!(t.prefix_range(&[2]), (2, 2));
+        assert_eq!(t.byte_size(), 3 * 2 + 3 * 8);
+        assert_eq!(
+            t.entries().collect::<Vec<_>>(),
+            vec![(&[1u8, 2][..], 5), (&[1u8, 2][..], 20), (&[3u8, 1][..], 10)]
+        );
+        t.remove_id(20);
+        assert_eq!(t.len(), 2);
+        assert!(t.is_sorted());
+        assert_eq!(t.ids(), &[5, 10]);
+        t.pop();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.label_at(0), &[1, 2]);
     }
 
     #[test]
@@ -495,6 +927,27 @@ mod tests {
         f.commit();
         let hits = f.query(&sign(&mh, &tokens("c", 0..5)), 2);
         assert_eq!(hits.len(), 2);
+    }
+
+    /// The bounded-heap fallback must select exactly the smallest
+    /// non-candidate ids — the same set the historical
+    /// materialize-everything + `select_nth_unstable` picked.
+    #[test]
+    fn fallback_selection_picks_smallest_ids() {
+        let mut candidates: IdHashSet<ItemId> = IdHashSet::default();
+        candidates.insert(2);
+        select_smallest_ids([9u64, 2, 7, 1, 8, 4].into_iter(), &mut candidates, 3);
+        let mut got: Vec<ItemId> = candidates.into_iter().collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![1, 2, 4, 7]);
+        // need larger than the pool: everything is taken.
+        let mut all: IdHashSet<ItemId> = IdHashSet::default();
+        select_smallest_ids([5u64, 3].into_iter(), &mut all, 10);
+        assert_eq!(all.len(), 2);
+        // need == 0 is a no-op.
+        let mut none: IdHashSet<ItemId> = IdHashSet::default();
+        select_smallest_ids([5u64].into_iter(), &mut none, 0);
+        assert!(none.is_empty());
     }
 
     #[test]

@@ -133,6 +133,57 @@ impl UniversalHasher {
 /// the same user seed do not produce correlated streams.
 const SEED_TAG: u64 = 0x6433_6c5f_6c73_6821; // "d3l_lsh!"
 
+/// A [`std::hash::Hasher`] for small integer keys (item ids, packed
+/// attribute refs): one [`splitmix64`] round instead of SipHash's
+/// per-block permutation. The forests' signature maps and the query
+/// pipeline's candidate sets are probed once per candidate on the hot
+/// path, where the default hasher's setup cost dominates. DoS
+/// resistance is irrelevant here — keys are internally assigned ids,
+/// not attacker-controlled strings.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IdHasher(u64);
+
+impl std::hash::Hasher for IdHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        // Generic fallback (derived Hash on structs funnels through
+        // write for some field layouts): FNV over the bytes, then one
+        // avalanche round.
+        let mut h = Fnv1a(self.0 ^ Fnv1a::OFFSET);
+        h.write(bytes);
+        self.0 = splitmix64(h.finish());
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.write_u64(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.0 = splitmix64(self.0 ^ i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.write_u64(i as u64);
+    }
+}
+
+/// `BuildHasher` for [`IdHasher`]-keyed maps and sets.
+pub type BuildIdHasher = std::hash::BuildHasherDefault<IdHasher>;
+
+/// A `HashMap` keyed by internally assigned integer ids.
+pub type IdHashMap<K, V> = std::collections::HashMap<K, V, BuildIdHasher>;
+
+/// A `HashSet` of internally assigned integer ids.
+pub type IdHashSet<K> = std::collections::HashSet<K, BuildIdHasher>;
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -23,6 +23,7 @@ pub mod banded;
 pub mod ensemble;
 pub mod forest;
 pub mod hash;
+pub mod kernels;
 pub mod minhash;
 pub mod randproj;
 pub mod store;

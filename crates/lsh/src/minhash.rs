@@ -26,12 +26,25 @@ impl MinHashSignature {
     /// positions. Panics if lengths differ (signatures must come from
     /// the same [`MinHasher`]).
     pub fn jaccard(&self, other: &MinHashSignature) -> f64 {
+        self.jaccard_words(&other.0)
+    }
+
+    /// [`MinHashSignature::jaccard`] against a signature given as its
+    /// raw hash words — the forest's flat signature arena scores
+    /// candidates through this without materializing a signature per
+    /// slot.
+    pub fn jaccard_words(&self, other: &[u64]) -> f64 {
         assert_eq!(self.len(), other.len(), "signature length mismatch");
         if self.is_empty() {
             return 0.0;
         }
-        let agree = self.0.iter().zip(&other.0).filter(|(a, b)| a == b).count();
+        let agree = crate::kernels::agreement_count(&self.0, other);
         agree as f64 / self.len() as f64
+    }
+
+    /// The backing hash words (flat-storage layout).
+    pub fn words(&self) -> &[u64] {
+        &self.0
     }
 
     /// Approximate serialized footprint in bytes (space accounting).
@@ -95,12 +108,28 @@ impl MinHasher {
     /// read-modify-write per signature slot, and the token hashes are
     /// one contiguous scan. Duplicate hashes are harmless (minimums
     /// ignore multiplicity).
+    /// The inner scan runs four independent running minimums over
+    /// token lanes (`chunks_exact` windows, one minimum per in-chunk
+    /// position) and folds them as `min(min(m0, m1), min(m2, m3),
+    /// tail)` — `min` is associative and commutative, so the result
+    /// is bit-identical to the single sequential minimum while the
+    /// mix/compare work runs as packed vector lanes instead of one
+    /// serial chain (fixed-width windows are what the auto-vectorizer
+    /// recognizes; manual `i`, `i + 1`, … indexing is not).
     pub fn sign_hashed(&self, hashes: &[u64]) -> MinHashSignature {
         let mut sig = Vec::with_capacity(self.family.len());
         for &(a, b) in self.family.params() {
-            let mut min = u64::MAX;
-            for &h in hashes {
-                min = min.min(splitmix64(a.wrapping_mul(h).wrapping_add(b)));
+            let mix = |h: u64| splitmix64(a.wrapping_mul(h).wrapping_add(b));
+            let mut m = [u64::MAX; 4];
+            let mut ch = hashes.chunks_exact(4);
+            for c in &mut ch {
+                for l in 0..4 {
+                    m[l] = m[l].min(mix(c[l]));
+                }
+            }
+            let mut min = m[0].min(m[1]).min(m[2].min(m[3]));
+            for &h in ch.remainder() {
+                min = min.min(mix(h));
             }
             sig.push(min);
         }

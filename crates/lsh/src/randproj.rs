@@ -30,24 +30,32 @@ impl BitSignature {
         (self.bits[i / 64] >> (i % 64)) & 1 == 1
     }
 
-    /// Hamming distance to `other` (number of differing bits).
+    /// Hamming distance to `other` (number of differing bits) — the
+    /// chunked XOR-popcount kernel from [`crate::kernels`].
     pub fn hamming(&self, other: &BitSignature) -> usize {
         assert_eq!(self.nbits, other.nbits, "signature length mismatch");
-        self.bits
-            .iter()
-            .zip(&other.bits)
-            .map(|(a, b)| (a ^ b).count_ones() as usize)
-            .sum()
+        crate::kernels::hamming_words(&self.bits, &other.bits)
     }
 
     /// Estimate cosine similarity from the hamming fraction:
     /// `cos(π * h / n)`, clamped to `[0, 1]` (D3L's distances live in
     /// the unit interval, so negative cosine is treated as unrelated).
     pub fn cosine(&self, other: &BitSignature) -> f64 {
+        assert_eq!(self.nbits, other.nbits, "signature length mismatch");
+        self.cosine_words(&other.bits)
+    }
+
+    /// [`BitSignature::cosine`] against a signature given as its raw
+    /// packed words (same bit count) — the forest's flat signature
+    /// arena scores candidates through this without materializing a
+    /// signature per slot.
+    pub fn cosine_words(&self, other: &[u64]) -> f64 {
+        assert_eq!(self.bits.len(), other.len(), "signature length mismatch");
         if self.nbits == 0 {
             return 0.0;
         }
-        let frac = self.hamming(other) as f64 / self.nbits as f64;
+        let h = crate::kernels::hamming_words(&self.bits, other);
+        let frac = h as f64 / self.nbits as f64;
         (std::f64::consts::PI * frac).cos().max(0.0)
     }
 
@@ -141,15 +149,33 @@ impl RandomProjector {
 
     /// Sign a dense vector. Panics if the dimension differs from the
     /// projector's.
+    /// The per-plane dot runs four independent accumulators over
+    /// coordinate lanes `i % 4`, folded in the fixed order
+    /// `((d0 + d1) + (d2 + d3)) + tail` — the same documented
+    /// summation order as `d3l-embedding`'s dot/norm kernel, so
+    /// signatures are a deterministic function of the input vector at
+    /// every thread and shard count.
     pub fn sign(&self, v: &[f64]) -> BitSignature {
         assert_eq!(v.len(), self.dim, "vector dimension mismatch");
         let words = self.nbits.div_ceil(64);
         let mut bits = vec![0u64; words];
         for plane in 0..self.nbits {
             let row = &self.planes[plane * self.dim..(plane + 1) * self.dim];
-            let mut dot = 0.0;
-            for (w, &x) in row.iter().zip(v) {
-                dot += w * x;
+            // Same fixed summation order as `vecmath::dot_norms`:
+            // 4 lane accumulators over `chunks_exact` windows (a
+            // vertical vector op, no float reassociation), folded
+            // `((d0 + d1) + (d2 + d3))`, sequential tail.
+            let mut d = [0.0f64; 4];
+            let mut cr = row.chunks_exact(4);
+            let mut cv = v.chunks_exact(4);
+            for (r, x) in (&mut cr).zip(&mut cv) {
+                for l in 0..4 {
+                    d[l] += r[l] * x[l];
+                }
+            }
+            let mut dot = (d[0] + d[1]) + (d[2] + d[3]);
+            for (&r, &x) in cr.remainder().iter().zip(cv.remainder()) {
+                dot += r * x;
             }
             if dot >= 0.0 {
                 bits[plane / 64] |= 1 << (plane % 64);

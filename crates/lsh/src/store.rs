@@ -17,7 +17,8 @@
 //!
 //! Signatures are written in ascending item-id order so the encoding
 //! of a forest is a deterministic function of its contents (the
-//! in-memory map is a `HashMap` with arbitrary iteration order).
+//! in-memory signature arena is in slot order, which depends on
+//! insertion and removal history).
 //! Decoding validates the structural invariants — positive tree
 //! count, labels of exactly `k` bytes, one tree entry per signature
 //! per tree, and sorted tree arrays when the committed flag is set —
@@ -27,7 +28,8 @@
 use d3l_store::{Decoder, Encoder, StoreError};
 
 use crate::banded::Signature;
-use crate::forest::LshForest;
+use crate::forest::{FlatTree, LshForest};
+use crate::hash::IdHashSet;
 use crate::minhash::MinHashSignature;
 use crate::randproj::BitSignature;
 use crate::ItemId;
@@ -74,11 +76,11 @@ impl<S: Signature + SignatureCodec> LshForest<S> {
         enc.put_varint(k as u64);
         enc.put_u8(self.is_committed() as u8);
         for tree in self.tree_arrays() {
+            debug_assert_eq!(tree.stride(), k, "label width is the tree depth");
             enc.put_varint(tree.len() as u64);
-            for (label, id) in tree {
-                debug_assert_eq!(label.len(), k, "label width is the tree depth");
+            for (label, id) in tree.entries() {
                 enc.put_raw(label);
-                enc.put_varint(*id);
+                enc.put_varint(id);
             }
         }
         let mut ids: Vec<ItemId> = self.ids().collect();
@@ -114,13 +116,14 @@ impl<S: Signature + SignatureCodec> LshForest<S> {
         let mut trees = Vec::with_capacity(l);
         for t in 0..l {
             let count = dec.get_len(k + 1, "forest tree")?;
-            let mut tree: Vec<(Box<[u8]>, ItemId)> = Vec::with_capacity(count);
+            let mut tree = FlatTree::new(k);
+            tree.reserve(count);
             for _ in 0..count {
-                let label: Box<[u8]> = dec.get_raw(k, "tree label")?.into();
+                let label = dec.get_raw(k, "tree label")?;
                 let id = dec.get_varint()?;
-                tree.push((label, id));
+                tree.push(label, id);
             }
-            if sorted && !tree.windows(2).all(|w| w[0] <= w[1]) {
+            if sorted && !tree.is_sorted() {
                 return Err(StoreError::corrupt(format!(
                     "tree {t} claims committed but is not sorted"
                 )));
@@ -128,13 +131,26 @@ impl<S: Signature + SignatureCodec> LshForest<S> {
             trees.push(tree);
         }
         let sig_count = dec.get_len(1, "forest signatures")?;
-        let mut sigs = std::collections::HashMap::with_capacity(sig_count);
+        let mut sigs: Vec<(ItemId, S)> = Vec::with_capacity(sig_count);
+        let mut seen: IdHashSet<ItemId> =
+            IdHashSet::with_capacity_and_hasher(sig_count, Default::default());
         for _ in 0..sig_count {
             let id = dec.get_varint()?;
             let sig = S::decode_from(&mut dec)?;
-            if sigs.insert(id, sig).is_some() {
+            if !seen.insert(id) {
                 return Err(StoreError::corrupt(format!("duplicate signature id {id}")));
             }
+            // The arena requires one shape per forest; heterogeneous
+            // signatures would previously decode fine and then panic
+            // at query time on the first cross-length similarity.
+            if let Some((_, first)) = sigs.first() {
+                if sig.words().len() != first.words().len() || sig.meta() != first.meta() {
+                    return Err(StoreError::corrupt(format!(
+                        "signature {id} shape differs from the forest's"
+                    )));
+                }
+            }
+            sigs.push((id, sig));
         }
         dec.expect_exhausted("forest")?;
         for (t, tree) in trees.iter().enumerate() {
@@ -148,8 +164,8 @@ impl<S: Signature + SignatureCodec> LshForest<S> {
             // Count equality is not enough: a tree entry whose id has
             // no stored signature would decode fine and then panic at
             // query time when the candidate's signature is looked up.
-            for (_, id) in tree {
-                if !sigs.contains_key(id) {
+            for &id in tree.ids() {
+                if !seen.contains(&id) {
                     return Err(StoreError::corrupt(format!(
                         "tree {t} references item {id} with no stored signature"
                     )));
@@ -269,8 +285,7 @@ mod tests {
         // counts still match the signature map, but the replaced id
         // now has no stored signature.
         let mut f = minhash_forest();
-        let tree = &mut f.tree_arrays_mut()[0];
-        tree[0].1 = 999_999;
+        f.tree_arrays_mut()[0].set_id(0, 999_999);
         let bytes = f.to_bytes();
         assert!(matches!(
             LshForest::<MinHashSignature>::from_bytes(&bytes),

@@ -73,18 +73,13 @@ impl TokenSet {
         self.contains_hash(hash_str(token))
     }
 
-    /// Size of the intersection: one linear merge over the two sorted
-    /// vecs.
+    /// Size of the intersection: a block-skip merge over the two
+    /// sorted vecs, switching to a galloping search when the sizes
+    /// are skewed past [`crate::kernels::GALLOP_CROSSOVER`]. Exact —
+    /// bit-identical to the historical linear merge (see
+    /// [`crate::kernels`]).
     pub fn intersection_len(&self, other: &TokenSet) -> usize {
-        let (a, b) = (&self.0, &other.0);
-        let (mut i, mut j, mut inter) = (0usize, 0usize, 0usize);
-        while i < a.len() && j < b.len() {
-            let (x, y) = (a[i], b[j]);
-            inter += usize::from(x == y);
-            i += usize::from(x <= y);
-            j += usize::from(y <= x);
-        }
-        inter
+        crate::kernels::intersection_len(&self.0, &other.0)
     }
 
     /// Exact Jaccard similarity `|A ∩ B| / |A ∪ B|`. Two empty sets

@@ -701,7 +701,9 @@ impl Server {
 
     fn handle_stats(&self) -> Response {
         let snap = self.engine.snapshot();
-        let fp = snap.engine.byte_size();
+        // Footprints are computed once at swap time and cached on the
+        // snapshot; a stats request does not re-walk the forests.
+        let fp = snap.footprint;
         let index_json = |idx: d3l_core::IndexFootprint| {
             Json::Obj(vec![
                 ("tree_bytes".to_string(), Json::Num(idx.tree_bytes as f64)),
@@ -734,8 +736,7 @@ impl Server {
         // owning shard, so these diverge under partitioned load).
         let shard_disks = self.engine.shard_disk_stats().ok();
         let shards_json: Vec<Json> = snap
-            .engine
-            .shard_byte_sizes()
+            .shard_footprints
             .iter()
             .enumerate()
             .map(|(s, shard_fp)| {
