@@ -397,9 +397,10 @@ pub fn table_fingerprint(table: &Table) -> [u64; 2] {
 
 /// Fingerprint of every [`QueryOptions`] member that can change the
 /// rendered result: `exclude`, `evidence`, `weights` and
-/// `lookup_width`. `threads` is excluded on purpose — results are
-/// byte-identical at every thread count, so latency knobs must not
-/// split cache entries.
+/// `lookup_width`. `threads` and `trace` are excluded on purpose —
+/// results are byte-identical at every thread count and tracing is
+/// pure observation, so latency/observability knobs must not split
+/// cache entries.
 pub fn options_fingerprint(opts: &QueryOptions) -> u64 {
     let mut h = Fnv1a::new();
     match opts.exclude {
@@ -634,6 +635,15 @@ mod tests {
             fp,
             options_fingerprint(&QueryOptions {
                 threads: Some(8),
+                ..Default::default()
+            })
+        );
+        // Neither must an attached stage trace: tracing is pure
+        // observation, so traced and untraced runs share entries.
+        assert_eq!(
+            fp,
+            options_fingerprint(&QueryOptions {
+                trace: Some(crate::trace::QueryTrace::new()),
                 ..Default::default()
             })
         );

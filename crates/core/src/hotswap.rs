@@ -40,10 +40,12 @@
 
 use std::path::Path;
 use std::sync::{Arc, Mutex, MutexGuard, RwLock};
+use std::time::Instant;
 
 use d3l_store::layout::{shard_dir_name, shard_dirs};
 use d3l_store::{StoreError, BASE_FILE};
 use d3l_table::{Table, TableId};
+use d3l_telemetry::{Histogram, Registry};
 
 use crate::cache::QueryCache;
 use crate::index::{D3l, MemoryFootprint};
@@ -146,6 +148,47 @@ pub struct EngineHandle {
     /// engine's single store lives directly in the index root.
     stores: Mutex<Vec<IndexStore>>,
     cache: QueryCache,
+    telemetry: EngineTelemetry,
+}
+
+/// Engine-owned latency instruments: one registry holding the store
+/// operation histograms (`d3l_store_op_seconds{op=...}`), recorded
+/// around every snapshot load, delta append, and base compaction the
+/// handle performs. Serving layers render the registry into their
+/// `/metrics` exposition; recording is lock-free through the
+/// pre-registered `Arc`s.
+#[derive(Debug)]
+pub struct EngineTelemetry {
+    registry: Registry,
+    /// Cold-start snapshot load + delta replay (per store opened).
+    pub load: Arc<Histogram>,
+    /// Durable delta append for one add/remove mutation.
+    pub append: Arc<Histogram>,
+    /// Per-shard base compaction.
+    pub compact: Arc<Histogram>,
+}
+
+impl EngineTelemetry {
+    fn new() -> Self {
+        let registry = Registry::new();
+        const NAME: &str = "d3l_store_op_seconds";
+        const HELP: &str =
+            "Index store operation latency: snapshot load, delta append, base compaction.";
+        let load = registry.histogram(NAME, HELP, &[("op", "load")]);
+        let append = registry.histogram(NAME, HELP, &[("op", "append")]);
+        let compact = registry.histogram(NAME, HELP, &[("op", "compact")]);
+        EngineTelemetry {
+            registry,
+            load,
+            append,
+            compact,
+        }
+    }
+
+    /// The registry holding every engine-level series.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
 }
 
 impl EngineHandle {
@@ -170,7 +213,13 @@ impl EngineHandle {
             current: RwLock::new(Arc::new(EngineSnapshot::at_version(0, engine))),
             stores: Mutex::new(stores),
             cache: QueryCache::new(crate::cache::DEFAULT_CACHE_BYTES),
+            telemetry: EngineTelemetry::new(),
         }
+    }
+
+    /// The engine-level latency instruments (store operations).
+    pub fn telemetry(&self) -> &EngineTelemetry {
+        &self.telemetry
     }
 
     /// Persist a freshly built engine under `dir` and wrap it. A
@@ -216,8 +265,11 @@ impl EngineHandle {
     pub fn open(dir: impl AsRef<Path>) -> Result<Self, StoreError> {
         let dir = dir.as_ref();
         if dir.join(BASE_FILE).exists() {
+            let t0 = Instant::now();
             let (store, engine) = IndexStore::open(dir)?;
-            return Ok(Self::new(store, engine));
+            let handle = Self::new(store, engine);
+            handle.telemetry.load.record(t0.elapsed());
+            return Ok(handle);
         }
         let found = shard_dirs(dir)?;
         if found.is_empty() {
@@ -237,8 +289,11 @@ impl EngineHandle {
         }
         let mut stores = Vec::with_capacity(found.len());
         let mut engines = Vec::with_capacity(found.len());
+        let mut load_ns = Vec::with_capacity(found.len());
         for (_, path) in &found {
+            let t0 = Instant::now();
             let (store, engine) = IndexStore::open(path)?;
+            load_ns.push(t0.elapsed());
             if engine.config().shards != found.len() {
                 return Err(StoreError::corrupt(format!(
                     "{} believes in {} shards, directory holds {}",
@@ -250,7 +305,11 @@ impl EngineHandle {
             stores.push(store);
             engines.push(engine);
         }
-        Ok(Self::new_sharded(stores, ShardedD3l::from_shards(engines)))
+        let handle = Self::new_sharded(stores, ShardedD3l::from_shards(engines));
+        for d in load_ns {
+            handle.telemetry.load.record(d);
+        }
+        Ok(handle)
     }
 
     /// The current consistent snapshot. The read lock is held only
@@ -275,6 +334,7 @@ impl EngineHandle {
         }
         let s = cur.engine.shard_of(table.name());
         let mut shard = (*cur.engine.shards()[s]).clone();
+        let t0 = Instant::now();
         let id = if cur.engine.shard_count() == 1 {
             // The monolith layout keeps the classic local-id `Add`
             // record, byte-compatible with pre-sharding stores.
@@ -283,6 +343,7 @@ impl EngineHandle {
             let id = cur.engine.next_table_id();
             stores[s].append_add_at(&mut shard, table, id)?
         };
+        self.telemetry.append.record(t0.elapsed());
         let next = cur.engine.with_shard(s, shard);
         Ok((id, self.swap(&cur, next, s)))
     }
@@ -303,7 +364,9 @@ impl EngineHandle {
             .owner_of(id)
             .expect("a name-resolved table has an owner");
         let mut shard = (*cur.engine.shards()[s]).clone();
+        let t0 = Instant::now();
         stores[s].append_remove(&mut shard, id)?;
+        self.telemetry.append.record(t0.elapsed());
         let next = cur.engine.with_shard(s, shard);
         Ok((id, self.swap(&cur, next, s)))
     }
@@ -319,7 +382,9 @@ impl EngineHandle {
         let cur = self.snapshot();
         let mut folded = 0;
         for (store, shard) in stores.iter_mut().zip(cur.engine.shards()) {
+            let t0 = Instant::now();
             folded += store.compact(shard)?;
+            self.telemetry.compact.record(t0.elapsed());
         }
         Ok(folded)
     }
@@ -346,7 +411,9 @@ impl EngineHandle {
         let cur = self.snapshot();
         let mut next = cur.engine.clone();
         for &s in &stale {
+            let t0 = Instant::now();
             let (new_store, engine) = IndexStore::open(stores[s].dir())?;
+            self.telemetry.load.record(t0.elapsed());
             stores[s] = new_store;
             next = next.with_shard(s, engine);
         }

@@ -59,13 +59,14 @@ pub mod profile;
 pub mod query;
 pub mod shard;
 pub mod snapshot;
+pub mod trace;
 pub mod weights;
 
 pub use cache::{options_fingerprint, table_fingerprint, CacheKey, CacheStats, QueryCache};
 pub use config::D3lConfig;
 pub use distance::DistanceVector;
 pub use evidence::Evidence;
-pub use hotswap::{EngineHandle, EngineSnapshot, MaintenanceError};
+pub use hotswap::{EngineHandle, EngineSnapshot, EngineTelemetry, MaintenanceError};
 pub use index::{AttrRef, D3l, IndexFootprint, MemoryFootprint};
 pub use join::{JoinPath, SaJoinGraph};
 pub use populate::Population;
@@ -73,4 +74,5 @@ pub use profile::AttributeProfile;
 pub use query::{Alignment, PreparedTarget, QueryOptions, TableMatch};
 pub use shard::{shard_of_name, ShardedD3l};
 pub use snapshot::{DeltaRecord, IndexStore};
+pub use trace::{QueryTrace, StageTimer};
 pub use weights::EvidenceWeights;

@@ -89,6 +89,12 @@ pub struct QueryOptions {
     /// targets themselves. Thread count never changes results, only
     /// latency.
     pub threads: Option<usize>,
+    /// Optional stage-timing sink (see [`crate::trace`]). Like
+    /// `threads`, tracing never affects results — it is excluded from
+    /// [`crate::options_fingerprint`] so traced and untraced runs
+    /// share cache entries — and when `None` the pipeline reads no
+    /// clocks at all.
+    pub trace: Option<std::sync::Arc<crate::trace::QueryTrace>>,
 }
 
 /// A target profiled and signed against one index's hashers — the
@@ -469,9 +475,14 @@ impl D3l {
         opts: &QueryOptions,
         threads: usize,
     ) -> Vec<TableMatch> {
+        let mut timer = crate::trace::StageTimer::start(opts.trace.as_deref());
         let candidates = self.stage_candidates(prepared, width, opts, threads);
+        timer.candidates_done();
         let scored = self.stage_score(prepared, &candidates, threads);
-        stage_aggregate(&scored, opts)
+        timer.score_done();
+        let ranked = stage_aggregate(&scored, opts);
+        timer.aggregate_done();
+        ranked
     }
 
     /// Stage 1 — candidate generation: per target attribute, the

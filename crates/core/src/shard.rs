@@ -477,9 +477,14 @@ impl ShardedD3l {
         opts: &QueryOptions,
         threads: usize,
     ) -> Vec<TableMatch> {
+        let mut timer = crate::trace::StageTimer::start(opts.trace.as_deref());
         let candidates = self.stage_candidates(prepared, width, opts, threads);
-        let scored = self.stage_score(prepared, &candidates, threads);
-        stage_aggregate(&scored, opts)
+        timer.candidates_done();
+        let scored = self.stage_score(prepared, &candidates, threads, opts.trace.as_deref());
+        timer.score_done();
+        let ranked = stage_aggregate(&scored, opts);
+        timer.aggregate_done();
+        ranked
     }
 
     /// Stage 1 over the shard set — the monolith's per-attribute
@@ -563,6 +568,7 @@ impl ShardedD3l {
         prepared: &PreparedTarget,
         candidates: &[Vec<AttrRef>],
         threads: usize,
+        trace: Option<&crate::trace::QueryTrace>,
     ) -> Vec<Vec<(AttrRef, crate::distance::DistanceVector)>> {
         let guards = self.subject_guards(prepared, candidates, threads);
         let work: Vec<(usize, AttrRef)> = candidates
@@ -575,18 +581,26 @@ impl ShardedD3l {
         // so one shard's are every shard's.
         let fallbacks = self.shards[0].sig_fallbacks();
         let scored = par_map(&work, threads, |&(i, attr)| {
-            let shard = &self.shards[self.owner_of(attr.table).expect("candidate has an owner")];
+            let owner = self.owner_of(attr.table).expect("candidate has an owner");
+            let shard = &self.shards[owner];
+            // Per-pair attribution only when traced: the scoring
+            // stage is the one place work belongs to a single shard.
+            let start = trace.map(|_| std::time::Instant::now());
             let sp = shard.profile(attr);
             let ss = shard.stored_signatures_ref(attr, &fallbacks);
             let guard_subject = guards.get(&attr.table).copied().unwrap_or(false);
-            pair_distances_resolved(
+            let dv = pair_distances_resolved(
                 &prepared.profiles[i],
                 &prepared.sigs[i],
                 sp,
                 ss,
                 guard_subject,
                 threshold,
-            )
+            );
+            if let (Some(t), Some(s)) = (trace, start) {
+                t.add_shard_ns(owner, s.elapsed().as_nanos().min(u64::MAX as u128) as u64);
+            }
+            dv
         });
         let mut out: Vec<Vec<(AttrRef, crate::distance::DistanceVector)>> =
             vec![Vec::new(); candidates.len()];

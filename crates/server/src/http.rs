@@ -54,6 +54,11 @@ pub struct Request {
     pub body: Vec<u8>,
     /// Whether the client asked to keep the connection open.
     pub keep_alive: bool,
+    /// Client-supplied `X-Request-Id`, sanitized (see
+    /// [`sanitize_request_id`]) so echoing it back can never inject
+    /// header bytes. `None` when absent or unusable — the server
+    /// generates one.
+    pub request_id: Option<String>,
 }
 
 impl Request {
@@ -227,6 +232,23 @@ fn read_line_limited<R: BufRead>(
     }
 }
 
+/// Restrict a client-supplied request id to a safe alphabet
+/// (`[A-Za-z0-9._:-]`, at most 64 chars) so it can be echoed into a
+/// response header and into logs verbatim. Returns `None` when
+/// nothing usable remains.
+pub fn sanitize_request_id(raw: &str) -> Option<String> {
+    let cleaned: String = raw
+        .chars()
+        .filter(|c| c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.' | ':'))
+        .take(64)
+        .collect();
+    if cleaned.is_empty() {
+        None
+    } else {
+        Some(cleaned)
+    }
+}
+
 /// Percent-decode a URI component. `plus_is_space` applies the query
 /// convention.
 fn percent_decode(raw: &str, plus_is_space: bool) -> Option<String> {
@@ -309,6 +331,7 @@ pub fn read_request<R: BufRead>(reader: &mut R, max_body: usize) -> Result<Reque
     // ---- headers ---------------------------------------------------
     let mut content_length: Option<usize> = None;
     let mut keep_alive = keep_alive_default;
+    let mut request_id: Option<String> = None;
     let mut header_count = 0usize;
     loop {
         let line = read_line_limited(reader, MAX_HEADER_LINE, false)
@@ -345,6 +368,8 @@ pub fn read_request<R: BufRead>(reader: &mut R, max_body: usize) -> Result<Reque
             } else if value.eq_ignore_ascii_case("keep-alive") {
                 keep_alive = true;
             }
+        } else if name.eq_ignore_ascii_case("x-request-id") {
+            request_id = sanitize_request_id(value);
         }
     }
 
@@ -378,6 +403,7 @@ pub fn read_request<R: BufRead>(reader: &mut R, max_body: usize) -> Result<Reque
         query,
         body,
         keep_alive,
+        request_id,
     })
 }
 
@@ -402,7 +428,8 @@ pub fn reason(status: u16) -> &'static str {
     }
 }
 
-/// One response, always `application/json`.
+/// One response — `application/json` unless a content type override
+/// is set (the `/metrics` exposition is `text/plain`).
 #[derive(Debug)]
 pub struct Response {
     /// HTTP status code.
@@ -413,6 +440,12 @@ pub struct Response {
     /// load-shedding contract: a 503 tells the client exactly when
     /// backing off long enough is.
     pub retry_after_secs: Option<u32>,
+    /// `Content-Type` override (`None` = `application/json`).
+    pub content_type: Option<&'static str>,
+    /// Additional response headers (`X-Request-Id`,
+    /// `X-Engine-Version`). Values must already be header-safe — the
+    /// request id passes through [`sanitize_request_id`].
+    pub extra_headers: Vec<(&'static str, String)>,
 }
 
 impl Response {
@@ -422,7 +455,24 @@ impl Response {
             status,
             body: body.into(),
             retry_after_secs: None,
+            content_type: None,
+            extra_headers: Vec::new(),
         }
+    }
+
+    /// A response with an explicit content type (e.g. the Prometheus
+    /// text exposition).
+    pub fn text(status: u16, content_type: &'static str, body: impl Into<Vec<u8>>) -> Response {
+        Response {
+            content_type: Some(content_type),
+            ..Response::json(status, body)
+        }
+    }
+
+    /// Attach one extra response header.
+    pub fn with_header(mut self, name: &'static str, value: String) -> Response {
+        self.extra_headers.push((name, value));
+        self
     }
 
     /// A typed error response: `{"error": "..."}`.
@@ -449,13 +499,19 @@ impl Response {
             Some(secs) => format!("Retry-After: {secs}\r\n"),
             None => String::new(),
         };
+        let mut extra = String::new();
+        for (name, value) in &self.extra_headers {
+            extra.push_str(&format!("{name}: {value}\r\n"));
+        }
         let head = format!(
-            "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n{}\r\n",
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n{}{}\r\n",
             self.status,
             reason(self.status),
+            self.content_type.unwrap_or("application/json"),
             self.body.len(),
             connection,
-            retry_after
+            retry_after,
+            extra
         );
         let mut wire = Vec::with_capacity(head.len() + self.body.len());
         wire.extend_from_slice(head.as_bytes());
@@ -628,6 +684,40 @@ mod tests {
         assert!(text.contains("Connection: close"));
         assert!(!text.contains("Retry-After"));
         assert!(text.ends_with("{\"error\":\"nope\"}"));
+    }
+
+    #[test]
+    fn request_id_header_is_captured_and_sanitized() {
+        let req = parse(b"GET /stats HTTP/1.1\r\nX-Request-Id: abc-123.Z:9\r\n\r\n").unwrap();
+        assert_eq!(req.request_id.as_deref(), Some("abc-123.Z:9"));
+        // Hostile bytes are stripped, the remainder kept.
+        let req = parse(b"GET /stats HTTP/1.1\r\nx-request-id: a\tb\x01c\r\n\r\n").unwrap();
+        assert_eq!(req.request_id.as_deref(), Some("abc"));
+        // Nothing usable -> None (the server generates instead).
+        let req = parse(b"GET /stats HTTP/1.1\r\nX-Request-Id: \"<>\r\n\r\n").unwrap();
+        assert_eq!(req.request_id, None);
+        let req = parse(b"GET /stats HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(req.request_id, None);
+        // Length cap.
+        let long = "x".repeat(200);
+        assert_eq!(sanitize_request_id(&long).unwrap().len(), 64);
+    }
+
+    #[test]
+    fn extra_headers_and_content_type_override_are_emitted() {
+        let mut out = Vec::new();
+        Response::text(200, "text/plain; version=0.0.4", "d3l_up 1\n")
+            .with_header("X-Request-Id", "req-1".to_string())
+            .with_header("X-Engine-Version", "7".to_string())
+            .write_to(&mut out, true)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("Content-Type: text/plain; version=0.0.4\r\n"));
+        assert!(text.contains("X-Request-Id: req-1\r\n"));
+        assert!(text.contains("X-Engine-Version: 7\r\n"));
+        let (head, body) = text.split_once("\r\n\r\n").unwrap();
+        assert!(!head.contains("\r\n\r\n"));
+        assert_eq!(body, "d3l_up 1\n");
     }
 
     #[test]

@@ -23,7 +23,15 @@
 //!   bounded pending queue are shed with a typed 503 +
 //!   `Retry-After` instead of queueing unboundedly, and a fairness
 //!   quantum rotates pipelining keep-alive connections so one client
-//!   cannot starve the worker pool.
+//!   cannot starve the worker pool;
+//! * the process is **observable**: lock-free latency histograms
+//!   (`d3l_telemetry`) cover every endpoint, the three query-pipeline
+//!   stages, per-shard scoring, and store operations, exposed in
+//!   Prometheus text format at `GET /metrics`; every response carries
+//!   `X-Request-Id` (client-supplied ids echoed) and
+//!   `X-Engine-Version`, and requests slower than
+//!   [`ServerConfig::slow_query_ms`] land in a bounded ring readable
+//!   at `GET /debug/slow_queries` with their per-stage breakdown.
 //!
 //! | endpoint | effect |
 //! |---|---|
@@ -31,6 +39,8 @@
 //! | `POST /query_batch` | rankings for many targets in one call |
 //! | `GET /rank_all?target=<name>` | rank the lake against an indexed table |
 //! | `GET /stats` | engine version, footprints, cache/shed counters, queue depth |
+//! | `GET /metrics` | Prometheus 0.0.4 text exposition of all telemetry |
+//! | `GET /debug/slow_queries` | newest-first ring of threshold-crossing requests |
 //! | `POST /tables` | add a table (persisted, hot-swapped) |
 //! | `DELETE /tables/{name}` | remove a table (tombstoned) |
 //! | `POST /admin/compact` | fold delta segments into the base |

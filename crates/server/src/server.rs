@@ -30,8 +30,10 @@ use std::time::{Duration, Instant};
 use d3l_core::cache::{options_fingerprint, table_fingerprint, CacheKey, DEFAULT_CACHE_BYTES};
 use d3l_core::hotswap::{EngineHandle, EngineSnapshot, MaintenanceError};
 use d3l_core::query::QueryOptions;
+use d3l_core::trace::QueryTrace;
 use d3l_core::Evidence;
 use d3l_table::Table;
+use d3l_telemetry::{Histogram, PromWriter, Registry, PROM_CONTENT_TYPE};
 
 use crate::api;
 use crate::http::{read_request, Method, Request, Response, DEFAULT_MAX_BODY};
@@ -71,6 +73,10 @@ pub struct ServerConfig {
     /// buffered pipelined bytes travel with it), so one pipelining
     /// client cannot starve the pool. 0 disables rotation.
     pub fair_batch: usize,
+    /// Requests taking at least this many milliseconds are captured
+    /// (with their per-stage breakdown) in the slow-query ring buffer
+    /// served at `GET /debug/slow_queries` and dumped on drain.
+    pub slow_query_ms: u64,
 }
 
 impl Default for ServerConfig {
@@ -82,6 +88,7 @@ impl Default for ServerConfig {
             cache_bytes: DEFAULT_CACHE_BYTES,
             max_queue: 1024,
             fair_batch: 32,
+            slow_query_ms: 250,
         }
     }
 }
@@ -114,11 +121,195 @@ impl Counters {
     }
 }
 
+/// Most recent slow queries kept for `GET /debug/slow_queries`.
+const SLOW_RING_CAP: usize = 64;
+
+/// One captured slow request: identity, outcome, and the per-stage /
+/// per-shard breakdown from its [`QueryTrace`] (zeros for endpoints
+/// that never entered the query pipeline).
+#[derive(Debug, Clone)]
+struct SlowQuery {
+    request_id: String,
+    endpoint: &'static str,
+    path: String,
+    status: u16,
+    result: &'static str,
+    engine_version: u64,
+    total_ms: f64,
+    candidates_ms: f64,
+    score_ms: f64,
+    aggregate_ms: f64,
+    shard_score_ms: Vec<f64>,
+}
+
+impl SlowQuery {
+    fn to_json(&self) -> Json {
+        let mut obj = vec![
+            ("request_id".to_string(), Json::str(&self.request_id)),
+            ("endpoint".to_string(), Json::str(self.endpoint)),
+            ("path".to_string(), Json::str(&self.path)),
+            ("status".to_string(), Json::Num(self.status as f64)),
+            ("result".to_string(), Json::str(self.result)),
+            (
+                "engine_version".to_string(),
+                Json::Num(self.engine_version as f64),
+            ),
+            ("total_ms".to_string(), Json::Num(self.total_ms)),
+        ];
+        let stages = Json::Obj(vec![
+            ("candidates_ms".to_string(), Json::Num(self.candidates_ms)),
+            ("score_ms".to_string(), Json::Num(self.score_ms)),
+            ("aggregate_ms".to_string(), Json::Num(self.aggregate_ms)),
+        ]);
+        obj.push(("stages".to_string(), stages));
+        if !self.shard_score_ms.is_empty() {
+            obj.push((
+                "shard_score_ms".to_string(),
+                Json::Arr(
+                    self.shard_score_ms
+                        .iter()
+                        .map(|&ms| Json::Num(ms))
+                        .collect(),
+                ),
+            ));
+        }
+        Json::Obj(obj)
+    }
+}
+
+/// Server-owned instruments: the registry rendered by `/metrics`
+/// plus pre-registered `Arc`s for the hot-path histograms (stage and
+/// per-shard series are fixed at bind; per-endpoint request series
+/// register on first use, off the query hot path).
+struct ServerMetrics {
+    registry: Registry,
+    stage_candidates: Arc<Histogram>,
+    stage_score: Arc<Histogram>,
+    stage_aggregate: Arc<Histogram>,
+    shard_score: Vec<Arc<Histogram>>,
+    shard_slowest: Arc<Histogram>,
+    slow_queries_total: Arc<d3l_telemetry::Counter>,
+}
+
+const REQUEST_HIST: &str = "d3l_http_request_seconds";
+const REQUEST_HELP: &str =
+    "Wall-clock request latency per endpoint, split by result (hit/miss/ok/error/shed).";
+
+impl ServerMetrics {
+    fn new(shards: usize) -> Self {
+        let registry = Registry::new();
+        const STAGE: &str = "d3l_query_stage_seconds";
+        const STAGE_HELP: &str =
+            "Query pipeline stage latency: candidate generation, evidence scoring, CCDF aggregation (the scatter-gather merge).";
+        let stage_candidates = registry.histogram(STAGE, STAGE_HELP, &[("stage", "candidates")]);
+        let stage_score = registry.histogram(STAGE, STAGE_HELP, &[("stage", "score")]);
+        let stage_aggregate = registry.histogram(STAGE, STAGE_HELP, &[("stage", "aggregate")]);
+        const SHARD: &str = "d3l_shard_score_seconds";
+        const SHARD_HELP: &str =
+            "Evidence-scoring time attributed to each owning shard per traced query.";
+        let shard_score = (0..shards)
+            .map(|s| registry.histogram(SHARD, SHARD_HELP, &[("shard", &s.to_string())]))
+            .collect();
+        let shard_slowest = registry.histogram(
+            "d3l_shard_slowest_seconds",
+            "Scoring time of the slowest shard per traced query (the scatter-gather straggler).",
+            &[],
+        );
+        let slow_queries_total = registry.counter(
+            "d3l_slow_queries_total",
+            "Requests at or above the --slow-query-ms threshold.",
+            &[],
+        );
+        ServerMetrics {
+            registry,
+            stage_candidates,
+            stage_score,
+            stage_aggregate,
+            shard_score,
+            shard_slowest,
+            slow_queries_total,
+        }
+    }
+
+    fn request_histogram(&self, endpoint: &'static str, result: &'static str) -> Arc<Histogram> {
+        self.registry.histogram(
+            REQUEST_HIST,
+            REQUEST_HELP,
+            &[("endpoint", endpoint), ("result", result)],
+        )
+    }
+
+    /// Fold a finished query's trace into the stage/shard histograms.
+    fn record_trace(&self, trace: &QueryTrace) {
+        let (c, s, a) = trace.stages_ns();
+        self.stage_candidates.record_ns(c);
+        self.stage_score.record_ns(s);
+        self.stage_aggregate.record_ns(a);
+        for (shard, &ns) in trace.shard_ns().iter().enumerate() {
+            if ns > 0 {
+                if let Some(h) = self.shard_score.get(shard) {
+                    h.record_ns(ns);
+                }
+            }
+        }
+        if let Some((_, ns)) = trace.slowest_shard() {
+            if ns > 0 {
+                self.shard_slowest.record_ns(ns);
+            }
+        }
+    }
+}
+
 struct Shared {
     shutdown: AtomicBool,
     counters: Counters,
     started: Instant,
     queue: ConnQueue,
+    metrics: ServerMetrics,
+    slow: Mutex<VecDeque<SlowQuery>>,
+    slow_query_ms: u64,
+    /// Request-id generation: a per-boot stamp plus a sequence, so
+    /// ids are unique per process and sortable within it.
+    boot_stamp: u64,
+    req_seq: AtomicU64,
+}
+
+impl Shared {
+    fn next_request_id(&self) -> String {
+        let seq = self.req_seq.fetch_add(1, Ordering::Relaxed) + 1;
+        format!("req-{:x}-{seq}", self.boot_stamp)
+    }
+
+    fn capture_slow(&self, entry: SlowQuery) {
+        self.metrics.slow_queries_total.inc();
+        let mut ring = self.slow.lock().unwrap_or_else(|p| p.into_inner());
+        if ring.len() == SLOW_RING_CAP {
+            ring.pop_front();
+        }
+        ring.push_back(entry);
+    }
+
+    /// The slow-query ring as the `/debug/slow_queries` JSON body
+    /// (newest first).
+    fn slow_queries_json(&self) -> String {
+        let ring = self.slow.lock().unwrap_or_else(|p| p.into_inner());
+        Json::Obj(vec![
+            (
+                "threshold_ms".to_string(),
+                Json::Num(self.slow_query_ms as f64),
+            ),
+            (
+                "captured_total".to_string(),
+                Json::Num(self.metrics.slow_queries_total.get() as f64),
+            ),
+            ("count".to_string(), Json::Num(ring.len() as f64)),
+            (
+                "slow_queries".to_string(),
+                Json::Arr(ring.iter().rev().map(SlowQuery::to_json).collect()),
+            ),
+        ])
+        .to_string()
+    }
 }
 
 /// Stops a running [`Server`] from another thread (signal handlers,
@@ -135,6 +326,19 @@ impl ShutdownHandle {
     /// Whether shutdown was requested.
     pub fn is_shutdown(&self) -> bool {
         self.0.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Slow queries captured so far (at or above the configured
+    /// threshold), across the whole process lifetime.
+    pub fn slow_query_count(&self) -> u64 {
+        self.0.metrics.slow_queries_total.get()
+    }
+
+    /// The slow-query ring as JSON — the same body `GET
+    /// /debug/slow_queries` serves. The CLI dumps this on SIGTERM
+    /// drain so slow traffic is never lost with the process.
+    pub fn slow_queries_json(&self) -> String {
+        self.0.slow_queries_json()
     }
 }
 
@@ -244,6 +448,84 @@ impl BufRead for CarryReader<'_> {
     }
 }
 
+/// A routed response plus what observability needs to label it: the
+/// cache outcome (query endpoints only) and the pipeline trace (set
+/// when the query actually ran).
+struct Routed {
+    response: Response,
+    cache_hit: Option<bool>,
+    trace: Option<Arc<QueryTrace>>,
+}
+
+impl Routed {
+    fn hit(response: Response) -> Routed {
+        Routed {
+            response,
+            cache_hit: Some(true),
+            trace: None,
+        }
+    }
+
+    fn miss(response: Response, trace: Arc<QueryTrace>) -> Routed {
+        Routed {
+            response,
+            cache_hit: Some(false),
+            trace: Some(trace),
+        }
+    }
+
+    /// Ran the pipeline but has no cache to hit or miss
+    /// (`/query_batch`).
+    fn traced(response: Response, trace: Arc<QueryTrace>) -> Routed {
+        Routed {
+            response,
+            cache_hit: None,
+            trace: Some(trace),
+        }
+    }
+
+    /// The `result` label on the request histogram: errors win, then
+    /// the cache outcome, then plain `ok`.
+    fn result(&self) -> &'static str {
+        if self.response.status >= 400 {
+            "error"
+        } else {
+            match self.cache_hit {
+                Some(true) => "hit",
+                Some(false) => "miss",
+                None => "ok",
+            }
+        }
+    }
+}
+
+impl From<Response> for Routed {
+    fn from(response: Response) -> Routed {
+        Routed {
+            response,
+            cache_hit: None,
+            trace: None,
+        }
+    }
+}
+
+/// Bounded-cardinality endpoint label for the request histogram
+/// (dynamic path segments collapse, unknown paths become `other`).
+fn endpoint_class(path: &str) -> &'static str {
+    match path {
+        "/query" => "/query",
+        "/query_batch" => "/query_batch",
+        "/rank_all" => "/rank_all",
+        "/stats" => "/stats",
+        "/metrics" => "/metrics",
+        "/debug/slow_queries" => "/debug/slow_queries",
+        "/tables" => "/tables",
+        p if p.starts_with("/tables/") => "/tables/{name}",
+        p if p.starts_with("/admin/") => "/admin",
+        _ => "other",
+    }
+}
+
 /// The HTTP server. Bind, then [`Server::run`] (blocking until
 /// shutdown).
 pub struct Server {
@@ -266,16 +548,26 @@ impl Server {
         // the handle see the same entries); the serving config owns
         // its budget.
         engine.cache().set_budget(cfg.cache_bytes);
+        let shards = engine.snapshot().engine.shard_count();
+        let boot_stamp = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0);
         Ok(Server {
-            listener,
-            engine,
-            cfg,
             shared: Arc::new(Shared {
                 shutdown: AtomicBool::new(false),
                 counters: Counters::default(),
                 started: Instant::now(),
                 queue: ConnQueue::new(),
+                metrics: ServerMetrics::new(shards),
+                slow: Mutex::new(VecDeque::with_capacity(SLOW_RING_CAP)),
+                slow_query_ms: cfg.slow_query_ms,
+                boot_stamp,
+                req_seq: AtomicU64::new(0),
             }),
+            listener,
+            engine,
+            cfg,
         })
     }
 
@@ -294,9 +586,7 @@ impl Server {
         if self.cfg.threads > 0 {
             self.cfg.threads
         } else {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
+            hw_threads()
         }
     }
 
@@ -351,14 +641,22 @@ impl Server {
     /// short timeout — a peer that will not even read a 200-byte
     /// response is not worth stalling admission for.
     fn shed(&self, mut stream: TcpStream) {
+        let t0 = Instant::now();
         self.shared.counters.shed.fetch_add(1, Ordering::Relaxed);
         let _ = stream.set_write_timeout(Some(Duration::from_millis(250)));
         let _ = stream.set_nodelay(true);
-        if Response::error(503, "server at capacity; back off and retry")
-            .with_retry_after(RETRY_AFTER_SECS)
-            .write_to(&mut stream, false)
-            .is_err()
-        {
+        let response = self
+            .stamp(
+                Response::error(503, "server at capacity; back off and retry")
+                    .with_retry_after(RETRY_AFTER_SECS),
+                self.shared.next_request_id(),
+            )
+            .write_to(&mut stream, false);
+        self.shared
+            .metrics
+            .request_histogram("none", "shed")
+            .record(t0.elapsed());
+        if response.is_err() {
             return;
         }
         // Closing a socket whose receive buffer still holds unread
@@ -456,7 +754,15 @@ impl Server {
                         .counters
                         .requests
                         .fetch_add(1, Ordering::Relaxed);
-                    let response = self.route(&req);
+                    let request_id = req
+                        .request_id
+                        .clone()
+                        .unwrap_or_else(|| self.shared.next_request_id());
+                    let t0 = Instant::now();
+                    let routed = self.route(&req);
+                    let elapsed = t0.elapsed();
+                    self.observe(&req, &request_id, &routed, elapsed);
+                    let response = self.stamp(routed.response, request_id);
                     self.shared.counters.record(response.status);
                     let draining = self.shared.shutdown.load(Ordering::SeqCst);
                     let keep = req.keep_alive && !draining;
@@ -487,7 +793,11 @@ impl Server {
                     // with its typed 4xx/5xx before closing.
                     if let Some(status) = err.status() {
                         self.shared.counters.record(status);
-                        let _ = Response::error(status, &err.to_string())
+                        let _ = self
+                            .stamp(
+                                Response::error(status, &err.to_string()),
+                                self.shared.next_request_id(),
+                            )
                             .write_to(&mut write_half, false);
                     }
                     return;
@@ -498,27 +808,82 @@ impl Server {
 
     // ---- routing ----------------------------------------------------
 
-    fn route(&self, req: &Request) -> Response {
+    /// Stamp the correlation headers every response carries: the
+    /// request id (client-supplied or generated) and the engine
+    /// version that answered.
+    fn stamp(&self, response: Response, request_id: String) -> Response {
+        let version = self.engine.snapshot().version;
+        response
+            .with_header("X-Request-Id", request_id)
+            .with_header("X-Engine-Version", version.to_string())
+    }
+
+    /// Record one routed request into the per-endpoint histogram,
+    /// fold its pipeline trace into the stage/shard histograms, and
+    /// capture it in the slow-query ring when it crossed the
+    /// threshold.
+    fn observe(&self, req: &Request, request_id: &str, routed: &Routed, elapsed: Duration) {
+        let endpoint = endpoint_class(&req.path);
+        self.shared
+            .metrics
+            .request_histogram(endpoint, routed.result())
+            .record(elapsed);
+        if let Some(trace) = &routed.trace {
+            self.shared.metrics.record_trace(trace);
+        }
+        if elapsed.as_millis() as u64 >= self.shared.slow_query_ms {
+            let ms = |ns: u64| ns as f64 / 1e6;
+            let (c, s, a) = routed
+                .trace
+                .as_deref()
+                .map(QueryTrace::stages_ns)
+                .unwrap_or((0, 0, 0));
+            self.shared.capture_slow(SlowQuery {
+                request_id: request_id.to_string(),
+                endpoint,
+                path: req.path.clone(),
+                status: routed.response.status,
+                result: routed.result(),
+                engine_version: self.engine.snapshot().version,
+                total_ms: elapsed.as_nanos() as f64 / 1e6,
+                candidates_ms: ms(c),
+                score_ms: ms(s),
+                aggregate_ms: ms(a),
+                shard_score_ms: routed
+                    .trace
+                    .as_deref()
+                    .map(|t| t.shard_ns().into_iter().map(ms).collect())
+                    .unwrap_or_default(),
+            });
+        }
+    }
+
+    fn route(&self, req: &Request) -> Routed {
         match (req.method, req.path.as_str()) {
             (Method::Post, "/query") => self.handle_query(req),
             (Method::Post, "/query_batch") => self.handle_query_batch(req),
             (Method::Get, "/rank_all") => self.handle_rank_all(req),
-            (Method::Get, "/stats") => self.handle_stats(),
-            (Method::Post, "/tables") => self.handle_add_table(req),
-            (Method::Delete, path) if path.starts_with("/tables/") => {
-                self.handle_remove_table(&path["/tables/".len()..])
+            (Method::Get, "/stats") => self.handle_stats().into(),
+            (Method::Get, "/metrics") => self.handle_metrics().into(),
+            (Method::Get, "/debug/slow_queries") => {
+                Response::json(200, self.shared.slow_queries_json()).into()
             }
-            (Method::Post, "/admin/compact") => self.handle_compact(),
-            (Method::Post, "/admin/reload") => self.handle_reload(),
+            (Method::Post, "/tables") => self.handle_add_table(req).into(),
+            (Method::Delete, path) if path.starts_with("/tables/") => {
+                self.handle_remove_table(&path["/tables/".len()..]).into()
+            }
+            (Method::Post, "/admin/compact") => self.handle_compact().into(),
+            (Method::Post, "/admin/reload") => self.handle_reload().into(),
             (Method::Post, "/admin/shutdown") => {
                 self.shared.shutdown.store(true, Ordering::SeqCst);
-                Response::json(200, "{\"shutting_down\":true}")
+                Response::json(200, "{\"shutting_down\":true}").into()
             }
             (_, path) if Self::known_path(path) => Response::error(
                 405,
                 &format!("{} not allowed on {path}", req.method.as_str()),
-            ),
-            (_, path) => Response::error(404, &format!("no endpoint at {path}")),
+            )
+            .into(),
+            (_, path) => Response::error(404, &format!("no endpoint at {path}")).into(),
         }
     }
 
@@ -529,6 +894,8 @@ impl Server {
                 | "/query_batch"
                 | "/rank_all"
                 | "/stats"
+                | "/metrics"
+                | "/debug/slow_queries"
                 | "/tables"
                 | "/admin/compact"
                 | "/admin/reload"
@@ -587,32 +954,34 @@ impl Server {
         Ok(opts)
     }
 
-    fn handle_query(&self, req: &Request) -> Response {
+    fn handle_query(&self, req: &Request) -> Routed {
         let body = match Self::body_json(req) {
             Ok(v) => v,
-            Err(resp) => return resp,
+            Err(resp) => return resp.into(),
         };
         let target = match Self::body_table(&body) {
             Ok(t) => t,
-            Err(resp) => return resp,
+            Err(resp) => return resp.into(),
         };
         let k = match body.get("k") {
             None => 10,
             Some(v) => match v.as_usize() {
                 Some(k) => k,
-                None => return Response::error(400, "\"k\" must be a non-negative integer"),
+                None => return Response::error(400, "\"k\" must be a non-negative integer").into(),
             },
         };
         let snap = self.engine.snapshot();
-        let opts = match Self::query_options(&body, &snap) {
+        let mut opts = match Self::query_options(&body, &snap) {
             Ok(o) => o,
-            Err(resp) => return resp,
+            Err(resp) => return resp.into(),
         };
         // The serving fast path: everything the rendering depends on
         // is pinned in the key (the snapshot version makes mutations
         // invalidate exactly), so a hit skips profiling, the four
         // forest lookups and scoring entirely and returns the
-        // previously rendered bytes.
+        // previously rendered bytes. The trace is attached only on
+        // the miss path (a hit runs no pipeline) and never splits the
+        // key — `options_fingerprint` excludes it.
         let key = CacheKey {
             target: table_fingerprint(&target),
             k: k as u64,
@@ -620,57 +989,72 @@ impl Server {
             version: snap.version,
         };
         if let Some(hit) = self.engine.cache().get(&key) {
-            return Response::json(200, hit.as_bytes().to_vec());
+            return Routed::hit(Response::json(200, hit.as_bytes().to_vec()));
         }
+        let trace = QueryTrace::with_shards(snap.engine.shard_count());
+        opts.trace = Some(Arc::clone(&trace));
         let matches = snap.engine.query_with(&target, k, &opts);
         let rendered = api::query_response(&snap, &matches);
         self.engine.cache().put(key, rendered.clone().into());
-        Response::json(200, rendered)
+        Routed::miss(Response::json(200, rendered), trace)
     }
 
-    fn handle_query_batch(&self, req: &Request) -> Response {
+    fn handle_query_batch(&self, req: &Request) -> Routed {
         let body = match Self::body_json(req) {
             Ok(v) => v,
-            Err(resp) => return resp,
+            Err(resp) => return resp.into(),
         };
         let Some(specs) = body.get("targets").and_then(Json::as_arr) else {
-            return Response::error(400, "\"targets\" must be an array of tables");
+            return Response::error(400, "\"targets\" must be an array of tables").into();
         };
         let mut targets = Vec::with_capacity(specs.len());
         for (i, spec) in specs.iter().enumerate() {
             match api::table_from_json(spec) {
                 Ok(t) => targets.push(t),
-                Err(e) => return Response::error(400, &format!("target {i}: {e}")),
+                Err(e) => return Response::error(400, &format!("target {i}: {e}")).into(),
             }
         }
         let k = match body.get("k") {
             None => 10,
             Some(v) => match v.as_usize() {
                 Some(k) => k,
-                None => return Response::error(400, "\"k\" must be a non-negative integer"),
+                None => return Response::error(400, "\"k\" must be a non-negative integer").into(),
             },
         };
         let snap = self.engine.snapshot();
-        let results = snap.engine.query_batch(&targets, k);
-        Response::json(200, api::batch_response(&snap, &results))
+        // One trace across the whole batch: stage times sum over the
+        // targets, which is exactly the per-request cost breakdown.
+        let trace = QueryTrace::with_shards(snap.engine.shard_count());
+        let opts: Vec<QueryOptions> = targets
+            .iter()
+            .map(|_| QueryOptions {
+                trace: Some(Arc::clone(&trace)),
+                ..Default::default()
+            })
+            .collect();
+        let results = snap.engine.query_batch_with(&targets, k, &opts);
+        Routed::traced(
+            Response::json(200, api::batch_response(&snap, &results)),
+            trace,
+        )
     }
 
-    fn handle_rank_all(&self, req: &Request) -> Response {
+    fn handle_rank_all(&self, req: &Request) -> Routed {
         let Some(name) = req.query_param("target") else {
-            return Response::error(400, "missing ?target=<indexed table name>");
+            return Response::error(400, "missing ?target=<indexed table name>").into();
         };
         let snap = self.engine.snapshot();
         let Some(id) = snap.engine.name_to_id().get(name).copied() else {
-            return Response::error(404, &format!("no indexed table named {name:?}"));
+            return Response::error(404, &format!("no indexed table named {name:?}")).into();
         };
         let width = match req.query_param("width") {
             None => snap.engine.config().lookup_width(10),
             Some(raw) => match raw.parse::<usize>() {
                 Ok(w) if w > 0 => w,
-                _ => return Response::error(400, "\"width\" must be a positive integer"),
+                _ => return Response::error(400, "\"width\" must be a positive integer").into(),
             },
         };
-        let opts = QueryOptions {
+        let mut opts = QueryOptions {
             // Ranking a lake member against the lake: the member
             // itself would trivially win, so it is excluded unless
             // asked for.
@@ -687,8 +1071,10 @@ impl Server {
             version: snap.version,
         };
         if let Some(hit) = self.engine.cache().get(&key) {
-            return Response::json(200, hit.as_bytes().to_vec());
+            return Routed::hit(Response::json(200, hit.as_bytes().to_vec()));
         }
+        let trace = QueryTrace::with_shards(snap.engine.shard_count());
+        opts.trace = Some(Arc::clone(&trace));
         let prepared = snap
             .engine
             .prepare_indexed(id)
@@ -696,7 +1082,7 @@ impl Server {
         let matches = snap.engine.rank_all_prepared(&prepared, width, &opts);
         let rendered = api::query_response(&snap, &matches);
         self.engine.cache().put(key, rendered.clone().into());
-        Response::json(200, rendered)
+        Routed::miss(Response::json(200, rendered), trace)
     }
 
     fn handle_stats(&self) -> Response {
@@ -811,6 +1197,11 @@ impl Server {
                         Json::Num(self.shared.started.elapsed().as_millis() as f64),
                     ),
                     (
+                        "uptime_seconds".to_string(),
+                        Json::Num(self.shared.started.elapsed().as_secs_f64()),
+                    ),
+                    ("hw_threads".to_string(), Json::Num(hw_threads() as f64)),
+                    (
                         "requests".to_string(),
                         Json::Num(c.requests.load(Ordering::Relaxed) as f64),
                     ),
@@ -840,8 +1231,159 @@ impl Server {
                     ),
                 ]),
             ),
+            (
+                "build".to_string(),
+                Json::Obj(vec![
+                    ("version".to_string(), Json::str(env!("CARGO_PKG_VERSION"))),
+                    (
+                        "profile".to_string(),
+                        Json::str(if cfg!(debug_assertions) {
+                            "debug"
+                        } else {
+                            "release"
+                        }),
+                    ),
+                ]),
+            ),
         ]);
         Response::json(200, body.to_string())
+    }
+
+    /// `GET /metrics` — Prometheus text exposition 0.0.4, hand-rolled.
+    ///
+    /// Two histogram registries (server request/stage timings and the
+    /// engine's store-op timings) are rendered first, then the cheap
+    /// point-in-time counters and gauges that `/stats` also reports, so
+    /// a scraper needs only this one endpoint.
+    fn handle_metrics(&self) -> Response {
+        let snap = self.engine.snapshot();
+        let cache = self.engine.cache().stats();
+        let c = &self.shared.counters;
+        let mut w = PromWriter::new();
+        self.shared.metrics.registry.render(&mut w);
+        self.engine.telemetry().registry().render(&mut w);
+        w.counter(
+            "d3l_http_requests_total",
+            "Accepted HTTP requests (sheds excluded).",
+            &[],
+            c.requests.load(Ordering::Relaxed),
+        );
+        const RESP_HELP: &str = "Responses by status class.";
+        w.counter(
+            "d3l_http_responses_total",
+            RESP_HELP,
+            &[("class", "2xx")],
+            c.ok_2xx.load(Ordering::Relaxed),
+        );
+        w.counter(
+            "d3l_http_responses_total",
+            RESP_HELP,
+            &[("class", "4xx")],
+            c.client_4xx.load(Ordering::Relaxed),
+        );
+        w.counter(
+            "d3l_http_responses_total",
+            RESP_HELP,
+            &[("class", "5xx")],
+            c.server_5xx.load(Ordering::Relaxed),
+        );
+        w.counter(
+            "d3l_http_shed_total",
+            "Connections shed at the admission gate.",
+            &[],
+            c.shed.load(Ordering::Relaxed),
+        );
+        w.gauge_u64(
+            "d3l_queue_depth",
+            "Connections currently queued for a worker.",
+            &[],
+            self.shared.queue.len() as u64,
+        );
+        w.gauge_u64(
+            "d3l_queue_limit",
+            "Admission-gate queue capacity.",
+            &[],
+            self.cfg.max_queue as u64,
+        );
+        w.counter(
+            "d3l_cache_hits_total",
+            "Query-result cache hits.",
+            &[],
+            cache.hits,
+        );
+        w.counter(
+            "d3l_cache_misses_total",
+            "Query-result cache misses.",
+            &[],
+            cache.misses,
+        );
+        w.counter(
+            "d3l_cache_evictions_total",
+            "Query-result cache evictions.",
+            &[],
+            cache.evictions,
+        );
+        w.counter(
+            "d3l_cache_insertions_total",
+            "Query-result cache insertions.",
+            &[],
+            cache.insertions,
+        );
+        w.gauge_u64(
+            "d3l_cache_entries",
+            "Query-result cache resident entries.",
+            &[],
+            cache.entries,
+        );
+        w.gauge_u64(
+            "d3l_cache_bytes",
+            "Query-result cache resident bytes.",
+            &[],
+            cache.bytes,
+        );
+        w.gauge_u64(
+            "d3l_cache_budget_bytes",
+            "Query-result cache byte budget.",
+            &[],
+            cache.budget_bytes,
+        );
+        w.gauge_u64(
+            "d3l_engine_version",
+            "Monotone engine snapshot version.",
+            &[],
+            snap.version,
+        );
+        w.gauge_u64(
+            "d3l_engine_tables",
+            "Indexed tables (incl. dead).",
+            &[],
+            snap.engine.table_count() as u64,
+        );
+        w.gauge_u64(
+            "d3l_engine_live_tables",
+            "Live indexed tables.",
+            &[],
+            snap.engine.live_table_count() as u64,
+        );
+        w.gauge_u64(
+            "d3l_engine_memory_bytes",
+            "In-memory index footprint.",
+            &[],
+            snap.footprint.total() as u64,
+        );
+        w.gauge_u64(
+            "d3l_engine_shards",
+            "Engine shard count.",
+            &[],
+            snap.engine.shard_count() as u64,
+        );
+        w.gauge_f64(
+            "d3l_uptime_seconds",
+            "Server uptime.",
+            &[],
+            self.shared.started.elapsed().as_secs_f64(),
+        );
+        Response::text(200, PROM_CONTENT_TYPE, w.finish().into_bytes())
     }
 
     fn maintenance_error(e: MaintenanceError) -> Response {
@@ -926,6 +1468,10 @@ impl Server {
     }
 }
 
+/// A parsed client-side response: status, lower-cased response
+/// headers in wire order, and the body.
+pub type ResponseParts = (u16, Vec<(String, String)>, String);
+
 /// A minimal blocking HTTP/1.1 client over `std::net` — exactly what
 /// the README documents for talking to `d3l serve` without any
 /// dependency. Keep-alive: one connection, many requests.
@@ -956,9 +1502,26 @@ impl Client {
         path: &str,
         body: Option<&str>,
     ) -> std::io::Result<(u16, String)> {
+        self.request_with_headers(method, path, body, &[])
+            .map(|(status, _, body)| (status, body))
+    }
+
+    /// Like [`Client::request`] but with extra request headers, and
+    /// returning the response headers (lower-cased names) as well.
+    pub fn request_with_headers(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+        headers: &[(&str, &str)],
+    ) -> std::io::Result<ResponseParts> {
         let body = body.unwrap_or("");
+        let extra: String = headers
+            .iter()
+            .map(|(k, v)| format!("{k}: {v}\r\n"))
+            .collect();
         let wire = format!(
-            "{method} {path} HTTP/1.1\r\nHost: d3l\r\nContent-Length: {}\r\nConnection: keep-alive\r\n\r\n{body}",
+            "{method} {path} HTTP/1.1\r\nHost: d3l\r\nContent-Length: {}\r\nConnection: keep-alive\r\n{extra}\r\n{body}",
             body.len()
         );
         self.writer.write_all(wire.as_bytes())?;
@@ -966,7 +1529,7 @@ impl Client {
         self.read_response()
     }
 
-    fn read_response(&mut self) -> std::io::Result<(u16, String)> {
+    fn read_response(&mut self) -> std::io::Result<ResponseParts> {
         use std::io::BufRead;
         let bad = |msg: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_string());
         let mut line = String::new();
@@ -977,6 +1540,7 @@ impl Client {
             .and_then(|s| s.parse().ok())
             .ok_or_else(|| bad("malformed status line"))?;
         let mut content_length = 0usize;
+        let mut headers = Vec::new();
         loop {
             let mut header = String::new();
             if self.reader.read_line(&mut header)? == 0 {
@@ -987,20 +1551,26 @@ impl Client {
                 break;
             }
             if let Some((name, value)) = header.split_once(':') {
+                let value = value.trim();
                 if name.eq_ignore_ascii_case("content-length") {
-                    content_length = value
-                        .trim()
-                        .parse()
-                        .map_err(|_| bad("bad content-length"))?;
+                    content_length = value.parse().map_err(|_| bad("bad content-length"))?;
                 }
+                headers.push((name.to_ascii_lowercase(), value.to_string()));
             }
         }
         let mut body = vec![0u8; content_length];
         std::io::Read::read_exact(&mut self.reader, &mut body)?;
         String::from_utf8(body)
-            .map(|text| (status, text))
+            .map(|text| (status, headers, text))
             .map_err(|_| bad("non-UTF-8 body"))
     }
+}
+
+/// Hardware parallelism, with a floor of one.
+fn hw_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
 /// One-shot convenience: connect, request, close.

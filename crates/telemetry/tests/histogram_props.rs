@@ -1,0 +1,60 @@
+//! Property tests pinning the histogram against a sorted-sample
+//! oracle and the merge/union equivalence on random streams.
+
+use d3l_telemetry::{bucket_index, Histogram};
+use proptest::prelude::*;
+
+fn samples() -> impl Strategy<Value = Vec<usize>> {
+    // Nanosecond magnitudes from sub-bucket to beyond the finite
+    // range (usize on the test hosts is 64-bit).
+    prop::collection::vec(1usize..400_000_000_000, 1..400)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every quantile estimate lands in the same bucket as the
+    /// sorted-sample oracle at the same rank — i.e. within one
+    /// bucket's relative error of the true percentile.
+    #[test]
+    fn quantiles_track_the_oracle(vals in samples(), q in 0.0f64..1.0) {
+        let h = Histogram::new();
+        for &v in &vals {
+            h.record_ns(v as u64);
+        }
+        let mut sorted: Vec<u64> = vals.iter().map(|&v| v as u64).collect();
+        sorted.sort_unstable();
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        let oracle = sorted[rank - 1];
+        let est = h.snapshot().quantile_ns(q);
+        prop_assert_eq!(
+            bucket_index(est),
+            bucket_index(oracle),
+            "q={} est={} oracle={}",
+            q,
+            est,
+            oracle
+        );
+    }
+
+    /// Merging two snapshots is indistinguishable from recording both
+    /// streams into one histogram, and count/sum stay exact.
+    #[test]
+    fn merge_is_union(a in samples(), b in samples()) {
+        let (ha, hb, hu) = (Histogram::new(), Histogram::new(), Histogram::new());
+        for &v in &a {
+            ha.record_ns(v as u64);
+            hu.record_ns(v as u64);
+        }
+        for &v in &b {
+            hb.record_ns(v as u64);
+            hu.record_ns(v as u64);
+        }
+        let mut merged = ha.snapshot();
+        merged.merge(&hb.snapshot());
+        prop_assert_eq!(&merged, &hu.snapshot());
+        prop_assert_eq!(merged.count(), (a.len() + b.len()) as u64);
+        let exact: u64 = a.iter().chain(&b).map(|&v| v as u64).sum();
+        prop_assert_eq!(merged.sum_ns(), exact);
+    }
+}

@@ -3,7 +3,7 @@
 //! ```text
 //! d3l index   <lake-dir> --out <index-dir> [--shards N]
 //! d3l query   <lake-dir>|--index <index-dir> <target.csv> [-k N] [--joins] [--evidence N|V|F|E|D] [--threads N]
-//! d3l serve   --index <index-dir> [--shards N] [--port P] [--host H] [--threads N] [--cache-bytes N[k|m|g]] [--max-queue N]
+//! d3l serve   --index <index-dir> [--shards N] [--port P] [--host H] [--threads N] [--cache-bytes N[k|m|g]] [--max-queue N] [--slow-query-ms N]
 //! d3l stats   <lake-dir>|--index <index-dir>
 //! d3l add     <index-dir> <table.csv>
 //! d3l remove  <index-dir> <table-name>
@@ -32,7 +32,7 @@ use d3l::benchgen;
 use d3l::prelude::*;
 use d3l::table::csv;
 
-const USAGE: &str = "usage:\n  d3l index <lake-dir> --out <index-dir> [--shards N]\n  d3l query <lake-dir>|--index <index-dir> <target.csv> [-k N] [--joins] [--evidence N|V|F|E|D] [--threads N]\n  d3l serve --index <index-dir> [--shards N] [--port P] [--host H] [--threads N] [--cache-bytes N[k|m|g]] [--max-queue N]\n  d3l stats <lake-dir>|--index <index-dir>\n  d3l add <index-dir> <table.csv>\n  d3l remove <index-dir> <table-name>\n  d3l compact <index-dir>\n  d3l demo";
+const USAGE: &str = "usage:\n  d3l index <lake-dir> --out <index-dir> [--shards N]\n  d3l query <lake-dir>|--index <index-dir> <target.csv> [-k N] [--joins] [--evidence N|V|F|E|D] [--threads N]\n  d3l serve --index <index-dir> [--shards N] [--port P] [--host H] [--threads N] [--cache-bytes N[k|m|g]] [--max-queue N] [--slow-query-ms N]\n  d3l stats <lake-dir>|--index <index-dir>\n  d3l add <index-dir> <table.csv>\n  d3l remove <index-dir> <table-name>\n  d3l compact <index-dir>\n  d3l demo";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -353,6 +353,7 @@ fn cmd_serve(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let mut threads: usize = 0;
     let mut cache_bytes: u64 = d3l::core::cache::DEFAULT_CACHE_BYTES;
     let mut max_queue: usize = d3l::server::ServerConfig::default().max_queue;
+    let mut slow_query_ms: u64 = d3l::server::ServerConfig::default().slow_query_ms;
     let mut shards: Option<usize> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -375,6 +376,12 @@ fn cmd_serve(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
             }
             "--max-queue" => {
                 max_queue = it.next().ok_or("missing value for --max-queue")?.parse()?;
+            }
+            "--slow-query-ms" => {
+                slow_query_ms = it
+                    .next()
+                    .ok_or("missing value for --slow-query-ms")?
+                    .parse()?;
             }
             other => return Err(format!("unexpected argument {other}").into()),
         }
@@ -413,6 +420,7 @@ fn cmd_serve(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         threads,
         cache_bytes,
         max_queue,
+        slow_query_ms,
         ..Default::default()
     };
     let server = d3l::server::Server::bind((host.as_str(), port), engine, cfg)?;
@@ -440,7 +448,15 @@ fn cmd_serve(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         });
     }
 
+    let slow_handle = server.shutdown_handle();
     server.run()?;
+    // Post-drain dump: whatever the slow-query ring held when the
+    // server stopped, so a SIGTERM'd deployment leaves a trail even if
+    // nobody scraped /debug/slow_queries in time.
+    if slow_handle.slow_query_count() > 0 {
+        eprintln!("slow queries captured (threshold {slow_query_ms} ms):");
+        eprintln!("{}", slow_handle.slow_queries_json());
+    }
     println!("drained; bye");
     Ok(())
 }
@@ -687,6 +703,14 @@ mod tests {
         assert!(
             cmd_serve(&args(&["--index", "idx", "--max-queue", "-1"])).is_err(),
             "--max-queue must parse as usize"
+        );
+        assert!(
+            cmd_serve(&args(&["--index", "idx", "--slow-query-ms"])).is_err(),
+            "--slow-query-ms needs a value"
+        );
+        assert!(
+            cmd_serve(&args(&["--index", "idx", "--slow-query-ms", "soon"])).is_err(),
+            "--slow-query-ms must parse as u64"
         );
         assert!(
             cmd_serve(&args(&["--index", "/definitely/not/a/store"])).is_err(),

@@ -853,6 +853,7 @@ fn pipelining_client_cannot_starve_the_pool() {
             max_queue: 64,
             io_timeout: Duration::from_secs(10),
             max_body_bytes: 256 * 1024,
+            slow_query_ms: 250,
         },
     );
 
@@ -1064,4 +1065,297 @@ fn stress_concurrent_queries_race_mutating_writer() {
         assert_eq!(x.table, y.table);
         assert_eq!(x.distance.to_bits(), y.distance.to_bits());
     }
+}
+
+// ---------------------------------------------------------- observability
+
+fn header(headers: &[(String, String)], name: &str) -> Option<String> {
+    headers
+        .iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| v.clone())
+}
+
+/// Parse a Prometheus 0.0.4 exposition body and enforce its grammar:
+/// every series belongs to a family with a preceding `# TYPE`, every
+/// histogram's cumulative buckets are monotone non-decreasing and end
+/// with `+Inf`, and `_count` equals the `+Inf` bucket.
+fn validate_exposition(body: &str) {
+    use std::collections::{BTreeMap, HashMap};
+    let mut types: HashMap<String, String> = HashMap::new();
+    let mut buckets: BTreeMap<(String, String), Vec<(String, u64)>> = BTreeMap::new();
+    let mut counts: HashMap<(String, String), u64> = HashMap::new();
+    for line in body.lines() {
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut it = rest.split_whitespace();
+            let name = it.next().expect("TYPE line names a family");
+            let kind = it.next().expect("TYPE line carries a kind");
+            assert!(
+                matches!(kind, "counter" | "gauge" | "histogram"),
+                "unknown metric kind {kind:?} in {line:?}"
+            );
+            types.insert(name.to_string(), kind.to_string());
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // HELP
+        }
+        let (series, value) = line.rsplit_once(' ').expect("series line carries a value");
+        let (name, labels) = match series.split_once('{') {
+            Some((n, l)) => (n, l.trim_end_matches('}')),
+            None => (series, ""),
+        };
+        let histogram_part = ["_bucket", "_sum", "_count"].iter().find_map(|suf| {
+            name.strip_suffix(suf)
+                .filter(|base| types.get(*base).map(String::as_str) == Some("histogram"))
+                .map(|base| (base.to_string(), *suf))
+        });
+        match histogram_part {
+            Some((base, "_bucket")) => {
+                let mut le = None;
+                let rest: Vec<&str> = labels
+                    .split(',')
+                    .filter(|kv| match kv.strip_prefix("le=") {
+                        Some(v) => {
+                            le = Some(v.trim_matches('"').to_string());
+                            false
+                        }
+                        None => true,
+                    })
+                    .collect();
+                let cum: u64 = value
+                    .parse()
+                    .unwrap_or_else(|_| panic!("bucket value must be an integer: {line:?}"));
+                buckets
+                    .entry((base, rest.join(",")))
+                    .or_default()
+                    .push((le.expect("every bucket line carries le"), cum));
+            }
+            Some((base, "_count")) => {
+                counts.insert(
+                    (base, labels.to_string()),
+                    value.parse().expect("count is an integer"),
+                );
+            }
+            Some(_) => {
+                value.parse::<f64>().expect("sum parses as a float");
+            }
+            None => {
+                assert!(
+                    types.contains_key(name),
+                    "series {name} has no preceding # TYPE line"
+                );
+                value
+                    .parse::<f64>()
+                    .unwrap_or_else(|_| panic!("unparseable value in {line:?}"));
+            }
+        }
+    }
+    assert!(!buckets.is_empty(), "exposition must contain histograms");
+    for ((family, labels), series) in &buckets {
+        let mut prev = 0u64;
+        for (le, cum) in series {
+            assert!(
+                *cum >= prev,
+                "{family}{{{labels}}}: bucket le={le} not cumulative ({cum} < {prev})"
+            );
+            prev = *cum;
+        }
+        let (last_le, last_cum) = series.last().unwrap();
+        assert_eq!(
+            last_le, "+Inf",
+            "{family}{{{labels}}}: buckets must end with +Inf"
+        );
+        let count = counts
+            .get(&(family.clone(), labels.clone()))
+            .unwrap_or_else(|| panic!("{family}{{{labels}}}: missing _count"));
+        assert_eq!(
+            count, last_cum,
+            "{family}{{{labels}}}: _count must equal the +Inf bucket"
+        );
+    }
+}
+
+#[test]
+fn metrics_exposition_is_valid_and_covers_the_pipeline() {
+    let lake = lake(6);
+    let srv = boot("metrics", &lake, 2, Duration::from_secs(10));
+    let body = query_body(&target(), 5);
+    // One miss, one hit, one client error: all three result labels.
+    let (s, _) = request_once(srv.addr, "POST", "/query", Some(&body)).unwrap();
+    assert_eq!(s, 200);
+    let (s, _) = request_once(srv.addr, "POST", "/query", Some(&body)).unwrap();
+    assert_eq!(s, 200);
+    let (s, _) = request_once(srv.addr, "GET", "/rank_all", None).unwrap();
+    assert_eq!(s, 400);
+
+    let mut c = Client::connect(srv.addr).unwrap();
+    let (status, headers, text) = c
+        .request_with_headers("GET", "/metrics", None, &[])
+        .unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(
+        header(&headers, "content-type").as_deref(),
+        Some("text/plain; version=0.0.4"),
+        "exposition content type is the 0.0.4 text format"
+    );
+    validate_exposition(&text);
+
+    // The pipeline's core series must all be present.
+    for needle in [
+        "d3l_http_request_seconds_bucket{endpoint=\"/query\",result=\"miss\"",
+        "d3l_http_request_seconds_bucket{endpoint=\"/query\",result=\"hit\"",
+        "d3l_http_request_seconds_bucket{endpoint=\"/rank_all\",result=\"error\"",
+        "d3l_query_stage_seconds_bucket{stage=\"candidates\"",
+        "d3l_query_stage_seconds_bucket{stage=\"score\"",
+        "d3l_query_stage_seconds_bucket{stage=\"aggregate\"",
+        "d3l_shard_score_seconds",
+        "d3l_shard_slowest_seconds",
+        "d3l_store_op_seconds_bucket{op=\"load\"",
+        "d3l_store_op_seconds_bucket{op=\"append\"",
+        "d3l_store_op_seconds_bucket{op=\"compact\"",
+        "d3l_slow_queries_total",
+        "d3l_http_requests_total",
+        "d3l_http_responses_total{class=\"2xx\"}",
+        "d3l_http_shed_total",
+        "d3l_queue_depth",
+        "d3l_queue_limit",
+        "d3l_cache_hits_total",
+        "d3l_cache_misses_total",
+        "d3l_cache_entries",
+        "d3l_cache_bytes",
+        "d3l_engine_version",
+        "d3l_engine_live_tables",
+        "d3l_engine_memory_bytes",
+        "d3l_engine_shards",
+        "d3l_uptime_seconds",
+    ] {
+        assert!(
+            text.contains(needle),
+            "metrics exposition is missing {needle:?}\n---\n{text}"
+        );
+    }
+
+    // The three stage histograms saw exactly the one cache-miss query.
+    for stage in ["candidates", "score", "aggregate"] {
+        let count_line = format!("d3l_query_stage_seconds_count{{stage=\"{stage}\"}} 1");
+        assert!(
+            text.contains(&count_line),
+            "stage {stage} must have observed exactly one traced query\n---\n{text}"
+        );
+    }
+}
+
+#[test]
+fn request_ids_and_engine_version_are_stamped_on_every_response() {
+    let lake = lake(4);
+    let srv = boot("reqid", &lake, 2, Duration::from_secs(5));
+    let mut c = Client::connect(srv.addr).unwrap();
+
+    let (status, headers, _) = c.request_with_headers("GET", "/stats", None, &[]).unwrap();
+    assert_eq!(status, 200);
+    let rid = header(&headers, "x-request-id").expect("server generates a request id");
+    assert!(
+        rid.starts_with("req-"),
+        "generated ids look like req-<boot>-<seq>: {rid}"
+    );
+    let version = header(&headers, "x-engine-version").expect("engine version header");
+    version.parse::<u64>().expect("engine version is numeric");
+
+    // A client-supplied id is echoed verbatim ...
+    let (_, headers, _) = c
+        .request_with_headers("GET", "/stats", None, &[("X-Request-Id", "trace-me.42:a")])
+        .unwrap();
+    assert_eq!(
+        header(&headers, "x-request-id").as_deref(),
+        Some("trace-me.42:a")
+    );
+
+    // ... after dropping unsafe characters ...
+    let (_, headers, _) = c
+        .request_with_headers("GET", "/stats", None, &[("X-Request-Id", "a b<c>\"d")])
+        .unwrap();
+    assert_eq!(header(&headers, "x-request-id").as_deref(), Some("abcd"));
+
+    // ... and an id with nothing safe left falls back to a fresh one.
+    let (_, headers, _) = c
+        .request_with_headers("GET", "/stats", None, &[("X-Request-Id", "???")])
+        .unwrap();
+    let rid = header(&headers, "x-request-id").unwrap();
+    assert!(rid.starts_with("req-"), "unusable ids are replaced: {rid}");
+
+    // Error responses carry the headers too.
+    let (status, headers, _) = c
+        .request_with_headers("GET", "/no/such/path", None, &[("X-Request-Id", "err-1")])
+        .unwrap();
+    assert_eq!(status, 404);
+    assert_eq!(header(&headers, "x-request-id").as_deref(), Some("err-1"));
+    assert!(header(&headers, "x-engine-version").is_some());
+
+    // Two generated ids never collide.
+    let (_, h1, _) = c.request_with_headers("GET", "/stats", None, &[]).unwrap();
+    let (_, h2, _) = c.request_with_headers("GET", "/stats", None, &[]).unwrap();
+    assert_ne!(
+        header(&h1, "x-request-id"),
+        header(&h2, "x-request-id"),
+        "request ids are unique per request"
+    );
+}
+
+#[test]
+fn slow_query_ring_captures_traced_queries() {
+    let lake = lake(6);
+    let srv = boot_cfg(
+        "slowq",
+        &lake,
+        ServerConfig {
+            threads: 2,
+            slow_query_ms: 0, // every request is "slow": deterministic capture
+            cache_bytes: 0,   // keep queries on the traced engine path
+            io_timeout: Duration::from_secs(10),
+            max_body_bytes: 256 * 1024,
+            ..Default::default()
+        },
+    );
+    let body = query_body(&target(), 5);
+    let mut c = Client::connect(srv.addr).unwrap();
+    let (status, headers, _) = c
+        .request_with_headers("POST", "/query", Some(&body), &[("X-Request-Id", "slow-1")])
+        .unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(header(&headers, "x-request-id").as_deref(), Some("slow-1"));
+
+    let (status, text) = request_once(srv.addr, "GET", "/debug/slow_queries", None).unwrap();
+    assert_eq!(status, 200);
+    let json = Json::parse(&text).unwrap();
+    assert_eq!(json.get("threshold_ms").unwrap().as_usize(), Some(0));
+    assert!(json.get("captured_total").unwrap().as_usize().unwrap() >= 1);
+    let entries = json.get("slow_queries").unwrap().as_arr().unwrap();
+    let query_entry = entries
+        .iter()
+        .find(|e| e.get("endpoint").and_then(Json::as_str) == Some("/query"))
+        .expect("the traced /query request is in the ring");
+    assert_eq!(
+        query_entry.get("request_id").and_then(Json::as_str),
+        Some("slow-1"),
+        "ring entries carry the request id"
+    );
+    assert_eq!(
+        query_entry.get("result").and_then(Json::as_str),
+        Some("miss")
+    );
+    let stages = query_entry.get("stages").expect("per-stage breakdown");
+    for stage in ["candidates_ms", "score_ms", "aggregate_ms"] {
+        assert!(
+            stages.get(stage).and_then(Json::as_f64).is_some(),
+            "stage timing {stage} present"
+        );
+    }
+    assert!(
+        srv.handle.slow_query_count() >= 1,
+        "the shutdown handle exposes the capture count"
+    );
 }
