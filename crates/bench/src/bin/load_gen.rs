@@ -51,10 +51,10 @@
 //! ```
 
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use d3l_benchgen::vocab;
-use d3l_core::{D3l, D3lConfig, EngineHandle, IndexStore, ShardedD3l};
+use d3l_core::{D3l, D3lConfig, EngineHandle, IndexStore, ShardedD3l, WatchConfig, Watcher};
 use d3l_embedding::SemanticEmbedder;
 use d3l_server::{table_to_json, Client, Json, Server, ServerConfig};
 
@@ -537,6 +537,207 @@ fn main() {
         skewed.push((level, hit_rate, server_p50, server_p99));
     }
 
+    // ---- continuous ingestion under churn ---------------------------
+    // A watcher owns a scratch lake directory while closed-loop clients
+    // keep querying. Each mutator round drops a burst of new CSVs plus
+    // an overwrite and a delete of long-settled ones, so every change
+    // class (add, replace, remove) flows through micro-batched delta
+    // segments with background compaction armed. Ingestion lag is the
+    // watcher's own detected->applied histogram; the query gate
+    // compares churn p99 against a quiescent baseline measured just
+    // before with the identical workload, the result cache off on both
+    // sides so hits cannot mask engine contention.
+    engine.cache().set_budget(0);
+    engine.cache().clear();
+    let hw_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let churn_clients = 4usize;
+    let churn_requests = requests_per_client * 3;
+    eprintln!("quiescent baseline {churn_requests} requests x {churn_clients} clients ...");
+    let quiescent = run_level(
+        addr,
+        &bodies,
+        churn_clients,
+        churn_requests,
+        warmup_per_client,
+        None,
+        None,
+    );
+    eprintln!(
+        "  throughput: {:.0} req/s (p50 {:.2} ms, p99 {:.2} ms)",
+        quiescent.requests as f64 / quiescent.wall_s,
+        quiescent.p50,
+        quiescent.p99
+    );
+
+    let lake_dir = std::env::temp_dir().join(format!("d3l_load_gen_lake_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&lake_dir);
+    std::fs::create_dir_all(&lake_dir).expect("create churn lake");
+    let (poll_ms, batch_ms, batch_max, compact_segments) = (50u64, 500u64, 4usize, 32usize);
+    let watch_cfg = WatchConfig {
+        poll_interval: Duration::from_millis(poll_ms),
+        batch_window: Duration::from_millis(batch_ms),
+        batch_max,
+        compact_segments,
+        ..WatchConfig::default()
+    };
+    let watcher = Watcher::start(Arc::clone(&engine), &lake_dir, watch_cfg).expect("start watcher");
+    let wstats = watcher.stats();
+
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let mutator = {
+        let stop = Arc::clone(&stop);
+        let lake = lake_dir.clone();
+        std::thread::spawn(move || {
+            use std::sync::atomic::Ordering;
+            let (mut written, mut overwrites, mut deletes) = (0usize, 0usize, 0usize);
+            let mut i = 0usize;
+            while !stop.load(Ordering::Relaxed) {
+                // A full burst fills one micro-batch, so flushes trigger
+                // on count as soon as the stability window clears.
+                for _ in 0..batch_max {
+                    let body = format!("Practice,Payment\nP{i},100\nQ{i},2{i}\n");
+                    std::fs::write(lake.join(format!("churn_{i:04}.csv")), body)
+                        .expect("write churn csv");
+                    i += 1;
+                    written += 1;
+                }
+                // Settled history gets an overwrite and a delete — two
+                // and three bursts old respectively, so the fresh
+                // burst's stability window is never disturbed.
+                if i >= 2 * batch_max {
+                    let j = i - 2 * batch_max;
+                    let body = format!("Practice,Payment\nP{j}x,300\nR{j},4{j}\n");
+                    std::fs::write(lake.join(format!("churn_{j:04}.csv")), body)
+                        .expect("overwrite churn csv");
+                    overwrites += 1;
+                }
+                if i >= 3 * batch_max {
+                    let j = i - 3 * batch_max + 1;
+                    let _ = std::fs::remove_file(lake.join(format!("churn_{j:04}.csv")));
+                    deletes += 1;
+                }
+                // ~0.6 s between rounds, sliced so shutdown is prompt.
+                for _ in 0..12 {
+                    if stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    std::thread::sleep(Duration::from_millis(50));
+                }
+            }
+            (written, overwrites, deletes)
+        })
+    };
+
+    eprintln!(
+        "churn {churn_requests} requests x {churn_clients} clients vs watcher \
+         (poll {poll_ms} ms, batch {batch_ms} ms x {batch_max}) ..."
+    );
+    let churn = run_level(
+        addr,
+        &bodies,
+        churn_clients,
+        churn_requests,
+        warmup_per_client,
+        None,
+        None,
+    );
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    let (files_written, overwrites, deletes) = mutator.join().expect("mutator panicked");
+
+    // Let the churn tail drain before reading the counters: stop once
+    // the queue is empty and the applied counters hold still across a
+    // full batch window (or a 60 s deadline passes).
+    let drain_deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let before = (wstats.added(), wstats.replaced(), wstats.removed());
+        std::thread::sleep(Duration::from_millis(batch_ms + 4 * poll_ms));
+        let after = (wstats.added(), wstats.replaced(), wstats.removed());
+        if (wstats.queued() == 0 && before == after) || Instant::now() > drain_deadline {
+            break;
+        }
+    }
+    watcher.shutdown();
+
+    let lag = wstats.ingest_lag();
+    let lag_p50_ms = lag.quantile_ns(0.50) as f64 / 1e6;
+    let lag_p99_ms = lag.quantile_ns(0.99) as f64 / 1e6;
+    let lag_max_ms = lag.max_ns() as f64 / 1e6;
+    let churn_p99_ratio = churn.p99 / quiescent.p99.max(1e-9);
+    eprintln!(
+        "  throughput: {:.0} req/s (p50 {:.2} ms, p99 {:.2} ms = {churn_p99_ratio:.2}x quiescent)",
+        churn.requests as f64 / churn.wall_s,
+        churn.p50,
+        churn.p99
+    );
+    eprintln!(
+        "  ingest lag p50 {lag_p50_ms:.1} ms, p99 {lag_p99_ms:.1} ms over {} changes \
+         ({} added, {} replaced, {} removed, {} batches, {} compactions)",
+        lag.count(),
+        wstats.added(),
+        wstats.replaced(),
+        wstats.removed(),
+        wstats.batches(),
+        wstats.compactions()
+    );
+    let ingest_json = format!(
+        "{{\n  \
+         \"bench\": \"ingest\",\n  \
+         \"lake\": \"synthetic\",\n  \
+         \"tables\": {tables},\n  \
+         \"quick\": {quick},\n  \
+         \"hw_threads\": {hw_threads},\n  \
+         \"poll_ms\": {poll_ms},\n  \
+         \"batch_ms\": {batch_ms},\n  \
+         \"batch_max\": {batch_max},\n  \
+         \"compact_segments\": {compact_segments},\n  \
+         \"churn\": {{\n    \
+         \"files_written\": {files_written},\n    \
+         \"overwrites\": {overwrites},\n    \
+         \"deletes\": {deletes},\n    \
+         \"tables_added\": {},\n    \
+         \"tables_replaced\": {},\n    \
+         \"tables_removed\": {},\n    \
+         \"batches\": {},\n    \
+         \"compactions\": {},\n    \
+         \"files_skipped\": {},\n    \
+         \"errors\": {}\n  }},\n  \
+         \"ingest_lag_ms\": {{ \"count\": {}, \"p50\": {lag_p50_ms:.3}, \
+         \"p99\": {lag_p99_ms:.3}, \"max\": {lag_max_ms:.3} }},\n  \
+         \"query_under_churn\": {{\n    \
+         \"clients\": {churn_clients},\n    \
+         \"quiescent\": {{ \"requests\": {}, \"throughput_rps\": {:.1}, \
+         \"p50_ms\": {:.3}, \"p99_ms\": {:.3} }},\n    \
+         \"churn\": {{ \"requests\": {}, \"throughput_rps\": {:.1}, \
+         \"p50_ms\": {:.3}, \"p99_ms\": {:.3} }}\n  }},\n  \
+         \"gates\": {{\n    \
+         \"batch_window_ms\": {batch_ms},\n    \
+         \"lag_p50_under_batch_window\": {},\n    \
+         \"churn_p99_over_quiescent_p99\": {churn_p99_ratio:.2}\n  }}\n}}\n",
+        wstats.added(),
+        wstats.replaced(),
+        wstats.removed(),
+        wstats.batches(),
+        wstats.compactions(),
+        wstats.skipped(),
+        wstats.errors(),
+        lag.count(),
+        quiescent.requests,
+        quiescent.requests as f64 / quiescent.wall_s,
+        quiescent.p50,
+        quiescent.p99,
+        churn.requests,
+        churn.requests as f64 / churn.wall_s,
+        churn.p50,
+        churn.p99,
+        lag_p50_ms <= batch_ms as f64,
+    );
+    let ingest_path = std::path::Path::new(&out_dir).join("BENCH_ingest.json");
+    std::fs::write(&ingest_path, &ingest_json).expect("write BENCH_ingest.json");
+    eprintln!("wrote {}", ingest_path.display());
+    std::fs::remove_dir_all(&lake_dir).ok();
+
     // ---- shut down ---------------------------------------------------
     let (status, _) = d3l_server::request_once(addr, "POST", "/admin/shutdown", Some(""))
         .expect("shutdown request");
@@ -682,9 +883,6 @@ fn main() {
     // records hw_threads so readers can judge the same-workload
     // skewed@32/skewed@1 ratio in hardware context (on a 1-core
     // runner closed-loop throughput cannot scale with clients).
-    let hw_threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
     let rps = |l: &LevelResult| l.requests as f64 / l.wall_s.max(1e-9);
     let plain_1 = throughput.iter().find(|l| l.clients == 1).expect("plain@1");
     let plain_32 = throughput

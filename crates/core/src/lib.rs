@@ -60,6 +60,7 @@ pub mod query;
 pub mod shard;
 pub mod snapshot;
 pub mod trace;
+pub mod watch;
 pub mod weights;
 
 pub use cache::{options_fingerprint, table_fingerprint, CacheKey, CacheStats, QueryCache};
@@ -75,4 +76,5 @@ pub use query::{Alignment, PreparedTarget, QueryOptions, TableMatch};
 pub use shard::{shard_of_name, ShardedD3l};
 pub use snapshot::{DeltaRecord, IndexStore};
 pub use trace::{QueryTrace, StageTimer};
+pub use watch::{compact_if_due, Ingestor, WatchConfig, WatchStats, Watcher};
 pub use weights::EvidenceWeights;

@@ -651,8 +651,31 @@ impl IndexStore {
         let base = std::fs::read(dir.join(BASE_FILE))?;
         let applied_through = Self::applied_through(&base)?;
         let mut d3l = D3l::from_snapshot_bytes(&base)?;
-        let mut next_delta_seq = applied_through + 1;
-        for (seq, path) in Self::pending_deltas(&dir, applied_through)? {
+        let mut store = IndexStore {
+            dir,
+            next_delta_seq: applied_through + 1,
+            applied_through,
+        };
+        store.replay_newer(&mut d3l)?;
+        Ok((store, d3l))
+    }
+
+    /// Re-scan the directory and apply every delta segment above this
+    /// handle's replayed-through watermark to `d3l`, in sequence
+    /// order, advancing the watermark only when the whole pass
+    /// succeeds. Idempotent over repeated calls: segments at or below
+    /// the watermark are never re-read, so calling this on a live
+    /// engine applies exactly the operations another writer appended
+    /// since the last call. This is the replay half of reload-latest;
+    /// callers decide staleness *and* replay under one store lock so a
+    /// writer appending between the two is picked up here rather than
+    /// silently deferred. Returns the number of segments applied; on
+    /// error `d3l` may hold a partial replay and must be discarded.
+    pub fn replay_newer(&mut self, d3l: &mut D3l) -> Result<usize, StoreError> {
+        let pending = Self::pending_deltas(&self.dir, self.replayed_through())?;
+        let mut applied = 0usize;
+        let mut through = self.replayed_through();
+        for (seq, path) in pending {
             let replay = |d3l: &mut D3l| -> Result<(), StoreError> {
                 let bytes = std::fs::read(&path)?;
                 let reader = ContainerReader::parse(&bytes, KIND_DELTA)?;
@@ -662,17 +685,12 @@ impl IndexStore {
                 )?;
                 d3l.apply_delta(record)
             };
-            replay(&mut d3l).map_err(|e| StoreError::bad_segment(seq, e))?;
-            next_delta_seq = seq + 1;
+            replay(d3l).map_err(|e| StoreError::bad_segment(seq, e))?;
+            through = seq;
+            applied += 1;
         }
-        Ok((
-            IndexStore {
-                dir,
-                next_delta_seq,
-                applied_through,
-            },
-            d3l,
-        ))
+        self.next_delta_seq = through + 1;
+        Ok(applied)
     }
 
     /// The applied-through watermark of a base snapshot (0 when the
@@ -784,6 +802,19 @@ impl IndexStore {
         self.next_delta_seq - 1
     }
 
+    /// Roll the replayed-through watermark back to `through` — the
+    /// reload path's recovery when a *later* shard's replay fails and
+    /// the already-replayed shards never get swapped in: their
+    /// segments must count as unreplayed again or they would be
+    /// invisible to every future reload.
+    pub(crate) fn rewind_replayed_through(&mut self, through: u64) {
+        debug_assert!(
+            through <= self.replayed_through(),
+            "rewind must not advance the watermark"
+        );
+        self.next_delta_seq = through + 1;
+    }
+
     /// Whether the directory holds delta segments this handle has not
     /// replayed — i.e. another writer (a CLI `d3l add` next to a
     /// serving process) appended to the store since it was opened. A
@@ -878,16 +909,50 @@ impl IndexStore {
             .collect())
     }
 
-    /// Remove orphaned `*.tmp.*` files left by a writer that crashed
-    /// between creating and renaming one.
+    /// Remove orphaned `*.tmp.<pid>` files left by a writer that
+    /// crashed between creating and renaming one — but **only** when
+    /// the orphanhood is provable. A tmp file matching the store
+    /// naming may equally be another process's atomic write in flight
+    /// *right now* (created, fsyncing, about to rename); deleting it
+    /// would destroy that writer's bytes and fail its rename. So a
+    /// tmp file is swept only if the pid embedded in its name is
+    /// provably dead, or its mtime is older than
+    /// [`IndexStore::STALE_TMP_AGE`] (no atomic write is in flight
+    /// for that long; this also collects leftovers whose pid was
+    /// recycled by an unrelated live process).
     fn sweep_tmp(dir: &Path) -> Result<(), StoreError> {
+        Self::sweep_tmp_older_than(dir, Self::STALE_TMP_AGE)
+    }
+
+    /// Age beyond which an atomic-write tmp file cannot still be in
+    /// flight: persist() writes, fsyncs and renames in one call, so
+    /// minutes-old tmp files are orphans regardless of pid liveness.
+    pub const STALE_TMP_AGE: std::time::Duration = std::time::Duration::from_secs(600);
+
+    /// [`IndexStore::sweep_tmp`] with an explicit staleness horizon
+    /// (exposed for failure-injection tests; `open`/`create` use
+    /// [`IndexStore::STALE_TMP_AGE`]).
+    #[doc(hidden)]
+    pub fn sweep_tmp_older_than(
+        dir: &Path,
+        stale_after: std::time::Duration,
+    ) -> Result<(), StoreError> {
         for entry in std::fs::read_dir(dir)?.collect::<Result<Vec<_>, _>>()? {
             let path = entry.path();
-            let is_tmp = path
-                .file_name()
-                .and_then(|n| n.to_str())
-                .is_some_and(layout::is_store_tmp);
-            if is_tmp {
+            let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+                continue;
+            };
+            if !layout::is_store_tmp(name) {
+                continue;
+            }
+            let dead_writer = layout::tmp_pid_of(name).is_some_and(layout::pid_is_dead);
+            let stale = entry
+                .metadata()
+                .and_then(|m| m.modified())
+                .ok()
+                .and_then(|m| m.elapsed().ok())
+                .is_some_and(|age| age >= stale_after);
+            if dead_writer || stale {
                 std::fs::remove_file(path)?;
             }
         }

@@ -1,0 +1,751 @@
+//! Continuous ingestion: poll-based lake watching with micro-batched
+//! deltas and background compaction.
+//!
+//! The paper's data-lake setting is not static — datasets arrive,
+//! change and disappear while discovery queries keep running. This
+//! module drives the store's append-only machinery continuously:
+//!
+//! * a **scanner** polls a directory of CSVs over plain `std::fs`
+//!   (no notification APIs, no dependencies), fingerprinting each
+//!   file by `(len, mtime)`;
+//! * a change is only acted on after a **stability window** — the
+//!   fingerprint must hold across two consecutive polls — so a file
+//!   still being copied in is re-queued rather than half-ingested;
+//! * stable changes are **micro-batched**: applied when either
+//!   [`WatchConfig::batch_max`] changes are queued or the oldest has
+//!   waited [`WatchConfig::batch_window`], each as one delta segment
+//!   through [`EngineHandle`] (new file → add, changed file →
+//!   remove + add, deleted file → remove), in deterministic name
+//!   order within a batch;
+//! * a background **maintenance thread** folds accumulated delta
+//!   segments into a fresh base snapshot once the segment count or
+//!   the delta byte total crosses a threshold — queries keep running
+//!   on immutable snapshots throughout, and serving replicas follow
+//!   with [`EngineHandle::reload_latest`].
+//!
+//! The watcher is the store's **single writer**: exactly one watcher
+//! (or CLI mutator) per index directory. Replicas open the same
+//! directory read-only and poll `reload_latest`.
+//!
+//! [`Ingestor`] is the synchronous core (one `poll()` = one scan +
+//! due-batch flush) so tests can drive every interleaving without
+//! threads; [`Watcher`] wraps it in the two background threads and
+//! publishes [`WatchStats`] for `/stats` and `/metrics`.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant, SystemTime};
+
+use d3l_table::csv;
+use d3l_telemetry::{Counter, Gauge, Histogram, HistogramSnapshot, Registry};
+
+use crate::hotswap::{EngineHandle, MaintenanceError};
+
+/// Tuning knobs of the continuous-ingestion loop.
+#[derive(Debug, Clone)]
+pub struct WatchConfig {
+    /// Directory scan cadence; also the width of the stability
+    /// window (a change must survive one full interval unchanged).
+    pub poll_interval: Duration,
+    /// Debounce window: a queued change is applied no later than
+    /// this after it became stable (sooner if the batch fills).
+    pub batch_window: Duration,
+    /// Apply a batch as soon as this many changes are queued.
+    pub batch_max: usize,
+    /// Auto-compact once this many delta segments accumulate.
+    pub compact_segments: usize,
+    /// Auto-compact once the delta segments total this many bytes.
+    pub compact_bytes: u64,
+    /// Log each batch, skip and compaction to stderr (the CLI
+    /// foreground mode; servers keep it off and expose stats
+    /// instead).
+    pub verbose: bool,
+}
+
+impl Default for WatchConfig {
+    fn default() -> Self {
+        WatchConfig {
+            poll_interval: Duration::from_millis(200),
+            batch_window: Duration::from_millis(500),
+            batch_max: 16,
+            compact_segments: 64,
+            compact_bytes: 64 << 20,
+            verbose: false,
+        }
+    }
+}
+
+/// Watcher state shared with serving layers: lock-free counters,
+/// gauges and the ingestion-lag histogram, all registered in one
+/// [`Registry`] so `/metrics` renders them and `/stats` reads them.
+#[derive(Debug)]
+pub struct WatchStats {
+    registry: Registry,
+    files_tracked: Arc<Gauge>,
+    queued: Arc<Gauge>,
+    polls: Arc<Counter>,
+    batches: Arc<Counter>,
+    added: Arc<Counter>,
+    replaced: Arc<Counter>,
+    removed: Arc<Counter>,
+    skipped: Arc<Counter>,
+    errors: Arc<Counter>,
+    compactions: Arc<Counter>,
+    ingest_lag: Arc<Histogram>,
+}
+
+impl Default for WatchStats {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl WatchStats {
+    /// A fresh stats block with every series pre-registered.
+    pub fn new() -> Self {
+        let registry = Registry::new();
+        const APPLIED: &str = "d3l_watch_applied_total";
+        const APPLIED_HELP: &str = "Tables applied to the engine by the watcher, by operation.";
+        WatchStats {
+            files_tracked: registry.gauge(
+                "d3l_watch_files_tracked",
+                "CSV files currently tracked in the watched directory.",
+                &[],
+            ),
+            queued: registry.gauge(
+                "d3l_watch_queued_changes",
+                "Stable changes waiting in the current micro-batch.",
+                &[],
+            ),
+            polls: registry.counter(
+                "d3l_watch_polls_total",
+                "Directory scans performed by the watcher.",
+                &[],
+            ),
+            batches: registry.counter(
+                "d3l_watch_batches_total",
+                "Micro-batches applied to the engine.",
+                &[],
+            ),
+            added: registry.counter(APPLIED, APPLIED_HELP, &[("op", "add")]),
+            replaced: registry.counter(APPLIED, APPLIED_HELP, &[("op", "replace")]),
+            removed: registry.counter(APPLIED, APPLIED_HELP, &[("op", "remove")]),
+            skipped: registry.counter(
+                "d3l_watch_skipped_files_total",
+                "Files skipped because they failed to read or parse.",
+                &[],
+            ),
+            errors: registry.counter(
+                "d3l_watch_errors_total",
+                "Watcher loop errors (scan or store failures).",
+                &[],
+            ),
+            compactions: registry.counter(
+                "d3l_watch_compactions_total",
+                "Background compactions triggered by the maintenance thread.",
+                &[],
+            ),
+            ingest_lag: registry.histogram(
+                "d3l_watch_ingest_lag_seconds",
+                "Per-change ingestion lag: change first observed to applied in the engine.",
+                &[],
+            ),
+            registry,
+        }
+    }
+
+    /// The registry holding every watcher series, for `/metrics`.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// CSV files currently tracked.
+    pub fn files_tracked(&self) -> u64 {
+        self.files_tracked.get()
+    }
+
+    /// Stable changes waiting in the current micro-batch.
+    pub fn queued(&self) -> u64 {
+        self.queued.get()
+    }
+
+    /// Directory scans performed.
+    pub fn polls(&self) -> u64 {
+        self.polls.get()
+    }
+
+    /// Micro-batches applied.
+    pub fn batches(&self) -> u64 {
+        self.batches.get()
+    }
+
+    /// Tables added (new files).
+    pub fn added(&self) -> u64 {
+        self.added.get()
+    }
+
+    /// Tables replaced (changed files).
+    pub fn replaced(&self) -> u64 {
+        self.replaced.get()
+    }
+
+    /// Tables removed (deleted files).
+    pub fn removed(&self) -> u64 {
+        self.removed.get()
+    }
+
+    /// Files skipped for read/parse failures.
+    pub fn skipped(&self) -> u64 {
+        self.skipped.get()
+    }
+
+    /// Watcher loop errors.
+    pub fn errors(&self) -> u64 {
+        self.errors.get()
+    }
+
+    /// Background compactions performed.
+    pub fn compactions(&self) -> u64 {
+        self.compactions.get()
+    }
+
+    /// Snapshot of the ingestion-lag distribution.
+    pub fn ingest_lag(&self) -> HistogramSnapshot {
+        self.ingest_lag.snapshot()
+    }
+}
+
+/// `(len, mtime)` identity of a file's content as far as a poll-based
+/// scanner can see it. Equality across two polls is the stability
+/// criterion; any change restarts the window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Fingerprint {
+    len: u64,
+    mtime_ns: u128,
+}
+
+fn fingerprint(md: &std::fs::Metadata) -> Fingerprint {
+    let mtime_ns = md
+        .modified()
+        .ok()
+        .and_then(|t| t.duration_since(SystemTime::UNIX_EPOCH).ok())
+        .map(|d| d.as_nanos())
+        .unwrap_or(0);
+    Fingerprint {
+        len: md.len(),
+        mtime_ns,
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FileState {
+    /// Fingerprint observed, not yet confirmed stable: it must hold
+    /// across one full poll interval before the file may be batched.
+    /// A half-copied CSV keeps changing its fingerprint and therefore
+    /// keeps settling — it can never enter a delta segment.
+    Settling,
+    /// Stable; an upsert sits in the batch queue.
+    Queued,
+    /// Applied to the engine at this fingerprint (or intentionally
+    /// skipped after a parse failure — retried only when the file
+    /// changes again).
+    Ingested,
+}
+
+#[derive(Debug)]
+struct TrackedFile {
+    path: PathBuf,
+    fp: Fingerprint,
+    state: FileState,
+    /// When the current change episode was first observed (start of
+    /// the ingestion-lag clock).
+    detected: Instant,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum QueuedOp {
+    /// Add the table, or replace it when the engine already has one
+    /// under this name.
+    Upsert,
+    /// Tombstone the table of a deleted file.
+    Remove,
+}
+
+#[derive(Debug)]
+struct QueuedChange {
+    op: QueuedOp,
+    /// Lag clock start (first observation of the change).
+    detected: Instant,
+    /// Debounce clock start (when the change became stable and
+    /// entered the queue).
+    queued_at: Instant,
+}
+
+/// The synchronous ingestion core: one [`Ingestor::poll`] scans the
+/// directory, promotes stable changes into the batch queue, and
+/// flushes the batch if it is due. The [`Watcher`] calls this on a
+/// timer; tests call it directly to drive exact interleavings.
+pub struct Ingestor {
+    engine: Arc<EngineHandle>,
+    dir: PathBuf,
+    cfg: WatchConfig,
+    stats: Arc<WatchStats>,
+    files: BTreeMap<String, TrackedFile>,
+    queue: BTreeMap<String, QueuedChange>,
+}
+
+impl Ingestor {
+    /// Track `dir`, taking the current contents as the baseline:
+    /// files whose table name (the file stem) is already indexed are
+    /// assumed current — fingerprints exist only while the watcher
+    /// runs, so across a restart a byte-stable file is
+    /// indistinguishable from a changed one and re-ingesting
+    /// everything would rewrite the whole lake on every boot. Files
+    /// present but not indexed settle and ingest normally; everything
+    /// that changes from here on is picked up.
+    pub fn new(
+        engine: Arc<EngineHandle>,
+        dir: impl AsRef<Path>,
+        cfg: WatchConfig,
+        stats: Arc<WatchStats>,
+    ) -> std::io::Result<Ingestor> {
+        let dir = dir.as_ref().to_path_buf();
+        let indexed: BTreeSet<String> = engine
+            .snapshot()
+            .engine
+            .name_to_id()
+            .keys()
+            .map(|s| s.to_string())
+            .collect();
+        let mut files = BTreeMap::new();
+        for (name, path, fp) in Self::list_csvs(&dir)? {
+            let state = if indexed.contains(&name) {
+                FileState::Ingested
+            } else {
+                FileState::Settling
+            };
+            files.insert(
+                name,
+                TrackedFile {
+                    path,
+                    fp,
+                    state,
+                    detected: Instant::now(),
+                },
+            );
+        }
+        let ingestor = Ingestor {
+            engine,
+            dir,
+            cfg,
+            stats,
+            files,
+            queue: BTreeMap::new(),
+        };
+        ingestor
+            .stats
+            .files_tracked
+            .set(ingestor.files.len() as u64);
+        Ok(ingestor)
+    }
+
+    /// The stats block this ingestor records into.
+    pub fn stats(&self) -> &Arc<WatchStats> {
+        &self.stats
+    }
+
+    /// Every `*.csv` regular file in `dir` as
+    /// `(table name, path, fingerprint)`.
+    fn list_csvs(dir: &Path) -> std::io::Result<Vec<(String, PathBuf, Fingerprint)>> {
+        let mut out = Vec::new();
+        for entry in std::fs::read_dir(dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            if path.extension().is_none_or(|e| e != "csv") {
+                continue;
+            }
+            let Some(name) = path.file_stem().and_then(|s| s.to_str()) else {
+                continue;
+            };
+            let Ok(md) = entry.metadata() else {
+                // Raced with a delete between readdir and stat: the
+                // next poll sees the settled truth.
+                continue;
+            };
+            if !md.is_file() {
+                continue;
+            }
+            out.push((name.to_string(), path, fingerprint(&md)));
+        }
+        Ok(out)
+    }
+
+    /// One watcher tick: scan the directory, promote stable changes
+    /// into the batch queue, and apply the batch if it is due (full,
+    /// or its oldest change has waited a full batch window). Returns
+    /// the number of operations applied to the engine.
+    pub fn poll(&mut self) -> Result<usize, MaintenanceError> {
+        self.scan().map_err(d3l_store::StoreError::from)?;
+        if !self.batch_due() {
+            return Ok(0);
+        }
+        self.flush()
+    }
+
+    fn scan(&mut self) -> std::io::Result<()> {
+        self.stats.polls.inc();
+        let now = Instant::now();
+        let mut seen = BTreeSet::new();
+        for (name, path, fp) in Self::list_csvs(&self.dir)? {
+            seen.insert(name.clone());
+            match self.files.get_mut(&name) {
+                None => {
+                    // New file: start settling. The lag clock starts
+                    // now — it ends when the table is queryable.
+                    self.files.insert(
+                        name,
+                        TrackedFile {
+                            path,
+                            fp,
+                            state: FileState::Settling,
+                            detected: now,
+                        },
+                    );
+                }
+                Some(t) if t.fp != fp => {
+                    // Changed since the last poll. If it was mid-
+                    // settle this is the same change episode still in
+                    // flight (keep the lag clock); if it was queued
+                    // or ingested a new episode starts. Either way
+                    // the stability window restarts and any queued
+                    // upsert is withdrawn — a file observed changing
+                    // must never be batched.
+                    if t.state != FileState::Settling {
+                        t.detected = now;
+                    }
+                    t.fp = fp;
+                    t.path = path;
+                    t.state = FileState::Settling;
+                    self.queue.remove(&name);
+                }
+                Some(t) if t.state == FileState::Settling => {
+                    // Unchanged across a full poll interval: stable.
+                    t.state = FileState::Queued;
+                    self.queue.insert(
+                        name,
+                        QueuedChange {
+                            op: QueuedOp::Upsert,
+                            detected: t.detected,
+                            queued_at: now,
+                        },
+                    );
+                }
+                Some(_) => {}
+            }
+        }
+        let gone: Vec<String> = self
+            .files
+            .keys()
+            .filter(|k| !seen.contains(*k))
+            .cloned()
+            .collect();
+        for name in gone {
+            let t = self.files.remove(&name).expect("tracked");
+            match t.state {
+                // An ingested table whose file vanished gets a
+                // tombstone (debounced like any other change).
+                FileState::Ingested => {
+                    self.queue.insert(
+                        name,
+                        QueuedChange {
+                            op: QueuedOp::Remove,
+                            detected: now,
+                            queued_at: now,
+                        },
+                    );
+                }
+                // Appeared and vanished before ever being ingested:
+                // forget it (and withdraw any queued upsert).
+                FileState::Settling | FileState::Queued => {
+                    self.queue.remove(&name);
+                }
+            }
+        }
+        self.stats.files_tracked.set(self.files.len() as u64);
+        self.stats.queued.set(self.queue.len() as u64);
+        Ok(())
+    }
+
+    /// Whether the queued batch should be applied now.
+    fn batch_due(&self) -> bool {
+        if self.queue.is_empty() {
+            return false;
+        }
+        self.queue.len() >= self.cfg.batch_max.max(1)
+            || self
+                .queue
+                .values()
+                .map(|q| q.queued_at)
+                .min()
+                .is_some_and(|oldest| oldest.elapsed() >= self.cfg.batch_window)
+    }
+
+    /// Apply one micro-batch: up to [`WatchConfig::batch_max`] queued
+    /// changes, in name order (deterministic — an interrupted watcher
+    /// replayed from the surviving files reproduces the same engine).
+    /// Returns the number of operations applied. On a store-level
+    /// error the failing change is re-queued so nothing is lost
+    /// across a transient failure.
+    pub fn flush(&mut self) -> Result<usize, MaintenanceError> {
+        let take: Vec<String> = self
+            .queue
+            .keys()
+            .take(self.cfg.batch_max.max(1))
+            .cloned()
+            .collect();
+        let mut applied = 0usize;
+        for name in take {
+            let Some(change) = self.queue.remove(&name) else {
+                continue;
+            };
+            match self.apply(&name, &change) {
+                Ok(true) => applied += 1,
+                Ok(false) => {}
+                Err(e) => {
+                    self.queue.insert(name, change);
+                    self.stats.queued.set(self.queue.len() as u64);
+                    return Err(e);
+                }
+            }
+        }
+        if applied > 0 {
+            self.stats.batches.inc();
+            if self.cfg.verbose {
+                eprintln!(
+                    "[watch] applied batch of {applied} change{}",
+                    if applied == 1 { "" } else { "s" }
+                );
+            }
+        }
+        self.stats.queued.set(self.queue.len() as u64);
+        Ok(applied)
+    }
+
+    /// Drain the queue completely (shutdown path: settled changes
+    /// must not be stranded by a graceful stop).
+    pub fn drain(&mut self) -> Result<usize, MaintenanceError> {
+        let mut total = 0;
+        while !self.queue.is_empty() {
+            let applied = self.flush()?;
+            total += applied;
+            if applied == 0 {
+                break;
+            }
+        }
+        Ok(total)
+    }
+
+    /// Apply one change; `Ok(true)` when the engine was mutated.
+    fn apply(&mut self, name: &str, change: &QueuedChange) -> Result<bool, MaintenanceError> {
+        match change.op {
+            QueuedOp::Remove => match self.engine.remove_table(name) {
+                Ok(_) => {
+                    self.stats.removed.inc();
+                    self.stats.ingest_lag.record(change.detected.elapsed());
+                    Ok(true)
+                }
+                // Deleted before it was ever indexed (e.g. its only
+                // content never parsed): nothing to remove.
+                Err(MaintenanceError::UnknownTable(_)) => Ok(false),
+                Err(e) => Err(e),
+            },
+            QueuedOp::Upsert => {
+                let Some(tracked) = self.files.get_mut(name) else {
+                    // Deleted after queueing; the scan already
+                    // withdrew or replaced the entry.
+                    return Ok(false);
+                };
+                let text = match std::fs::read_to_string(&tracked.path) {
+                    Ok(text) => text,
+                    Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(false),
+                    Err(e) => {
+                        // Unreadable (permissions, I/O): skip until
+                        // the file changes again.
+                        tracked.state = FileState::Ingested;
+                        self.stats.skipped.inc();
+                        if self.cfg.verbose {
+                            eprintln!("[watch] skipping {name}: {e}");
+                        }
+                        return Ok(false);
+                    }
+                };
+                let table = match csv::parse_csv(name.to_string(), &text) {
+                    Ok(table) => table,
+                    Err(e) => {
+                        tracked.state = FileState::Ingested;
+                        self.stats.skipped.inc();
+                        if self.cfg.verbose {
+                            eprintln!("[watch] skipping {name}: {e}");
+                        }
+                        return Ok(false);
+                    }
+                };
+                let replace = self
+                    .engine
+                    .snapshot()
+                    .engine
+                    .name_to_id()
+                    .contains_key(name);
+                if replace {
+                    // Changed file: tombstone the old rows, then add
+                    // the new ones — two delta segments, exactly what
+                    // a CLI remove + add would write. If the add
+                    // below fails the re-queued upsert retries as a
+                    // plain add (the name is gone from the engine).
+                    self.engine.remove_table(name)?;
+                }
+                self.engine.add_table(&table)?;
+                tracked.state = FileState::Ingested;
+                if replace {
+                    self.stats.replaced.inc();
+                } else {
+                    self.stats.added.inc();
+                }
+                self.stats.ingest_lag.record(change.detected.elapsed());
+                Ok(true)
+            }
+        }
+    }
+}
+
+/// Fold the delta segments into a fresh base snapshot if either
+/// threshold in `cfg` is crossed. Returns whether a compaction ran.
+/// The maintenance thread calls this on a timer; exposed so tests
+/// and embedders can drive the same policy synchronously.
+pub fn compact_if_due(engine: &EngineHandle, cfg: &WatchConfig) -> Result<bool, MaintenanceError> {
+    let (_base, delta_bytes, segments) = engine.disk_stats()?;
+    if segments == 0 {
+        return Ok(false);
+    }
+    if segments >= cfg.compact_segments.max(1) || delta_bytes >= cfg.compact_bytes.max(1) {
+        engine.compact()?;
+        return Ok(true);
+    }
+    Ok(false)
+}
+
+/// The continuous-ingestion driver: an ingest thread polling an
+/// [`Ingestor`] and a maintenance thread compacting past the
+/// configured thresholds. Queries on the shared [`EngineHandle`]
+/// keep running on immutable snapshots throughout.
+pub struct Watcher {
+    stats: Arc<WatchStats>,
+    stop: Arc<AtomicBool>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl Watcher {
+    /// Start watching `dir`, applying changes to `engine`. Fails only
+    /// if the directory cannot be scanned at all; runtime errors are
+    /// counted in [`WatchStats::errors`] and logged, and the loop
+    /// keeps going.
+    pub fn start(
+        engine: Arc<EngineHandle>,
+        dir: impl AsRef<Path>,
+        cfg: WatchConfig,
+    ) -> std::io::Result<Watcher> {
+        let stats = Arc::new(WatchStats::new());
+        let mut ingestor = Ingestor::new(engine.clone(), dir, cfg.clone(), stats.clone())?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let mut threads = Vec::with_capacity(2);
+
+        let ingest_stop = stop.clone();
+        let ingest_stats = stats.clone();
+        let poll = cfg.poll_interval;
+        let verbose = cfg.verbose;
+        threads.push(
+            std::thread::Builder::new()
+                .name("d3l-watch-ingest".into())
+                .spawn(move || {
+                    while !ingest_stop.load(Ordering::Relaxed) {
+                        if let Err(e) = ingestor.poll() {
+                            ingest_stats.errors.inc();
+                            eprintln!("[watch] ingest error: {e}");
+                        }
+                        sleep_until_stopped(&ingest_stop, poll);
+                    }
+                    // Graceful stop: apply what already settled.
+                    if let Err(e) = ingestor.drain() {
+                        ingest_stats.errors.inc();
+                        eprintln!("[watch] drain error: {e}");
+                    }
+                })
+                .expect("spawn watcher ingest thread"),
+        );
+
+        let maint_stop = stop.clone();
+        let maint_stats = stats.clone();
+        let maint_cfg = cfg.clone();
+        threads.push(
+            std::thread::Builder::new()
+                .name("d3l-watch-compact".into())
+                .spawn(move || {
+                    let cadence = maint_cfg.poll_interval.max(Duration::from_millis(250));
+                    while !maint_stop.load(Ordering::Relaxed) {
+                        match compact_if_due(&engine, &maint_cfg) {
+                            Ok(true) => {
+                                maint_stats.compactions.inc();
+                                if verbose {
+                                    eprintln!("[watch] compacted delta segments");
+                                }
+                            }
+                            Ok(false) => {}
+                            Err(e) => {
+                                maint_stats.errors.inc();
+                                eprintln!("[watch] compaction error: {e}");
+                            }
+                        }
+                        sleep_until_stopped(&maint_stop, cadence);
+                    }
+                })
+                .expect("spawn watcher maintenance thread"),
+        );
+
+        Ok(Watcher {
+            stats,
+            stop,
+            threads,
+        })
+    }
+
+    /// The live stats block (attach to a server for `/stats` and
+    /// `/metrics`).
+    pub fn stats(&self) -> Arc<WatchStats> {
+        self.stats.clone()
+    }
+
+    /// Stop both threads and drain the settled queue. Blocks until
+    /// the in-flight poll (and final drain) finish.
+    pub fn shutdown(self) {
+        self.stop.store(true, Ordering::Relaxed);
+        for t in self.threads {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Sleep `total`, waking early (≤50 ms granularity) if `stop` flips —
+/// a shutdown must not wait out a long poll interval.
+fn sleep_until_stopped(stop: &AtomicBool, total: Duration) {
+    let deadline = Instant::now() + total;
+    while !stop.load(Ordering::Relaxed) {
+        let left = deadline.saturating_duration_since(Instant::now());
+        if left.is_zero() {
+            return;
+        }
+        std::thread::sleep(left.min(Duration::from_millis(50)));
+    }
+}

@@ -31,6 +31,7 @@ use d3l_core::cache::{options_fingerprint, table_fingerprint, CacheKey, DEFAULT_
 use d3l_core::hotswap::{EngineHandle, EngineSnapshot, MaintenanceError};
 use d3l_core::query::QueryOptions;
 use d3l_core::trace::QueryTrace;
+use d3l_core::watch::WatchStats;
 use d3l_core::Evidence;
 use d3l_table::Table;
 use d3l_telemetry::{Histogram, PromWriter, Registry, PROM_CONTENT_TYPE};
@@ -266,6 +267,10 @@ struct Shared {
     started: Instant,
     queue: ConnQueue,
     metrics: ServerMetrics,
+    /// Stats of a co-located continuous-ingestion watcher
+    /// (`serve --watch`): rendered into `/metrics` and `/stats` when
+    /// attached.
+    watch: std::sync::OnceLock<Arc<WatchStats>>,
     slow: Mutex<VecDeque<SlowQuery>>,
     slow_query_ms: u64,
     /// Request-id generation: a per-boot stamp plus a sequence, so
@@ -560,6 +565,7 @@ impl Server {
                 started: Instant::now(),
                 queue: ConnQueue::new(),
                 metrics: ServerMetrics::new(shards),
+                watch: std::sync::OnceLock::new(),
                 slow: Mutex::new(VecDeque::with_capacity(SLOW_RING_CAP)),
                 slow_query_ms: cfg.slow_query_ms,
                 boot_stamp,
@@ -579,6 +585,13 @@ impl Server {
     /// A handle that stops this server from anywhere.
     pub fn shutdown_handle(&self) -> ShutdownHandle {
         ShutdownHandle(self.shared.clone())
+    }
+
+    /// Surface a co-located watcher's stats (`serve --watch`): its
+    /// series join `/metrics` and a `watch` object joins `/stats`.
+    /// First attachment wins; later calls are ignored.
+    pub fn attach_watch(&self, stats: Arc<WatchStats>) {
+        let _ = self.shared.watch.set(stats);
     }
 
     /// Worker count this server will run with.
@@ -1157,7 +1170,7 @@ impl Server {
             .collect();
         let c = &self.shared.counters;
         let cache = self.engine.cache().stats();
-        let body = Json::Obj(vec![
+        let mut body = vec![
             ("engine_version".to_string(), Json::Num(snap.version as f64)),
             (
                 "tables".to_string(),
@@ -1245,8 +1258,45 @@ impl Server {
                     ),
                 ]),
             ),
-        ]);
-        Response::json(200, body.to_string())
+        ];
+        if let Some(ws) = self.shared.watch.get() {
+            let lag = ws.ingest_lag();
+            let ms = |ns: u64| ns as f64 / 1e6;
+            body.push((
+                "watch".to_string(),
+                Json::Obj(vec![
+                    (
+                        "files_tracked".to_string(),
+                        Json::Num(ws.files_tracked() as f64),
+                    ),
+                    ("queued_changes".to_string(), Json::Num(ws.queued() as f64)),
+                    ("polls".to_string(), Json::Num(ws.polls() as f64)),
+                    ("batches".to_string(), Json::Num(ws.batches() as f64)),
+                    ("tables_added".to_string(), Json::Num(ws.added() as f64)),
+                    (
+                        "tables_replaced".to_string(),
+                        Json::Num(ws.replaced() as f64),
+                    ),
+                    ("tables_removed".to_string(), Json::Num(ws.removed() as f64)),
+                    ("files_skipped".to_string(), Json::Num(ws.skipped() as f64)),
+                    ("errors".to_string(), Json::Num(ws.errors() as f64)),
+                    (
+                        "compactions".to_string(),
+                        Json::Num(ws.compactions() as f64),
+                    ),
+                    (
+                        "ingest_lag_ms".to_string(),
+                        Json::Obj(vec![
+                            ("count".to_string(), Json::Num(lag.count() as f64)),
+                            ("p50".to_string(), Json::Num(ms(lag.quantile_ns(0.50)))),
+                            ("p99".to_string(), Json::Num(ms(lag.quantile_ns(0.99)))),
+                            ("max".to_string(), Json::Num(ms(lag.max_ns()))),
+                        ]),
+                    ),
+                ]),
+            ));
+        }
+        Response::json(200, Json::Obj(body).to_string())
     }
 
     /// `GET /metrics` — Prometheus text exposition 0.0.4, hand-rolled.
@@ -1262,6 +1312,9 @@ impl Server {
         let mut w = PromWriter::new();
         self.shared.metrics.registry.render(&mut w);
         self.engine.telemetry().registry().render(&mut w);
+        if let Some(ws) = self.shared.watch.get() {
+            ws.registry().render(&mut w);
+        }
         w.counter(
             "d3l_http_requests_total",
             "Accepted HTTP requests (sheds excluded).",

@@ -100,10 +100,60 @@ pub fn delta_seq_of(path: &Path) -> Option<u64> {
         .ok()
 }
 
-/// Whether a directory entry is an orphaned atomic-write tmp file
-/// (left by a writer that crashed between create and rename).
+/// Whether a directory entry is an atomic-write tmp file
+/// (`<store file>.tmp.<pid>`). A match alone does **not** mean the
+/// file is orphaned: another process may be mid-atomic-write right
+/// now, between creating the tmp and renaming it over the target.
+/// Deciding whether a tmp file is safe to delete needs the writer's
+/// liveness ([`tmp_pid_of`] + [`pid_is_dead`]) or the file's age —
+/// sweeping on the name alone would clobber a live writer's in-flight
+/// bytes and fail its rename.
 pub fn is_store_tmp(name: &str) -> bool {
     name.contains(".tmp.") && (name.starts_with(DELTA_PREFIX) || name.starts_with(BASE_FILE))
+}
+
+/// The writer pid embedded in an atomic-write tmp filename
+/// (`<store file>.tmp.<pid>`). `None` for names that are not store
+/// tmp files or whose suffix does not parse as a pid.
+pub fn tmp_pid_of(name: &str) -> Option<u32> {
+    if !is_store_tmp(name) {
+        return None;
+    }
+    name.rsplit_once(".tmp.")?.1.parse().ok()
+}
+
+/// Whether the process `pid` is *provably* dead. `false` means alive
+/// **or unknown** — callers must treat unknown as alive, because the
+/// only harm in keeping a truly-orphaned tmp file is a few stray
+/// bytes, while deleting a live writer's tmp file destroys its
+/// in-flight atomic write.
+#[cfg(unix)]
+pub fn pid_is_dead(pid: u32) -> bool {
+    // `kill(pid, 0)` probes existence without delivering a signal:
+    // ESRCH proves there is no such process; success or EPERM mean it
+    // exists (EPERM: alive but owned by someone else). `std` already
+    // links libc on unix, so the declaration costs no dependency.
+    extern "C" {
+        fn kill(pid: i32, sig: i32) -> i32;
+    }
+    let Ok(pid) = i32::try_from(pid) else {
+        return false;
+    };
+    if pid <= 0 {
+        // 0 / negative address process groups, not a single process —
+        // never probe them.
+        return false;
+    }
+    const ESRCH: i32 = 3;
+    let probed = unsafe { kill(pid, 0) };
+    probed == -1 && std::io::Error::last_os_error().raw_os_error() == Some(ESRCH)
+}
+
+/// On platforms without a pid probe nothing is provably dead; sweeps
+/// fall back to the mtime-staleness rule alone.
+#[cfg(not(unix))]
+pub fn pid_is_dead(_pid: u32) -> bool {
+    false
 }
 
 /// Read-only inventory of a store directory: the base snapshot (if
@@ -185,6 +235,38 @@ mod tests {
         assert!(!is_store_tmp("base.d3ls"));
         assert!(!is_store_tmp("delta-000003.d3ld"));
         assert!(!is_store_tmp("unrelated.tmp.991"));
+    }
+
+    #[test]
+    fn tmp_pid_parses_the_writer_pid() {
+        assert_eq!(tmp_pid_of("base.d3ls.tmp.991"), Some(991));
+        assert_eq!(tmp_pid_of("delta-000003.d3ld.tmp.12345"), Some(12345));
+        // The rightmost suffix wins for pathological double markers.
+        assert_eq!(tmp_pid_of("base.d3ls.tmp.1.tmp.2"), Some(2));
+        assert_eq!(tmp_pid_of("base.d3ls.tmp.notapid"), None);
+        assert_eq!(tmp_pid_of("unrelated.tmp.991"), None);
+        assert_eq!(tmp_pid_of("base.d3ls"), None);
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn pid_probe_distinguishes_live_from_dead() {
+        assert!(
+            !pid_is_dead(std::process::id()),
+            "our own pid is alive by definition"
+        );
+        // A reaped child's pid provably names no process any more.
+        let mut child = std::process::Command::new("true")
+            .spawn()
+            .expect("spawn true");
+        let dead = child.id();
+        child.wait().expect("reap child");
+        assert!(pid_is_dead(dead), "reaped pid {dead} should probe dead");
+        // Pid 1 (init) exists but is not ours: alive, not dead.
+        assert!(!pid_is_dead(1));
+        // Unprobeable values are never "provably dead".
+        assert!(!pid_is_dead(0));
+        assert!(!pid_is_dead(u32::MAX));
     }
 
     #[test]

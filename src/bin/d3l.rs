@@ -3,7 +3,8 @@
 //! ```text
 //! d3l index   <lake-dir> --out <index-dir> [--shards N]
 //! d3l query   <lake-dir>|--index <index-dir> <target.csv> [-k N] [--joins] [--evidence N|V|F|E|D] [--threads N]
-//! d3l serve   --index <index-dir> [--shards N] [--port P] [--host H] [--threads N] [--cache-bytes N[k|m|g]] [--max-queue N] [--slow-query-ms N]
+//! d3l serve   --index <index-dir> [--shards N] [--port P] [--host H] [--threads N] [--cache-bytes N[k|m|g]] [--max-queue N] [--slow-query-ms N] [--watch <lake-dir>] [--reload-ms N]
+//! d3l watch   <lake-dir> --index <index-dir> [--poll-ms N] [--batch-ms N] [--batch-max N] [--compact-segments N] [--compact-bytes N[k|m|g]]
 //! d3l stats   <lake-dir>|--index <index-dir>
 //! d3l add     <index-dir> <table.csv>
 //! d3l remove  <index-dir> <table-name>
@@ -22,7 +23,12 @@
 //! segments back into the base snapshot. `serve` turns the persisted
 //! index into a long-lived concurrent HTTP service (see the README's
 //! "Serving" section for the endpoints); SIGINT drains in-flight
-//! requests before exiting.
+//! requests before exiting. `watch` keeps an index continuously in
+//! sync with a lake directory (micro-batched deltas + background
+//! compaction; see the README's "Continuous ingestion" section);
+//! `serve --watch` runs the watcher inside the server process, and
+//! `serve --reload-ms` makes a read replica follow another process's
+//! writes.
 
 use std::collections::HashSet;
 use std::process::ExitCode;
@@ -32,7 +38,7 @@ use d3l::benchgen;
 use d3l::prelude::*;
 use d3l::table::csv;
 
-const USAGE: &str = "usage:\n  d3l index <lake-dir> --out <index-dir> [--shards N]\n  d3l query <lake-dir>|--index <index-dir> <target.csv> [-k N] [--joins] [--evidence N|V|F|E|D] [--threads N]\n  d3l serve --index <index-dir> [--shards N] [--port P] [--host H] [--threads N] [--cache-bytes N[k|m|g]] [--max-queue N] [--slow-query-ms N]\n  d3l stats <lake-dir>|--index <index-dir>\n  d3l add <index-dir> <table.csv>\n  d3l remove <index-dir> <table-name>\n  d3l compact <index-dir>\n  d3l demo";
+const USAGE: &str = "usage:\n  d3l index <lake-dir> --out <index-dir> [--shards N]\n  d3l query <lake-dir>|--index <index-dir> <target.csv> [-k N] [--joins] [--evidence N|V|F|E|D] [--threads N]\n  d3l serve --index <index-dir> [--shards N] [--port P] [--host H] [--threads N] [--cache-bytes N[k|m|g]] [--max-queue N] [--slow-query-ms N] [--watch <lake-dir> [watch flags]] [--reload-ms N]\n  d3l watch <lake-dir> --index <index-dir> [--poll-ms N] [--batch-ms N] [--batch-max N] [--compact-segments N] [--compact-bytes N[k|m|g]]\n  d3l stats <lake-dir>|--index <index-dir>\n  d3l add <index-dir> <table.csv>\n  d3l remove <index-dir> <table-name>\n  d3l compact <index-dir>\n  d3l demo";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -40,6 +46,7 @@ fn main() -> ExitCode {
         Some("index") => cmd_index(&args[1..]),
         Some("query") => cmd_query(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
+        Some("watch") => cmd_watch(&args[1..]),
         Some("stats") => cmd_stats(&args[1..]),
         Some("add") => cmd_add(&args[1..]),
         Some("remove") => cmd_remove(&args[1..]),
@@ -346,6 +353,128 @@ fn parse_byte_size(s: &str) -> Result<u64, Box<dyn std::error::Error>> {
         .ok_or_else(|| format!("byte size {s:?} overflows u64").into())
 }
 
+/// Parse one continuous-ingestion flag into `cfg`. Returns `false`
+/// when the flag is not a watch knob (the caller handles it), so
+/// `d3l watch` and `d3l serve --watch` accept the same set.
+fn parse_watch_flag(
+    flag: &str,
+    it: &mut std::slice::Iter<'_, String>,
+    cfg: &mut WatchConfig,
+) -> Result<bool, Box<dyn std::error::Error>> {
+    use std::time::Duration;
+    match flag {
+        "--poll-ms" => {
+            cfg.poll_interval =
+                Duration::from_millis(it.next().ok_or("missing value for --poll-ms")?.parse()?);
+        }
+        "--batch-ms" => {
+            cfg.batch_window =
+                Duration::from_millis(it.next().ok_or("missing value for --batch-ms")?.parse()?);
+        }
+        "--batch-max" => {
+            cfg.batch_max = it.next().ok_or("missing value for --batch-max")?.parse()?;
+            if cfg.batch_max == 0 {
+                return Err("--batch-max must be at least 1".into());
+            }
+        }
+        "--compact-segments" => {
+            cfg.compact_segments = it
+                .next()
+                .ok_or("missing value for --compact-segments")?
+                .parse()?;
+            if cfg.compact_segments == 0 {
+                return Err("--compact-segments must be at least 1".into());
+            }
+        }
+        "--compact-bytes" => {
+            cfg.compact_bytes =
+                parse_byte_size(it.next().ok_or("missing value for --compact-bytes")?)?;
+            if cfg.compact_bytes == 0 {
+                return Err("--compact-bytes must be at least 1".into());
+            }
+        }
+        _ => return Ok(false),
+    }
+    Ok(true)
+}
+
+fn cmd_watch(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let mut lake_dir = None;
+    let mut index_dir = None;
+    let mut cfg = WatchConfig {
+        verbose: true,
+        ..Default::default()
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--index" => {
+                index_dir = Some(it.next().ok_or("missing value for --index")?.to_string());
+            }
+            other => {
+                if parse_watch_flag(other, &mut it, &mut cfg)? {
+                    continue;
+                }
+                if lake_dir.is_none() && !other.starts_with('-') {
+                    lake_dir = Some(other.to_string());
+                } else {
+                    return Err(format!("unexpected argument {other}").into());
+                }
+            }
+        }
+    }
+    let lake_dir = lake_dir.ok_or("missing lake directory to watch")?;
+    let index_dir = index_dir.ok_or("missing --index <index-dir>")?;
+
+    let start = Instant::now();
+    let engine = std::sync::Arc::new(EngineHandle::open(&index_dir)?);
+    let snap = engine.snapshot();
+    eprintln!(
+        "cold start: loaded {} tables from {index_dir} in {:.1} ms",
+        snap.engine.live_table_count(),
+        start.elapsed().as_secs_f64() * 1e3
+    );
+    let watcher = Watcher::start(engine, &lake_dir, cfg.clone())?;
+    let stats = watcher.stats();
+    println!(
+        "watching {lake_dir} -> {index_dir} (poll {} ms, batch {} ms / {} changes, compact at {} segments or {} delta bytes); Ctrl-C stops",
+        cfg.poll_interval.as_millis(),
+        cfg.batch_window.as_millis(),
+        cfg.batch_max,
+        cfg.compact_segments,
+        cfg.compact_bytes,
+    );
+
+    #[cfg(unix)]
+    {
+        sig::install();
+        while !sig::requested() {
+            std::thread::sleep(std::time::Duration::from_millis(50));
+        }
+        eprintln!("shutdown requested; draining settled changes ...");
+    }
+    #[cfg(not(unix))]
+    loop {
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+
+    watcher.shutdown();
+    let lag = stats.ingest_lag();
+    println!(
+        "watched {} files; {} batches ({} adds, {} replaces, {} removes, {} skipped), {} compactions; ingest lag p50 {:.1} ms p99 {:.1} ms; bye",
+        stats.files_tracked(),
+        stats.batches(),
+        stats.added(),
+        stats.replaced(),
+        stats.removed(),
+        stats.skipped(),
+        stats.compactions(),
+        lag.quantile_ns(0.50) as f64 / 1e6,
+        lag.quantile_ns(0.99) as f64 / 1e6,
+    );
+    Ok(())
+}
+
 fn cmd_serve(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let mut index_dir = None;
     let mut port: u16 = 4333;
@@ -355,11 +484,24 @@ fn cmd_serve(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let mut max_queue: usize = d3l::server::ServerConfig::default().max_queue;
     let mut slow_query_ms: u64 = d3l::server::ServerConfig::default().slow_query_ms;
     let mut shards: Option<usize> = None;
+    let mut watch_dir: Option<String> = None;
+    let mut watch_cfg = WatchConfig::default();
+    let mut reload_ms: Option<u64> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--index" => {
                 index_dir = Some(it.next().ok_or("missing value for --index")?.to_string());
+            }
+            "--watch" => {
+                watch_dir = Some(it.next().ok_or("missing value for --watch")?.to_string());
+            }
+            "--reload-ms" => {
+                let ms: u64 = it.next().ok_or("missing value for --reload-ms")?.parse()?;
+                if ms == 0 {
+                    return Err("--reload-ms must be at least 1".into());
+                }
+                reload_ms = Some(ms);
             }
             "--shards" => {
                 let n: usize = it.next().ok_or("missing value for --shards")?.parse()?;
@@ -383,10 +525,19 @@ fn cmd_serve(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
                     .ok_or("missing value for --slow-query-ms")?
                     .parse()?;
             }
-            other => return Err(format!("unexpected argument {other}").into()),
+            other => {
+                if !parse_watch_flag(other, &mut it, &mut watch_cfg)? {
+                    return Err(format!("unexpected argument {other}").into());
+                }
+            }
         }
     }
     let index_dir = index_dir.ok_or("missing --index <index-dir>")?;
+    if watch_dir.is_some() && reload_ms.is_some() {
+        // One process per index directory writes; --watch makes this
+        // server the writer, --reload-ms makes it a follower.
+        return Err("--watch and --reload-ms are mutually exclusive (the watcher is the single writer; replicas follow with --reload-ms)".into());
+    }
 
     let start = Instant::now();
     let engine = std::sync::Arc::new(d3l::core::EngineHandle::open(&index_dir)?);
@@ -423,7 +574,7 @@ fn cmd_serve(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         slow_query_ms,
         ..Default::default()
     };
-    let server = d3l::server::Server::bind((host.as_str(), port), engine, cfg)?;
+    let server = d3l::server::Server::bind((host.as_str(), port), engine.clone(), cfg)?;
     let addr = server.local_addr()?;
     let workers = server.effective_threads();
     // The CLI tests parse this line to learn the ephemeral port, so
@@ -433,6 +584,49 @@ fn cmd_serve(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         println!("result cache: disabled");
     } else {
         println!("result cache: {cache_bytes} bytes; pending-connection queue: {max_queue}");
+    }
+
+    // Single-process continuous ingestion: the watcher writes deltas
+    // into the same handle the workers serve from; queries keep
+    // running on immutable snapshots while batches land.
+    let mut watcher = None;
+    if let Some(dir) = &watch_dir {
+        let w = Watcher::start(engine.clone(), dir, watch_cfg.clone())?;
+        server.attach_watch(w.stats());
+        println!(
+            "watching {dir} (poll {} ms, batch {} ms / {} changes, compact at {} segments or {} delta bytes)",
+            watch_cfg.poll_interval.as_millis(),
+            watch_cfg.batch_window.as_millis(),
+            watch_cfg.batch_max,
+            watch_cfg.compact_segments,
+            watch_cfg.compact_bytes,
+        );
+        watcher = Some(w);
+    }
+
+    // Replica mode: another process (a watcher or the CLI mutators)
+    // writes this index directory; this server polls the store and
+    // hot-swaps in whatever new segments it finds.
+    let reload_stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let mut reload_thread = None;
+    if let Some(ms) = reload_ms {
+        println!("replica mode: following the index store every {ms} ms");
+        let stop = reload_stop.clone();
+        let eng = engine.clone();
+        reload_thread = Some(std::thread::spawn(move || {
+            use std::sync::atomic::Ordering;
+            let slice = std::time::Duration::from_millis(50);
+            let period = std::time::Duration::from_millis(ms);
+            while !stop.load(Ordering::Relaxed) {
+                if let Err(e) = eng.reload_latest() {
+                    eprintln!("reload error: {e}");
+                }
+                let deadline = Instant::now() + period;
+                while !stop.load(Ordering::Relaxed) && Instant::now() < deadline {
+                    std::thread::sleep(slice.min(deadline - Instant::now()));
+                }
+            }
+        }));
     }
 
     #[cfg(unix)]
@@ -450,6 +644,14 @@ fn cmd_serve(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
 
     let slow_handle = server.shutdown_handle();
     server.run()?;
+    reload_stop.store(true, std::sync::atomic::Ordering::SeqCst);
+    if let Some(t) = reload_thread {
+        let _ = t.join();
+    }
+    if let Some(w) = watcher {
+        eprintln!("stopping watcher; draining settled changes ...");
+        w.shutdown();
+    }
     // Post-drain dump: whatever the slow-query ring held when the
     // server stopped, so a SIGTERM'd deployment leaves a trail even if
     // nobody scraped /debug/slow_queries in time.
@@ -715,6 +917,106 @@ mod tests {
         assert!(
             cmd_serve(&args(&["--index", "/definitely/not/a/store"])).is_err(),
             "missing store must fail before binding"
+        );
+    }
+
+    #[test]
+    fn watch_rejects_bad_arguments() {
+        let args = |list: &[&str]| list.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        assert!(cmd_watch(&args(&[])).is_err(), "watch needs a lake dir");
+        assert!(
+            cmd_watch(&args(&["lake-dir"])).is_err(),
+            "watch needs --index"
+        );
+        assert!(
+            cmd_watch(&args(&["lake-dir", "--index"])).is_err(),
+            "--index needs a value"
+        );
+        assert!(
+            cmd_watch(&args(&["a", "--index", "idx", "b"])).is_err(),
+            "extra positional must fail"
+        );
+        assert!(
+            cmd_watch(&args(&["a", "--index", "idx", "--poll-ms"])).is_err(),
+            "--poll-ms needs a value"
+        );
+        assert!(
+            cmd_watch(&args(&["a", "--index", "idx", "--poll-ms", "soon"])).is_err(),
+            "--poll-ms must parse"
+        );
+        assert!(
+            cmd_watch(&args(&["a", "--index", "idx", "--batch-ms", "x"])).is_err(),
+            "--batch-ms must parse"
+        );
+        assert!(
+            cmd_watch(&args(&["a", "--index", "idx", "--batch-max", "0"])).is_err(),
+            "--batch-max 0 must fail"
+        );
+        assert!(
+            cmd_watch(&args(&["a", "--index", "idx", "--compact-segments", "0"])).is_err(),
+            "--compact-segments 0 must fail"
+        );
+        assert!(
+            cmd_watch(&args(&["a", "--index", "idx", "--compact-bytes", "64q"])).is_err(),
+            "unknown byte suffix must fail"
+        );
+        assert!(
+            cmd_watch(&args(&["a", "--index", "idx", "--compact-bytes", "0"])).is_err(),
+            "--compact-bytes 0 must fail"
+        );
+        assert!(
+            cmd_watch(&args(&[
+                "/nonexistent/lake",
+                "--index",
+                "/nonexistent/index"
+            ]))
+            .is_err(),
+            "missing store must fail before watching"
+        );
+    }
+
+    #[test]
+    fn serve_watch_flags_are_validated() {
+        let args = |list: &[&str]| list.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        assert!(
+            cmd_serve(&args(&["--index", "idx", "--watch"])).is_err(),
+            "--watch needs a value"
+        );
+        assert!(
+            cmd_serve(&args(&["--index", "idx", "--reload-ms"])).is_err(),
+            "--reload-ms needs a value"
+        );
+        assert!(
+            cmd_serve(&args(&["--index", "idx", "--reload-ms", "soon"])).is_err(),
+            "--reload-ms must parse"
+        );
+        assert!(
+            cmd_serve(&args(&["--index", "idx", "--reload-ms", "0"])).is_err(),
+            "--reload-ms 0 must fail"
+        );
+        assert!(
+            cmd_serve(&args(&[
+                "--index",
+                "idx",
+                "--watch",
+                "lake",
+                "--reload-ms",
+                "100"
+            ]))
+            .is_err(),
+            "--watch and --reload-ms are mutually exclusive"
+        );
+        assert!(
+            cmd_serve(&args(&[
+                "--index",
+                "idx",
+                "--watch",
+                "lake",
+                "--batch-max",
+                "0"
+            ]))
+            .is_err(),
+            "serve --batch-max 0 must fail"
         );
     }
 

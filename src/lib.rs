@@ -74,7 +74,8 @@ pub use d3l_table as table;
 pub mod prelude {
     pub use d3l_core::{
         AttrRef, D3l, D3lConfig, DistanceVector, EngineHandle, Evidence, EvidenceWeights,
-        IndexStore, JoinPath, SaJoinGraph, ShardedD3l, TableMatch,
+        IndexStore, Ingestor, JoinPath, SaJoinGraph, ShardedD3l, TableMatch, WatchConfig,
+        WatchStats, Watcher,
     };
     pub use d3l_embedding::{Lexicon, SemanticEmbedder, WordEmbedder};
     pub use d3l_table::{Column, ColumnType, DataLake, Table, TableId};

@@ -1,6 +1,7 @@
 //! Failure injection: malformed inputs, degenerate lakes, and edge
 //! shapes must degrade gracefully, never panic.
 
+use d3l::core::watch::{Ingestor, WatchConfig, WatchStats};
 use d3l::core::IndexStore;
 use d3l::prelude::*;
 use d3l::store::StoreError;
@@ -317,4 +318,154 @@ fn zero_length_delta_segment_is_a_named_corrupt_segment() {
     assert!(recovered.name_to_id().contains_key("late"));
     assert!(!recovered.name_to_id().contains_key("later"));
     std::fs::remove_dir_all(&dir).ok();
+}
+
+// ---- tmp-file sweeping vs. concurrent external writers --------------
+
+#[test]
+fn opening_a_store_preserves_a_live_writers_in_flight_tmp() {
+    // Another *live* process is mid-atomic-write: its `*.tmp.<pid>`
+    // is about to be renamed into place. Opening the store must not
+    // clobber it — the pre-fix sweep deleted every tmp match on open,
+    // destroying the concurrent writer's segment. Our own (certainly
+    // live) pid stands in for the other writer.
+    let dir = std::env::temp_dir().join(format!("d3l_fi_livetmp_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let d3l = snapshot_engine();
+    IndexStore::create(&dir, &d3l).unwrap();
+    let inflight = dir.join(format!("delta-000001.d3ld.tmp.{}", std::process::id()));
+    std::fs::write(&inflight, b"half-written segment bytes").unwrap();
+
+    let _ = IndexStore::open(&dir).unwrap();
+    assert!(
+        inflight.exists(),
+        "a fresh tmp file of a live pid must survive open"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn opening_a_store_sweeps_tmp_files_of_dead_writers() {
+    // A reaped child pid provably no longer runs: its orphaned tmp is
+    // genuine crash debris and must be swept even though it is fresh.
+    let mut child = std::process::Command::new("true")
+        .spawn()
+        .expect("spawn true");
+    let dead_pid = child.id();
+    child.wait().expect("reap child");
+
+    let dir = std::env::temp_dir().join(format!("d3l_fi_deadtmp_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let d3l = snapshot_engine();
+    IndexStore::create(&dir, &d3l).unwrap();
+    let orphan = dir.join(format!("delta-000001.d3ld.tmp.{dead_pid}"));
+    std::fs::write(&orphan, b"crash debris").unwrap();
+
+    let _ = IndexStore::open(&dir).unwrap();
+    assert!(
+        !orphan.exists(),
+        "a dead writer's tmp file must be swept on open"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn opening_a_store_sweeps_stale_tmp_files_even_of_live_pids() {
+    // Pid liveness is not provable in general (pids recycle), so age
+    // is the backstop: a tmp untouched for longer than the staleness
+    // horizon is debris regardless of whether its pid currently maps
+    // to some process. Backdate a tmp carrying our own live pid past
+    // the horizon and it must still be swept.
+    let dir = std::env::temp_dir().join(format!("d3l_fi_staletmp_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let d3l = snapshot_engine();
+    IndexStore::create(&dir, &d3l).unwrap();
+    let stale = dir.join(format!("delta-000001.d3ld.tmp.{}", std::process::id()));
+    std::fs::write(&stale, b"ancient debris").unwrap();
+    let long_ago = std::time::SystemTime::now() - (IndexStore::STALE_TMP_AGE * 2);
+    let file = std::fs::OpenOptions::new()
+        .write(true)
+        .open(&stale)
+        .unwrap();
+    file.set_times(std::fs::FileTimes::new().set_modified(long_ago))
+        .unwrap();
+    drop(file);
+
+    let _ = IndexStore::open(&dir).unwrap();
+    assert!(
+        !stale.exists(),
+        "a stale tmp file must be swept even while its pid is live"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+// ---- crash during continuous ingestion ------------------------------
+
+#[test]
+fn watcher_killed_before_compaction_matches_a_from_scratch_rebuild() {
+    // Kill the watcher after its segment appends but before the
+    // compaction threshold: reopening the surviving store must yield
+    // an engine byte-identical to rebuilding from scratch over the
+    // surviving files in the same (name) order.
+    let root = std::env::temp_dir().join(format!("d3l_fi_watchcrash_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let lake_dir = root.join("lake");
+    std::fs::create_dir_all(&lake_dir).unwrap();
+    let names = ["appts", "gp_funding", "prescriptions"];
+    for (i, name) in names.iter().enumerate() {
+        std::fs::write(
+            lake_dir.join(format!("{name}.csv")),
+            format!(
+                "Practice,Payment\nBlackfriars,{}\nRadclife,{}\n",
+                100 + i,
+                200 + i
+            ),
+        )
+        .unwrap();
+    }
+
+    let watch_index = root.join("watch_index");
+    let empty = D3l::index_lake(&DataLake::new(), D3lConfig::fast());
+    let store = IndexStore::create(&watch_index, &empty).unwrap();
+    let engine = std::sync::Arc::new(EngineHandle::new(store, empty));
+    let cfg = WatchConfig {
+        batch_window: std::time::Duration::ZERO,
+        batch_max: 1, // one segment per table, like a paced trickle
+        ..Default::default()
+    };
+    let mut ingestor = Ingestor::new(
+        engine.clone(),
+        &lake_dir,
+        cfg,
+        std::sync::Arc::new(WatchStats::new()),
+    )
+    .unwrap();
+    while engine.snapshot().engine.live_table_count() < names.len() {
+        ingestor.poll().unwrap();
+    }
+    let (_, _, segments) = engine.disk_stats().unwrap();
+    assert_eq!(segments, names.len(), "one delta segment per micro-batch");
+    // The "kill": drop watcher and engine with the segments unfolded.
+    drop(ingestor);
+    drop(engine);
+
+    let (_, survived) = IndexStore::open(&watch_index).unwrap();
+
+    // From-scratch rebuild over the surviving files, applied in the
+    // same deterministic name order the watcher used.
+    let rebuild_index = root.join("rebuild_index");
+    let mut rebuilt = D3l::index_lake(&DataLake::new(), D3lConfig::fast());
+    let mut rebuild_store = IndexStore::create(&rebuild_index, &rebuilt).unwrap();
+    for name in names {
+        let text = std::fs::read_to_string(lake_dir.join(format!("{name}.csv"))).unwrap();
+        let table = csv::parse_csv(name, &text).unwrap();
+        rebuild_store.append_add(&mut rebuilt, &table).unwrap();
+    }
+
+    assert_eq!(
+        survived.to_snapshot_bytes(),
+        rebuilt.to_snapshot_bytes(),
+        "reopened crash survivor must equal the from-scratch rebuild byte-for-byte"
+    );
+    std::fs::remove_dir_all(&root).ok();
 }

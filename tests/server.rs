@@ -1359,3 +1359,114 @@ fn slow_query_ring_captures_traced_queries() {
         "the shutdown handle exposes the capture count"
     );
 }
+
+// --------------------------------------------------- continuous ingestion
+
+/// `serve --watch` surface: the watcher's state must appear as a
+/// `watch` object in `/stats` and as `d3l_watch_*` series in
+/// `/metrics`, and a CSV dropped into the lake must become queryable
+/// while the server keeps answering.
+#[test]
+fn stats_and_metrics_expose_watcher_state() {
+    use d3l::core::watch::{WatchConfig, Watcher};
+
+    let root = std::env::temp_dir().join(format!("d3l_srv_watch_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let lake_dir = root.join("lake");
+    let index_dir = root.join("index");
+    std::fs::create_dir_all(&lake_dir).unwrap();
+    let d3l = D3l::index_lake(&lake(2), D3lConfig::fast());
+    let store = IndexStore::create(&index_dir, &d3l).unwrap();
+    let engine = Arc::new(EngineHandle::new(store, d3l));
+
+    let server = Server::bind(
+        ("127.0.0.1", 0),
+        engine.clone(),
+        ServerConfig {
+            threads: 2,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let addr = server.local_addr().unwrap();
+    let watcher = Watcher::start(
+        engine.clone(),
+        &lake_dir,
+        WatchConfig {
+            poll_interval: Duration::from_millis(10),
+            batch_window: Duration::from_millis(20),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    server.attach_watch(watcher.stats());
+    let handle = server.shutdown_handle();
+    let join = std::thread::spawn(move || server.run());
+
+    // Schema: the watch object and its fields are present from the
+    // first scrape, before anything was ingested.
+    let (status, body) = request_once(addr, "GET", "/stats", None).unwrap();
+    assert_eq!(status, 200);
+    for key in [
+        "\"watch\":",
+        "\"files_tracked\":",
+        "\"queued_changes\":",
+        "\"polls\":",
+        "\"batches\":",
+        "\"tables_added\":",
+        "\"tables_replaced\":",
+        "\"tables_removed\":",
+        "\"files_skipped\":",
+        "\"errors\":",
+        "\"compactions\":",
+        "\"ingest_lag_ms\":",
+    ] {
+        assert!(body.contains(key), "/stats missing {key}: {body}");
+    }
+    let (status, metrics) = request_once(addr, "GET", "/metrics", None).unwrap();
+    assert_eq!(status, 200);
+    for series in [
+        "d3l_watch_polls_total",
+        "d3l_watch_files_tracked",
+        "d3l_watch_batches_total",
+        "d3l_watch_applied_total{op=\"add\"}",
+        "d3l_watch_ingest_lag_seconds_bucket",
+    ] {
+        assert!(metrics.contains(series), "/metrics missing {series}");
+    }
+
+    // Drop a table into the lake and watch it become queryable over
+    // HTTP, with the counters following.
+    std::fs::write(
+        lake_dir.join("fresh.csv"),
+        "Practice,City\nBlackfriars,Salford\n",
+    )
+    .unwrap();
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let (status, body) = request_once(addr, "GET", "/stats", None).unwrap();
+        assert_eq!(status, 200, "server must answer during ingestion");
+        if body.contains("\"tables_added\":1") {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "watcher never ingested fresh.csv: {body}"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let (status, stats) = request_once(addr, "GET", "/stats", None).unwrap();
+    assert_eq!(status, 200);
+    assert!(
+        stats.contains("\"live_tables\":3"),
+        "ingested table must be live (2 seeded + 1 watched): {stats}"
+    );
+    let (status, _) =
+        request_once(addr, "POST", "/query", Some(&query_body(&target(), 3))).unwrap();
+    assert_eq!(status, 200, "queries must keep working under ingestion");
+
+    handle.shutdown();
+    join.join().unwrap().unwrap();
+    watcher.shutdown();
+    std::fs::remove_dir_all(&root).ok();
+}
